@@ -1,0 +1,79 @@
+"""Ablation benchmarks for the design decisions DESIGN.md calls out.
+
+* D1 — memoized view changes (Section 6.3): with memoization disabled,
+  every implicit view change allocates a fresh reference object, so
+  re-traversals of an adapted structure stay expensive.
+* D3 — lazy implicit view changes: the eager alternative walks the whole
+  object graph at view-change time; laziness wins when only part of the
+  structure is visited afterwards.
+"""
+
+import pytest
+
+from repro.programs import cached_program, trees
+
+HEIGHT = 9
+
+
+def _adapted_tree(interp):
+    harness = interp.new_instance(("Harness",), ())
+    root = interp.call_method(harness, "create", [HEIGHT])
+    xroot = interp.call_method(harness, "change", [root])
+    interp.call_method(harness, "traverseExt", [xroot])  # trigger all views
+    return harness, xroot
+
+
+@pytest.mark.parametrize("memoize", (True, False), ids=["memoized", "unmemoized"])
+def test_d1_view_memoization(benchmark, memoize):
+    program = cached_program(trees.SOURCE)
+    interp = program.interp(mode="jns", memoize_views=memoize)
+    harness, xroot = _adapted_tree(interp)
+    benchmark.group = "ablation:D1-memo"
+    result = benchmark.pedantic(
+        lambda: interp.call_method(harness, "traverseExt", [xroot]),
+        rounds=3,
+        iterations=1,
+    )
+    assert result == (2 ** HEIGHT - 1) * 2 ** HEIGHT
+
+
+@pytest.mark.parametrize("eager", (False, True), ids=["lazy", "eager"])
+def test_d3_lazy_vs_eager_partial_visit(benchmark, eager):
+    """Adapt the root, then visit only the leftmost path: laziness pays
+    for exactly what is touched; eagerness pays for the whole tree."""
+    program = cached_program(trees.SOURCE)
+    benchmark.group = "ablation:D3-lazy"
+
+    def run_once():
+        interp = program.interp(mode="jns", eager_views=eager)
+        harness = interp.new_instance(("Harness",), ())
+        root = interp.call_method(harness, "create", [HEIGHT])
+        xroot = interp.call_method(harness, "change", [root])
+        # walk only the left spine
+        node = xroot
+        while node is not None:
+            node = interp.get_field(node, "left")
+        return xroot
+
+    benchmark.pedantic(run_once, rounds=3, iterations=1)
+
+
+def test_d1_correctness_identical():
+    """Memoization is purely an optimization: results agree."""
+    program = cached_program(trees.SOURCE)
+    results = []
+    for memoize in (True, False):
+        interp = program.interp(mode="jns", memoize_views=memoize)
+        harness, xroot = _adapted_tree(interp)
+        results.append(interp.call_method(harness, "traverseExt", [xroot]))
+    assert results[0] == results[1]
+
+
+def test_d3_eager_propagation_visits_everything():
+    program = cached_program(trees.SOURCE)
+    interp = program.interp(mode="jns")
+    harness = interp.new_instance(("Harness",), ())
+    root = interp.call_method(harness, "create", [6])
+    xroot = interp.call_method(harness, "change", [root])
+    visited = interp.propagate_views(xroot)
+    assert visited == 2 ** 6 - 1

@@ -1,0 +1,87 @@
+"""Section 7.4: CorONA live evolution.
+
+Benchmarks the cost of evolving the running system (a handful of view
+changes + manager initialization over all host nodes) against a full
+restart (rebooting the ring and republishing), and measures the workload
+under each family.  The qualitative claim: evolution is cheap relative
+to the system it upgrades, and the evolved behaviors change as expected
+(passive caching, then active replication, reduce lookup hops)."""
+
+import pytest
+
+from repro.programs.corona import CoronaSystem, evolution_loc
+
+SIZE = 16
+OBJECTS = 48
+
+
+def test_workload_plain(benchmark):
+    system = CoronaSystem(size=SIZE, objects=OBJECTS)
+    benchmark.group = "corona:workload"
+    stats = benchmark.pedantic(
+        lambda: system.run_phase("corona", fetches=150), rounds=3, iterations=1
+    )
+    assert stats.misses == 0
+
+
+def test_workload_after_pc_evolution(benchmark):
+    system = CoronaSystem(size=SIZE, objects=OBJECTS)
+    system.evolve_to_pc()
+    system.run_phase("pccorona", fetches=150)  # warm caches
+    benchmark.group = "corona:workload"
+    stats = benchmark.pedantic(
+        lambda: system.run_phase("pccorona", fetches=150, seed=77),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats.misses == 0
+
+
+def test_workload_after_bee_evolution(benchmark):
+    system = CoronaSystem(size=SIZE, objects=OBJECTS)
+    system.run_phase("corona", fetches=150)  # build popularity counts
+    system.evolve_to_bee(threshold=5)
+    benchmark.group = "corona:workload"
+    stats = benchmark.pedantic(
+        lambda: system.run_phase("beecorona", fetches=150, seed=77),
+        rounds=3,
+        iterations=1,
+    )
+    assert stats.misses == 0
+
+
+def test_evolution_cost(benchmark):
+    """The upgrade itself: view-change every host node and create its
+    manager."""
+    benchmark.group = "corona:upgrade"
+
+    def evolve_fresh():
+        system = CoronaSystem(size=SIZE, objects=OBJECTS)
+        system.evolve_to_pc()
+        return system
+
+    system = benchmark.pedantic(evolve_fresh, rounds=3, iterations=1)
+    assert system.nodes_preserved()
+
+
+def test_full_restart_cost(benchmark):
+    """The alternative the paper argues against: stop the system and boot
+    a fresh one with the new code (recreate ring + republish)."""
+    benchmark.group = "corona:upgrade"
+    system = benchmark.pedantic(
+        lambda: CoronaSystem(size=SIZE, objects=OBJECTS), rounds=3, iterations=1
+    )
+    assert system is not None
+
+
+def test_hops_improve_and_loc_small():
+    system = CoronaSystem(size=SIZE, objects=OBJECTS)
+    plain = system.run_phase("corona", fetches=200)
+    system.evolve_to_pc()
+    system.run_phase("pccorona", fetches=200)
+    pc = system.run_phase("pccorona", fetches=200, seed=31)
+    system.evolve_to_bee(threshold=5)
+    bee = system.run_phase("beecorona", fetches=200, seed=47)
+    assert plain.avg_hops > pc.avg_hops > bee.avg_hops
+    loc = evolution_loc()
+    assert loc["evolution"] / loc["total"] < 0.15

@@ -1,0 +1,93 @@
+"""Figure 20 / Section 7.3: the lambda compiler.
+
+The paper reports that the composed sumpair compiler runs the two
+in-place translations with no new translation code; these benchmarks
+measure translation of wide terms in the composed family and compare
+in-place translation (mostly pure-lambda term, nodes reused via view
+changes) against the rebuild-heavy case (pair/sum-dense term)."""
+
+import pytest
+
+from repro.programs.lambdac import LambdaCompiler
+
+
+def build_pure_term(lc, family, depth):
+    """A complete binary applications tree of vars — fully reusable."""
+
+    def go(d, i):
+        if d == 0:
+            return lc.var(family, f"v{i}")
+        return lc.app(family, go(d - 1, 2 * i), go(d - 1, 2 * i + 1))
+
+    return go(depth, 0)
+
+
+def build_pair_dense_term(lc, family, depth):
+    """Pairs at every internal node — everything must be rewritten."""
+
+    def go(d, i):
+        if d == 0:
+            return lc.var(family, f"v{i}")
+        return lc.fst(family, lc.pair(family, go(d - 1, 2 * i), go(d - 1, 2 * i + 1)))
+
+    return go(depth, 0)
+
+
+@pytest.mark.parametrize("depth", (6, 8))
+def test_inplace_translation_pure_term(benchmark, depth):
+    lc = LambdaCompiler()
+    benchmark.group = f"fig20:d{depth}"
+
+    def run_once():
+        term = build_pure_term(lc, "sumpair", depth)
+        return lc.translate("sumpair", term)
+
+    out = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert out.view.path[0] == "base"
+
+
+@pytest.mark.parametrize("depth", (6, 8))
+def test_rebuilding_translation_pair_dense(benchmark, depth):
+    lc = LambdaCompiler()
+    benchmark.group = f"fig20:d{depth}"
+
+    def run_once():
+        term = build_pair_dense_term(lc, "sumpair", depth)
+        return lc.translate("sumpair", term)
+
+    out = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert out.view.path[0] == "base"
+
+
+def test_pure_term_translated_fully_in_place():
+    """Translation of a sharing-only term reuses every node: zero new AST
+    objects (the in-place translation claim of Section 3.2)."""
+    lc = LambdaCompiler()
+    term = build_pure_term(lc, "sumpair", 5)
+
+    def count_nodes(ref, seen):
+        if id(ref.inst) in seen:
+            return
+        seen.add(id(ref.inst))
+        for child_field in ("e", "f", "a"):
+            try:
+                child = lc.interp.get_field(ref, child_field)
+            except Exception:
+                continue
+            if child is not None and hasattr(child, "inst"):
+                count_nodes(child, seen)
+
+    before = set()
+    count_nodes(term, before)
+    out = lc.translate("sumpair", term)
+    after = set()
+    count_nodes(out, after)
+    assert after <= before  # no newly created nodes
+
+
+def test_composed_compiler_correct_under_benchmark_sizes():
+    lc = LambdaCompiler()
+    term = build_pair_dense_term(lc, "sumpair", 4)
+    out = lc.normalize(lc.translate("sumpair", term), fuel=2000)
+    # fst(pair(a,b)) chains reduce to the leftmost leaf
+    assert lc.show(out) == "v0"

@@ -1,0 +1,99 @@
+"""Table 2 (Section 7.2): the binary-tree view-change benchmark.
+
+Five rows per tree height: creation, traversal before view changes, the
+explicit+implicit view-change pass, traversal after (memoized reference
+objects), and explicit translation into the derived family.
+
+Run with ``pytest benchmarks/test_table2_trees.py --benchmark-only``; a
+paper-style table: ``python -c "from repro.programs import trees;
+trees.main()"``.
+"""
+
+import pytest
+
+from repro.programs import cached_program, trees
+
+HEIGHTS = (8, 10)
+
+
+def _fresh(height):
+    program = cached_program(trees.SOURCE)
+    interp = program.interp(mode="jns")
+    harness = interp.new_instance(("Harness",), ())
+    root = interp.call_method(harness, "create", [height])
+    return interp, harness, root
+
+
+@pytest.mark.parametrize("height", HEIGHTS)
+def test_tree_creation(benchmark, height):
+    program = cached_program(trees.SOURCE)
+
+    def create():
+        interp = program.interp(mode="jns")
+        harness = interp.new_instance(("Harness",), ())
+        return interp.call_method(harness, "create", [height])
+
+    benchmark.group = f"table2:h{height}"
+    benchmark.pedantic(create, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("height", HEIGHTS)
+def test_traversal_before_view_changes(benchmark, height):
+    interp, harness, root = _fresh(height)
+    benchmark.group = f"table2:h{height}"
+    result = benchmark.pedantic(
+        lambda: interp.call_method(harness, "traverse", [root]),
+        rounds=3,
+        iterations=1,
+    )
+    assert result == (2 ** height - 1) * 2 ** height // 2
+
+
+@pytest.mark.parametrize("height", HEIGHTS)
+def test_view_changes(benchmark, height):
+    """Explicit view change on the root + a traversal triggering all the
+    lazy implicit view changes (each round on a fresh tree)."""
+    program = cached_program(trees.SOURCE)
+    benchmark.group = f"table2:h{height}"
+
+    def run_once():
+        interp, harness, root = _fresh(height)
+        xroot = interp.call_method(harness, "change", [root])
+        return interp.call_method(harness, "traverseExt", [xroot])
+
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert result == (2 ** height - 1) * 2 ** height
+
+
+@pytest.mark.parametrize("height", HEIGHTS)
+def test_traversal_after_view_changes(benchmark, height):
+    interp, harness, root = _fresh(height)
+    xroot = interp.call_method(harness, "change", [root])
+    interp.call_method(harness, "traverseExt", [xroot])  # warm the memo
+    benchmark.group = f"table2:h{height}"
+    result = benchmark.pedantic(
+        lambda: interp.call_method(harness, "traverseExt", [xroot]),
+        rounds=3,
+        iterations=1,
+    )
+    assert result == (2 ** height - 1) * 2 ** height
+
+
+@pytest.mark.parametrize("height", HEIGHTS)
+def test_explicit_translation(benchmark, height):
+    interp, harness, root = _fresh(height)
+    benchmark.group = f"table2:h{height}"
+    copy = benchmark.pedantic(
+        lambda: interp.call_method(harness, "translate", [root]),
+        rounds=3,
+        iterations=1,
+    )
+    assert copy.inst is not root.inst
+
+
+def test_table2_shape():
+    """In-place adaptation beats explicit translation, and memoized
+    re-traversal matches the pre-adaptation traversal (Section 7.2)."""
+    grid = trees.measure(height=11, mode="jns")
+    assert grid["view_changes"] < grid["explicit_translation"]
+    assert grid["traversal_after"] < 2.5 * grid["traversal_before"] + 0.01

@@ -1,0 +1,7 @@
+"""Legacy setup shim so `pip install -e .` works offline (no wheel/PEP 660
+machinery available in this environment); configuration lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

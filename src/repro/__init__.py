@@ -1,0 +1,47 @@
+"""Reproduction of "Sharing Classes Between Families" (Qi & Myers, 2009).
+
+The package implements J&s — Java-like family inheritance (nested
+inheritance and nested intersection) extended with *class sharing*:
+sharing declarations, views and view changes, view-dependent types, and
+masked types protecting unshared state — together with the paper's formal
+calculus and its complete evaluation suite.
+
+Public entry points:
+
+* :func:`repro.compile_program` / :func:`repro.run_program` — compile and
+  execute J&s source in any of the four execution modes of Table 1;
+* :mod:`repro.calculus` — the formal small-step calculus used by the
+  soundness property tests;
+* :mod:`repro.programs` — the evaluation programs (jolden, binary trees,
+  the lambda compiler, CorONA).
+"""
+
+from .api import Program, compile_program, run_program
+from .lang.classtable import ClassTable, JnsError, ResolveError, TypeError_
+from .lang.typecheck import CheckReport
+from .runtime.interp import Interp
+from .runtime.values import (
+    JnsFailure,
+    JnsRuntimeError,
+    NullDereference,
+    UninitializedFieldError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Program",
+    "compile_program",
+    "run_program",
+    "ClassTable",
+    "CheckReport",
+    "Interp",
+    "JnsError",
+    "ResolveError",
+    "TypeError_",
+    "JnsRuntimeError",
+    "JnsFailure",
+    "NullDereference",
+    "UninitializedFieldError",
+    "__version__",
+]

@@ -1,0 +1,87 @@
+"""Public API of the J&s reproduction.
+
+Typical use::
+
+    from repro import compile_program
+
+    program = compile_program(SOURCE)          # parse + resolve + typecheck
+    interp = program.interp(mode="jns")        # pick an execution mode
+    interp.run("Main.main")                    # instantiate Main, call main
+    print(interp.output)                       # lines from Sys.print
+
+Modes (Section 7.1 / Table 1): ``java``, ``jx``, ``jx_cl``, ``jns``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from .lang.classtable import ClassTable, JnsError, ResolveError, TypeError_
+from .lang.resolve import resolve_program
+from .lang.typecheck import CheckReport, check_program
+from .runtime.interp import Interp
+from .source.parser import parse_program
+
+
+@dataclass
+class Program:
+    """A compiled J&s program: resolved AST + class table + check report."""
+
+    table: ClassTable
+    report: Optional[CheckReport]
+
+    def interp(
+        self,
+        mode: str = "jns",
+        echo: bool = False,
+        memoize_views: bool = True,
+        eager_views: bool = False,
+        compiled: bool = False,
+    ) -> Interp:
+        """Create a fresh interpreter for this program.  The keyword flags
+        select the ablation variants described in DESIGN.md (D1: disable
+        view-change memoization; D3: eager instead of lazy implicit view
+        changes)."""
+        return Interp(
+            self.table,
+            mode=mode,
+            echo=echo,
+            memoize_views=memoize_views,
+            eager_views=eager_views,
+            compiled=compiled,
+        )
+
+
+def compile_program(
+    source: str,
+    check: bool = True,
+    strict_sharing: bool = False,
+) -> Program:
+    """Parse, resolve, and (optionally) type-check a J&s program.
+
+    ``strict_sharing=True`` enforces the paper's modular rule that every
+    view change must be justified by a sharing constraint in scope; the
+    default also accepts view changes justified by the global closed
+    world, reporting them as warnings."""
+    unit = parse_program(source)
+    table = ClassTable(unit)
+    resolve_program(table)
+    report: Optional[CheckReport] = None
+    if check:
+        report = check_program(table, strict_sharing=strict_sharing)
+        report.raise_on_error()
+    return Program(table, report)
+
+
+def run_program(
+    source: str,
+    entry: str = "Main.main",
+    mode: str = "jns",
+    check: bool = True,
+) -> Tuple[Any, List[str]]:
+    """Compile and run; returns (result value, printed output lines)."""
+    program = compile_program(source, check=check)
+    interp = program.interp(mode=mode)
+    result = interp.run(entry)
+    return result, interp.output

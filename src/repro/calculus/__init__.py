@@ -1,0 +1,69 @@
+"""The formal J&s calculus (Sections 4-5 of the paper).
+
+This subpackage implements the object calculus the paper proves sound,
+separately from the practical interpreter:
+
+* :mod:`repro.calculus.syntax` — the expression grammar of Figure 8
+  (values are explicit location/view pairs; fields carry initializers;
+  methods carry sharing constraints);
+* :mod:`repro.calculus.machine` — the small-step operational semantics of
+  Figures 16-17: configurations ⟨e, σ, H, R⟩ with a heap keyed by
+  ⟨location, fclass, field⟩, the ``view`` auxiliary function, and the
+  reference set R threaded through evaluation exactly as in the paper;
+* :mod:`repro.calculus.soundness` — executable analogues of the soundness
+  ingredients: runtime typing environments ⌊σ,H,R⌋, configuration
+  well-formedness (Figure 19), and per-step subject-reduction/progress
+  checks used by the hypothesis property tests (Theorem 5.8).
+
+Class-level machinery (CT/CT', subclassing, sharing groups, fclass) is
+shared with :mod:`repro.lang.classtable`, which implements those
+definitions once for both the calculus and the practical runtime.
+"""
+
+from .machine import Config, Machine, StuckError, body_expr, from_surface
+from .soundness import (
+    SoundnessViolation,
+    check_progress_and_preservation,
+    runtime_env,
+    type_expr,
+    well_formed_config,
+)
+from .syntax import (
+    CalcExpr,
+    ECall,
+    EField,
+    ELet,
+    ENew,
+    ESeq,
+    ESet,
+    EValue,
+    EVar,
+    EView,
+    free_vars,
+    rename_var,
+)
+
+__all__ = [
+    "Config",
+    "Machine",
+    "StuckError",
+    "body_expr",
+    "from_surface",
+    "SoundnessViolation",
+    "check_progress_and_preservation",
+    "runtime_env",
+    "type_expr",
+    "well_formed_config",
+    "CalcExpr",
+    "EValue",
+    "EVar",
+    "EField",
+    "ESet",
+    "ECall",
+    "ESeq",
+    "ENew",
+    "EView",
+    "ELet",
+    "free_vars",
+    "rename_var",
+]

@@ -1,0 +1,337 @@
+"""Small-step operational semantics of the J&s calculus (Figures 16-17).
+
+A configuration is ⟨e, σ, H, R⟩:
+
+* ``e`` — the expression under evaluation (:mod:`repro.calculus.syntax`);
+* ``σ`` — the stack, mapping variable names to values (frames are never
+  popped, as in the paper);
+* ``H`` — the heap, mapping ⟨location, class, field⟩ triples to values;
+  the class component is the ``fclass`` of the writing view, which is how
+  duplicated unshared fields get distinct copies;
+* ``R`` — the reference set recording every value created during
+  evaluation (used by the soundness checks, exactly as in the paper's
+  proof).
+
+Rules implemented: R-CONG, R-VAR, R-LET, R-GET, R-SET, R-CALL, R-ALLOC,
+R-SEQ, R-VIEW.  ``new S`` desugars as in R-ALLOC into a let binding the
+fresh reference (with all fields masked) followed by the field
+initializers, each of which removes its mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..lang import types as T
+from ..lang.classtable import ClassTable, JnsError, ResolveError, path_str
+from ..lang.types import ClassType, Path, Type, View
+from ..source import ast as surface
+from .syntax import (
+    CalcExpr,
+    ECall,
+    EField,
+    ELet,
+    ENew,
+    ESeq,
+    ESet,
+    EValue,
+    EVar,
+    EView,
+    rename_var,
+)
+
+
+class StuckError(JnsError):
+    """The machine cannot take a step and the expression is not a value —
+    for a well-typed program this would contradict Lemma 5.7 (progress)."""
+
+
+class _NoRedex(Exception):
+    """Internal: the (sub)expression is already a value."""
+
+
+@dataclass
+class Config:
+    expr: CalcExpr
+    stack: Dict[str, EValue] = field(default_factory=dict)
+    heap: Dict[Tuple[int, Path, str], EValue] = field(default_factory=dict)
+    refs: List[EValue] = field(default_factory=list)
+    next_loc: int = 0
+    next_var: int = 0
+
+    def fresh_loc(self) -> int:
+        self.next_loc += 1
+        return self.next_loc
+
+    def fresh_var(self, base: str = "y") -> str:
+        self.next_var += 1
+        return f"${base}{self.next_var}"
+
+    def add_ref(self, v: EValue) -> EValue:
+        self.refs.append(v)
+        return v
+
+
+def from_surface(e: surface.Expr) -> CalcExpr:
+    """Convert a resolved surface expression (the calculus fragment) into a
+    calculus expression.  Method bodies of calculus programs must be a
+    single ``return <expr>;``."""
+    if isinstance(e, surface.This):
+        return EVar("this")
+    if isinstance(e, surface.Var):
+        return EVar(e.name)
+    if isinstance(e, surface.FieldGet):
+        return EField(from_surface(e.obj), e.name)
+    if isinstance(e, surface.Assign):
+        if e.op != "=" or not isinstance(e.target, surface.FieldGet):
+            raise ValueError("calculus assignments are x.f = e")
+        return ESet(from_surface(e.target.obj), e.target.name, from_surface(e.value))
+    if isinstance(e, surface.Call):
+        return ECall(
+            from_surface(e.obj), e.name, tuple(from_surface(a) for a in e.args)
+        )
+    if isinstance(e, surface.NewObj):
+        if e.args:
+            raise ValueError("calculus object allocation takes no arguments")
+        return ENew(e.type)
+    if isinstance(e, surface.ViewChange):
+        return EView(e.type, from_surface(e.expr))
+    raise ValueError(f"not a calculus expression: {e!r}")
+
+
+def body_expr(decl: surface.MethodDecl) -> CalcExpr:
+    """The calculus body of a method: a single ``return e;``."""
+    body = decl.body
+    if body is None or len(body.stmts) != 1 or not isinstance(
+        body.stmts[0], surface.Return
+    ):
+        raise ValueError(
+            f"calculus method {decl.name!r} must have a single return statement"
+        )
+    value = body.stmts[0].value
+    if value is None:
+        raise ValueError("calculus methods return a value")
+    return from_surface(value)
+
+
+class Machine:
+    """Executes calculus configurations over a compiled class table."""
+
+    def __init__(self, table: ClassTable) -> None:
+        self.table = table
+
+    # ------------------------------------------------------------------
+    # type evaluation (the TE contexts of Figure 16, taken as one step)
+    # ------------------------------------------------------------------
+
+    def eval_type(self, t: Type, cfg: Config) -> Type:
+        return self.table.eval_type(t, lambda p: self._path_view(p, cfg))
+
+    def _path_view(self, path: Path, cfg: Config) -> View:
+        head = path[0]
+        v = cfg.stack.get(head)
+        if v is None:
+            raise StuckError(f"unbound variable {head!r} in dependent type")
+        for fname in path[1:]:
+            v = self._heap_get(v, fname, cfg)
+        return v.view
+
+    # ------------------------------------------------------------------
+    # auxiliary functions of Section 4.15
+    # ------------------------------------------------------------------
+
+    def ftype(self, view: View, fname: str) -> Type:
+        """ftype(∅, S, f): the field's declared type interpreted at the
+        view; undefined (stuck) when f is masked in the view."""
+        if fname in view.masks:
+            raise StuckError(f"field {fname!r} is masked in {view!r}")
+        found = self.table.find_field(view.path, fname)
+        if found is None:
+            raise StuckError(f"no field {fname!r} on {path_str(view.path)}")
+        _, decl = found
+        try:
+            return self.table.eval_type(
+                decl.type, lambda p: self._field_path_view(p, view)
+            )
+        except (ResolveError, JnsError) as exc:
+            raise StuckError(str(exc)) from exc
+
+    def _field_path_view(self, path: Path, view: View) -> View:
+        if path == ("this",):
+            return View(view.path)
+        raise StuckError(
+            f"field type depends on path {'.'.join(path)}, not just this"
+        )
+
+    def view_fn(self, v: EValue, target: Type, cfg: Config) -> EValue:
+        """The ``view`` auxiliary function: retarget a reference's view."""
+        try:
+            new_view = self.table.view_of(v.view, target)
+        except JnsError as exc:
+            raise StuckError(str(exc)) from exc
+        return EValue(v.loc, new_view)
+
+    def _heap_get(self, v: EValue, fname: str, cfg: Config) -> EValue:
+        owner = self.table.fclass(v.view.path, fname)
+        stored = cfg.heap.get((v.loc, owner, fname))
+        if stored is None:
+            raise StuckError(
+                f"heap has no ⟨{v.loc}, {path_str(owner)}, {fname}⟩ "
+                "(uninitialized field)"
+            )
+        return stored
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+
+    def step(self, cfg: Config) -> bool:
+        """Take one small step; returns False when cfg.expr is a value."""
+        if isinstance(cfg.expr, EValue):
+            return False
+        cfg.expr = self._step(cfg.expr, cfg)
+        return True
+
+    def run(self, cfg: Config, max_steps: int = 100000) -> EValue:
+        for _ in range(max_steps):
+            if not self.step(cfg):
+                assert isinstance(cfg.expr, EValue)
+                return cfg.expr
+        raise StuckError(f"no value after {max_steps} steps")
+
+    def _step(self, e: CalcExpr, cfg: Config) -> CalcExpr:
+        if isinstance(e, EValue):
+            raise _NoRedex()
+        if isinstance(e, EVar):
+            # R-VAR
+            v = cfg.stack.get(e.name)
+            if v is None:
+                raise StuckError(f"unbound variable {e.name!r}")
+            return v
+        if isinstance(e, EField):
+            try:
+                return EField(self._step(e.obj, cfg), e.fname)
+            except _NoRedex:
+                pass
+            # R-GET
+            v = e.obj
+            assert isinstance(v, EValue)
+            stored = self._heap_get(v, e.fname, cfg)
+            target = self.ftype(v.view, e.fname)
+            result = self.view_fn(stored, target, cfg)
+            cfg.add_ref(result)
+            return result
+        if isinstance(e, ESet):
+            if isinstance(e.target, EVar):
+                v_target = cfg.stack.get(e.target.name)
+                if v_target is None:
+                    raise StuckError(f"unbound variable {e.target.name!r}")
+            elif isinstance(e.target, EValue):
+                v_target = e.target
+            else:
+                raise StuckError("assignment receiver must be a variable")
+            try:
+                return ESet(e.target, e.fname, self._step(e.value, cfg))
+            except _NoRedex:
+                pass
+            # R-SET
+            value = e.value
+            assert isinstance(value, EValue)
+            view = v_target.view
+            owner = self.table.fclass(view.path, e.fname)
+            cfg.heap[(v_target.loc, owner, e.fname)] = value
+            # grant: remove the mask on f from the stored view
+            if e.fname in view.masks:
+                granted = EValue(v_target.loc, View(view.path, view.masks - {e.fname}))
+                if isinstance(e.target, EVar):
+                    cfg.stack[e.target.name] = granted
+                cfg.add_ref(granted)
+            return value
+        if isinstance(e, ESeq):
+            try:
+                return ESeq(self._step(e.first, cfg), e.second)
+            except _NoRedex:
+                return e.second  # R-SEQ
+        if isinstance(e, ECall):
+            try:
+                return ECall(self._step(e.obj, cfg), e.mname, e.args)
+            except _NoRedex:
+                pass
+            new_args = list(e.args)
+            for i, arg in enumerate(e.args):
+                try:
+                    new_args[i] = self._step(arg, cfg)
+                    return ECall(e.obj, e.mname, tuple(new_args))
+                except _NoRedex:
+                    continue
+            # R-CALL
+            recv = e.obj
+            assert isinstance(recv, EValue)
+            found = self.table.find_method(recv.view.path, e.mname)
+            if found is None:
+                raise StuckError(
+                    f"no method {e.mname!r} on {path_str(recv.view.path)}"
+                )
+            _, decl = found
+            if len(decl.params) != len(e.args):
+                raise StuckError(f"arity mismatch calling {e.mname!r}")
+            body = body_expr(decl)
+            y0 = cfg.fresh_var("this")
+            cfg.stack[y0] = recv
+            body = rename_var(body, "this", y0)
+            for param, arg in zip(decl.params, e.args):
+                assert isinstance(arg, EValue)
+                y = cfg.fresh_var(param.name)
+                cfg.stack[y] = arg
+                body = rename_var(body, param.name, y)
+            return body
+        if isinstance(e, ENew):
+            # evaluate the type, then R-ALLOC
+            t = self.eval_type(e.type, cfg).pure()
+            if isinstance(t, T.IsectType):
+                t = t.parts[0]
+            if not isinstance(t, ClassType):
+                raise StuckError(f"cannot allocate {e.type!r}")
+            path = t.path
+            loc = cfg.fresh_loc()
+            fields = self.table.all_fields(path)
+            fnames = frozenset(decl.name for _, decl in fields)
+            v = EValue(loc, View(path, fnames))
+            cfg.add_ref(v)
+            x = cfg.fresh_var("new")
+            # body: x.f1 = e1{x/this}; ...; x
+            body: CalcExpr = EVar(x)
+            for owner, decl in fields:
+                if decl.init is None:
+                    raise StuckError(
+                        f"calculus field {decl.name!r} of {path_str(owner)} "
+                        "has no initializer"
+                    )
+                init = rename_var(from_surface(decl.init), "this", x)
+                body = ESeq(ESet(EVar(x), decl.name, init), body)
+            return ELet(T.exact_class(path).with_masks(fnames), x, v, body)
+        if isinstance(e, EView):
+            try:
+                return EView(e.type, self._step(e.expr, cfg))
+            except _NoRedex:
+                pass
+            # R-VIEW
+            v = e.expr
+            assert isinstance(v, EValue)
+            target = self.eval_type(e.type, cfg)
+            result = self.view_fn(v, target, cfg)
+            cfg.add_ref(result)
+            return result
+        if isinstance(e, ELet):
+            try:
+                return ELet(e.type, e.name, self._step(e.init, cfg), e.body)
+            except _NoRedex:
+                pass
+            # R-LET
+            v = e.init
+            assert isinstance(v, EValue)
+            y = cfg.fresh_var(e.name)
+            cfg.stack[y] = v
+            return rename_var(e.body, e.name, y)
+        raise StuckError(f"unknown expression {e!r}")

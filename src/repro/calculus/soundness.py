@@ -1,0 +1,239 @@
+"""Executable soundness ingredients for the J&s calculus (Section 5).
+
+The paper proves soundness via subject reduction (Lemma 5.6) and progress
+(Lemma 5.7).  This module provides the runtime artifacts those lemmas
+quantify over, so property-based tests can *check* them on generated
+programs:
+
+* :func:`runtime_env` — the runtime typing environment ⌊σ, H, R⌋: every
+  stack variable is typed by the view its value carries (F-REF makes a
+  reference self-typing);
+* :func:`well_formed_config` — Figure 19: every unmasked field of every
+  reference in R holds a value whose view conforms to (or can be viewed
+  at) the field's interpreted type;
+* :func:`type_expr` — expression typing for calculus configurations
+  (the T-rules of Figure 10 restricted to the calculus fragment);
+* :func:`check_progress_and_preservation` — runs a configuration to a
+  value, checking at every step that a well-typed expression steps
+  (progress) and that the type is preserved up to subsumption and
+  environment extension (subject reduction).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lang import types as T
+from ..lang.classtable import ClassTable, JnsError, ResolveError, TypeError_, path_str
+from ..lang.sharing import SharingChecker
+from ..lang.subtype import Env, substitute_this, subtype
+from ..lang.types import ClassType, Type, View
+from .machine import Config, Machine, StuckError
+from .syntax import (
+    CalcExpr,
+    ECall,
+    EField,
+    ELet,
+    ENew,
+    ESeq,
+    ESet,
+    EValue,
+    EVar,
+    EView,
+)
+
+
+class SoundnessViolation(AssertionError):
+    """A counterexample to subject reduction or progress."""
+
+
+def runtime_env(table: ClassTable, cfg: Config) -> Env:
+    """⌊σ, H, R⌋ as a practical typing environment: each stack variable is
+    typed by its value's view."""
+    env = Env(table, ())
+    for name, value in cfg.stack.items():
+        env.vars[name] = value.view.as_type()
+    return env
+
+
+def well_formed_config(table: ClassTable, cfg: Config) -> Optional[str]:
+    """Check Figure 19's CONFIG judgment; returns an explanation when the
+    configuration is ill-formed, else None."""
+    machine = Machine(table)
+    for ref in cfg.refs:
+        view = ref.view
+        for _, decl in table.all_fields(view.path):
+            fname = decl.name
+            if fname in view.masks:
+                continue
+            owner = table.fclass(view.path, fname)
+            stored = cfg.heap.get((ref.loc, owner, fname))
+            if stored is None:
+                return (
+                    f"unmasked field {fname!r} of ⟨{ref.loc}, {view!r}⟩ "
+                    "is not in the heap"
+                )
+            try:
+                target = machine.ftype(view, fname)
+            except StuckError as exc:
+                return str(exc)
+            if _conforms(table, stored.view, target):
+                continue
+            # or the stored value can be viewed at the field type
+            try:
+                table.view_of(stored.view, target)
+            except JnsError:
+                return (
+                    f"field {fname!r} of ⟨{ref.loc}, {view!r}⟩ holds "
+                    f"{stored.view!r}, incompatible with {target!r}"
+                )
+    return None
+
+
+def _conforms(table: ClassTable, view: View, t: Type) -> bool:
+    t = t.pure()
+    if isinstance(t, ClassType):
+        m = max(t.exact, default=0)
+        if m > 0:
+            if len(view.path) < m or view.path[:m] != t.path[:m]:
+                return False
+            if m == len(t.path) and view.path != t.path:
+                return False
+        return table.inherits(view.path, t.path)
+    if isinstance(t, T.IsectType):
+        return all(_conforms(table, view, p) for p in t.parts)
+    return False
+
+
+def type_expr(table: ClassTable, env: Env, e: CalcExpr) -> Type:
+    """Type a calculus expression in ⌊σ, H, R⌋ (Figure 10's T-rules)."""
+    sharing = SharingChecker(table)
+    return _type(table, sharing, env, e)
+
+
+def _type(table: ClassTable, sharing: SharingChecker, env: Env, e: CalcExpr) -> Type:
+    if isinstance(e, EValue):
+        return e.view.as_type()  # F-REF
+    if isinstance(e, EVar):
+        t = env.lookup(e.name)
+        if t is None:
+            raise TypeError_(f"unbound variable {e.name!r}")
+        return t
+    if isinstance(e, EField):
+        t_obj = _type(table, sharing, env, e.obj)
+        return env.field_type(t_obj, e.fname)  # T-GET (raises when masked)
+    if isinstance(e, ESet):
+        t_target = _type(table, sharing, env, e.target)
+        t_value = _type(table, sharing, env, e.value)
+        # declared field type, receiver-substituted, ignoring the mask
+        recv = t_target.pure()
+        bound = env.bound(recv).pure()
+        cls = env._single_class(bound)
+        found = table.find_field(cls.path, e.fname)
+        if found is None:
+            raise TypeError_(f"no field {e.fname!r} on {recv!r}")
+        _, decl = found
+        ftype = substitute_this(decl.type, recv, env)
+        if not subtype(env, t_value, ftype):
+            raise TypeError_(
+                f"T-SET: {t_value!r} is not assignable to {ftype!r}"
+            )
+        # grant (Figure 10's updated environment Γ'): the assignment removes
+        # the mask on the receiver variable — the typer threads one mutable
+        # environment exactly like the flow-sensitive judgment Γ ⊢ e:T,Γ'.
+        if isinstance(e.target, EVar) and e.fname in t_target.masks:
+            env.vars[e.target.name] = t_target.pure().with_masks(
+                t_target.masks - {e.fname}
+            )
+        return t_value
+    if isinstance(e, ECall):
+        t_obj = _type(table, sharing, env, e.obj)
+        if t_obj.masks:
+            raise TypeError_("method call on a value with masked fields")
+        sig = env.method_sig(t_obj, e.mname)
+        if sig is None:
+            raise TypeError_(f"no method {e.mname!r} on {t_obj!r}")
+        params, ret, decl, owner = sig
+        if len(params) != len(e.args):
+            raise TypeError_(f"arity mismatch calling {e.mname!r}")
+        for param_t, arg in zip(params, e.args):
+            t_arg = _type(table, sharing, env, arg)
+            if not subtype(env, t_arg, param_t):
+                raise TypeError_(
+                    f"T-CALL: argument {t_arg!r} is not a {param_t!r}"
+                )
+        return ret
+    if isinstance(e, ESeq):
+        _type(table, sharing, env, e.first)
+        return _type(table, sharing, env, e.second)
+    if isinstance(e, ENew):
+        return T.make_exact(e.type)  # T-NEW
+    if isinstance(e, EView):
+        t_src = _type(table, sharing, env, e.expr)
+        holds, _how = sharing.sharing_judgment(env, t_src, e.type)
+        if not holds:
+            raise TypeError_(
+                f"T-VIEW: no sharing relationship {t_src!r} ~> {e.type!r}"
+            )
+        return e.type
+    if isinstance(e, ELet):
+        t_init = _type(table, sharing, env, e.init)
+        if not subtype(env, t_init, e.type):
+            raise TypeError_(f"T-LET: {t_init!r} is not a {e.type!r}")
+        inner = env.copy()
+        inner.vars[e.name] = e.type
+        return _type(table, sharing, inner, e.body)
+    raise TypeError_(f"unknown calculus expression {e!r}")
+
+
+def check_progress_and_preservation(
+    table: ClassTable, cfg: Config, max_steps: int = 2000
+) -> EValue:
+    """Run ``cfg`` to a value, checking soundness at every step:
+
+    * the initial and every intermediate configuration is well-formed and
+      well-typed;
+    * a well-typed non-value configuration always steps (progress);
+    * after each step the expression's type is a subtype of the previous
+      type (subject reduction, with subsumption).
+
+    Raises :class:`SoundnessViolation` with a counterexample otherwise."""
+    machine = Machine(table)
+    env = runtime_env(table, cfg)
+    problem = well_formed_config(table, cfg)
+    if problem is not None:
+        raise SoundnessViolation(f"initial configuration ill-formed: {problem}")
+    t_prev = type_expr(table, env, cfg.expr)
+    for step_no in range(max_steps):
+        if isinstance(cfg.expr, EValue):
+            return cfg.expr
+        expr_before = cfg.expr
+        try:
+            stepped = machine.step(cfg)
+        except StuckError as exc:
+            raise SoundnessViolation(
+                f"progress violated at step {step_no}: {expr_before!r} is "
+                f"well-typed ({t_prev!r}) but stuck: {exc}"
+            ) from exc
+        if not stepped:
+            return cfg.expr  # value
+        env = runtime_env(table, cfg)
+        problem = well_formed_config(table, cfg)
+        if problem is not None:
+            raise SoundnessViolation(
+                f"configuration ill-formed after step {step_no}: {problem}"
+            )
+        try:
+            t_now = type_expr(table, env, cfg.expr)
+        except (TypeError_, ResolveError) as exc:
+            raise SoundnessViolation(
+                f"preservation violated at step {step_no}: result of "
+                f"{expr_before!r} no longer types: {exc}"
+            ) from exc
+        if not subtype(env, t_now, t_prev):
+            raise SoundnessViolation(
+                f"preservation violated at step {step_no}: type went from "
+                f"{t_prev!r} to {t_now!r} (not a subtype)"
+            )
+        t_prev = t_now
+    raise SoundnessViolation(f"no value after {max_steps} steps")

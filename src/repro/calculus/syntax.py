@@ -1,0 +1,202 @@
+"""Expression syntax of the J&s calculus (Figure 8).
+
+    values        v ::= ⟨l, S⟩
+    access paths  p ::= v | x | p.f
+    expressions   e ::= v | x | e.f | x.f = e | e0.m(e̅) | e1; e2
+                      | new T | (view T)e | final T x = e1; e2
+
+Values carry their own view (a non-dependent exact type with masks), so a
+reference literally is a ⟨location, view⟩ pair.  Class declarations are
+not duplicated here: a calculus program is a set of J&s class
+declarations (with field initializers and no constructors, exactly the
+calculus fragment) compiled through the normal front end, plus a main
+expression built from these nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..lang.types import Type, View
+
+
+class CalcExpr:
+    """Base class of calculus expressions."""
+
+
+@dataclass(frozen=True)
+class EValue(CalcExpr):
+    """⟨l, S⟩ — a reference: heap location + view."""
+
+    loc: int
+    view: View
+
+    def __repr__(self) -> str:
+        return f"<{self.loc},{self.view!r}>"
+
+
+@dataclass(frozen=True)
+class EVar(CalcExpr):
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class EField(CalcExpr):
+    obj: CalcExpr
+    fname: str
+
+    def __repr__(self) -> str:
+        return f"{self.obj!r}.{self.fname}"
+
+
+@dataclass(frozen=True)
+class ESet(CalcExpr):
+    """``x.f = e`` — the receiver of an assignment is always a variable
+    (or, during evaluation, a value), as in the calculus grammar."""
+
+    target: CalcExpr  # EVar or EValue
+    fname: str
+    value: CalcExpr
+
+    def __repr__(self) -> str:
+        return f"{self.target!r}.{self.fname} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class ECall(CalcExpr):
+    obj: CalcExpr
+    mname: str
+    args: Tuple[CalcExpr, ...]
+
+    def __repr__(self) -> str:
+        return f"{self.obj!r}.{self.mname}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True)
+class ESeq(CalcExpr):
+    first: CalcExpr
+    second: CalcExpr
+
+    def __repr__(self) -> str:
+        return f"({self.first!r}; {self.second!r})"
+
+
+@dataclass(frozen=True)
+class ENew(CalcExpr):
+    type: Type
+
+    def __repr__(self) -> str:
+        return f"new {self.type!r}"
+
+
+@dataclass(frozen=True)
+class EView(CalcExpr):
+    type: Type
+    expr: CalcExpr
+
+    def __repr__(self) -> str:
+        return f"(view {self.type!r}){self.expr!r}"
+
+
+@dataclass(frozen=True)
+class ELet(CalcExpr):
+    """``final T x = e1; e2``."""
+
+    type: Type
+    name: str
+    init: CalcExpr
+    body: CalcExpr
+
+    def __repr__(self) -> str:
+        return f"final {self.type!r} {self.name} = {self.init!r}; {self.body!r}"
+
+
+def rename_var_in_type(t: Type, old: str, new: str) -> Type:
+    """Rename the head of dependent-class paths inside a type (the type
+    half of the substitution e{y/x}, Figure 14)."""
+    from ..lang import types as T
+
+    if isinstance(t, T.DepType):
+        if t.path and t.path[0] == old:
+            return T.DepType((new,) + t.path[1:])
+        return t
+    if isinstance(t, T.PrefixType):
+        return T.PrefixType(t.family, rename_var_in_type(t.index, old, new))
+    if isinstance(t, T.NestedType):
+        return T.NestedType(rename_var_in_type(t.outer, old, new), t.name)
+    if isinstance(t, T.ExactType):
+        return T.ExactType(rename_var_in_type(t.inner, old, new))
+    if isinstance(t, T.IsectType):
+        return T.IsectType(tuple(rename_var_in_type(p, old, new) for p in t.parts))
+    if isinstance(t, T.MaskedType):
+        return rename_var_in_type(t.base, old, new).with_masks(t.masks)
+    if isinstance(t, T.ArrayType):
+        return T.ArrayType(rename_var_in_type(t.elem, old, new))
+    return t
+
+
+def rename_var(e: CalcExpr, old: str, new: str) -> CalcExpr:
+    """Capture-avoiding variable renaming e{new/old} (fresh ``new``),
+    applied to both expressions and the dependent types inside them."""
+    if isinstance(e, EValue):
+        return e
+    if isinstance(e, EVar):
+        return EVar(new) if e.name == old else e
+    if isinstance(e, EField):
+        return EField(rename_var(e.obj, old, new), e.fname)
+    if isinstance(e, ESet):
+        return ESet(
+            rename_var(e.target, old, new), e.fname, rename_var(e.value, old, new)
+        )
+    if isinstance(e, ECall):
+        return ECall(
+            rename_var(e.obj, old, new),
+            e.mname,
+            tuple(rename_var(a, old, new) for a in e.args),
+        )
+    if isinstance(e, ESeq):
+        return ESeq(rename_var(e.first, old, new), rename_var(e.second, old, new))
+    if isinstance(e, ENew):
+        return ENew(rename_var_in_type(e.type, old, new))
+    if isinstance(e, EView):
+        return EView(rename_var_in_type(e.type, old, new), rename_var(e.expr, old, new))
+    if isinstance(e, ELet):
+        init = rename_var(e.init, old, new)
+        let_type = rename_var_in_type(e.type, old, new)
+        if e.name == old:
+            return ELet(let_type, e.name, init, e.body)  # shadowed
+        return ELet(let_type, e.name, init, rename_var(e.body, old, new))
+    raise TypeError(f"unknown calculus expression {e!r}")
+
+
+def free_vars(e: CalcExpr) -> List[str]:
+    out: List[str] = []
+
+    def walk(e: CalcExpr, bound: Tuple[str, ...]) -> None:
+        if isinstance(e, EVar):
+            if e.name not in bound and e.name not in out:
+                out.append(e.name)
+        elif isinstance(e, EField):
+            walk(e.obj, bound)
+        elif isinstance(e, ESet):
+            walk(e.target, bound)
+            walk(e.value, bound)
+        elif isinstance(e, ECall):
+            walk(e.obj, bound)
+            for a in e.args:
+                walk(a, bound)
+        elif isinstance(e, ESeq):
+            walk(e.first, bound)
+            walk(e.second, bound)
+        elif isinstance(e, EView):
+            walk(e.expr, bound)
+        elif isinstance(e, ELet):
+            walk(e.init, bound)
+            walk(e.body, bound + (e.name,))
+
+    walk(e, ())
+    return out

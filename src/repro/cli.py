@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run FILE``      — compile and run a J&s program (``--entry Main.main``,
+  ``--mode jns|java|jx|jx_cl``).
+* ``check FILE``    — type-check only; ``--strict`` enforces modular
+  sharing constraints, ``--infer`` first infers missing constraints
+  (Section 2.5 future work) and reports them.
+* ``fmt FILE``      — parse and pretty-print the program.
+* ``report WHAT``   — regenerate an evaluation artifact: ``table1``
+  (jolden), ``table2`` (tree traversal), or ``corona`` (Section 7.4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .api import compile_program
+from .lang.classtable import ClassTable, JnsError
+from .lang.infer import infer_constraints, install_constraints
+from .lang.resolve import resolve_program
+from .lang.typecheck import check_program
+from .source.parser import parse_program
+from .source.unparse import unparse
+
+
+def _read(path: str) -> str:
+    with open(path) as f:
+        return f.read()
+
+
+def cmd_run(args) -> int:
+    try:
+        program = compile_program(_read(args.file), check=not args.no_check)
+    except JnsError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    interp = program.interp(mode=args.mode, echo=True)
+    try:
+        result = interp.run(args.entry)
+    except JnsError as exc:
+        print(f"runtime error: {exc}", file=sys.stderr)
+        return 1
+    if result is not None:
+        print(f"=> {result}")
+    return 0
+
+
+def cmd_check(args) -> int:
+    source = _read(args.file)
+    try:
+        unit = parse_program(source)
+        table = ClassTable(unit)
+        resolve_program(table)
+    except JnsError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    if args.infer:
+        inferred = infer_constraints(table)
+        installed = install_constraints(table, inferred)
+        for c in inferred:
+            print(f"inferred  {c}")
+        print(f"installed {installed} constraint clause(s)")
+    report = check_program(table, strict_sharing=args.strict)
+    for warning in report.warnings:
+        print(f"warning: {warning}")
+    for error in report.errors:
+        print(f"error: {error}")
+    print("ok" if report.ok else f"{len(report.errors)} error(s)")
+    return 0 if report.ok else 1
+
+
+def cmd_fmt(args) -> int:
+    try:
+        unit = parse_program(_read(args.file))
+    except JnsError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(unparse(unit))
+    return 0
+
+
+def cmd_report(args) -> int:
+    if args.what == "table1":
+        from .programs.jolden.report import main as table1
+
+        sys.argv = ["report"]
+        table1()
+    elif args.what == "table2":
+        from .programs import trees
+
+        trees.main()
+    elif args.what == "corona":
+        from .programs import corona
+
+        corona.main()
+    else:
+        print(f"unknown report {args.what!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_graph(args) -> int:
+    from .lang.graph import family_graph
+
+    try:
+        unit = parse_program(_read(args.file))
+        table = ClassTable(unit)
+        resolve_program(table)
+        graph = family_graph(table, include_implicit=not args.explicit_only)
+    except JnsError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(graph.to_dot() if args.dot else graph.to_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="compile and run a J&s program")
+    p_run.add_argument("file")
+    p_run.add_argument("--entry", default="Main.main")
+    p_run.add_argument("--mode", default="jns", choices=("java", "jx", "jx_cl", "jns"))
+    p_run.add_argument("--no-check", action="store_true")
+    p_run.set_defaults(func=cmd_run)
+
+    p_check = sub.add_parser("check", help="type-check a J&s program")
+    p_check.add_argument("file")
+    p_check.add_argument("--strict", action="store_true")
+    p_check.add_argument("--infer", action="store_true")
+    p_check.set_defaults(func=cmd_check)
+
+    p_fmt = sub.add_parser("fmt", help="pretty-print a J&s program")
+    p_fmt.add_argument("file")
+    p_fmt.set_defaults(func=cmd_fmt)
+
+    p_report = sub.add_parser("report", help="regenerate an evaluation artifact")
+    p_report.add_argument("what", choices=("table1", "table2", "corona"))
+    p_report.set_defaults(func=cmd_report)
+
+    p_graph = sub.add_parser(
+        "graph", help="print the family graph (inheritance + sharing edges)"
+    )
+    p_graph.add_argument("file")
+    p_graph.add_argument("--dot", action="store_true", help="Graphviz output")
+    p_graph.add_argument(
+        "--explicit-only", action="store_true", help="omit implicit classes"
+    )
+    p_graph.set_defaults(func=cmd_graph)
+
+    p_repl = sub.add_parser("repl", help="interactive J&s session")
+    p_repl.set_defaults(func=lambda args: __import__("repro.repl", fromlist=["main"]).main())
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""The root of the J&s error hierarchy.
+
+Lives in its own dependency-free module so both the front end
+(lexer/parser) and the semantic layers can share one base class:
+catching :class:`JnsError` covers every compilation and runtime failure.
+"""
+
+
+class JnsError(Exception):
+    """Base class for all J&s compilation and runtime errors."""

@@ -1,0 +1,14 @@
+"""Static semantics of J&s: types, class table, subtyping, sharing,
+name resolution, and the type checker."""
+
+from .classtable import ClassTable, JnsError, ResolveError, TypeError_
+from .typecheck import CheckReport, check_program
+
+__all__ = [
+    "ClassTable",
+    "JnsError",
+    "ResolveError",
+    "TypeError_",
+    "CheckReport",
+    "check_program",
+]

@@ -1,0 +1,781 @@
+"""The J&s class table: families, further binding, implicit classes,
+prefix types, and class sharing.
+
+This module implements the semantic machinery of Section 4.3-4.5 of the
+paper:
+
+* ``CT`` / ``CT'`` — explicit class lookup and implicit (inherited but not
+  overridden) classes, synthesized on demand (rule CT'-IMP);
+* subclassing ``@sc`` and further binding ``@fb`` and their closure ``@``;
+* ``mem`` and ordered ``supers`` linearization;
+* prefix types ``P[T]`` (Section 4.5);
+* sharing declarations, the sharing equivalence relation (union-find over
+  class paths, Section 2.2), the ``adapts`` shorthand, and the ``fclass``
+  function selecting which copy of a possibly-duplicated field a view uses
+  (Section 4.15).
+
+Late binding of type names: a name like ``Exp`` written inside family
+``AST`` resolves to the sugar ``AST[this.class].Exp`` (Section 2.1); the
+resolver produces such types and :meth:`ClassTable.eval_type` interprets
+them against a concrete view.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import JnsError
+from ..source import ast
+from . import types as T
+from .types import ClassType, Path, Type, View, exact_class
+
+
+class ResolveError(JnsError):
+    """A name or type could not be resolved."""
+
+
+class TypeError_(JnsError):
+    """A static type error (named with a trailing underscore to avoid
+    shadowing the builtin)."""
+
+
+def path_str(path: Path) -> str:
+    return ".".join(path) if path else "o"
+
+
+class ClassInfo:
+    """Metadata for one explicit class declaration."""
+
+    def __init__(self, path: Path, decl: ast.ClassDecl) -> None:
+        self.path = path
+        self.decl = decl
+        # Filled in lazily by the table:
+        self.super_types: Optional[List[Type]] = None  # resolved extends
+        self.shares_type: Optional[Type] = None  # resolved shares clause
+        self.adapts_path: Optional[Path] = None  # resolved adapts target
+
+    @property
+    def name(self) -> str:
+        return self.path[-1]
+
+    def __repr__(self) -> str:
+        return f"ClassInfo({path_str(self.path)})"
+
+
+class ClassTable:
+    """All family/sharing machinery for one program."""
+
+    def __init__(self, unit: ast.CompilationUnit) -> None:
+        self.unit = unit
+        self.explicit: Dict[Path, ClassInfo] = {}
+        self._register((), unit.classes)
+
+        # memo tables
+        self._has_member: Dict[Tuple[Path, str], bool] = {}
+        self._parents: Dict[Path, Tuple[Path, ...]] = {}
+        self._parents_in_progress: Set[Path] = set()
+        self._ancestors: Dict[Path, Tuple[Path, ...]] = {}
+        self._member_names: Dict[Path, Tuple[str, ...]] = {}
+        self._fields: Dict[Path, Tuple[Tuple[Path, ast.FieldDecl], ...]] = {}
+        self._method_cache: Dict[Tuple[Path, str], Optional[Tuple[Path, ast.MethodDecl]]] = {}
+        self._share_parent: Dict[Path, Path] = {}
+        self._share_masks: Dict[Path, FrozenSet[str]] = {}
+        self._groups_built = False
+        self._group_find: Dict[Path, Path] = {}
+        self._group_cache: Dict[Path, Tuple[Path, ...]] = {}
+        self._all_paths: Optional[Tuple[Path, ...]] = None
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def _register(self, prefix: Path, decls: Sequence[ast.ClassDecl]) -> None:
+        for decl in decls:
+            path = prefix + (decl.name,)
+            if path in self.explicit:
+                raise ResolveError(f"duplicate class {path_str(path)}")
+            self.explicit[path] = ClassInfo(path, decl)
+            self._register(path, decl.nested_classes)
+
+    # ------------------------------------------------------------------
+    # membership / existence (CT and CT')
+    # ------------------------------------------------------------------
+
+    def has_member(self, owner: Path, name: str) -> bool:
+        """Whether class ``owner`` has a member class ``name`` (explicit or
+        inherited), i.e. whether CT'(owner.name) is defined."""
+        key = (owner, name)
+        cached = self._has_member.get(key)
+        if cached is not None:
+            return cached
+        self._has_member[key] = False  # cycle guard: assume no
+        result = owner + (name,) in self.explicit
+        if not result and owner not in self._parents_in_progress:
+            # While a class's own extends clause is being resolved, only its
+            # explicit members are visible (prevents the extends clause from
+            # resolving through the inheritance it is introducing).
+            for parent in self.parents(owner):
+                if self.has_member(parent, name):
+                    result = True
+                    break
+            self._has_member[key] = result
+        elif result:
+            self._has_member[key] = result
+        else:
+            # do not cache a conservative negative answer
+            del self._has_member[key]
+        return result
+
+    def class_exists(self, path: Path) -> bool:
+        """CT'(path) != bottom: the class exists explicitly or implicitly."""
+        if not path:
+            return True
+        if path in self.explicit:
+            return self.class_exists(path[:-1])
+        return self.class_exists(path[:-1]) and self.has_member(path[:-1], path[-1])
+
+    def is_explicit(self, path: Path) -> bool:
+        return path in self.explicit
+
+    def member_names(self, owner: Path) -> Tuple[str, ...]:
+        """All member-class names of ``owner``, explicit and inherited."""
+        cached = self._member_names.get(owner)
+        if cached is not None:
+            return cached
+        names: List[str] = []
+        seen: Set[str] = set()
+        for path, info in self.explicit.items():
+            if len(path) == len(owner) + 1 and path[: len(owner)] == owner:
+                if path[-1] not in seen:
+                    seen.add(path[-1])
+                    names.append(path[-1])
+        for parent in self.parents(owner):
+            for name in self.member_names(parent):
+                if name not in seen:
+                    seen.add(name)
+                    names.append(name)
+        result = tuple(names)
+        self._member_names[owner] = result
+        return result
+
+    def all_class_paths(self) -> Tuple[Path, ...]:
+        """Every class path in the program, explicit and implicit.
+
+        This is the 'locally closed world' enumeration that sharing checks
+        (SH-CLS) rely on; the calculus assumes all classes are known."""
+        if self._all_paths is not None:
+            return self._all_paths
+        out: List[Path] = []
+
+        def walk(owner: Path) -> None:
+            for name in self.member_names(owner):
+                path = owner + (name,)
+                out.append(path)
+                walk(path)
+
+        walk(())
+        self._all_paths = tuple(out)
+        return self._all_paths
+
+    # ------------------------------------------------------------------
+    # inheritance graph: @sc, @fb, parents, ancestors
+    # ------------------------------------------------------------------
+
+    def parents(self, path: Path) -> Tuple[Path, ...]:
+        """Direct parents of a class: declared superclasses (``@sc``) then
+        further-bound classes (``@fb``)."""
+        if not path:
+            return ()
+        cached = self._parents.get(path)
+        if cached is not None:
+            return cached
+        if path in self._parents_in_progress:
+            raise ResolveError(f"cyclic inheritance involving {path_str(path)}")
+        self._parents_in_progress.add(path)
+        try:
+            result: List[Path] = []
+            # declared superclasses: interpret the extends descriptors of the
+            # defining explicit class(es) in the context of `path`
+            for desc in self._super_descriptors(path):
+                evaled = self.eval_type_static(desc, this=path)
+                for cls in self._mem(evaled):
+                    if cls != path and cls not in result:
+                        result.append(cls)
+            # further-bound classes: path = Q + (C,), parents(Q) with member C
+            owner, name = path[:-1], path[-1]
+            if owner or name:
+                for enc_parent in self.parents(owner):
+                    if self.has_member(enc_parent, name):
+                        fb = enc_parent + (name,)
+                        if fb != path and fb not in result:
+                            result.append(fb)
+            final = tuple(result)
+            self._parents[path] = final
+            return final
+        finally:
+            self._parents_in_progress.discard(path)
+
+    def _super_descriptors(self, path: Path) -> List[Type]:
+        """Resolved extends-clause types that apply to ``path``: its own
+        declared ones (if explicit) *plus* those of the explicit classes it
+        further binds, reinterpreted in its context (rule CT'-IMP, applied
+        to explicit overriding classes as well: overriding refines the
+        inherited supertype, it never removes it — otherwise late binding
+        would be unsound, e.g. ``class B shares F0.B { }`` must still be a
+        subtype of its family's ``A`` when the base ``B`` extends ``A``)."""
+        descs: List[Type] = []
+        info = self.explicit.get(path)
+        if info is not None:
+            if info.super_types is None:
+                from .resolve import resolve_type  # local import to avoid cycle
+
+                info.super_types = [
+                    resolve_type(t, self, path) for t in info.decl.extends
+                ]
+            descs.extend(info.super_types)
+        # gather from the nearest explicit further-bound classes
+        owner, name = path[:-1], path[-1]
+        seen: Set[Path] = set()
+        frontier = [
+            enc + (name,)
+            for enc in self.parents(owner)
+            if self.has_member(enc, name)
+        ]
+        while frontier:
+            fb = frontier.pop(0)
+            if fb in seen:
+                continue
+            seen.add(fb)
+            if fb in self.explicit:
+                descs.extend(self._super_descriptors(fb))
+            else:
+                fb_owner, fb_name = fb[:-1], fb[-1]
+                frontier.extend(
+                    enc + (fb_name,)
+                    for enc in self.parents(fb_owner)
+                    if self.has_member(enc, fb_name)
+                )
+        return descs
+
+    def ancestors(self, path: Path) -> Tuple[Path, ...]:
+        """Reflexive-transitive closure of ``@`` as an ordered linearization
+        (self first, then BFS over parents, first occurrence kept)."""
+        cached = self._ancestors.get(path)
+        if cached is not None:
+            return cached
+        order: List[Path] = []
+        seen: Set[Path] = set()
+        queue = [path]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            order.append(current)
+            queue.extend(self.parents(current))
+        result = tuple(order)
+        self._ancestors[path] = result
+        return result
+
+    def inherits(self, sub: Path, sup: Path) -> bool:
+        """``sub @* sup`` (reflexive)."""
+        return sup in self.ancestors(sub)
+
+    def strictly_inherits(self, sub: Path, sup: Path) -> bool:
+        return sub != sup and sup in self.ancestors(sub)
+
+    # ------------------------------------------------------------------
+    # mem / prefix (Sections 4.4-4.5)
+    # ------------------------------------------------------------------
+
+    def _mem(self, t: Type) -> Tuple[Path, ...]:
+        """``mem(PS)``: the classes comprising a pure non-dependent type."""
+        t = t.pure()
+        if isinstance(t, ClassType):
+            return (t.path,)
+        if isinstance(t, T.IsectType):
+            out: List[Path] = []
+            for part in t.parts:
+                for p in self._mem(part):
+                    if p not in out:
+                        out.append(p)
+            return tuple(out)
+        if isinstance(t, T.ExactType):
+            return self._mem(t.inner)
+        raise ResolveError(f"cannot take mem of non-evaluated type {t!r}")
+
+    def _inherits_safe(self, sub: Path, sup: Path) -> bool:
+        """``sub @* sup`` but tolerant of in-progress resolution: answers
+        False instead of raising while ``sub``'s own parents are being
+        computed (prefix evaluation during extends-clause resolution)."""
+        if sub in self._parents_in_progress:
+            return False
+        try:
+            return self.inherits(sub, sup)
+        except ResolveError:
+            return False
+
+    def prefix_of(self, family: Path, view_path: Path) -> Path:
+        """``prefix(P, S)``: the enclosing namespace of ``view_path`` at the
+        level of family ``P`` (Section 4.5).
+
+        First walks the enclosing prefixes of the view's own class,
+        innermost first (this covers every lexically-nested use, including
+        the family object itself as in ``AST[this.class]`` with
+        ``this : ASTDisplay``); if none matches, falls back to the
+        prefixes of all superclasses and picks the most derived candidate."""
+        for cut in range(len(view_path), 0, -1):
+            enc = view_path[:cut]
+            if enc == family or self._inherits_safe(enc, family):
+                return enc
+        candidates: List[Path] = []
+        for sup in self.ancestors(view_path):
+            for cut in range(len(sup), 0, -1):
+                enc = sup[:cut]
+                if enc == family or self._inherits_safe(enc, family):
+                    if enc not in candidates:
+                        candidates.append(enc)
+        if not candidates:
+            raise ResolveError(
+                f"no prefix of {path_str(view_path)} is in family {path_str(family)}"
+            )
+        # most derived: a candidate that inherits all the others
+        for cand in candidates:
+            if all(other == cand or self.inherits(cand, other) for other in candidates):
+                return cand
+        raise ResolveError(
+            f"ambiguous prefix {path_str(family)}[{path_str(view_path)}]: "
+            + ", ".join(path_str(c) for c in candidates)
+        )
+
+    # ------------------------------------------------------------------
+    # type evaluation (substitution of this.class + prefix evaluation)
+    # ------------------------------------------------------------------
+
+    def eval_type_static(self, t: Type, this: Path) -> Type:
+        """Interpret a resolved type in the context of class ``this``
+        (substituting ``this.class := this!`` and evaluating prefixes).
+        Only ``this``-rooted dependent paths are allowed."""
+        return self.eval_type(t, lambda p: self._static_path_view(p, this))
+
+    def _static_path_view(self, dep_path: Path, this: Path) -> View:
+        if dep_path == ("this",):
+            return View(this)
+        raise ResolveError(
+            f"dependent path {'.'.join(dep_path)} cannot be evaluated statically"
+        )
+
+    def eval_type(self, t: Type, view_of_path: Callable[[Path], View]) -> Type:
+        """Evaluate a type to a non-dependent form given a function that
+        yields the run-time view of each final access path."""
+        if isinstance(t, T.MaskedType):
+            inner = self.eval_type(t.base, view_of_path)
+            return inner.with_masks(t.masks)
+        if isinstance(t, (T.PrimType, ClassType)):
+            return t
+        if isinstance(t, T.ArrayType):
+            return T.ArrayType(self.eval_type(t.elem, view_of_path))
+        if isinstance(t, T.DepType):
+            view = view_of_path(t.path)
+            return exact_class(view.path)
+        if isinstance(t, T.PrefixType):
+            index = self.eval_type(t.index, view_of_path)
+            index_pure = index.pure()
+            if isinstance(index_pure, T.IsectType):
+                index_pure = index_pure.parts[0]
+            if not isinstance(index_pure, ClassType):
+                raise ResolveError(f"prefix index did not evaluate: {t!r}")
+            fam = self.prefix_of(t.family, index_pure.path)
+            # P[PS] is exact when the index's prefix at the family's depth
+            # is exact (the paper's prefixExact_1 condition, generalized to
+            # nested families): any exact position at or below the family
+            # depth pins the family.
+            if any(k >= len(fam) for k in index_pure.exact):
+                return exact_class(fam)
+            return ClassType(fam)
+        if isinstance(t, T.NestedType):
+            outer = self.eval_type(t.outer, view_of_path)
+            outer_pure = outer.pure()
+            if isinstance(outer_pure, ClassType):
+                member = outer_pure.member(t.name)
+                if not self.class_exists(member.path):
+                    raise ResolveError(f"no such class {member!r}")
+                return member
+            if isinstance(outer_pure, T.IsectType):
+                parts = tuple(
+                    T.make_member(p, t.name)
+                    for p in outer_pure.parts
+                    if isinstance(p, ClassType) and self.class_exists(p.path + (t.name,))
+                )
+                if not parts:
+                    raise ResolveError(f"no such member {t.name} on {outer_pure!r}")
+                return T.make_isect(parts)
+            raise ResolveError(f"cannot select member on {outer!r}")
+        if isinstance(t, T.ExactType):
+            return T.make_exact(self.eval_type(t.inner, view_of_path))
+        if isinstance(t, T.IsectType):
+            parts = tuple(self.eval_type(p, view_of_path) for p in t.parts)
+            # collapse when one part is most derived
+            class_parts = [p for p in parts if isinstance(p, ClassType)]
+            if len(class_parts) == len(parts):
+                for p in class_parts:
+                    if all(
+                        q is p or self.inherits(p.path, q.path) for q in class_parts
+                    ):
+                        return p
+            return T.make_isect(parts)
+        raise ResolveError(f"cannot evaluate type {t!r}")
+
+    # ------------------------------------------------------------------
+    # members: fields, methods, constructors
+    # ------------------------------------------------------------------
+
+    def own_fields(self, path: Path) -> List[ast.FieldDecl]:
+        info = self.explicit.get(path)
+        return list(info.decl.fields) if info is not None else []
+
+    def all_fields(self, path: Path) -> Tuple[Tuple[Path, ast.FieldDecl], ...]:
+        """``fields(S)``: (declaring class, decl) pairs over all supers.
+        A field name appears once; the most derived declaration wins."""
+        cached = self._fields.get(path)
+        if cached is not None:
+            return cached
+        out: List[Tuple[Path, ast.FieldDecl]] = []
+        seen: Set[str] = set()
+        for sup in self.ancestors(path):
+            for decl in self.own_fields(sup):
+                if decl.name not in seen:
+                    seen.add(decl.name)
+                    out.append((sup, decl))
+        result = tuple(out)
+        self._fields[path] = result
+        return result
+
+    def find_field(self, path: Path, name: str) -> Optional[Tuple[Path, ast.FieldDecl]]:
+        for owner, decl in self.all_fields(path):
+            if decl.name == name:
+                return owner, decl
+        return None
+
+    def find_method(self, path: Path, name: str) -> Optional[Tuple[Path, ast.MethodDecl]]:
+        """Most-specific method implementation for a receiver whose view is
+        ``path``.
+
+        Candidates from all ancestors are filtered by the override relation
+        (a declaration in X overrides one in Y when X @+ Y); remaining ties
+        are broken by preferring the declaring class sharing the longest
+        path prefix with the view (the 'current family' wins, which is how
+        family-wide updates propagate to implicit classes)."""
+        key = (path, name)
+        if key in self._method_cache:
+            return self._method_cache[key]
+        candidates: List[Tuple[Path, ast.MethodDecl]] = []
+        for sup in self.ancestors(path):
+            info = self.explicit.get(sup)
+            if info is None:
+                continue
+            for decl in info.decl.methods:
+                if decl.name == name:
+                    candidates.append((sup, decl))
+                    break
+        result: Optional[Tuple[Path, ast.MethodDecl]] = None
+        if candidates:
+            filtered = [
+                (owner, decl)
+                for owner, decl in candidates
+                if not any(
+                    other != owner and self.strictly_inherits(other, owner)
+                    for other, _ in candidates
+                )
+            ]
+            if len(filtered) > 1:
+                def common_prefix(owner: Path) -> int:
+                    n = 0
+                    for a, b in zip(owner, path):
+                        if a != b:
+                            break
+                        n += 1
+                    return n
+
+                filtered.sort(key=lambda od: (-common_prefix(od[0]), -len(od[0])))
+            result = filtered[0]
+        self._method_cache[key] = result
+        return result
+
+    def all_method_names(self, path: Path) -> Set[str]:
+        names: Set[str] = set()
+        for sup in self.ancestors(path):
+            info = self.explicit.get(sup)
+            if info is not None:
+                names.update(m.name for m in info.decl.methods)
+        return names
+
+    def find_ctor(self, path: Path, argc: int) -> Optional[Tuple[Path, ast.CtorDecl]]:
+        """Nearest constructor with matching arity along the ancestors."""
+        for sup in self.ancestors(path):
+            info = self.explicit.get(sup)
+            if info is None:
+                continue
+            for ctor in info.decl.ctors:
+                if len(ctor.params) == argc:
+                    return sup, ctor
+        return None
+
+    # ------------------------------------------------------------------
+    # sharing (Section 2.2, 3.1): groups, share(), fclass()
+    # ------------------------------------------------------------------
+
+    def _build_sharing(self) -> None:
+        """Two phases: first collect every sharing relationship (explicit
+        ``shares`` clauses and ``adapts`` expansions) into the union-find,
+        then compute the automatic masks for adapts-shared classes as a
+        fixpoint.  Masks must come second because whether a field's
+        interpreted types are shared depends on the complete sharing
+        relation, and the mask sets themselves feed back into ``fclass``
+        (masks only grow, so the iteration terminates)."""
+        if self._groups_built:
+            return
+        self._groups_built = True
+        from .resolve import resolve_type
+
+        def union(a: Path, b: Path) -> None:
+            ra, rb = self._find(a), self._find(b)
+            if ra != rb:
+                self._group_find[ra] = rb
+
+        adapts_pairs: List[Tuple[Path, Path]] = []
+        for path, info in self.explicit.items():
+            decl = info.decl
+            if decl.shares is not None:
+                resolved = resolve_type(decl.shares, self, path)
+                evaled = self.eval_type_static(resolved, this=path)
+                target_pure = evaled.pure()
+                if not isinstance(target_pure, ClassType):
+                    raise ResolveError(
+                        f"shares clause of {path_str(path)} is not a class: {evaled!r}"
+                    )
+                target = target_pure.path
+                self._share_parent[path] = target
+                self._share_masks[path] = evaled.masks
+                if target != path:
+                    union(path, target)
+            if decl.adapts is not None:
+                resolved = resolve_type(decl.adapts, self, path)
+                evaled = self.eval_type_static(resolved, this=path).pure()
+                if not isinstance(evaled, ClassType):
+                    raise ResolveError(
+                        f"adapts clause of {path_str(path)} is not a class"
+                    )
+                base = evaled.path
+                info.adapts_path = base
+                self._apply_adapts(path, base, union, adapts_pairs)
+        # phase 2: automatic masks to fixpoint
+        changed = True
+        while changed:
+            changed = False
+            for derived, base in adapts_pairs:
+                masks = self._auto_masks(derived, base)
+                if masks - self._share_masks.get(derived, frozenset()):
+                    self._share_masks[derived] = (
+                        self._share_masks.get(derived, frozenset()) | masks
+                    )
+                    changed = True
+
+    def _apply_adapts(
+        self,
+        family: Path,
+        base: Path,
+        union: Callable[[Path, Path], None],
+        pairs: List[Tuple[Path, Path]],
+    ) -> None:
+        """``adapts A``: share every inherited member class with A's
+        corresponding class (Section 2.2), transitively nested."""
+
+        def walk(rel: Path) -> None:
+            base_cls = base + rel
+            fam_cls = family + rel
+            for name in self.member_names(base_cls):
+                child = rel + (name,)
+                fam_child = family + child
+                if self.class_exists(fam_child):
+                    if fam_child not in self._share_parent:
+                        self._share_parent[fam_child] = base + child
+                        self._share_masks[fam_child] = frozenset()
+                        pairs.append((fam_child, base + child))
+                    union(fam_child, base + child)
+                    walk(child)
+
+        walk(())
+
+    def _auto_masks(self, derived: Path, base: Path) -> FrozenSet[str]:
+        """Fields of the shared base class whose types are not shared
+        between the two families must be masked/duplicated (Section 3.1).
+        Used by ``adapts`` where the programmer writes no explicit masks.
+        Evaluated against the current mask state (called to fixpoint)."""
+        from .sharing import SharingChecker
+
+        checker = SharingChecker(self)
+        masks: Set[str] = set()
+        for owner, decl in self.all_fields(base):
+            ftype = decl.type
+            if isinstance(ftype, T.Type) and self._field_type_unshared(
+                ftype, derived, base, checker
+            ):
+                masks.add(decl.name)
+        return frozenset(masks)
+
+    def _field_type_unshared(
+        self, ftype: Type, derived: Path, base: Path, checker
+    ) -> bool:
+        """Whether a field's declared type interprets to unshared types in
+        the two families (the criterion for auto-masking under adapts)."""
+        if not T.paths_in(ftype):
+            return False  # non-dependent type: same in both families
+        try:
+            t_derived = self.eval_type_static(ftype, this=derived).pure()
+            t_base = self.eval_type_static(ftype, this=base).pure()
+        except (ResolveError, JnsError):
+            return True
+        if t_derived == t_base:
+            return False
+        if not isinstance(t_derived, ClassType) or not isinstance(t_base, ClassType):
+            return True  # e.g. arrays of family types: never shared
+        empty: FrozenSet[str] = frozenset()
+        return not (
+            checker.type_shares(t_derived, t_base, empty, lenient=True)
+            and checker.type_shares(t_base, t_derived, empty, lenient=True)
+        )
+
+    def _find(self, path: Path) -> Path:
+        root = path
+        while self._group_find.get(root, root) != root:
+            root = self._group_find[root]
+        # path compression
+        while self._group_find.get(path, path) != root:
+            nxt = self._group_find[path]
+            self._group_find[path] = root
+            path = nxt
+        return root
+
+    def shared_with(self, a: Path, b: Path) -> bool:
+        """Whether classes a and b are in the same sharing equivalence
+        class (``a! <-> b!``)."""
+        self._build_sharing()
+        return self._find(a) == self._find(b)
+
+    def sharing_group(self, path: Path) -> Tuple[Path, ...]:
+        """All classes sharing instances with ``path`` (including itself)."""
+        self._build_sharing()
+        cached = self._group_cache.get(path)
+        if cached is not None:
+            return cached
+        root = self._find(path)
+        group = [p for p in self.all_class_paths() if self._find(p) == root]
+        if path not in group:
+            group.append(path)
+        result = tuple(group)
+        self._group_cache[path] = result
+        return result
+
+    def share_target(self, path: Path) -> Path:
+        """``share(P)``: the declared shared class of P (P itself if none)."""
+        self._build_sharing()
+        return self._share_parent.get(path, path)
+
+    def share_masks(self, path: Path) -> FrozenSet[str]:
+        self._build_sharing()
+        return self._share_masks.get(path, frozenset())
+
+    def fclass(self, path: Path, fname: str) -> Path:
+        """Which class's copy of field ``fname`` a view of class ``path``
+        accesses (the ``fclass`` function of Section 4.15).
+
+        Returns ``path``'s own copy when the field is new in this family or
+        duplicated (masked in the sharing declaration); otherwise follows
+        the share target."""
+        target = self.share_target(path)
+        if target == path:
+            return path
+        if fname in self.share_masks(path):
+            return path
+        target_fields = {decl.name for _, decl in self.all_fields(target)}
+        if fname not in target_fields:
+            return path
+        return self.fclass(target, fname)
+
+    def types_fully_shared(self, t1: ClassType, t2: ClassType) -> bool:
+        """Whether every subclass of t1 (in its locally closed world) has a
+        shared counterpart under t2 and vice versa — the bidirectional
+        version of SH-CLS used for auto-masking decisions."""
+        return self.directional_sharing_holds(t1, t2) and self.directional_sharing_holds(
+            t2, t1
+        )
+
+    def subclasses_of(self, bound: ClassType) -> Tuple[Path, ...]:
+        """All classes P with P! <= bound, enumerated in the locally closed
+        world (bound should have an exact prefix for this to be modular,
+        Section 2.1; we enumerate globally as the calculus does)."""
+        out = []
+        for p in self.all_class_paths():
+            if self.inherits(p, bound.path) and self._exact_prefix_matches(p, bound):
+                out.append(p)
+        return tuple(out)
+
+    def _exact_prefix_matches(self, p: Path, bound: ClassType) -> bool:
+        m = max(bound.exact, default=0)
+        if m == 0:
+            return True
+        if m > len(p):
+            return False
+        if m == len(bound.path):
+            # bound itself exact: p must be exactly bound
+            return p == bound.path
+        return p[:m] == bound.path[:m]
+
+    def directional_sharing_holds(self, src: ClassType, dst: ClassType) -> bool:
+        """SH-CLS premise: every subclass of ``src`` has a unique shared
+        subclass of ``dst``."""
+        self._build_sharing()
+        for p1 in self.subclasses_of(src):
+            matches = [
+                p2
+                for p2 in self.subclasses_of(dst)
+                if self.shared_with(p1, p2)
+            ]
+            if len(matches) != 1:
+                return False
+        return True
+
+    def view_of(self, current: View, target: Type) -> View:
+        """The run-time ``view`` function (Section 4.15): retarget a
+        reference's view to be compatible with ``target``.
+
+        If the current class already conforms, only the masks change;
+        otherwise the unique shared class under the target is selected.
+        Raises :class:`JnsError` when no shared view exists (statically
+        prevented by sharing constraints)."""
+        target_pure = target.pure()
+        masks = target.masks
+        if not isinstance(target_pure, ClassType):
+            raise JnsError(f"view target did not evaluate to a class: {target!r}")
+        if self.inherits(current.path, target_pure.path) and self._exact_prefix_matches(
+            current.path, target_pure
+        ):
+            return View(current.path, frozenset(masks))
+        self._build_sharing()
+        matches = [
+            p
+            for p in self.sharing_group(current.path)
+            if self.inherits(p, target_pure.path)
+            and self._exact_prefix_matches(p, target_pure)
+        ]
+        if len(matches) == 1:
+            return View(matches[0], frozenset(masks))
+        if not matches:
+            raise JnsError(
+                f"no view of {path_str(current.path)} is compatible with {target!r}"
+            )
+        raise JnsError(
+            f"ambiguous view change from {path_str(current.path)} to {target!r}: "
+            + ", ".join(path_str(m) for m in matches)
+        )

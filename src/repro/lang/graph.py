@@ -1,0 +1,96 @@
+"""Family-graph extraction: the structure drawn in Figure 20.
+
+Produces the inheritance edges (solid arrows in the paper's figure) and
+sharing edges (dashed arrows) of a program, for tooling
+(``python -m repro graph FILE``) and for structural assertions in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .classtable import ClassTable, path_str
+from .types import Path
+
+
+@dataclass
+class FamilyGraph:
+    """Edges over class paths: direct inheritance (``@``) and the sharing
+    relation restricted to declared/adapts pairs (share targets)."""
+
+    classes: Tuple[Path, ...]
+    inherit_edges: FrozenSet[Tuple[Path, Path]]  # (sub, super)
+    share_edges: FrozenSet[Tuple[Path, Path]]  # (class, share target)
+
+    def families(self) -> Tuple[Path, ...]:
+        """Top-level classes that contain nested classes (the families)."""
+        tops = []
+        for path in self.classes:
+            if len(path) == 1 and any(
+                len(p) > 1 and p[0] == path[0] for p in self.classes
+            ):
+                tops.append(path)
+        return tuple(tops)
+
+    def to_text(self) -> str:
+        """An ASCII rendering: one block per family, with edges."""
+        lines: List[str] = []
+        for fam in self.families():
+            members = sorted(
+                p for p in self.classes if len(p) == 2 and p[0] == fam[0]
+            )
+            sups = sorted(
+                path_str(sup)
+                for sub, sup in self.inherit_edges
+                if sub == fam and len(sup) == 1
+            )
+            header = path_str(fam)
+            if sups:
+                header += " extends " + ", ".join(sups)
+            lines.append(header)
+            for member in members:
+                notes = []
+                for sub, sup in sorted(self.inherit_edges):
+                    if sub == member and sup[0] == fam[0]:
+                        notes.append(f"-> {path_str(sup)}")
+                for cls, target in sorted(self.share_edges):
+                    if cls == member:
+                        notes.append(f"~~ shares {path_str(target)}")
+                suffix = f"   {' '.join(notes)}" if notes else ""
+                lines.append(f"  {member[-1]}{suffix}")
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """Graphviz output: solid = inheritance, dashed = sharing."""
+        lines = ["digraph families {", "  rankdir=BT;"]
+        for path in self.classes:
+            lines.append(f'  "{path_str(path)}";')
+        for sub, sup in sorted(self.inherit_edges):
+            lines.append(f'  "{path_str(sub)}" -> "{path_str(sup)}";')
+        for cls, target in sorted(self.share_edges):
+            lines.append(
+                f'  "{path_str(cls)}" -> "{path_str(target)}" [style=dashed];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def family_graph(table: ClassTable, include_implicit: bool = True) -> FamilyGraph:
+    """Extract the family graph of a compiled program."""
+    table._build_sharing()
+    if include_implicit:
+        classes = table.all_class_paths()
+    else:
+        classes = tuple(table.explicit)
+    class_set: Set[Path] = set(classes)
+    inherit: Set[Tuple[Path, Path]] = set()
+    share: Set[Tuple[Path, Path]] = set()
+    for path in classes:
+        for parent in table.parents(path):
+            if parent in class_set:
+                inherit.add((path, parent))
+        target = table.share_target(path)
+        if target != path:
+            share.add((path, target))
+    return FamilyGraph(tuple(classes), frozenset(inherit), frozenset(share))

@@ -1,0 +1,145 @@
+"""Sharing-constraint inference — the paper's Section 2.5 future work.
+
+    "While it appears possible to automatically infer sharing
+     constraints, by inspecting the type of the source expression and
+     the target type of every view change operation in the method body,
+     we leave this to future work."
+
+This module implements exactly that: it type-checks each method while
+recording, for every ``(view T)e`` that is not already justified by a
+constraint in scope, the pair (static type of ``e``, ``T``).  The pairs
+become inferred ``sharing`` constraints, which are validated (Q-OK) and
+can be installed on the method declarations so that strict modular
+checking passes without hand-written annotations.
+
+Constraint well-formedness (Section 2.5) is respected: an inferred
+constraint is kept only if both sides have an exact prefix and depend at
+most on ``this``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..source import ast
+from . import types as T
+from .classtable import ClassTable, JnsError, path_str
+from .typecheck import TypeChecker, _MethodCtx
+from .types import Path, Type
+
+
+@dataclass
+class InferredConstraint:
+    """One inferred ``sharing left = right`` clause."""
+
+    cls: Path
+    method: str
+    left: Type
+    right: Type
+
+    def __str__(self) -> str:
+        return (
+            f"{path_str(self.cls)}.{self.method}: "
+            f"sharing {self.left!r} = {self.right!r}"
+        )
+
+
+class _RecordingChecker(TypeChecker):
+    """A TypeChecker that records view changes lacking an enabling
+    constraint instead of merely warning about them."""
+
+    def __init__(self, table: ClassTable) -> None:
+        super().__init__(table, strict_sharing=False)
+        self.recorded: List[Tuple[Path, str, Type, Type]] = []
+        self._current: Tuple[Path, str] = ((), "?")
+
+    def _check_method(self, path, decl):
+        self._current = (path, decl.name)
+        super()._check_method(path, decl)
+
+    def _check_ctor(self, path, decl):
+        self._current = (path, "<init>")
+        super()._check_ctor(path, decl)
+
+    def _check_field(self, path, decl):
+        self._current = (path, f"<init:{decl.name}>")
+        super()._check_field(path, decl)
+
+    def _type_expr(self, e, env, ctx, where):
+        if isinstance(e, ast.ViewChange):
+            t_src = self.type_expr(e.expr, env, ctx, where)
+            target = e.type
+            if t_src is not None:
+                holds, how = self.sharing.sharing_judgment(
+                    env, t_src, target, allow_global=True
+                )
+                if holds and how == "global":
+                    cls, method = self._current
+                    self.recorded.append((cls, method, t_src, target))
+            return target
+        return super()._type_expr(e, env, ctx, where)
+
+
+def _well_formed_constraint(left: Type, right: Type) -> bool:
+    """Section 2.5: some prefix of each constraint type must be exact and
+    the types may depend only on ``this``."""
+    for t in (left, right):
+        pure = t.pure()
+        if not any(T.prefix_exact_k(pure, k) for k in range(0, 4)):
+            return False
+        if not T.depends_on_this_only(pure):
+            return False
+    return True
+
+
+def infer_constraints(table: ClassTable) -> List[InferredConstraint]:
+    """Run inference over every method; returns the constraints that would
+    make all view changes modular."""
+    checker = _RecordingChecker(table)
+    checker.check_program()
+    seen = set()
+    out: List[InferredConstraint] = []
+    for cls, method, left, right in checker.recorded:
+        if not _well_formed_constraint(left, right):
+            continue
+        key = (cls, method, repr(left), repr(right))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(InferredConstraint(cls, method, left, right))
+    return out
+
+
+def install_constraints(
+    table: ClassTable, inferred: List[InferredConstraint]
+) -> int:
+    """Add inferred constraints to the method declarations (idempotent);
+    returns the number of clauses added.  After installation the program
+    passes ``strict_sharing`` checking without hand-written clauses."""
+    by_method: Dict[Tuple[Path, str], List[InferredConstraint]] = {}
+    for c in inferred:
+        by_method.setdefault((c.cls, c.method), []).append(c)
+    added = 0
+    for (cls, method), constraints in by_method.items():
+        info = table.explicit.get(cls)
+        if info is None:
+            continue
+        for decl in info.decl.methods:
+            if decl.name != method:
+                continue
+            existing = {
+                (repr(c.left), repr(c.right))
+                for c in decl.constraints
+                if isinstance(c.left, T.Type)
+            }
+            for c in constraints:
+                key = (repr(c.left), repr(c.right))
+                if key in existing:
+                    continue
+                decl.constraints.append(
+                    ast.SharingConstraint(c.left, c.right, (0, 0))
+                )
+                existing.add(key)
+                added += 1
+    return added

@@ -1,0 +1,195 @@
+"""Sharing judgments (Sections 2.5, 3, 4.11).
+
+The key judgment is directional sharing ``Gamma |- T1 ~> T2``: a value of
+static type T1 may be view-changed to T2.  It is established by:
+
+* SH-REFL: subtyping (a no-op view change);
+* SH-ENV: a sharing constraint ``sharing L = R`` in scope;
+* SH-DECL / SH-CLS: the closed-world check — every subclass of the source
+  has a *unique* shared subclass of the target, with sufficient masks on
+  the target to cover fields whose storage copy differs.
+
+Masks required on a view-change target are computed semantically: a field
+must be masked exactly when the two views would read *different heap
+copies* (``fclass`` differs or the field is new) and the source copy's
+content cannot itself be viewed into the target family (Section 3.3's
+directional refinement: ``base.Abs! ~> pair.Abs!`` needs no mask on ``e``
+because every ``base`` expression can be viewed as a ``pair`` expression,
+whereas ``pair.Abs! ~> base.Abs!\\e`` must mask ``e`` since a ``Pair``
+has no ``base`` view)."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from . import types as T
+from .classtable import ClassTable, JnsError, ResolveError, path_str
+from .subtype import Env, subtype
+from .types import ClassType, Path, Type
+
+
+class SharingChecker:
+    """Computes directional sharing judgments over a class table.
+
+    Results are memoized; cyclic field-type dependencies (a shared class
+    whose field type mentions the same pair of families) are resolved
+    coinductively by assuming the in-progress judgment holds."""
+
+    def __init__(self, table: ClassTable) -> None:
+        self.table = table
+        self._req_masks: Dict[Tuple[Path, Path], FrozenSet[str]] = {}
+        self._in_progress: Set[Tuple[Path, Path]] = set()
+
+    # ------------------------------------------------------------------
+    # per-class-pair mask requirements
+    # ------------------------------------------------------------------
+
+    def required_masks(
+        self, src: Path, dst: Path, lenient: bool = False
+    ) -> FrozenSet[str]:
+        """Fields that must be masked on the target of a view change from
+        exact class ``src`` to exact class ``dst`` (both in one sharing
+        group).
+
+        ``lenient`` implements the *deferred-initialization* relaxation
+        used when deciding whether two interpreted **field** types are
+        shared: fields that are new in the target family are skipped there
+        (the Section 7.4 evolution protocol initializes manager fields
+        before use, and the runtime still guards uninitialized reads);
+        explicit view changes stay strict, exactly as in Figure 5."""
+        key = (src, dst, lenient)
+        cached = self._req_masks.get(key)
+        if cached is not None:
+            return cached
+        if key in self._in_progress:
+            return frozenset()  # coinductive assumption
+        self._in_progress.add(key)
+        try:
+            table = self.table
+            src_fields = {decl.name for _, decl in table.all_fields(src)}
+            masks: Set[str] = set()
+            for owner, decl in table.all_fields(dst):
+                fname = decl.name
+                if fname not in src_fields:
+                    if not lenient:
+                        masks.add(fname)  # new field, uninitialized in src view
+                    continue
+                if table.fclass(src, fname) == table.fclass(dst, fname):
+                    continue  # same heap copy: always consistent
+                # Different copies: safe only if the source copy's contents
+                # can be implicitly viewed at the target's field type.
+                t_src = self._field_type_at(src, fname)
+                t_dst = self._field_type_at(dst, fname)
+                if t_src is None or t_dst is None:
+                    masks.add(fname)
+                elif not self.type_shares(t_src, t_dst, frozenset(), lenient):
+                    masks.add(fname)
+            result = frozenset(masks)
+            self._req_masks[key] = result
+            return result
+        finally:
+            self._in_progress.discard(key)
+
+    def _field_type_at(self, cls: Path, fname: str) -> Optional[Type]:
+        found = self.table.find_field(cls, fname)
+        if found is None:
+            return None
+        _, decl = found
+        try:
+            return self.table.eval_type_static(decl.type, this=cls).pure()
+        except (ResolveError, JnsError):
+            return None
+
+    # ------------------------------------------------------------------
+    # directional sharing between (evaluated) types
+    # ------------------------------------------------------------------
+
+    def type_shares(
+        self,
+        src: Type,
+        dst: Type,
+        allowed_masks: FrozenSet[str],
+        lenient: bool = False,
+    ) -> bool:
+        """SH-CLS: every subclass of ``src`` has a unique shared subclass
+        of ``dst`` whose required masks are within ``allowed_masks``."""
+        src_p, dst_p = src.pure(), dst.pure()
+        if src_p == dst_p:
+            return True
+        if isinstance(src_p, T.PrimType) and isinstance(dst_p, T.PrimType):
+            return src_p == dst_p
+        if isinstance(src_p, T.ArrayType) or isinstance(dst_p, T.ArrayType):
+            return src_p == dst_p
+        if not isinstance(src_p, ClassType) or not isinstance(dst_p, ClassType):
+            return False
+        table = self.table
+        src_subs = table.subclasses_of(src_p)
+        if not src_subs:
+            return False
+        for p1 in src_subs:
+            matches = [
+                p2
+                for p2 in table.subclasses_of(dst_p)
+                if table.shared_with(p1, p2)
+                and self.required_masks(p1, p2, lenient) <= allowed_masks
+            ]
+            if len(matches) != 1:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # the full judgment  Gamma |- T1 ~> T2
+    # ------------------------------------------------------------------
+
+    def sharing_judgment(
+        self, env: Env, t_src: Type, t_dst: Type, allow_global: bool = True
+    ) -> Tuple[bool, str]:
+        """Decide ``Gamma |- t_src ~> t_dst``.
+
+        Returns (holds, how) where how is "subtype", "constraint", or
+        "global" (the latter means no enabling constraint was in scope and
+        the judgment came from the closed-world check — legal in the
+        calculus, flagged for modularity)."""
+        # SH-REFL (via subsumption): a no-op view change.
+        if subtype(env, t_src, t_dst):
+            return True, "subtype"
+        # SH-ENV / SH-MASK: an enabling constraint in scope.  Matched
+        # nominally first, then on the statically evaluated types (this :=
+        # the current class — sound because inherited constraints are
+        # re-validated per family by Q-OK).
+        s = d = None
+        try:
+            s = self._eval_in_env(env, t_src)
+            d = self._eval_in_env(env, t_dst)
+        except (ResolveError, JnsError):
+            pass
+        for left, right in env.constraints:
+            for l, r in ((left, right), (right, left)):
+                if subtype(env, t_src, l) and subtype(env, r, t_dst):
+                    return True, "constraint"
+                if s is None or d is None:
+                    continue
+                try:
+                    l_ev = self._eval_in_env(env, l)
+                    r_ev = self._eval_in_env(env, r)
+                except (ResolveError, JnsError):
+                    continue
+                if subtype(env, s, l_ev) and subtype(env, r_ev, d):
+                    return True, "constraint"
+        if not allow_global:
+            return False, "none"
+        # SH-DECL / SH-CLS on the evaluated types.
+        if s is None or d is None:
+            return False, "none"
+        if self.type_shares(s.pure(), d.pure(), d.masks):
+            return True, "global"
+        return False, "none"
+
+    def _eval_in_env(self, env: Env, t: Type) -> Type:
+        """Evaluate a type's dependent parts against the static context
+        (this := the current class).  Sharing-constraint types must be
+        non-dependent or depend only on ``this`` (Section 2.5), which is
+        exactly what the class table's static evaluation supports; it also
+        preserves family-level exactness of ``P[this.class]`` prefixes,
+        which the closed-world enumeration relies on."""
+        return self.table.eval_type_static(t, this=env.ctx)

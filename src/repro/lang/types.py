@@ -1,0 +1,334 @@
+"""Resolved type representations for J&s.
+
+These mirror the type grammar of Figure 8 in the paper:
+
+    pure types  PT ::= o | PT.C | p.class | P[PT] | &PT | PT!
+    types        T ::= PT | PT\\f
+
+A *class path* is a tuple of names rooted at the outermost namespace ``o``
+(written ``()`` here); e.g. ``("ASTDisplay", "Binary")``.
+
+Exactness can apply at any depth of a path (``A.B!.C`` means exactness of
+the prefix ``A.B``); we canonicalize path-shaped types into
+:class:`ClassType` carrying the set of exact positions, so
+``ASTDisplay.Exp!`` is ``ClassType(("ASTDisplay","Exp"), exact={2})`` and
+``ASTDisplay!.Exp`` is ``ClassType(("ASTDisplay","Exp"), exact={1})``.
+Non-path-shaped types (dependent classes, prefix types, intersections)
+keep their structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+Path = Tuple[str, ...]
+
+
+class Type:
+    """Base class of resolved J&s types."""
+
+    def with_masks(self, masks: FrozenSet[str]) -> "Type":
+        if not masks:
+            return self
+        if isinstance(self, MaskedType):
+            return MaskedType(self.base, self.masks | masks)
+        return MaskedType(self, frozenset(masks))
+
+    @property
+    def masks(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def pure(self) -> "Type":
+        """Strip all masks (the ``pure`` function of the paper)."""
+        return self
+
+
+@dataclass(frozen=True)
+class PrimType(Type):
+    """int, double, boolean, String, void, or the internal null type."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+INT = PrimType("int")
+DOUBLE = PrimType("double")
+BOOLEAN = PrimType("boolean")
+STRING = PrimType("String")
+VOID = PrimType("void")
+NULL = PrimType("null")
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    elem: Type
+
+    def __repr__(self) -> str:
+        return f"{self.elem!r}[]"
+
+
+@dataclass(frozen=True)
+class ClassType(Type):
+    """A pure non-dependent path type with exactness positions.
+
+    ``exact`` holds 1-based prefix lengths whose prefix is exact;
+    e.g. ``A.B!.C`` has ``exact == {2}`` and ``A.B.C!`` has ``exact == {3}``.
+    The root namespace ``o`` is ``ClassType(())``.
+    """
+
+    path: Path
+    exact: FrozenSet[int] = frozenset()
+
+    def __repr__(self) -> str:
+        if not self.path:
+            return "o"
+        out = []
+        for i, name in enumerate(self.path, start=1):
+            out.append(name)
+            if i in self.exact:
+                out.append("!")
+            if i != len(self.path):
+                out.append(".")
+        return "".join(out)
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the whole type is exact (its values all have the same
+        run-time class)."""
+        return len(self.path) in self.exact
+
+    def member(self, name: str) -> "ClassType":
+        return ClassType(self.path + (name,), self.exact)
+
+    def exact_here(self) -> "ClassType":
+        return ClassType(self.path, self.exact | {len(self.path)})
+
+    def drop_exact(self) -> "ClassType":
+        return ClassType(self.path)
+
+
+def exact_class(path: Path) -> ClassType:
+    """The type ``P!`` for a class path — the view of instances created as
+    ``new P``."""
+    return ClassType(tuple(path), frozenset({len(path)}))
+
+
+@dataclass(frozen=True)
+class DepType(Type):
+    """A dependent class ``p.class``; ``path`` is ("this",) or
+    ("x", "f", ...).  Dependent classes are exact."""
+
+    path: Path
+
+    def __repr__(self) -> str:
+        return ".".join(self.path) + ".class"
+
+
+@dataclass(frozen=True)
+class PrefixType(Type):
+    """A prefix type ``P[T]``: the enclosing family of ``T`` at the level
+    of class ``P`` (``family`` is P's absolute path)."""
+
+    family: Path
+    index: Type
+
+    def __repr__(self) -> str:
+        return ".".join(self.family) + f"[{self.index!r}]"
+
+    def member(self, name: str) -> "NestedType":
+        return NestedType(self, name)
+
+
+@dataclass(frozen=True)
+class NestedType(Type):
+    """Member access ``T.C`` on a non-path type (prefix, dependent,
+    intersection, or exact-of-those)."""
+
+    outer: Type
+    name: str
+
+    def __repr__(self) -> str:
+        return f"{self.outer!r}.{self.name}"
+
+
+@dataclass(frozen=True)
+class ExactType(Type):
+    """``T!`` where T is not path-shaped (path-shaped exactness is folded
+    into :class:`ClassType`)."""
+
+    inner: Type
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r}!"
+
+
+@dataclass(frozen=True)
+class IsectType(Type):
+    """Intersection ``T1 & T2``."""
+
+    parts: Tuple[Type, ...]
+
+    def __repr__(self) -> str:
+        return " & ".join(repr(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class MaskedType(Type):
+    """``T\\f``: T without read access to the masked fields."""
+
+    base: Type
+    _masks: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __init__(self, base: Type, masks: FrozenSet[str]) -> None:
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "_masks", frozenset(masks))
+
+    @property
+    def masks(self) -> FrozenSet[str]:
+        return self._masks
+
+    def pure(self) -> Type:
+        return self.base
+
+    def __repr__(self) -> str:
+        return repr(self.base) + "".join("\\" + f for f in sorted(self._masks))
+
+
+def masked(base: Type, *fields_: str) -> Type:
+    """Convenience constructor for masked types."""
+    if not fields_:
+        return base
+    return MaskedType(base, frozenset(fields_))
+
+
+def make_exact(t: Type) -> Type:
+    """Apply ``!`` to a resolved type, folding into ClassType when
+    possible."""
+    if isinstance(t, ClassType):
+        return t.exact_here()
+    if isinstance(t, MaskedType):
+        return MaskedType(make_exact(t.base), t.masks)
+    if isinstance(t, (DepType, ExactType)):
+        return t  # dependent classes are already exact
+    return ExactType(t)
+
+
+def make_member(t: Type, name: str) -> Type:
+    """Apply ``.name`` to a resolved type."""
+    if isinstance(t, ClassType):
+        return t.member(name)
+    if isinstance(t, MaskedType):
+        raise ValueError("cannot select a member of a masked type")
+    return NestedType(t, name)
+
+
+def make_isect(parts: Tuple[Type, ...]) -> Type:
+    flat = []
+    for p in parts:
+        if isinstance(p, IsectType):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
+    uniq = tuple(dict.fromkeys(flat))
+    if len(uniq) == 1:
+        return uniq[0]
+    return IsectType(uniq)
+
+
+def is_reference_type(t: Type) -> bool:
+    """True for types whose values are object references (class-ish types)."""
+    t = t.pure()
+    return isinstance(
+        t, (ClassType, DepType, PrefixType, NestedType, ExactType, IsectType)
+    )
+
+
+def prefix_exact_k(t: Type, k: int) -> bool:
+    """``prefixExact_k`` of Figure 11: whether the k-th prefix of ``t`` is
+    exact (k = 0 means the type itself)."""
+    if isinstance(t, MaskedType):
+        return prefix_exact_k(t.base, k)
+    if isinstance(t, ClassType):
+        if not t.path:
+            return False
+        # the k-th prefix of a path of length n is the prefix of length n-k;
+        # Figure 11 makes prefixExact_k(T!) true for every k, so exactness
+        # anywhere at or below that depth suffices
+        target = len(t.path) - k
+        if target <= 0:
+            return bool(t.exact)
+        return any(pos >= target for pos in t.exact)
+    if isinstance(t, DepType):
+        return True
+    if isinstance(t, ExactType):
+        return True
+    if isinstance(t, NestedType):
+        if k == 0:
+            return False
+        return prefix_exact_k(t.outer, k - 1)
+    if isinstance(t, PrefixType):
+        return prefix_exact_k(t.index, k + 1)
+    if isinstance(t, IsectType):
+        return any(prefix_exact_k(p, k) for p in t.parts)
+    return False
+
+
+def is_exact(t: Type) -> bool:
+    """``exact(T)``: all values of T share one run-time class."""
+    return prefix_exact_k(t, 0)
+
+
+def paths_in(t: Type) -> FrozenSet[Path]:
+    """``paths(T)``: final access paths appearing in the type (Fig. 11)."""
+    if isinstance(t, MaskedType):
+        return paths_in(t.base)
+    if isinstance(t, DepType):
+        return frozenset({t.path})
+    if isinstance(t, (ExactType,)):
+        return paths_in(t.inner)
+    if isinstance(t, NestedType):
+        return paths_in(t.outer)
+    if isinstance(t, PrefixType):
+        return paths_in(t.index)
+    if isinstance(t, IsectType):
+        out: FrozenSet[Path] = frozenset()
+        for p in t.parts:
+            out |= paths_in(p)
+        return out
+    return frozenset()
+
+
+def depends_on_this_only(t: Type) -> bool:
+    """True when every dependent path in ``t`` starts at ``this`` (needed by
+    sharing-constraint well-formedness, Section 2.5)."""
+    return all(p and p[0] == "this" for p in paths_in(t))
+
+
+@dataclass(frozen=True)
+class View:
+    """A run-time view: a non-dependent exact class (a path) plus masks.
+
+    Object references in J&s are pairs of a heap location and a view
+    (Section 2.3); the view determines behavior.
+    """
+
+    path: Path
+    masks: FrozenSet[str] = frozenset()
+
+    def __repr__(self) -> str:
+        base = ".".join(self.path) + "!"
+        return base + "".join("\\" + f for f in sorted(self.masks))
+
+    def as_type(self) -> Type:
+        t: Type = exact_class(self.path)
+        if self.masks:
+            t = t.with_masks(self.masks)
+        return t
+
+    def without_masks(self) -> "View":
+        if not self.masks:
+            return self
+        return View(self.path)

@@ -1,0 +1,24 @@
+"""Evaluation programs of the paper, ported to the J&s surface language.
+
+* :mod:`repro.programs.jolden`  — the ten jolden benchmarks (Table 1);
+* :mod:`repro.programs.trees`   — the binary-tree view-change benchmark
+  (Table 2);
+* :mod:`repro.programs.lambdac` — the lambda compiler (Section 7.3 and
+  Figure 20);
+* :mod:`repro.programs.corona`  — the CorONA evolution case study
+  (Section 7.4).
+"""
+
+from functools import lru_cache
+
+from ..api import Program, compile_program
+
+
+@lru_cache(maxsize=None)
+def _compile_cached(source: str, check: bool = True) -> Program:
+    return compile_program(source, check=check)
+
+
+def cached_program(source: str, check: bool = True) -> Program:
+    """Compile a program once per process (sources are module constants)."""
+    return _compile_cached(source, check)

@@ -1,0 +1,14 @@
+"""The ten jolden benchmarks [9] ported to J&s (Table 1, Section 7.1).
+
+Order matches the paper's table: bh, bisort, em3d, health, mst,
+perimeter, power, treeadd, tsp, voronoi.
+"""
+
+from . import bh, bisort, em3d, health, mst, perimeter, power, treeadd, tsp, voronoi
+
+#: Benchmarks in the paper's column order.
+ALL = (bh, bisort, em3d, health, mst, perimeter, power, treeadd, tsp, voronoi)
+
+BY_NAME = {m.NAME: m for m in ALL}
+
+__all__ = ["ALL", "BY_NAME"] + [m.NAME for m in ALL]

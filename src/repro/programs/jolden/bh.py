@@ -1,0 +1,138 @@
+"""jolden ``bh``: Barnes-Hut hierarchical N-body simulation (2D variant).
+
+Bodies are inserted into an adaptive quadtree; centers of mass are
+computed bottom-up, and accelerations are evaluated with the opening
+criterion (cell size over distance below theta), exactly the structure
+of the Olden/SPLASH code with the space reduced to two dimensions."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .common import RANDOM_SRC, run_benchmark, time_benchmark
+
+NAME = "bh"
+DEFAULT_ARGS = (24, 3, 7)  # bodies, steps, seed
+
+SOURCE = RANDOM_SRC + """
+abstract class BHNode {
+  double mass;
+  double x; double y;
+}
+class Body extends BHNode {
+  double vx; double vy;
+  double ax; double ay;
+}
+class Cell extends BHNode {
+  BHNode[] sub;       // nw, ne, sw, se
+  double cx; double cy; double half;   // region geometry
+  Cell(double cx, double cy, double half) {
+    this.cx = cx; this.cy = cy; this.half = half;
+    this.sub = new BHNode[4];
+  }
+  int quadrant(double px, double py) {
+    int q = 0;
+    if (px >= cx) { q = q + 1; }
+    if (py >= cy) { q = q + 2; }
+    return q;
+  }
+  double subCx(int q) { if (q == 1 || q == 3) { return cx + half / 2.0; } return cx - half / 2.0; }
+  double subCy(int q) { if (q >= 2) { return cy + half / 2.0; } return cy - half / 2.0; }
+}
+class Main {
+  void insert(Cell cell, Body b) {
+    int q = cell.quadrant(b.x, b.y);
+    BHNode existing = cell.sub[q];
+    if (existing == null) {
+      cell.sub[q] = b;
+    } else {
+      if (existing instanceof Cell) {
+        insert((Cell)existing, b);
+      } else {
+        Cell fresh = new Cell(cell.subCx(q), cell.subCy(q), cell.half / 2.0);
+        cell.sub[q] = fresh;
+        insert(fresh, (Body)existing);
+        insert(fresh, b);
+      }
+    }
+  }
+  void computeCoM(Cell cell) {
+    double m = 0.0; double sx = 0.0; double sy = 0.0;
+    for (int i = 0; i < 4; i++) {
+      BHNode n = cell.sub[i];
+      if (n != null) {
+        if (n instanceof Cell) { computeCoM((Cell)n); }
+        m = m + n.mass;
+        sx = sx + n.mass * n.x;
+        sy = sy + n.mass * n.y;
+      }
+    }
+    cell.mass = m;
+    if (m > 0.0) { cell.x = sx / m; cell.y = sy / m; }
+  }
+  void addForce(Body b, BHNode n, double size, double theta) {
+    if (n == null || n == b) { return; }
+    double dx = n.x - b.x;
+    double dy = n.y - b.y;
+    double d2 = dx * dx + dy * dy + 0.0025;   // softening
+    double d = Sys.sqrt(d2);
+    boolean far = true;
+    if (n instanceof Cell) { far = size / d < theta; }
+    if (far) {
+      double f = n.mass / (d2 * d);
+      b.ax = b.ax + f * dx;
+      b.ay = b.ay + f * dy;
+    } else {
+      Cell c = (Cell)n;
+      for (int i = 0; i < 4; i++) {
+        addForce(b, c.sub[i], size / 2.0, theta);
+      }
+    }
+  }
+  double run(int n, int steps, int seed) {
+    Rand r = new Rand(seed);
+    Body[] bodies = new Body[n];
+    for (int i = 0; i < n; i++) {
+      Body b = new Body();
+      b.x = r.nextDouble(); b.y = r.nextDouble();
+      b.vx = (r.nextDouble() - 0.5) * 0.1;
+      b.vy = (r.nextDouble() - 0.5) * 0.1;
+      b.mass = 1.0 / n;
+      bodies[i] = b;
+    }
+    double dt = 0.025;
+    for (int step = 0; step < steps; step++) {
+      Cell root = new Cell(0.5, 0.5, 0.5);
+      for (int i = 0; i < n; i++) {
+        Body b = bodies[i];
+        if (b.x >= 0.0 && b.x < 1.0 && b.y >= 0.0 && b.y < 1.0) {
+          insert(root, b);
+        }
+      }
+      computeCoM(root);
+      for (int i = 0; i < n; i++) {
+        Body b = bodies[i];
+        b.ax = 0.0; b.ay = 0.0;
+        addForce(b, root, 1.0, 0.5);
+        b.vx = b.vx + b.ax * dt;
+        b.vy = b.vy + b.ay * dt;
+        b.x = b.x + b.vx * dt;
+        b.y = b.y + b.vy * dt;
+      }
+    }
+    double checksum = 0.0;
+    for (int i = 0; i < n; i++) {
+      checksum = checksum + bodies[i].x + bodies[i].y;
+    }
+    return checksum;
+  }
+}
+"""
+
+
+def run(mode: str = "jns", *args) -> Any:
+    return run_benchmark(SOURCE, mode, args or DEFAULT_ARGS)
+
+
+def timed(mode: str, *args):
+    return time_benchmark(SOURCE, mode, args or DEFAULT_ARGS)

@@ -1,0 +1,104 @@
+"""jolden ``bisort``: bitonic sort over a binary tree.
+
+Values live at the leaves of a perfect binary tree; the classic bitonic
+network is realized structurally: sort one subtree ascending and the
+other descending, then merge by compare-exchanging mirrored leaves of the
+two subtrees in tandem (pointer-pair traversal, as in Olden's
+SwapLeft/SwapRight).  The checksum and a sortedness flag are returned so
+every mode can be validated."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .common import RANDOM_SRC, run_benchmark, time_benchmark
+
+NAME = "bisort"
+DEFAULT_ARGS = (9, 12345)  # 2^9 = 512 leaf values
+
+SOURCE = RANDOM_SRC + """
+class Node {
+  int value;
+  Node left;
+  Node right;
+  boolean isLeaf() { return left == null; }
+}
+class Main {
+  Node buildLeaf(Rand r) {
+    Node n = new Node();
+    n.value = r.nextInt(1000000);
+    return n;
+  }
+  Node build(int depth, Rand r) {
+    if (depth == 0) { return buildLeaf(r); }
+    Node n = new Node();
+    n.left = build(depth - 1, r);
+    n.right = build(depth - 1, r);
+    return n;
+  }
+  // compare-exchange mirrored leaves of two equal-shape subtrees
+  void cmpSwap(Node a, Node b, boolean up) {
+    if (a.isLeaf()) {
+      boolean outOfOrder = a.value > b.value;
+      if (outOfOrder == up) {
+        int t = a.value; a.value = b.value; b.value = t;
+      }
+    } else {
+      cmpSwap(a.left, b.left, up);
+      cmpSwap(a.right, b.right, up);
+    }
+  }
+  // subtree holds a bitonic sequence; merge it into sorted order
+  void bimerge(Node n, boolean up) {
+    if (n.isLeaf()) { return; }
+    cmpSwap(n.left, n.right, up);
+    bimerge(n.left, up);
+    bimerge(n.right, up);
+  }
+  void bisort(Node n, boolean up) {
+    if (n.isLeaf()) { return; }
+    bisort(n.left, up);
+    bisort(n.right, !up);
+    bimerge(n, up);
+  }
+  // in-order leaf checks
+  int checksum(Node n) {
+    if (n.isLeaf()) { return n.value; }
+    return checksum(n.left) + checksum(n.right);
+  }
+  int lastSeen;
+  int sortedViolations(Node n, boolean up) {
+    if (n.isLeaf()) {
+      int bad = 0;
+      if (up) { if (n.value < lastSeen) { bad = 1; } }
+      else { if (n.value > lastSeen) { bad = 1; } }
+      lastSeen = n.value;
+      return bad;
+    }
+    return sortedViolations(n.left, up) + sortedViolations(n.right, up);
+  }
+  int run(int depth, int seed) {
+    Rand r = new Rand(seed);
+    Node root = build(depth, r);
+    int before = checksum(root);
+    bisort(root, true);
+    lastSeen = -1;
+    int badUp = sortedViolations(root, true);
+    bisort(root, false);
+    lastSeen = 2000000;
+    int badDown = sortedViolations(root, false);
+    int after = checksum(root);
+    if (before != after) { Sys.fail("checksum changed"); }
+    if (badUp + badDown != 0) { Sys.fail("not sorted"); }
+    return after;
+  }
+}
+"""
+
+
+def run(mode: str = "jns", depth: int = DEFAULT_ARGS[0], seed: int = DEFAULT_ARGS[1]) -> Any:
+    return run_benchmark(SOURCE, mode, (depth, seed))
+
+
+def timed(mode: str, depth: int = DEFAULT_ARGS[0], seed: int = DEFAULT_ARGS[1]):
+    return time_benchmark(SOURCE, mode, (depth, seed))

@@ -1,0 +1,67 @@
+"""Shared infrastructure for the jolden benchmark ports.
+
+The paper tests the J&s implementation on the ten jolden benchmarks [9]
+(Table 1), which are Java ports of the Olden pointer-intensive C suite.
+Each module here carries a J&s source port (``SOURCE``), the default
+problem size (scaled down so the interpreted benchmarks run in fractions
+of a second), and a ``run(mode, **params)`` entry point returning a
+checksum so correctness can be asserted across all four modes.
+
+All ports use only the Java subset of J&s — top-level classes, no
+sharing — because the paper's point for Table 1 is measuring the
+*overhead* of the family/sharing machinery on code that does not use it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Tuple
+
+from .. import cached_program
+
+#: Deterministic LCG shared by the benchmark ports (jolden uses
+#: java.util.Random; any fixed pseudo-random stream preserves the shape).
+RANDOM_SRC = """
+class Rand {
+  int seed;
+  Rand(int seed) { this.seed = seed; }
+  int nextInt(int n) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    if (seed < 0) { seed = -seed; }
+    return (seed / 65536) % n;   // high bits: LCG low bits cycle
+  }
+  double nextDouble() {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    if (seed < 0) { seed = -seed; }
+    return seed / 2147483648.0;
+  }
+}
+"""
+
+
+def run_benchmark(
+    source: str, mode: str, args: Tuple = (), entry: str = "Main.run"
+) -> Any:
+    """Compile (cached) and execute one benchmark, returning its result."""
+    program = cached_program(source)
+    interp = program.interp(mode=mode)
+    *cls, method = entry.split(".")
+    ref = interp.new_instance(tuple(cls), ())
+    return interp.call_method(ref, method, list(args))
+
+
+def time_benchmark(
+    source: str, mode: str, args: Tuple = (), entry: str = "Main.run", repeat: int = 1
+) -> Tuple[float, Any]:
+    """Best-of-``repeat`` wall-clock time and result for one benchmark."""
+    program = cached_program(source)
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        interp = program.interp(mode=mode)
+        *cls, method = entry.split(".")
+        ref = interp.new_instance(tuple(cls), ())
+        start = time.perf_counter()
+        result = interp.call_method(ref, method, list(args))
+        best = min(best, time.perf_counter() - start)
+    return best, result

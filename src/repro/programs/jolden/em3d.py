@@ -1,0 +1,73 @@
+"""jolden ``em3d``: electromagnetic wave propagation on a bipartite graph.
+
+E-field and H-field nodes form a bipartite graph; each node's value is
+updated from its out-neighbors' values weighted by per-edge coefficients
+(irregular array-of-references traversal)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .common import RANDOM_SRC, run_benchmark, time_benchmark
+
+NAME = "em3d"
+DEFAULT_ARGS = (128, 4, 10, 777)  # nodes per side, degree, iterations, seed
+
+SOURCE = RANDOM_SRC + """
+class GNode {
+  double value;
+  GNode[] toNodes;
+  double[] coeffs;
+  void computeNewValue() {
+    for (int i = 0; i < toNodes.length; i++) {
+      value = value - coeffs[i] * toNodes[i].value;
+    }
+  }
+}
+class Main {
+  GNode[] makeSide(int n, Rand r) {
+    GNode[] side = new GNode[n];
+    for (int i = 0; i < n; i++) {
+      GNode g = new GNode();
+      g.value = r.nextDouble();
+      side[i] = g;
+    }
+    return side;
+  }
+  void wire(GNode[] from, GNode[] to, int degree, Rand r) {
+    for (int i = 0; i < from.length; i++) {
+      GNode g = from[i];
+      g.toNodes = new GNode[degree];
+      g.coeffs = new double[degree];
+      for (int j = 0; j < degree; j++) {
+        g.toNodes[j] = to[r.nextInt(to.length)];
+        g.coeffs[j] = r.nextDouble();
+      }
+    }
+  }
+  double run(int n, int degree, int iters, int seed) {
+    Rand r = new Rand(seed);
+    GNode[] eNodes = makeSide(n, r);
+    GNode[] hNodes = makeSide(n, r);
+    wire(eNodes, hNodes, degree, r);
+    wire(hNodes, eNodes, degree, r);
+    for (int it = 0; it < iters; it++) {
+      for (int i = 0; i < n; i++) { eNodes[i].computeNewValue(); }
+      for (int i = 0; i < n; i++) { hNodes[i].computeNewValue(); }
+    }
+    double sum = 0.0;
+    for (int i = 0; i < n; i++) {
+      sum = sum + eNodes[i].value + hNodes[i].value;
+    }
+    return sum;
+  }
+}
+"""
+
+
+def run(mode: str = "jns", *args) -> Any:
+    return run_benchmark(SOURCE, mode, args or DEFAULT_ARGS)
+
+
+def timed(mode: str, *args):
+    return time_benchmark(SOURCE, mode, args or DEFAULT_ARGS)

@@ -1,0 +1,160 @@
+"""jolden ``health``: discrete-event simulation of a hierarchical health
+care system (the Colombian health-care model of the Olden suite).
+
+Villages form a 4-ary tree; patients are generated at leaf villages,
+wait in linked-list queues, are assessed, and are either treated locally
+or referred up the hierarchy."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .common import RANDOM_SRC, run_benchmark, time_benchmark
+
+NAME = "health"
+DEFAULT_ARGS = (3, 20, 42)  # levels, simulation steps, seed
+
+SOURCE = RANDOM_SRC + """
+class Patient {
+  int remaining;   // steps left in the current stage
+  int hops;        // how many referrals so far
+  Patient next;
+}
+class Hospital {
+  int personnel;
+  int free;
+  Patient waiting;
+  Patient assess;
+  Patient inside;
+  int treated;
+  Hospital(int personnel) { this.personnel = personnel; this.free = personnel; }
+
+  void addWaiting(Patient p) { p.next = waiting; waiting = p; }
+
+  // advance one step; returns patients referred up (linked by .next)
+  Patient step(boolean canTreat, Rand r) {
+    Patient referrals = null;
+    // patients inside finish treatment
+    Patient p = inside;
+    Patient stillIn = null;
+    while (p != null) {
+      Patient nxt = p.next;
+      p.remaining = p.remaining - 1;
+      if (p.remaining <= 0) {
+        treated = treated + 1;
+        free = free + 1;
+      } else {
+        p.next = stillIn; stillIn = p;
+      }
+      p = nxt;
+    }
+    inside = stillIn;
+    // assessment completes: treat here or refer up
+    p = assess;
+    Patient stillAssess = null;
+    while (p != null) {
+      Patient nxt = p.next;
+      p.remaining = p.remaining - 1;
+      if (p.remaining <= 0) {
+        boolean treatHere = canTreat && r.nextDouble() < 0.7;
+        if (treatHere) {
+          p.remaining = 4;
+          p.next = inside; inside = p;
+        } else {
+          free = free + 1;       // assessment slot released
+          p.hops = p.hops + 1;
+          p.next = referrals; referrals = p;
+        }
+      } else {
+        p.next = stillAssess; stillAssess = p;
+      }
+      p = nxt;
+    }
+    assess = stillAssess;
+    // admit waiting patients while personnel are free
+    while (waiting != null && free > 0) {
+      Patient adm = waiting;
+      waiting = adm.next;
+      free = free - 1;
+      adm.remaining = 2;
+      adm.next = assess; assess = adm;
+    }
+    return referrals;
+  }
+}
+class Village {
+  Village[] kids;
+  Hospital hosp;
+  boolean isLeaf;
+  Rand r;
+  Village(int level, int seed) {
+    this.r = new Rand(seed);
+    this.hosp = new Hospital(level * 2 + 1);
+    if (level == 0) {
+      this.isLeaf = true;
+      this.kids = new Village[0];
+    } else {
+      this.kids = new Village[4];
+      for (int i = 0; i < 4; i++) {
+        kids[i] = new Village(level - 1, seed * 4 + i + 1);
+      }
+    }
+  }
+  // simulate one step bottom-up; returns patients referred above this level
+  Patient step(boolean isRoot) {
+    Patient up = null;
+    for (int i = 0; i < kids.length; i++) {
+      Patient ref = kids[i].step(false);
+      while (ref != null) {
+        Patient nxt = ref.next;
+        hosp.addWaiting(ref);
+        ref = nxt;
+      }
+    }
+    if (isLeaf && r.nextDouble() < 0.5) {
+      hosp.addWaiting(new Patient());
+    }
+    Patient referrals = hosp.step(isRoot || r.nextDouble() < 0.8, r);
+    return referrals;
+  }
+  int totalTreated() {
+    int total = hosp.treated;
+    for (int i = 0; i < kids.length; i++) {
+      total = total + kids[i].totalTreated();
+    }
+    return total;
+  }
+  int totalWaiting() {
+    int total = 0;
+    Patient p = hosp.waiting;
+    while (p != null) { total = total + 1; p = p.next; }
+    for (int i = 0; i < kids.length; i++) {
+      total = total + kids[i].totalWaiting();
+    }
+    return total;
+  }
+}
+class Main {
+  int run(int levels, int steps, int seed) {
+    Village top = new Village(levels, seed);
+    for (int t = 0; t < steps; t++) {
+      Patient lost = top.step(true);
+      // the root treats everything; referrals above it re-enter its queue
+      while (lost != null) {
+        Patient nxt = lost.next;
+        top.hosp.addWaiting(lost);
+        lost = nxt;
+      }
+    }
+    return top.totalTreated() * 1000 + top.totalWaiting();
+  }
+}
+"""
+
+
+def run(mode: str = "jns", *args) -> Any:
+    return run_benchmark(SOURCE, mode, args or DEFAULT_ARGS)
+
+
+def timed(mode: str, *args):
+    return time_benchmark(SOURCE, mode, args or DEFAULT_ARGS)

@@ -1,0 +1,90 @@
+"""jolden ``mst``: minimum spanning tree over a dense random graph.
+
+Vertices form a linked list (as in Olden); Prim's algorithm repeatedly
+scans the list for the closest fringe vertex and relaxes distances
+through per-vertex weight tables."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .common import run_benchmark, time_benchmark
+
+NAME = "mst"
+DEFAULT_ARGS = (48, 321)  # vertices, seed
+
+SOURCE = """
+class Vertex {
+  int id;
+  int[] weights;     // weight to every vertex (symmetric, computed once)
+  int minDist;
+  boolean inTree;
+  Vertex next;
+  Vertex(int id, int n) {
+    this.id = id;
+    this.weights = new int[n];
+    this.minDist = 1000000;
+  }
+}
+class Main {
+  // Olden computes edge weights with a hash of the endpoint ids
+  int weight(int i, int j, int n, int seed) {
+    int v = (i * 31 + j * 17 + seed) % 2048;
+    if (v < 0) { v = -v; }
+    return v + 1;
+  }
+  Vertex makeGraph(int n, int seed) {
+    Vertex head = null;
+    Vertex[] all = new Vertex[n];
+    for (int i = n - 1; i >= 0; i--) {
+      Vertex v = new Vertex(i, n);
+      v.next = head;
+      head = v;
+      all[i] = v;
+    }
+    for (int i = 0; i < n; i++) {
+      for (int j = 0; j < n; j++) {
+        int w = weight(Sys.min(i, j), Sys.max(i, j), n, seed);
+        all[i].weights[j] = w;
+      }
+    }
+    return head;
+  }
+  int run(int n, int seed) {
+    Vertex graph = makeGraph(n, seed);
+    graph.minDist = 0;
+    int cost = 0;
+    for (int step = 0; step < n; step++) {
+      // find the closest fringe vertex by walking the list (blue rule)
+      Vertex best = null;
+      Vertex v = graph;
+      while (v != null) {
+        if (!v.inTree) {
+          if (best == null || v.minDist < best.minDist) { best = v; }
+        }
+        v = v.next;
+      }
+      best.inTree = true;
+      cost = cost + best.minDist;
+      // relax distances through the new tree vertex
+      v = graph;
+      while (v != null) {
+        if (!v.inTree) {
+          int w = best.weights[v.id];
+          if (w < v.minDist) { v.minDist = w; }
+        }
+        v = v.next;
+      }
+    }
+    return cost;
+  }
+}
+"""
+
+
+def run(mode: str = "jns", *args) -> Any:
+    return run_benchmark(SOURCE, mode, args or DEFAULT_ARGS)
+
+
+def timed(mode: str, *args):
+    return time_benchmark(SOURCE, mode, args or DEFAULT_ARGS)

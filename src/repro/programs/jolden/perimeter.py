@@ -1,0 +1,98 @@
+"""jolden ``perimeter``: perimeter of a raster region stored in a
+quadtree.
+
+A disk image is encoded as a quadtree (white/black/grey nodes); the
+perimeter is the total length of black/white and black/outside unit
+boundaries, found by probing adjacent cells through the tree (repeated
+root-to-leaf pointer walks, the benchmark's signature access pattern)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .common import run_benchmark, time_benchmark
+
+NAME = "perimeter"
+DEFAULT_ARGS = (32,)  # image size (power of two)
+
+SOURCE = """
+class QuadTree {
+  int color;          // 0 white, 1 black, 2 grey
+  QuadTree nw; QuadTree ne; QuadTree sw; QuadTree se;
+  int x; int y; int size;
+}
+class Main {
+  int imgSize;
+  // the image: a disk centred in the square
+  boolean pixelBlack(int x, int y) {
+    int c = imgSize / 2;
+    int r = imgSize * 3 / 8;
+    int dx = x - c;
+    int dy = y - c;
+    return dx * dx + dy * dy <= r * r;
+  }
+  QuadTree build(int x, int y, int size) {
+    QuadTree t = new QuadTree();
+    t.x = x; t.y = y; t.size = size;
+    if (size == 1) {
+      if (pixelBlack(x, y)) { t.color = 1; } else { t.color = 0; }
+      return t;
+    }
+    int h = size / 2;
+    t.nw = build(x, y, h);
+    t.ne = build(x + h, y, h);
+    t.sw = build(x, y + h, h);
+    t.se = build(x + h, y + h, h);
+    if (t.nw.color == t.ne.color && t.sw.color == t.se.color
+        && t.nw.color == t.sw.color && t.nw.color != 2) {
+      t.color = t.nw.color;
+      t.nw = null; t.ne = null; t.sw = null; t.se = null;
+    } else {
+      t.color = 2;
+    }
+    return t;
+  }
+  // probe the tree for the color of a unit pixel (0 outside the image)
+  boolean isBlack(QuadTree root, int x, int y) {
+    if (x < 0 || y < 0 || x >= imgSize || y >= imgSize) { return false; }
+    QuadTree t = root;
+    while (t.color == 2) {
+      int h = t.size / 2;
+      if (x < t.x + h) {
+        if (y < t.y + h) { t = t.nw; } else { t = t.sw; }
+      } else {
+        if (y < t.y + h) { t = t.ne; } else { t = t.se; }
+      }
+    }
+    return t.color == 1;
+  }
+  int perimeter(QuadTree root, QuadTree t) {
+    if (t.color == 2) {
+      return perimeter(root, t.nw) + perimeter(root, t.ne)
+           + perimeter(root, t.sw) + perimeter(root, t.se);
+    }
+    if (t.color == 0) { return 0; }
+    int total = 0;
+    for (int i = 0; i < t.size; i++) {
+      if (!isBlack(root, t.x + i, t.y - 1)) { total = total + 1; }
+      if (!isBlack(root, t.x + i, t.y + t.size)) { total = total + 1; }
+      if (!isBlack(root, t.x - 1, t.y + i)) { total = total + 1; }
+      if (!isBlack(root, t.x + t.size, t.y + i)) { total = total + 1; }
+    }
+    return total;
+  }
+  int run(int size) {
+    imgSize = size;
+    QuadTree root = build(0, 0, size);
+    return perimeter(root, root);
+  }
+}
+"""
+
+
+def run(mode: str = "jns", *args) -> Any:
+    return run_benchmark(SOURCE, mode, args or DEFAULT_ARGS)
+
+
+def timed(mode: str, *args):
+    return time_benchmark(SOURCE, mode, args or DEFAULT_ARGS)

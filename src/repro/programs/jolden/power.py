@@ -1,0 +1,116 @@
+"""jolden ``power``: hierarchical power-system pricing optimization.
+
+A root feeds feeders -> laterals -> branches -> leaves (customers); each
+iteration aggregates demand bottom-up and pushes prices top-down (two
+recursive passes over a static pointer hierarchy)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .common import run_benchmark, time_benchmark
+
+NAME = "power"
+DEFAULT_ARGS = (4, 4, 5, 6)  # feeders, laterals, branches, iterations
+
+SOURCE = """
+class Leaf {
+  double demand;
+  double price;
+  Leaf() { this.demand = 1.0; this.price = 0.01; }
+  double computeDemand() {
+    // customer reacts to price: simple elastic model
+    demand = 2.0 / (1.0 + price);
+    return demand;
+  }
+  void setPrice(double p) { price = p; }
+}
+class Branch {
+  Leaf[] leaves;
+  double current;
+  Branch(int nLeaves) {
+    leaves = new Leaf[nLeaves];
+    for (int i = 0; i < nLeaves; i++) { leaves[i] = new Leaf(); }
+  }
+  double computeCurrent() {
+    current = 0.0;
+    for (int i = 0; i < leaves.length; i++) {
+      current = current + leaves[i].computeDemand();
+    }
+    return current;
+  }
+  void setPrice(double p) {
+    // line losses raise the price seen downstream
+    double down = p + 0.001 * current;
+    for (int i = 0; i < leaves.length; i++) { leaves[i].setPrice(down); }
+  }
+}
+class Lateral {
+  Branch[] branches;
+  double current;
+  Lateral(int nBranches, int nLeaves) {
+    branches = new Branch[nBranches];
+    for (int i = 0; i < nBranches; i++) { branches[i] = new Branch(nLeaves); }
+  }
+  double computeCurrent() {
+    current = 0.0;
+    for (int i = 0; i < branches.length; i++) {
+      current = current + branches[i].computeCurrent();
+    }
+    return current;
+  }
+  void setPrice(double p) {
+    double down = p + 0.002 * current;
+    for (int i = 0; i < branches.length; i++) { branches[i].setPrice(down); }
+  }
+}
+class Feeder {
+  Lateral[] laterals;
+  double current;
+  Feeder(int nLaterals, int nBranches, int nLeaves) {
+    laterals = new Lateral[nLaterals];
+    for (int i = 0; i < nLaterals; i++) {
+      laterals[i] = new Lateral(nBranches, nLeaves);
+    }
+  }
+  double computeCurrent() {
+    current = 0.0;
+    for (int i = 0; i < laterals.length; i++) {
+      current = current + laterals[i].computeCurrent();
+    }
+    return current;
+  }
+  void setPrice(double p) {
+    double down = p + 0.005 * current;
+    for (int i = 0; i < laterals.length; i++) { laterals[i].setPrice(down); }
+  }
+}
+class Main {
+  double run(int nFeeders, int nLaterals, int nBranches, int iters) {
+    Feeder[] feeders = new Feeder[nFeeders];
+    for (int i = 0; i < nFeeders; i++) {
+      feeders[i] = new Feeder(nLaterals, nBranches, 8);
+    }
+    double total = 0.0;
+    double price = 1.0;
+    for (int it = 0; it < iters; it++) {
+      total = 0.0;
+      for (int i = 0; i < nFeeders; i++) {
+        total = total + feeders[i].computeCurrent();
+      }
+      // adjust the root price toward the demand target and push it down
+      price = price + 0.01 * (total - 500.0) / 500.0;
+      for (int i = 0; i < nFeeders; i++) { feeders[i].setPrice(price); }
+    }
+    return total;
+  }
+}
+"""
+
+
+def run(mode: str = "jns", *args) -> Any:
+    return run_benchmark(SOURCE, mode, args or DEFAULT_ARGS)
+
+
+def timed(mode: str, *args):
+    return time_benchmark(SOURCE, mode, args or DEFAULT_ARGS)

@@ -1,0 +1,82 @@
+"""Regenerate Table 1: jolden benchmark times under the four execution
+modes.
+
+Run as ``python -m repro.programs.jolden.report`` (add ``--repeat N`` for
+best-of-N timing).  The paper's claim is about *shape*, not absolute
+numbers: J& without the classloader is by far the slowest; J& with the
+classloader approaches the Java baseline; J&s pays a moderate overhead
+over classloader-J& for its view machinery."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List
+
+from . import ALL
+from ..jolden.common import time_benchmark
+
+MODES = ("java", "jx", "jx_cl", "jns")
+MODE_LABEL = {
+    "java": "Java",
+    "jx": "J& [31]",
+    "jx_cl": "J& with classloader",
+    "jns": "J&s",
+}
+
+
+def collect(repeat: int = 1, names=None) -> Dict[str, Dict[str, float]]:
+    """times[mode][benchmark] in seconds."""
+    times: Dict[str, Dict[str, float]] = {m: {} for m in MODES}
+    results: Dict[str, Dict[str, object]] = {m: {} for m in MODES}
+    for module in ALL:
+        if names and module.NAME not in names:
+            continue
+        for mode in MODES:
+            secs, result = module.timed(mode)
+            for _ in range(repeat - 1):
+                secs = min(secs, module.timed(mode)[0])
+            times[mode][module.NAME] = secs
+            results[mode][module.NAME] = result
+        # all modes must agree on the checksum
+        baseline = results["java"][module.NAME]
+        for mode in MODES[1:]:
+            if results[mode][module.NAME] != baseline:
+                raise AssertionError(
+                    f"{module.NAME}: mode {mode} result "
+                    f"{results[mode][module.NAME]!r} != java {baseline!r}"
+                )
+    return times
+
+
+def format_table(times: Dict[str, Dict[str, float]]) -> str:
+    names = list(times["java"].keys())
+    lines: List[str] = []
+    header = f"{'':22s}" + "".join(f"{n:>11s}" for n in names)
+    lines.append(header)
+    for mode in MODES:
+        row = f"{MODE_LABEL[mode]:22s}" + "".join(
+            f"{times[mode][n]:11.3f}" for n in names
+        )
+        lines.append(row)
+    lines.append("")
+    lines.append("normalized to Java = 1.00:")
+    for mode in MODES:
+        row = f"{MODE_LABEL[mode]:22s}" + "".join(
+            f"{times[mode][n] / max(times['java'][n], 1e-9):11.2f}" for n in names
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=1)
+    parser.add_argument("benchmarks", nargs="*", help="subset of benchmark names")
+    args = parser.parse_args()
+    times = collect(repeat=args.repeat, names=set(args.benchmarks) or None)
+    print("Table 1 (reproduction): jolden benchmark times, seconds")
+    print(format_table(times))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""jolden ``treeadd``: recursive sum over a balanced binary tree.
+
+The smallest Olden benchmark: build a complete binary tree of the given
+depth and repeatedly add up all node values (pure pointer chasing plus
+dynamic dispatch)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .common import run_benchmark, time_benchmark
+
+NAME = "treeadd"
+DEFAULT_ARGS = (12, 4)  # depth, iterations  (paper uses depth 20+)
+
+SOURCE = """
+class TreeNode {
+  int val;
+  TreeNode left;
+  TreeNode right;
+  TreeNode(int v) { this.val = v; }
+  int addTree() {
+    int total = val;
+    if (left != null) { total = total + left.addTree(); }
+    if (right != null) { total = total + right.addTree(); }
+    return total;
+  }
+}
+class Main {
+  TreeNode build(int depth) {
+    TreeNode n = new TreeNode(1);
+    if (depth > 1) {
+      n.left = build(depth - 1);
+      n.right = build(depth - 1);
+    }
+    return n;
+  }
+  int run(int depth, int iters) {
+    TreeNode root = build(depth);
+    int total = 0;
+    for (int i = 0; i < iters; i++) {
+      total = root.addTree();
+    }
+    return total;
+  }
+}
+"""
+
+
+def run(mode: str = "jns", depth: int = DEFAULT_ARGS[0], iters: int = DEFAULT_ARGS[1]) -> Any:
+    return run_benchmark(SOURCE, mode, (depth, iters))
+
+
+def timed(mode: str, depth: int = DEFAULT_ARGS[0], iters: int = DEFAULT_ARGS[1]):
+    return time_benchmark(SOURCE, mode, (depth, iters))
+
+
+def expected(depth: int = DEFAULT_ARGS[0], iters: int = DEFAULT_ARGS[1]) -> int:
+    return 2 ** depth - 1

@@ -1,0 +1,143 @@
+"""jolden ``tsp``: closest-point heuristic for the traveling salesman
+problem.
+
+Cities live in a spatial binary tree (median splits alternating by
+dimension); subtours are circular doubly-linked lists threaded through
+the tree nodes and merged bottom-up by splicing at the closest pair, as
+in the Olden code."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .common import RANDOM_SRC, run_benchmark, time_benchmark
+
+NAME = "tsp"
+DEFAULT_ARGS = (31, 99)  # number of cities, seed
+
+SOURCE = RANDOM_SRC + """
+class Tree {
+  double x; double y;
+  Tree left; Tree right;
+  Tree prev; Tree next;   // circular tour links
+}
+class Main {
+  double dist(Tree a, Tree b) {
+    double dx = a.x - b.x;
+    double dy = a.y - b.y;
+    return Sys.sqrt(dx * dx + dy * dy);
+  }
+  // build a spatial tree of n cities inside the box
+  Tree build(int n, double x0, double x1, double y0, double y1,
+             boolean splitX, Rand r) {
+    if (n == 0) { return null; }
+    Tree t = new Tree();
+    if (splitX) {
+      double mid = (x0 + x1) / 2.0;
+      t.x = mid;
+      t.y = y0 + r.nextDouble() * (y1 - y0);
+      t.left = build((n - 1) / 2, x0, mid, y0, y1, false, r);
+      t.right = build(n - 1 - (n - 1) / 2, mid, x1, y0, y1, false, r);
+    } else {
+      double mid = (y0 + y1) / 2.0;
+      t.y = mid;
+      t.x = x0 + r.nextDouble() * (x1 - x0);
+      t.left = build((n - 1) / 2, x0, x1, y0, mid, true, r);
+      t.right = build(n - 1 - (n - 1) / 2, x0, x1, mid, y1, true, r);
+    }
+    return t;
+  }
+  Tree makeSelfTour(Tree t) {
+    t.prev = t; t.next = t;
+    return t;
+  }
+  // splice tour b into tour a at the closest pair of cities
+  Tree mergeTours(Tree a, Tree b) {
+    if (a == null) { return b; }
+    if (b == null) { return a; }
+    Tree bestA = a; Tree bestB = b;
+    double best = 1.0e30;
+    Tree p = a;
+    boolean moreA = true;
+    while (moreA) {
+      Tree q = b;
+      boolean moreB = true;
+      while (moreB) {
+        double d = dist(p, q);
+        if (d < best) { best = d; bestA = p; bestB = q; }
+        q = q.next;
+        if (q == b) { moreB = false; }
+      }
+      p = p.next;
+      if (p == a) { moreA = false; }
+    }
+    Tree an = bestA.next;
+    Tree bn = bestB.next;
+    bestA.next = bn; bn.prev = bestA;
+    bestB.next = an; an.prev = bestB;
+    return bestA;
+  }
+  // nearest insertion of a single city into a tour
+  Tree insertCity(Tree tour, Tree c) {
+    if (tour == null) { return makeSelfTour(c); }
+    Tree best = tour;
+    double bestCost = 1.0e30;
+    Tree p = tour;
+    boolean more = true;
+    while (more) {
+      double cost = dist(p, c) + dist(c, p.next) - dist(p, p.next);
+      if (cost < bestCost) { bestCost = cost; best = p; }
+      p = p.next;
+      if (p == tour) { more = false; }
+    }
+    Tree nxt = best.next;
+    best.next = c; c.prev = best;
+    c.next = nxt; nxt.prev = c;
+    return c;
+  }
+  Tree tsp(Tree t) {
+    if (t == null) { return null; }
+    Tree a = tsp(t.left);
+    Tree b = tsp(t.right);
+    Tree merged = mergeTours(a, b);
+    return insertCity(merged, t);
+  }
+  double tourLength(Tree tour) {
+    double total = 0.0;
+    Tree p = tour;
+    boolean more = true;
+    while (more) {
+      total = total + dist(p, p.next);
+      p = p.next;
+      if (p == tour) { more = false; }
+    }
+    return total;
+  }
+  int tourSize(Tree tour) {
+    int n = 0;
+    Tree p = tour;
+    boolean more = true;
+    while (more) {
+      n = n + 1;
+      p = p.next;
+      if (p == tour) { more = false; }
+    }
+    return n;
+  }
+  double run(int n, int seed) {
+    Rand r = new Rand(seed);
+    Tree cities = build(n, 0.0, 1.0, 0.0, 1.0, true, r);
+    Tree tour = tsp(cities);
+    if (tourSize(tour) != n) { Sys.fail("tour does not visit every city"); }
+    return tourLength(tour);
+  }
+}
+"""
+
+
+def run(mode: str = "jns", *args) -> Any:
+    return run_benchmark(SOURCE, mode, args or DEFAULT_ARGS)
+
+
+def timed(mode: str, *args):
+    return time_benchmark(SOURCE, mode, args or DEFAULT_ARGS)

@@ -1,0 +1,96 @@
+"""jolden ``voronoi``: Delaunay-style proximity graph over random points.
+
+The Olden benchmark computes a Voronoi diagram via a quad-edge Delaunay
+triangulation.  This port computes the Gabriel graph (the subgraph of the
+Delaunay triangulation whose edges have an empty diametral circle), which
+preserves the benchmark's character — geometric predicates over a
+pointer-linked point set building an edge structure — with a far smaller
+implementation; the substitution is recorded in DESIGN.md."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .common import RANDOM_SRC, run_benchmark, time_benchmark
+
+NAME = "voronoi"
+DEFAULT_ARGS = (28, 5)  # points, seed
+
+SOURCE = RANDOM_SRC + """
+class Point {
+  double x; double y;
+  Point next;
+}
+class Edge {
+  Point a; Point b;
+  double len;
+  Edge next;
+}
+class Main {
+  Point makePoints(int n, Rand r) {
+    Point head = null;
+    for (int i = 0; i < n; i++) {
+      Point p = new Point();
+      p.x = r.nextDouble();
+      p.y = r.nextDouble();
+      p.next = head;
+      head = p;
+    }
+    return head;
+  }
+  // is any point of the set strictly inside the circle with diameter ab?
+  boolean diametralCircleEmpty(Point pts, Point a, Point b) {
+    double mx = (a.x + b.x) / 2.0;
+    double my = (a.y + b.y) / 2.0;
+    double dx = a.x - mx;
+    double dy = a.y - my;
+    double r2 = dx * dx + dy * dy;
+    Point c = pts;
+    while (c != null) {
+      if (c != a && c != b) {
+        double cx = c.x - mx;
+        double cy = c.y - my;
+        if (cx * cx + cy * cy < r2) { return false; }
+      }
+      c = c.next;
+    }
+    return true;
+  }
+  double run(int n, int seed) {
+    Rand r = new Rand(seed);
+    Point pts = makePoints(n, r);
+    Edge edges = null;
+    int count = 0;
+    double total = 0.0;
+    Point a = pts;
+    while (a != null) {
+      Point b = a.next;
+      while (b != null) {
+        if (diametralCircleEmpty(pts, a, b)) {
+          Edge e = new Edge();
+          e.a = a; e.b = b;
+          double dx = a.x - b.x;
+          double dy = a.y - b.y;
+          e.len = Sys.sqrt(dx * dx + dy * dy);
+          e.next = edges;
+          edges = e;
+          count = count + 1;
+          total = total + e.len;
+        }
+        b = b.next;
+      }
+      a = a.next;
+    }
+    if (count < n - 1) { Sys.fail("proximity graph disconnected lower bound violated"); }
+    return count * 1000.0 + total;
+  }
+}
+"""
+
+
+def run(mode: str = "jns", *args) -> Any:
+    return run_benchmark(SOURCE, mode, args or DEFAULT_ARGS)
+
+
+def timed(mode: str, *args):
+    return time_benchmark(SOURCE, mode, args or DEFAULT_ARGS)

@@ -1,0 +1,160 @@
+"""The binary-tree view-change benchmark (Table 2, Section 7.2).
+
+Two families share classes implementing binary trees: ``tree`` is the
+base family and ``xtree`` adapts it (every class shared via ``adapts``),
+adding an ``xsum`` operation.  A complete tree is built in the base
+family; an explicit view change on the root moves it to ``xtree``; a
+depth-first traversal triggers all the lazy implicit view changes; a
+second traversal runs on the memoized reference objects; and an explicit
+translation builds a fresh copy in the derived family for comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Tuple
+
+from .. import cached_program
+
+SOURCE = """
+class tree {
+  class Node {
+    int id;
+    Node left;
+    Node right;
+    int sum() {
+      int total = id;
+      if (left != null) { total = total + left.sum(); }
+      if (right != null) { total = total + right.sum(); }
+      return total;
+    }
+  }
+  Node build(int depth, int id) {
+    Node n = new Node();
+    n.id = id;
+    if (depth > 1) {
+      n.left = build(depth - 1, id * 2);
+      n.right = build(depth - 1, id * 2 + 1);
+    }
+    return n;
+  }
+}
+class xtree extends tree adapts tree {
+  class Node {
+    int xsum() {
+      int total = id * 2;
+      if (left != null) { total = total + left.xsum(); }
+      if (right != null) { total = total + right.xsum(); }
+      return total;
+    }
+  }
+  // explicit translation: rebuild the whole tree in this family
+  Node translate(tree!.Node n) {
+    Node m = new Node();
+    m.id = n.id;
+    if (n.left != null) { m.left = translate(n.left); }
+    if (n.right != null) { m.right = translate(n.right); }
+    return m;
+  }
+}
+class Harness {
+  tree! baseFam;
+  xtree! extFam;
+  Harness() {
+    this.baseFam = new tree();
+    this.extFam = new xtree();
+  }
+  tree!.Node create(int height) { return baseFam.build(height, 1); }
+  int traverse(tree!.Node root) { return root.sum(); }
+  xtree!.Node change(tree!.Node root) sharing tree!.Node = xtree!.Node {
+    return (view xtree!.Node)root;
+  }
+  int traverseExt(xtree!.Node root) { return root.xsum(); }
+  xtree!.Node translate(tree!.Node root) { return extFam.translate(root); }
+}
+"""
+
+ROWS = (
+    "creation",
+    "traversal_before",
+    "view_changes",
+    "traversal_after",
+    "explicit_translation",
+)
+
+DEFAULT_HEIGHTS = (8, 10, 12)  # paper uses 16/18/20 on the JVM
+
+
+def measure(height: int, mode: str = "jns") -> Dict[str, float]:
+    """Times (seconds) for the five rows of Table 2 at one tree height."""
+    program = cached_program(SOURCE)
+    interp = program.interp(mode=mode)
+    harness = interp.new_instance(("Harness",), ())
+
+    times: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    root = interp.call_method(harness, "create", [height])
+    times["creation"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    before = interp.call_method(harness, "traverse", [root])
+    times["traversal_before"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    xroot = interp.call_method(harness, "change", [root])
+    after_change = interp.call_method(harness, "traverseExt", [xroot])
+    times["view_changes"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    again = interp.call_method(harness, "traverseExt", [xroot])
+    times["traversal_after"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    copy = interp.call_method(harness, "translate", [root])
+    times["explicit_translation"] = time.perf_counter() - start
+
+    # sanity: the adapted tree computes the derived sum over the same nodes
+    assert after_change == again == 2 * before
+    assert interp.call_method(harness, "traverseExt", [copy]) == after_change
+    # identity is preserved by adaptation, not by translation
+    assert xroot.inst is root.inst
+    assert copy.inst is not root.inst
+    return times
+
+
+def table(heights: Tuple[int, ...] = DEFAULT_HEIGHTS, mode: str = "jns"):
+    """times[row][height] for the full Table 2 grid."""
+    grid = {row: {} for row in ROWS}
+    for h in heights:
+        measured = measure(h, mode)
+        for row in ROWS:
+            grid[row][h] = measured[row]
+    return grid
+
+
+def format_table(grid, heights=DEFAULT_HEIGHTS) -> str:
+    label = {
+        "creation": "Tree creation",
+        "traversal_before": "Traversal before view changes",
+        "view_changes": "View changes",
+        "traversal_after": "Traversal after view changes",
+        "explicit_translation": "Explicit translation",
+    }
+    lines = [f"{'Height':32s}" + "".join(f"{h:>10d}" for h in heights)]
+    for row in ROWS:
+        lines.append(
+            f"{label[row]:32s}"
+            + "".join(f"{grid[row][h]:10.3f}" for h in heights)
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    grid = table()
+    print("Table 2 (reproduction): tree traversal, seconds")
+    print(format_table(grid))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""An interactive J&s read-eval-print loop.
+
+Class declarations accumulate into the session's program; any other
+input is parsed as statements (or a single expression, which is printed)
+and executed against the current program.  State does not persist
+between statement inputs — families and sharing live in the declared
+classes, which is where J&s programs keep their structure anyway.
+
+Used by ``python -m repro repl``; the :class:`ReplSession` object is the
+programmatic/testable interface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .api import compile_program
+from .lang.classtable import JnsError
+from .source.lexer import tokenize
+from .source.parser import ParseError, Parser
+
+_BANNER = (
+    "J&s repl — class declarations accumulate; other input runs as "
+    "statements.\nCommands: :classes  :reset  :quit"
+)
+
+
+class ReplSession:
+    """Holds the accumulated class declarations of one session."""
+
+    def __init__(self) -> None:
+        self.decls: List[str] = []
+
+    # ------------------------------------------------------------------
+
+    def feed(self, text: str) -> List[str]:
+        """Process one input; returns the lines to display."""
+        stripped = text.strip()
+        if not stripped:
+            return []
+        if stripped == ":classes":
+            return self.decls or ["(no classes declared)"]
+        if stripped == ":reset":
+            self.decls = []
+            return ["(cleared)"]
+        if self._is_declaration(stripped):
+            return self._add_declaration(stripped)
+        return self._run_statements(stripped)
+
+    @staticmethod
+    def _is_declaration(text: str) -> bool:
+        return text.startswith("class ") or text.startswith("abstract class ")
+
+    @staticmethod
+    def needs_more(text: str) -> bool:
+        """Whether the input has unbalanced braces (multi-line entry)."""
+        try:
+            tokens = tokenize(text)
+        except JnsError:
+            return False
+        depth = 0
+        for tok in tokens:
+            if tok.is_punct("{"):
+                depth += 1
+            elif tok.is_punct("}"):
+                depth -= 1
+        return depth > 0
+
+    # ------------------------------------------------------------------
+
+    def _program_source(self, extra: str = "") -> str:
+        return "\n".join(self.decls) + "\n" + extra
+
+    def _add_declaration(self, text: str) -> List[str]:
+        candidate = self.decls + [text]
+        try:
+            program = compile_program("\n".join(candidate))
+        except JnsError as exc:
+            return [f"error: {exc}"]
+        self.decls = candidate
+        names = [d.name for d in program.table.unit.classes]
+        return [f"ok ({len(names)} top-level classes: {', '.join(names)})"]
+
+    def _run_statements(self, text: str) -> List[str]:
+        body = self._as_statements(text)
+        source = self._program_source(
+            "class _Repl { void _run() { " + body + " } }"
+        )
+        try:
+            program = compile_program(source)
+        except JnsError as exc:
+            return [f"error: {exc}"]
+        interp = program.interp(mode="jns")
+        try:
+            ref = interp.new_instance(("_Repl",), ())
+            interp.call_method(ref, "_run", [])
+        except JnsError as exc:
+            return interp.output + [f"runtime error: {exc}"]
+        return interp.output
+
+    @staticmethod
+    def _as_statements(text: str) -> str:
+        """A bare expression (no trailing ';') becomes ``Sys.print(expr);``
+        so its value is displayed; anything else runs as statements.  End
+        an expression with ';' to suppress printing."""
+        from .source.tokens import EOF
+
+        expr_parser = Parser(text)
+        try:
+            expr_parser.parse_expr()
+            if expr_parser.peek().kind == EOF:
+                return f"Sys.print({text});"
+        except (ParseError, JnsError):
+            pass
+        return text if text.endswith((";", "}")) else text + ";"
+
+
+def main() -> int:
+    session = ReplSession()
+    print(_BANNER)
+    buffer = ""
+    while True:
+        prompt = "....> " if buffer else "jns> "
+        try:
+            line = input(prompt)
+        except EOFError:
+            print()
+            return 0
+        if not buffer and line.strip() == ":quit":
+            return 0
+        buffer = (buffer + "\n" + line) if buffer else line
+        if ReplSession.needs_more(buffer):
+            continue
+        for out in session.feed(buffer):
+            print(out)
+        buffer = ""
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""The J&s runtime: values, the classloader, and the interpreter."""
+
+from .interp import Interp, MODES
+from .values import (
+    Instance,
+    JnsFailure,
+    JnsRuntimeError,
+    NullDereference,
+    Ref,
+    UninitializedFieldError,
+)
+
+__all__ = [
+    "Interp",
+    "MODES",
+    "Instance",
+    "Ref",
+    "JnsRuntimeError",
+    "JnsFailure",
+    "NullDereference",
+    "UninitializedFieldError",
+]

@@ -1,0 +1,469 @@
+"""Closure compilation of J&s method bodies.
+
+The paper's implementation *translates* J&s (to Java bytecode via
+Polyglot, Section 6) rather than interpreting it; this module is the
+analogous backend for the Python substrate: each method body is compiled
+once into a tree of Python closures (the standard closure-compilation
+technique for fast interpreters), eliminating the per-node dispatch of
+the tree walker.  Semantics are shared with the interpreter — field
+access, dispatch, views, and the Sys natives all go through the same
+:class:`~repro.runtime.interp.Interp` entry points — so the two
+execution strategies agree by construction on everything but speed.
+
+Enabled with ``Program.interp(compiled=True)`` (any mode).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..lang import types as T
+from ..lang.types import ClassType
+from ..source import ast
+from .values import JnsRuntimeError, NullDereference, Ref
+
+Frame = Dict[str, Any]
+ExprFn = Callable[[Frame], Any]
+StmtFn = Callable[[Frame], None]
+
+
+class _Return(Exception):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class BodyCompiler:
+    """Compiles statements/expressions of one program against a live
+    interpreter (which supplies field/dispatch/view semantics)."""
+
+    def __init__(self, interp) -> None:
+        self.interp = interp
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def compile_body(self, body: ast.Block) -> Callable[[Frame], Any]:
+        stmt = self.stmt(body)
+
+        def run(frame: Frame) -> Any:
+            try:
+                stmt(frame)
+            except _Return as r:
+                return r.value
+            return None
+
+        return run
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def stmt(self, s: ast.Stmt) -> StmtFn:
+        cls = type(s)
+        if cls is ast.Block:
+            stmts = tuple(self.stmt(x) for x in s.stmts)
+            if len(stmts) == 1:
+                return stmts[0]
+
+            def run_block(frame: Frame) -> None:
+                for fn in stmts:
+                    fn(frame)
+
+            return run_block
+        if cls is ast.LocalDecl:
+            name = s.name
+            if s.init is not None:
+                init = self.expr(s.init)
+
+                def run_decl(frame: Frame) -> None:
+                    frame[name] = init(frame)
+
+                return run_decl
+            from .values import default_value
+
+            default = default_value(s.type)
+
+            def run_decl_default(frame: Frame) -> None:
+                frame[name] = default
+
+            return run_decl_default
+        if cls is ast.ExprStmt:
+            fn = self.expr(s.expr)
+
+            def run_expr(frame: Frame) -> None:
+                fn(frame)
+
+            return run_expr
+        if cls is ast.If:
+            cond = self.expr(s.cond)
+            then = self.stmt(s.then)
+            els = self.stmt(s.els) if s.els is not None else None
+
+            def run_if(frame: Frame) -> None:
+                if cond(frame):
+                    then(frame)
+                elif els is not None:
+                    els(frame)
+
+            return run_if
+        if cls is ast.While:
+            cond = self.expr(s.cond)
+            body = self.stmt(s.body)
+
+            def run_while(frame: Frame) -> None:
+                while cond(frame):
+                    try:
+                        body(frame)
+                    except _Break:
+                        break
+                    except _Continue:
+                        continue
+
+            return run_while
+        if cls is ast.For:
+            init = self.stmt(s.init) if s.init is not None else None
+            cond = self.expr(s.cond) if s.cond is not None else None
+            update = self.expr(s.update) if s.update is not None else None
+            body = self.stmt(s.body)
+
+            def run_for(frame: Frame) -> None:
+                if init is not None:
+                    init(frame)
+                while cond is None or cond(frame):
+                    try:
+                        body(frame)
+                    except _Break:
+                        break
+                    except _Continue:
+                        pass
+                    if update is not None:
+                        update(frame)
+
+            return run_for
+        if cls is ast.Return:
+            if s.value is None:
+
+                def run_return_void(frame: Frame) -> None:
+                    raise _Return(None)
+
+                return run_return_void
+            value = self.expr(s.value)
+
+            def run_return(frame: Frame) -> None:
+                raise _Return(value(frame))
+
+            return run_return
+        if cls is ast.Break:
+
+            def run_break(frame: Frame) -> None:
+                raise _Break()
+
+            return run_break
+        if cls is ast.Continue:
+
+            def run_continue(frame: Frame) -> None:
+                raise _Continue()
+
+            return run_continue
+        if cls is ast.Empty:
+            return lambda frame: None
+        raise JnsRuntimeError(f"cannot compile statement {s!r}")
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def expr(self, e: ast.Expr) -> ExprFn:
+        cls = type(e)
+        interp = self.interp
+        if cls is ast.Lit:
+            value = e.value
+            return lambda frame: value
+        if cls is ast.This:
+            return lambda frame: frame["this"]
+        if cls is ast.Var:
+            name = e.name
+            return lambda frame: frame[name]
+        if cls is ast.FieldGet:
+            obj = self.expr(e.obj)
+            name = e.name
+            get_field = interp.get_field
+            return lambda frame: get_field(obj(frame), name)
+        if cls is ast.Call:
+            obj = self.expr(e.obj)
+            name = e.name
+            args = tuple(self.expr(a) for a in e.args)
+            call = interp.call_method
+
+            def run_call(frame: Frame):
+                receiver = obj(frame)
+                if receiver is None:
+                    raise NullDereference(f"null dereference calling {name!r}")
+                if not isinstance(receiver, Ref):
+                    raise JnsRuntimeError(f"cannot call {name!r} on {receiver!r}")
+                return call(receiver, name, [a(frame) for a in args])
+
+            return run_call
+        if cls is ast.SysCall:
+            fn = interp._sys[e.name]
+            args = tuple(self.expr(a) for a in e.args)
+            if not args:
+                return lambda frame: fn()
+            if len(args) == 1:
+                a0 = args[0]
+                return lambda frame: fn(a0(frame))
+            return lambda frame: fn(*[a(frame) for a in args])
+        if cls is ast.NewObj:
+            new_type = e.type
+            args = tuple(self.expr(a) for a in e.args)
+            new_instance = interp.new_instance
+            if type(new_type) is ClassType:
+                path = new_type.path
+
+                def run_new_static(frame: Frame):
+                    return new_instance(path, tuple(a(frame) for a in args))
+
+                return run_new_static
+            eval_type = interp._eval_type
+
+            def run_new(frame: Frame):
+                evaled = eval_type(new_type, frame).pure()
+                if isinstance(evaled, T.IsectType):
+                    evaled = evaled.parts[0]
+                return new_instance(evaled.path, tuple(a(frame) for a in args))
+
+            return run_new
+        if cls is ast.NewArray:
+            from .values import default_value
+
+            default = default_value(e.elem_type)
+            length = self.expr(e.length)
+
+            def run_new_array(frame: Frame):
+                n = length(frame)
+                if not isinstance(n, int) or n < 0:
+                    raise JnsRuntimeError(f"bad array length {n!r}")
+                return [default] * n
+
+            return run_new_array
+        if cls is ast.Index:
+            arr = self.expr(e.arr)
+            idx = self.expr(e.idx)
+
+            def run_index(frame: Frame):
+                a = arr(frame)
+                i = idx(frame)
+                if a is None:
+                    raise NullDereference("null array")
+                if not 0 <= i < len(a):
+                    raise JnsRuntimeError(
+                        f"array index {i} out of bounds (length {len(a)})"
+                    )
+                return a[i]
+
+            return run_index
+        if cls is ast.Unary:
+            operand = self.expr(e.operand)
+            if e.op == "!":
+                return lambda frame: not operand(frame)
+            return lambda frame: -operand(frame)
+        if cls is ast.Binary:
+            return self._binary(e)
+        if cls is ast.Cond:
+            cond = self.expr(e.cond)
+            then = self.expr(e.then)
+            els = self.expr(e.els)
+            return lambda frame: then(frame) if cond(frame) else els(frame)
+        if cls is ast.Cast:
+            return self._cast(e)
+        if cls is ast.ViewChange:
+            inner = self.expr(e.expr)
+            target = e.type
+            if not interp.sharing:
+                mode = interp.mode
+
+                def run_view_unsupported(frame: Frame):
+                    raise JnsRuntimeError(
+                        f"view changes require the jns mode (running in {mode!r})"
+                    )
+
+                return run_view_unsupported
+            eval_type = interp._eval_type
+            adapt = interp._adapt
+
+            def run_view(frame: Frame):
+                v = inner(frame)
+                if v is None:
+                    return None
+                if not isinstance(v, Ref):
+                    raise JnsRuntimeError(f"view change applied to non-object {v!r}")
+                result = adapt(v, eval_type(target, frame))
+                if interp.eager_views:
+                    interp.propagate_views(result)
+                return result
+
+            return run_view
+        if cls is ast.InstanceOf:
+            inner = self.expr(e.expr)
+            t = e.type
+            instanceof_value = interp.instanceof_value
+            return lambda frame: instanceof_value(inner(frame), t, frame)
+        if cls is ast.Assign:
+            return self._assign(e)
+        raise JnsRuntimeError(f"cannot compile expression {e!r}")
+
+    # ------------------------------------------------------------------
+
+    def _binary(self, e: ast.Binary) -> ExprFn:
+        from .interp import _jdiv, _jmod, to_jstring
+
+        op = e.op
+        left = self.expr(e.left)
+        right = self.expr(e.right)
+        if op == "&&":
+            return lambda frame: bool(left(frame)) and bool(right(frame))
+        if op == "||":
+            return lambda frame: bool(left(frame)) or bool(right(frame))
+        if op == "+":
+
+            def run_add(frame: Frame):
+                a = left(frame)
+                b = right(frame)
+                if isinstance(a, str) or isinstance(b, str):
+                    if isinstance(a, str) and isinstance(b, str):
+                        return a + b
+                    return to_jstring(a) + to_jstring(b)
+                return a + b
+
+            return run_add
+        if op == "-":
+            return lambda frame: left(frame) - right(frame)
+        if op == "*":
+            return lambda frame: left(frame) * right(frame)
+        if op == "/":
+            return lambda frame: _jdiv(left(frame), right(frame))
+        if op == "%":
+            return lambda frame: _jmod(left(frame), right(frame))
+        equals = self.interp._equals
+        if op == "==":
+            return lambda frame: equals(left(frame), right(frame))
+        if op == "!=":
+            return lambda frame: not equals(left(frame), right(frame))
+        if op == "<":
+            return lambda frame: left(frame) < right(frame)
+        if op == "<=":
+            return lambda frame: left(frame) <= right(frame)
+        if op == ">":
+            return lambda frame: left(frame) > right(frame)
+        if op == ">=":
+            return lambda frame: left(frame) >= right(frame)
+        raise JnsRuntimeError(f"unknown operator {op!r}")
+
+    def _cast(self, e: ast.Cast) -> ExprFn:
+        interp = self.interp
+        inner = self.expr(e.expr)
+        t = e.type
+        t_pure = t.pure()
+        if isinstance(t_pure, T.PrimType):
+            if t_pure == T.INT:
+                return lambda frame: int(inner(frame))
+            if t_pure == T.DOUBLE:
+                return lambda frame: float(inner(frame))
+            if t_pure == T.BOOLEAN:
+                return lambda frame: bool(inner(frame))
+            return inner
+        cast_value = interp.cast_value
+        return lambda frame: cast_value(inner(frame), t, frame)
+
+    def _load(self, target: ast.Expr) -> ExprFn:
+        return self.expr(target)
+
+    def _store(self, target: ast.Expr) -> Callable[[Frame, Any], None]:
+        interp = self.interp
+        if type(target) is ast.Var:
+            name = target.name
+
+            def store_var(frame: Frame, v: Any) -> None:
+                frame[name] = v
+
+            return store_var
+        if type(target) is ast.FieldGet:
+            obj = self.expr(target.obj)
+            name = target.name
+            set_field = interp.set_field
+
+            def store_field(frame: Frame, v: Any) -> None:
+                set_field(obj(frame), name, v)
+
+            return store_field
+        if type(target) is ast.Index:
+            arr = self.expr(target.arr)
+            idx = self.expr(target.idx)
+
+            def store_index(frame: Frame, v: Any) -> None:
+                a = arr(frame)
+                i = idx(frame)
+                if a is None:
+                    raise NullDereference("null array")
+                if not 0 <= i < len(a):
+                    raise JnsRuntimeError(
+                        f"array index {i} out of bounds (length {len(a)})"
+                    )
+                a[i] = v
+
+            return store_index
+        raise JnsRuntimeError("invalid assignment target")
+
+    def _assign(self, e: ast.Assign) -> ExprFn:
+        store = self._store(e.target)
+        if e.op == "=":
+            value = self.expr(e.value)
+
+            def run_assign(frame: Frame):
+                v = value(frame)
+                store(frame, v)
+                return v
+
+            return run_assign
+        # compound: mirror the interpreter's semantics (incl. Java's
+        # truncate-back-to-int on int /= and similar)
+        from .interp import _jdiv, to_jstring
+
+        load = self._load(e.target)
+        rhs = self.expr(e.value)
+        binop = e.op[0]
+
+        def run_compound(frame: Frame):
+            current = load(frame)
+            r = rhs(frame)
+            if binop == "+":
+                if isinstance(current, str) or isinstance(r, str):
+                    if isinstance(current, str) and isinstance(r, str):
+                        v = current + r
+                    else:
+                        v = to_jstring(current) + to_jstring(r)
+                else:
+                    v = current + r
+            elif binop == "-":
+                v = current - r
+            elif binop == "*":
+                v = current * r
+            else:
+                v = _jdiv(current, r)
+            if isinstance(current, int) and isinstance(v, float):
+                v = int(v)
+            store(frame, v)
+            return v
+
+        return run_compound

@@ -1,0 +1,847 @@
+"""The J&s interpreter.
+
+One evaluator, four execution modes reproducing the four implementations
+of Table 1 (Section 7.1):
+
+* ``java``  — the flat-Java baseline: fields keyed by plain name, method
+  dispatch through a prebuilt per-class vtable, no family or view
+  machinery at run time.
+* ``jx``    — J& as described in [31], *without* the classloader caches:
+  dispatch tables, field layouts, and constructor lookups are re-derived
+  from the class table on every use.
+* ``jx_cl`` — J& with the custom classloader (Section 6.2): run-time
+  class records are synthesized lazily and cached.
+* ``jns``   — full J&s: reference objects carry views (Section 6.3);
+  method dispatch and duplicated-field selection are view-dependent
+  (``fclass`` heap keys); reads of view-dependent reference fields apply
+  lazy, memoized implicit view changes; explicit ``(view T)e`` is
+  supported.
+
+Only ``jns`` permits sharing features; the other modes reject view
+changes, matching the paper's setup where the jolden programs "do not use
+the new extensibility features of J&s".
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..lang import types as T
+from ..lang.classtable import ClassTable, JnsError, ResolveError, path_str
+from ..lang.types import ClassType, Path, Type, View
+from ..source import ast
+from .loader import Loader, RTClass
+from .values import (
+    Instance,
+    JnsFailure,
+    JnsRuntimeError,
+    NullDereference,
+    Ref,
+    UninitializedFieldError,
+    default_value,
+)
+
+MODES = ("java", "jx", "jx_cl", "jns")
+
+_MISSING = object()
+
+
+class _Return(Exception):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+def _jdiv(a, b):
+    """Java division: ints truncate toward zero."""
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise JnsRuntimeError("integer division by zero")
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    if b == 0:
+        return math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
+    return a / b
+
+
+def _jmod(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise JnsRuntimeError("integer modulo by zero")
+        return a - _jdiv(a, b) * b
+    return math.fmod(a, b)
+
+
+def to_jstring(v: Any) -> str:
+    """Java-flavored string conversion for Sys.print and ``+``."""
+    if v is None:
+        return "null"
+    if v is True:
+        return "true"
+    if v is False:
+        return "false"
+    if isinstance(v, float):
+        if v == int(v) and abs(v) < 1e15 and not math.isinf(v):
+            return f"{v:.1f}"
+        return repr(v)
+    if isinstance(v, Ref):
+        return f"{path_str(v.view.path)}@{id(v.inst) & 0xFFFFFF:x}"
+    if isinstance(v, list):
+        return "[" + ", ".join(to_jstring(x) for x in v) + "]"
+    return str(v)
+
+
+class Interp:
+    """Evaluates a resolved J&s program."""
+
+    def __init__(
+        self,
+        table: ClassTable,
+        mode: str = "jns",
+        echo: bool = False,
+        memoize_views: bool = True,
+        eager_views: bool = False,
+        compiled: bool = False,
+    ) -> None:
+        """``memoize_views=False`` disables the per-instance reference-object
+        memoization of Section 6.3 (ablation D1); ``eager_views=True``
+        propagates an explicit view change through all reachable shared
+        fields immediately instead of lazily at access time (ablation D3);
+        ``compiled=True`` translates method bodies to Python closures once
+        instead of tree-walking them (the Section 6 compilation strategy
+        on the Python substrate)."""
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+        self.table = table
+        self.mode = mode
+        self.sharing = mode == "jns"
+        self.echo = echo
+        self.memoize_views = memoize_views
+        self.eager_views = eager_views
+        self.compiled = compiled
+        self._body_cache: Dict[int, Callable] = {}
+        self._init_cache: Dict[int, Callable] = {}
+        self._compiler = None
+        self.output: List[str] = []
+        self.loader = Loader(table, cached=(mode != "jx"), sharing=self.sharing)
+        #: per-(view path, field) evaluated retarget types (jns mode)
+        self._retarget_cache: Dict[Tuple[Path, str], Optional[Type]] = {}
+        #: conformance cache: (view path, target type) -> bool
+        self._conforms_cache: Dict[Tuple[Path, Type], bool] = {}
+        self._sys = self._build_sys()
+        if sys.getrecursionlimit() < 100000:
+            sys.setrecursionlimit(100000)
+        self._eval_dispatch: Dict[type, Callable] = {
+            ast.Lit: self._eval_lit,
+            ast.This: self._eval_this,
+            ast.Var: self._eval_var,
+            ast.FieldGet: self._eval_fieldget,
+            ast.Call: self._eval_call,
+            ast.SysCall: self._eval_sys,
+            ast.NewObj: self._eval_new,
+            ast.NewArray: self._eval_newarray,
+            ast.Index: self._eval_index,
+            ast.Unary: self._eval_unary,
+            ast.Binary: self._eval_binary,
+            ast.Cond: self._eval_cond,
+            ast.Cast: self._eval_cast,
+            ast.ViewChange: self._eval_view,
+            ast.InstanceOf: self._eval_instanceof,
+            ast.Assign: self._eval_assign,
+        }
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def run(self, entry: str = "Main.main", args: Tuple = ()) -> Any:
+        """Instantiate the entry class with a no-arg constructor and invoke
+        the entry method (e.g. ``"Main.main"``)."""
+        *cls_parts, method = entry.split(".")
+        path = tuple(cls_parts)
+        if not self.table.class_exists(path):
+            raise ResolveError(f"no entry class {'.'.join(cls_parts)}")
+        ref = self.new_instance(path, ())
+        return self.call_method(ref, method, list(args))
+
+    def new_instance(self, path: Path, args: Tuple) -> Ref:
+        rtc = self.loader.rtclass(path)
+        if rtc.is_abstract:
+            raise JnsRuntimeError(f"cannot instantiate abstract class {path_str(path)}")
+        inst = Instance(path)
+        view = View(path)
+        ref = Ref(inst, view)
+        inst.view_refs[path] = ref
+        frame = {"this": ref}
+        for owner, decl in rtc.init_schedule:
+            slot = rtc.field_slot[decl.name] if self.sharing else None
+            key = (slot, decl.name) if self.sharing else decl.name
+            if decl.init is not None:
+                if self.compiled:
+                    inst.fields[key] = self._compiled_init(decl)(frame)
+                else:
+                    inst.fields[key] = self.eval(decl.init, frame)
+            else:
+                inst.fields[key] = default_value(decl.type)
+        found = self.loader.find_ctor(rtc, len(args))
+        if found is None:
+            if args:
+                raise JnsRuntimeError(
+                    f"no {len(args)}-argument constructor for {path_str(path)}"
+                )
+        else:
+            _, ctor = found
+            frame = {"this": ref}
+            for param, arg in zip(ctor.params, args):
+                frame[param.name] = arg
+            if self.compiled:
+                self._compiled_body(ctor)(frame)
+            else:
+                try:
+                    self.exec_stmt(ctor.body, frame)
+                except _Return:
+                    pass
+        return ref
+
+    def call_method(self, ref: Ref, name: str, args: List[Any]) -> Any:
+        found = self._lookup_method(ref.view.path, name)
+        if found is None:
+            raise JnsRuntimeError(
+                f"no method {name!r} on {path_str(ref.view.path)}"
+            )
+        owner, decl = found
+        if decl.body is None:
+            raise JnsRuntimeError(
+                f"abstract method {path_str(owner)}.{name} called"
+            )
+        if len(decl.params) != len(args):
+            raise JnsRuntimeError(
+                f"{name!r} expects {len(decl.params)} arguments, got {len(args)}"
+            )
+        frame = {"this": ref}
+        for param, arg in zip(decl.params, args):
+            frame[param.name] = arg
+        if self.compiled:
+            return self._compiled_body(decl)(frame)
+        try:
+            self.exec_stmt(decl.body, frame)
+        except _Return as r:
+            return r.value
+        return None
+
+    def _compiled_body(self, decl):
+        """Method/constructor body compiled once to Python closures."""
+        fn = self._body_cache.get(id(decl))
+        if fn is None:
+            if self._compiler is None:
+                from .compiler import BodyCompiler
+
+                self._compiler = BodyCompiler(self)
+            fn = self._compiler.compile_body(decl.body)
+            self._body_cache[id(decl)] = fn
+        return fn
+
+    def _compiled_init(self, decl):
+        fn = self._init_cache.get(id(decl))
+        if fn is None:
+            if self._compiler is None:
+                from .compiler import BodyCompiler
+
+                self._compiler = BodyCompiler(self)
+            fn = self._compiler.expr(decl.init)
+            self._init_cache[id(decl)] = fn
+        return fn
+
+    def _lookup_method(self, path: Path, name: str):
+        # All modes dispatch through the loader; mode differences live in
+        # the loader itself (jx re-synthesizes the table on every call).
+        return self.loader.rtclass(path).vtable.get(name)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def exec_stmt(self, s: ast.Stmt, frame: Dict[str, Any]) -> None:
+        cls = type(s)
+        if cls is ast.Block:
+            for inner in s.stmts:
+                self.exec_stmt(inner, frame)
+            return
+        if cls is ast.LocalDecl:
+            frame[s.name] = (
+                self.eval(s.init, frame) if s.init is not None else default_value(s.type)
+            )
+            return
+        if cls is ast.ExprStmt:
+            self.eval(s.expr, frame)
+            return
+        if cls is ast.If:
+            if self.eval(s.cond, frame):
+                self.exec_stmt(s.then, frame)
+            elif s.els is not None:
+                self.exec_stmt(s.els, frame)
+            return
+        if cls is ast.While:
+            while self.eval(s.cond, frame):
+                try:
+                    self.exec_stmt(s.body, frame)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+            return
+        if cls is ast.For:
+            if s.init is not None:
+                self.exec_stmt(s.init, frame)
+            while s.cond is None or self.eval(s.cond, frame):
+                try:
+                    self.exec_stmt(s.body, frame)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if s.update is not None:
+                    self.eval(s.update, frame)
+            return
+        if cls is ast.Return:
+            raise _Return(self.eval(s.value, frame) if s.value is not None else None)
+        if cls is ast.Break:
+            raise _Break()
+        if cls is ast.Continue:
+            raise _Continue()
+        if cls is ast.Empty:
+            return
+        raise JnsRuntimeError(f"unknown statement {s!r}")
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def eval(self, e: ast.Expr, frame: Dict[str, Any]) -> Any:
+        return self._eval_dispatch[type(e)](e, frame)
+
+    def _eval_lit(self, e: ast.Lit, frame):
+        return e.value
+
+    def _eval_this(self, e: ast.This, frame):
+        return frame["this"]
+
+    def _eval_var(self, e: ast.Var, frame):
+        try:
+            return frame[e.name]
+        except KeyError:
+            raise JnsRuntimeError(f"unbound variable {e.name!r}") from None
+
+    # -- fields ---------------------------------------------------------
+
+    def _eval_fieldget(self, e: ast.FieldGet, frame):
+        obj = self.eval(e.obj, frame)
+        return self.get_field(obj, e.name)
+
+    def get_field(self, obj: Any, name: str) -> Any:
+        if obj is None:
+            raise NullDereference(f"null dereference reading field {name!r}")
+        if isinstance(obj, list):
+            if name == "length":
+                return len(obj)
+            raise JnsRuntimeError(f"arrays have no field {name!r}")
+        if not isinstance(obj, Ref):
+            if isinstance(obj, str) and name == "length":
+                return len(obj)
+            raise JnsRuntimeError(f"cannot read field {name!r} of {obj!r}")
+        view = obj.view
+        if not self.sharing:
+            if self.mode == "java":
+                v = obj.inst.fields.get(name, _MISSING)
+            else:
+                rtc = self.loader.rtclass(view.path)
+                if name not in rtc.field_decl:
+                    raise JnsRuntimeError(
+                        f"no field {name!r} on {path_str(view.path)}"
+                    )
+                v = obj.inst.fields.get(name, _MISSING)
+            if v is _MISSING:
+                raise JnsRuntimeError(
+                    f"no field {name!r} on {path_str(view.path)}"
+                )
+            return v
+        # J&s mode: fclass-keyed storage + lazy implicit view change
+        if name in view.masks:
+            raise UninitializedFieldError(
+                f"field {name!r} is masked in view {view!r}"
+            )
+        rtc = self.loader.rtclass(view.path)
+        slot = rtc.field_slot.get(name)
+        if slot is None:
+            raise JnsRuntimeError(f"no field {name!r} on {path_str(view.path)}")
+        v = obj.inst.fields.get((slot, name), _MISSING)
+        if v is _MISSING:
+            v = self._fallback_read(obj, rtc, name, slot)
+        elif isinstance(v, Ref):
+            target = self._retarget_type(rtc, name, obj)
+            if target is not None:
+                v = self._adapt(v, target)
+        return v
+
+    def _fallback_read(self, obj: Ref, rtc: RTClass, name: str, slot: Path) -> Any:
+        """The current view's copy of a duplicated field is uninitialized.
+        Directional sharing (Section 3.3) lets a read fall back to another
+        view's copy when its content can be viewed into this family;
+        otherwise the read fails (statically prevented by masked types)."""
+        inst = obj.inst
+        for other in self.table.sharing_group(slot):
+            if other == slot:
+                continue
+            v = inst.fields.get((other, name), _MISSING)
+            if v is _MISSING:
+                continue
+            if isinstance(v, Ref):
+                target = self._retarget_type(rtc, name, obj)
+                if target is not None:
+                    v = self._adapt(v, target)  # raises if not shareable
+            # memoize into this view's slot so later reads are direct
+            inst.fields[(slot, name)] = v
+            return v
+        raise UninitializedFieldError(
+            f"field {name!r} of {inst!r} is uninitialized in view "
+            f"{path_str(obj.view.path)} (duplicated/unshared field)"
+        )
+
+    def _retarget_type(self, rtc: RTClass, name: str, obj: Ref) -> Optional[Type]:
+        """Evaluated field target type for lazy implicit view changes,
+        memoized per (view, field) when it depends only on ``this``."""
+        decl_type = rtc.retarget.get(name)
+        if decl_type is None:
+            return None
+        key = (rtc.path, name)
+        cached = self._retarget_cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        paths = T.paths_in(decl_type)
+        this_only = all(p == ("this",) or p[0] == "this" for p in paths)
+        try:
+            evaled = self.table.eval_type(
+                decl_type, lambda p: self._path_view(p, obj)
+            )
+        except (ResolveError, JnsError):
+            evaled = None
+        if this_only and all(p == ("this",) for p in paths):
+            self._retarget_cache[key] = evaled
+        return evaled
+
+    def _path_view(self, path: Path, this: Ref) -> View:
+        if path[0] == "this":
+            current: Any = this
+        else:
+            raise ResolveError(f"cannot evaluate path {'.'.join(path)} here")
+        for fname in path[1:]:
+            current = self.get_field(current, fname)
+        if not isinstance(current, Ref):
+            raise ResolveError(f"path {'.'.join(path)} is not an object")
+        return current.view
+
+    def set_field(self, obj: Any, name: str, value: Any) -> None:
+        if obj is None:
+            raise NullDereference(f"null dereference writing field {name!r}")
+        if not isinstance(obj, Ref):
+            raise JnsRuntimeError(f"cannot write field {name!r} of {obj!r}")
+        if not self.sharing:
+            obj.inst.fields[name] = value
+            return
+        view = obj.view
+        rtc = self.loader.rtclass(view.path)
+        slot = rtc.field_slot.get(name)
+        if slot is None:
+            raise JnsRuntimeError(f"no field {name!r} on {path_str(view.path)}")
+        obj.inst.fields[(slot, name)] = value
+        if name in view.masks:
+            # R-SET removes the mask; reference objects are immutable pairs,
+            # so the unmasked view is what subsequent reads should use.
+            obj.view = View(view.path, view.masks - {name})
+
+    # -- calls ------------------------------------------------------------
+
+    def _eval_call(self, e: ast.Call, frame):
+        obj = self.eval(e.obj, frame)
+        if obj is None:
+            raise NullDereference(f"null dereference calling {e.name!r}")
+        if not isinstance(obj, Ref):
+            raise JnsRuntimeError(f"cannot call {e.name!r} on {obj!r}")
+        args = [self.eval(a, frame) for a in e.args]
+        return self.call_method(obj, e.name, args)
+
+    # -- allocation --------------------------------------------------------
+
+    def _eval_new(self, e: ast.NewObj, frame):
+        t = e.type
+        if type(t) is ClassType:
+            path = t.path
+        else:
+            evaled = self._eval_type(t, frame).pure()
+            if isinstance(evaled, T.IsectType):
+                evaled = evaled.parts[0]
+            if not isinstance(evaled, ClassType):
+                raise JnsRuntimeError(f"cannot instantiate {t!r}")
+            path = evaled.path
+        args = [self.eval(a, frame) for a in e.args]
+        return self.new_instance(path, tuple(args))
+
+    def _eval_newarray(self, e: ast.NewArray, frame):
+        length = self.eval(e.length, frame)
+        if not isinstance(length, int) or length < 0:
+            raise JnsRuntimeError(f"bad array length {length!r}")
+        return [default_value(e.elem_type)] * length
+
+    def _eval_index(self, e: ast.Index, frame):
+        arr = self.eval(e.arr, frame)
+        idx = self.eval(e.idx, frame)
+        if arr is None:
+            raise NullDereference("null array")
+        try:
+            if idx < 0:
+                raise IndexError
+            return arr[idx]
+        except IndexError:
+            raise JnsRuntimeError(
+                f"array index {idx} out of bounds (length {len(arr)})"
+            ) from None
+
+    # -- operators ----------------------------------------------------------
+
+    def _eval_unary(self, e: ast.Unary, frame):
+        v = self.eval(e.operand, frame)
+        if e.op == "!":
+            return not v
+        return -v
+
+    def _eval_binary(self, e: ast.Binary, frame):
+        op = e.op
+        if op == "&&":
+            return bool(self.eval(e.left, frame)) and bool(self.eval(e.right, frame))
+        if op == "||":
+            return bool(self.eval(e.left, frame)) or bool(self.eval(e.right, frame))
+        a = self.eval(e.left, frame)
+        b = self.eval(e.right, frame)
+        if op == "+":
+            if isinstance(a, str) or isinstance(b, str):
+                return to_jstring(a) + to_jstring(b) if not (
+                    isinstance(a, str) and isinstance(b, str)
+                ) else a + b
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            return _jdiv(a, b)
+        if op == "%":
+            return _jmod(a, b)
+        if op == "==":
+            return self._equals(a, b)
+        if op == "!=":
+            return not self._equals(a, b)
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        if op == ">=":
+            return a >= b
+        raise JnsRuntimeError(f"unknown operator {op!r}")
+
+    @staticmethod
+    def _equals(a, b) -> bool:
+        if isinstance(a, Ref) and isinstance(b, Ref):
+            return a.inst is b.inst  # view changes preserve object identity
+        if isinstance(a, Ref) or isinstance(b, Ref):
+            return False
+        if isinstance(a, list) or isinstance(b, list):
+            return a is b
+        return a == b
+
+    def _eval_cond(self, e: ast.Cond, frame):
+        return (
+            self.eval(e.then, frame)
+            if self.eval(e.cond, frame)
+            else self.eval(e.els, frame)
+        )
+
+    # -- casts, views, instanceof -------------------------------------------
+
+    def _eval_type(self, t: Type, frame) -> Type:
+        this = frame.get("this")
+        return self.table.eval_type(
+            t, lambda p: self._frame_path_view(p, frame)
+        )
+
+    def _frame_path_view(self, path: Path, frame) -> View:
+        head = path[0]
+        current = frame.get(head, _MISSING)
+        if current is _MISSING:
+            raise ResolveError(f"unbound variable {head!r} in dependent type")
+        for fname in path[1:]:
+            current = self.get_field(current, fname)
+        if not isinstance(current, Ref):
+            raise ResolveError(f"path {'.'.join(path)} is not an object")
+        return current.view
+
+    def conforms(self, view: View, t: Type) -> bool:
+        """Whether a value with this view belongs to type ``t`` (already
+        evaluated to non-dependent form)."""
+        t = t.pure()
+        key = (view.path, t)
+        cached = self._conforms_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._conforms(view.path, t)
+        self._conforms_cache[key] = result
+        return result
+
+    def _conforms(self, path: Path, t: Type) -> bool:
+        if isinstance(t, ClassType):
+            m = max(t.exact, default=0)
+            if m > 0:
+                if len(path) < m or path[:m] != t.path[:m]:
+                    return False
+                if m == len(t.path) and path != t.path:
+                    return False
+            return self.table.inherits(path, t.path)
+        if isinstance(t, T.IsectType):
+            return all(self._conforms(path, p) for p in t.parts)
+        if isinstance(t, T.ExactType):
+            inner = t.inner
+            if isinstance(inner, ClassType):
+                return path == inner.path
+            return self._conforms(path, inner)
+        return False
+
+    def _eval_cast(self, e: ast.Cast, frame):
+        v = self.eval(e.expr, frame)
+        return self.cast_value(v, e.type, frame)
+
+    def cast_value(self, v, t, frame):
+        t_pure = t.pure()
+        if isinstance(t_pure, T.PrimType):
+            if t_pure == T.INT:
+                return int(v)
+            if t_pure == T.DOUBLE:
+                return float(v)
+            if t_pure == T.BOOLEAN:
+                return bool(v)
+            return v
+        if v is None:
+            return None
+        if isinstance(v, list):
+            if isinstance(t_pure, T.ArrayType):
+                return v
+            raise JnsRuntimeError(f"cannot cast array to {t!r}")
+        if not isinstance(v, Ref):
+            if isinstance(v, str) and t_pure == T.STRING:
+                return v
+            raise JnsRuntimeError(f"cannot cast {v!r} to {t!r}")
+        evaled = self._eval_type(t, frame)
+        if not self.conforms(v.view, evaled):
+            raise JnsRuntimeError(
+                f"ClassCastException: {path_str(v.view.path)} is not a {evaled!r}"
+            )
+        return v
+
+    def _eval_view(self, e: ast.ViewChange, frame):
+        if not self.sharing:
+            raise JnsRuntimeError(
+                f"view changes require the jns mode (running in {self.mode!r})"
+            )
+        v = self.eval(e.expr, frame)
+        if v is None:
+            return None
+        if not isinstance(v, Ref):
+            raise JnsRuntimeError(f"view change applied to non-object {v!r}")
+        target = self._eval_type(e.type, frame)
+        adapted = self._adapt(v, target)
+        if self.eager_views:
+            self.propagate_views(adapted)
+        return adapted
+
+    def _adapt(self, ref: Ref, target: Type) -> Ref:
+        """The run-time ``view`` function with memoized reference objects
+        (Section 6.3)."""
+        current = ref.view
+        t_pure = target.pure()
+        masks = target.masks
+        if self.conforms(current, t_pure):
+            if current.masks == masks:
+                return ref
+            new_view = View(current.path, frozenset(masks))
+        else:
+            new_view = self.table.view_of(current, target)
+        inst = ref.inst
+        if self.memoize_views:
+            memo = inst.view_refs.get(new_view.path)
+            if memo is not None and memo.view.masks == new_view.masks:
+                return memo
+        new_ref = Ref(inst, new_view)
+        if self.memoize_views:
+            inst.view_refs[new_view.path] = new_ref
+        return new_ref
+
+    def propagate_views(self, ref: Ref) -> int:
+        """Eagerly move every object transitively reachable from ``ref``
+        through view-dependent reference fields into ``ref``'s family (the
+        eager alternative to Section 6.3's lazy implicit view changes).
+        Returns the number of objects visited."""
+        seen = set()
+        stack = [ref]
+        visited = 0
+        while stack:
+            current = stack.pop()
+            if id(current.inst) in seen:
+                continue
+            seen.add(id(current.inst))
+            visited += 1
+            rtc = self.loader.rtclass(current.view.path)
+            for fname in rtc.retarget:
+                try:
+                    value = self.get_field(current, fname)
+                except JnsError:
+                    continue
+                if isinstance(value, Ref):
+                    stack.append(value)
+        return visited
+
+    def _eval_instanceof(self, e: ast.InstanceOf, frame):
+        v = self.eval(e.expr, frame)
+        return self.instanceof_value(v, e.type, frame)
+
+    def instanceof_value(self, v, t, frame):
+        if v is None:
+            return False
+        t_pure = t.pure()
+        if isinstance(v, Ref):
+            if isinstance(t_pure, T.PrimType):
+                return False
+            evaled = self._eval_type(t, frame)
+            return self.conforms(v.view, evaled)
+        if isinstance(v, str):
+            return t_pure == T.STRING
+        if isinstance(v, bool):
+            return t_pure == T.BOOLEAN
+        if isinstance(v, int):
+            return t_pure == T.INT
+        if isinstance(v, float):
+            return t_pure == T.DOUBLE
+        if isinstance(v, list):
+            return isinstance(t_pure, T.ArrayType)
+        return False
+
+    # -- assignment -----------------------------------------------------------
+
+    def _eval_assign(self, e: ast.Assign, frame):
+        if e.op == "=":
+            value = self.eval(e.value, frame)
+        else:
+            current = self.eval(e.target, frame)
+            rhs = self.eval(e.value, frame)
+            binop = e.op[0]
+            if binop == "+":
+                if isinstance(current, str) or isinstance(rhs, str):
+                    value = to_jstring(current) + to_jstring(rhs) if not (
+                        isinstance(current, str) and isinstance(rhs, str)
+                    ) else current + rhs
+                else:
+                    value = current + rhs
+            elif binop == "-":
+                value = current - rhs
+            elif binop == "*":
+                value = current * rhs
+            else:
+                value = _jdiv(current, rhs)
+            if isinstance(current, int) and isinstance(value, float):
+                value = int(value)
+        target = e.target
+        cls = type(target)
+        if cls is ast.Var:
+            frame[target.name] = value
+        elif cls is ast.FieldGet:
+            obj = self.eval(target.obj, frame)
+            self.set_field(obj, target.name, value)
+        elif cls is ast.Index:
+            arr = self.eval(target.arr, frame)
+            idx = self.eval(target.idx, frame)
+            if arr is None:
+                raise NullDereference("null array")
+            if not 0 <= idx < len(arr):
+                raise JnsRuntimeError(
+                    f"array index {idx} out of bounds (length {len(arr)})"
+                )
+            arr[idx] = value
+        else:
+            raise JnsRuntimeError("invalid assignment target")
+        return value
+
+    # -- natives ----------------------------------------------------------------
+
+    def _eval_sys(self, e: ast.SysCall, frame):
+        fn = self._sys[e.name]
+        args = [self.eval(a, frame) for a in e.args]
+        return fn(*args)
+
+    def _build_sys(self) -> Dict[str, Callable]:
+        def _print(v):
+            text = to_jstring(v)
+            self.output.append(text)
+            if self.echo:
+                print(text)
+
+        def _fail(msg):
+            raise JnsFailure(str(msg))
+
+        return {
+            "print": _print,
+            "println": _print,
+            "sqrt": lambda x: math.sqrt(x),
+            "abs": lambda x: abs(x),
+            "fabs": lambda x: abs(float(x)),
+            "min": lambda a, b: min(a, b),
+            "max": lambda a, b: max(a, b),
+            "floor": lambda x: math.floor(x) * 1.0,
+            "ceil": lambda x: math.ceil(x) * 1.0,
+            "pow": lambda a, b: math.pow(a, b),
+            "sin": math.sin,
+            "cos": math.cos,
+            "tan": math.tan,
+            "asin": math.asin,
+            "acos": math.acos,
+            "atan": math.atan,
+            "atan2": math.atan2,
+            "log": math.log,
+            "exp": math.exp,
+            "intOf": lambda x: int(x),
+            "doubleOf": lambda x: float(x),
+            "str": to_jstring,
+            "strLen": len,
+            "charAt": lambda s, i: s[i],
+            "substring": lambda s, a, b: s[a:b],
+            "parseInt": lambda s: int(s),
+            "fail": _fail,
+            "identityHash": lambda v: id(v.inst) if isinstance(v, Ref) else id(v),
+            "viewName": lambda v: (
+                path_str(v.view.path) if isinstance(v, Ref) else type(v).__name__
+            ),
+            "PI": lambda: math.pi,
+            "E": lambda: math.e,
+            "MAX_INT": lambda: 2147483647,
+            "MIN_INT": lambda: -2147483648,
+            "MAX_DOUBLE": lambda: sys.float_info.max,
+        }

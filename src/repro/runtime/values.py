@@ -1,0 +1,79 @@
+"""Run-time values for the J&s interpreter.
+
+An object is represented the way Section 6.3 describes the J&s
+implementation: a level of indirection separates the *instance* (the
+representative storage collecting all field copies, including duplicated
+unshared fields) from the *reference object* pairing it with a view.
+
+``Instance.fields`` is keyed by ``(owner_path, field_name)`` where
+``owner_path`` is the ``fclass`` of the field for the writing view — this
+realizes the heap of the calculus, whose domain is tuples ⟨l, P, f⟩.
+``Instance.view_refs`` memoizes one reference object per view class
+(Section 6.3's memoized view changes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..lang.classtable import JnsError
+from ..lang.types import Path, Type, View
+
+
+class JnsRuntimeError(JnsError):
+    """A run-time failure of an executing J&s program."""
+
+
+class NullDereference(JnsRuntimeError):
+    pass
+
+
+class UninitializedFieldError(JnsRuntimeError):
+    """A masked/duplicated field was read before being initialized in the
+    current view's family.  The static masked-type discipline prevents
+    this; the runtime check makes the guarantee observable in tests."""
+
+
+class JnsFailure(JnsRuntimeError):
+    """Raised by the Sys.fail native."""
+
+
+class Instance:
+    """The shared storage of one J&s object (all views point here)."""
+
+    __slots__ = ("fields", "created_as", "view_refs")
+
+    def __init__(self, created_as: Path) -> None:
+        self.created_as = created_as
+        self.fields: Dict[Tuple[Path, str], Any] = {}
+        self.view_refs: Dict[Path, "Ref"] = {}
+
+    def __repr__(self) -> str:
+        return f"<instance of {'.'.join(self.created_as)} at {id(self):#x}>"
+
+
+class Ref:
+    """A reference object: heap location + view (Section 2.3)."""
+
+    __slots__ = ("inst", "view")
+
+    def __init__(self, inst: Instance, view: View) -> None:
+        self.inst = inst
+        self.view = view
+
+    def __repr__(self) -> str:
+        return f"<ref {self.view!r} -> {self.inst!r}>"
+
+
+def default_value(t: Type) -> Any:
+    """The Java-style default for an uninitialized field of type ``t``."""
+    from ..lang import types as T
+
+    p = t.pure()
+    if p == T.INT:
+        return 0
+    if p == T.DOUBLE:
+        return 0.0
+    if p == T.BOOLEAN:
+        return False
+    return None

@@ -1,0 +1,6 @@
+"""Lexer, parser, and surface AST for the J&s language."""
+
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse_program, parse_type_text
+
+__all__ = ["tokenize", "LexError", "parse_program", "parse_type_text", "ParseError"]

@@ -1,0 +1,427 @@
+"""Abstract syntax for the J&s surface language.
+
+Two layers use these nodes:
+
+* the parser produces them with *surface* type annotations
+  (:class:`TName` nodes whose meaning is not yet known), and
+* the resolver (:mod:`repro.lang.resolve`) rewrites type annotations into
+  resolved types (:mod:`repro.lang.types`) and rewrites ``Sys.*`` calls
+  into :class:`SysCall` nodes, storing results in the same fields.
+
+Positions are (line, col) pairs for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+Pos = Tuple[int, int]
+
+
+# ---------------------------------------------------------------------------
+# Surface types (pre-resolution)
+# ---------------------------------------------------------------------------
+
+
+class TypeAST:
+    """Base class for surface type annotations."""
+
+
+@dataclass
+class TName(TypeAST):
+    """A dotted name ``A.B.C``; resolution decides what it denotes."""
+
+    parts: Tuple[str, ...]
+    pos: Pos = (0, 0)
+
+    def __repr__(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass
+class TPrim(TypeAST):
+    """A primitive type: int, double, boolean, String, void."""
+
+    name: str
+    pos: Pos = (0, 0)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass
+class TDep(TypeAST):
+    """A dependent class ``p.class`` for a final access path ``p``.
+
+    ``path`` is the sequence of names: ``("this",)`` for ``this.class`` or
+    ``("x", "f")`` for ``x.f.class``.
+    """
+
+    path: Tuple[str, ...]
+    pos: Pos = (0, 0)
+
+    def __repr__(self) -> str:
+        return ".".join(self.path) + ".class"
+
+
+@dataclass
+class TPrefix(TypeAST):
+    """A prefix type ``P[T]``: the enclosing family of ``T`` at level ``P``."""
+
+    family: TypeAST
+    index: TypeAST
+    pos: Pos = (0, 0)
+
+    def __repr__(self) -> str:
+        return f"{self.family!r}[{self.index!r}]"
+
+
+@dataclass
+class TExact(TypeAST):
+    """An exact type ``T!``."""
+
+    inner: TypeAST
+    pos: Pos = (0, 0)
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r}!"
+
+
+@dataclass
+class TMask(TypeAST):
+    """A masked type ``T\\f``: ``T`` without read access to field ``f``."""
+
+    inner: TypeAST
+    fields: Tuple[str, ...]
+    pos: Pos = (0, 0)
+
+    def __repr__(self) -> str:
+        return repr(self.inner) + "".join("\\" + f for f in self.fields)
+
+
+@dataclass
+class TNested(TypeAST):
+    """A member access on a non-name type, e.g. ``AST[this.class].Exp``."""
+
+    outer: TypeAST
+    name: str
+    pos: Pos = (0, 0)
+
+    def __repr__(self) -> str:
+        return f"{self.outer!r}.{self.name}"
+
+
+@dataclass
+class TIsect(TypeAST):
+    """An intersection type ``T1 & T2``."""
+
+    parts: Tuple[TypeAST, ...]
+    pos: Pos = (0, 0)
+
+    def __repr__(self) -> str:
+        return " & ".join(repr(p) for p in self.parts)
+
+
+@dataclass
+class TArray(TypeAST):
+    """An array type ``T[]``."""
+
+    elem: TypeAST
+    pos: Pos = (0, 0)
+
+    def __repr__(self) -> str:
+        return f"{self.elem!r}[]"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expressions.
+
+    ``rtype`` is filled in by the type checker (a resolved type or None).
+    """
+
+    rtype: Any = None
+
+
+@dataclass
+class Lit(Expr):
+    value: Any
+    kind: str  # "int" | "double" | "boolean" | "String" | "null"
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class This(Expr):
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class Var(Expr):
+    name: str
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class FieldGet(Expr):
+    obj: Expr
+    name: str
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class Call(Expr):
+    obj: Optional[Expr]  # None means a call on an implicit ``this``
+    name: str
+    args: List[Expr]
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class SysCall(Expr):
+    """A call into the native ``Sys`` library (created by the resolver)."""
+
+    name: str
+    args: List[Expr]
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class NewObj(Expr):
+    type: Any  # TypeAST, later resolved type
+    args: List[Expr]
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class NewArray(Expr):
+    elem_type: Any
+    length: Expr
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class Index(Expr):
+    arr: Expr
+    idx: Expr
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class Unary(Expr):
+    op: str
+    operand: Expr
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class Cond(Expr):
+    """Ternary conditional ``c ? t : f``."""
+
+    cond: Expr
+    then: Expr
+    els: Expr
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class Cast(Expr):
+    type: Any
+    expr: Expr
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class ViewChange(Expr):
+    """The J&s view change ``(view T)e``."""
+
+    type: Any
+    expr: Expr
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class InstanceOf(Expr):
+    expr: Expr
+    type: Any
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment; target is Var, FieldGet, or Index.  ``op`` is '=' or a
+    compound operator like '+='."""
+
+    target: Expr
+    value: Expr
+    op: str = "="
+    pos: Pos = (0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt]
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class LocalDecl(Stmt):
+    final: bool
+    type: Any
+    name: str
+    init: Optional[Expr]
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    els: Optional[Stmt]
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    update: Optional[Expr]
+    body: Stmt
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class Break(Stmt):
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class Continue(Stmt):
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class Empty(Stmt):
+    pos: Pos = (0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FieldDecl:
+    final: bool
+    type: Any
+    name: str
+    init: Optional[Expr]
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class Param:
+    type: Any
+    name: str
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class SharingConstraint:
+    """A method-level sharing constraint ``sharing T1 = T2`` (bidirectional,
+    as written in the paper's examples)."""
+
+    left: Any
+    right: Any
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class MethodDecl:
+    abstract: bool
+    ret_type: Any
+    name: str
+    params: List[Param]
+    constraints: List[SharingConstraint]
+    body: Optional[Block]
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class CtorDecl:
+    name: str
+    params: List[Param]
+    body: Block
+    pos: Pos = (0, 0)
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    abstract: bool
+    extends: List[Any]
+    shares: Optional[Any]  # TypeAST possibly with masks
+    adapts: Optional[Any]
+    members: List[Any] = field(default_factory=list)
+    pos: Pos = (0, 0)
+
+    @property
+    def nested_classes(self) -> List["ClassDecl"]:
+        return [m for m in self.members if isinstance(m, ClassDecl)]
+
+    @property
+    def fields(self) -> List[FieldDecl]:
+        return [m for m in self.members if isinstance(m, FieldDecl)]
+
+    @property
+    def methods(self) -> List[MethodDecl]:
+        return [m for m in self.members if isinstance(m, MethodDecl)]
+
+    @property
+    def ctors(self) -> List[CtorDecl]:
+        return [m for m in self.members if isinstance(m, CtorDecl)]
+
+
+@dataclass
+class CompilationUnit:
+    classes: List[ClassDecl]

@@ -1,0 +1,142 @@
+"""Hand-written lexer for the J&s surface language."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import JnsError
+from .tokens import (
+    DOUBLE_LIT,
+    EOF,
+    IDENT,
+    INT_LIT,
+    KEYWORD,
+    KEYWORDS,
+    PUNCT,
+    PUNCTUATION,
+    STRING_LIT,
+    Token,
+)
+
+
+class LexError(JnsError):
+    """Raised when the input contains a character sequence that is not a
+    valid J&s token."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{message} at {line}:{col}")
+        self.line = line
+        self.col = col
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\", "'": "'", "0": "\0"}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert ``source`` into a token list ending with an EOF token.
+
+    Supports ``//`` line comments and ``/* */`` block comments.
+    """
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start_line, start_col = line, col
+            j = i
+            is_double = False
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == "." and j + 1 < n and source[j + 1].isdigit():
+                is_double = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    is_double = True
+                    j = k
+                    while j < n and source[j].isdigit():
+                        j += 1
+            text = source[i:j]
+            advance(j - i)
+            kind = DOUBLE_LIT if is_double else INT_LIT
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, col
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            kind = KEYWORD if text in KEYWORDS else IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        if ch == '"':
+            start_line, start_col = line, col
+            advance(1)
+            chars: List[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\\":
+                    advance(1)
+                    if i >= n:
+                        break
+                    esc = source[i]
+                    chars.append(_ESCAPES.get(esc, esc))
+                    advance(1)
+                else:
+                    if source[i] == "\n":
+                        raise LexError("newline in string literal", line, col)
+                    chars.append(source[i])
+                    advance(1)
+            if i >= n:
+                raise LexError("unterminated string literal", start_line, start_col)
+            advance(1)
+            tokens.append(Token(STRING_LIT, "".join(chars), start_line, start_col))
+            continue
+        matched = False
+        for punct in PUNCTUATION:
+            if source.startswith(punct, i):
+                tokens.append(Token(PUNCT, punct, line, col))
+                advance(len(punct))
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token(EOF, "", line, col))
+    return tokens

@@ -1,0 +1,238 @@
+"""Advanced family-inheritance and sharing scenarios beyond the paper's
+figures: deeper derivation chains, transitive adaptation, diamond
+composition, and three-family evolution."""
+
+import pytest
+
+from repro import JnsError, UninitializedFieldError, compile_program
+
+
+def build(src):
+    program = compile_program(src)
+    interp = program.interp()
+    return program, interp
+
+
+class TestDeepDerivation:
+    SRC = """
+    class L0 {
+      class N { int tag() { return 0; } }
+    }
+    class L1 extends L0 {
+      class N shares L0.N { int tag() { return 1; } }
+    }
+    class L2 extends L1 {
+      class N shares L1.N { int tag() { return 2; } }
+    }
+    class Main {
+      int roundTrip() sharing L0!.N = L2!.N, L0!.N = L1!.N {
+        L0!.N n = new L0.N();
+        L2!.N top = (view L2!.N)n;          // two levels up at once
+        L1!.N mid = (view L1!.N)top;        // back down one level
+        L0!.N back = (view L0!.N)mid;
+        return n.tag() * 100 + top.tag() * 10 + mid.tag() + back.tag() * 1000;
+      }
+    }
+    """
+
+    def test_three_level_sharing_chain(self):
+        program, interp = build(self.SRC)
+        table = program.table
+        assert table.shared_with(("L0", "N"), ("L2", "N"))
+        group = set(table.sharing_group(("L1", "N")))
+        assert group == {("L0", "N"), ("L1", "N"), ("L2", "N")}
+
+    def test_views_across_three_families(self):
+        _, interp = build(self.SRC)
+        main = interp.new_instance(("Main",), ())
+        assert interp.call_method(main, "roundTrip", []) == 21
+
+    def test_all_views_share_one_instance(self):
+        _, interp = build(self.SRC)
+        main = interp.new_instance(("Main",), ())
+        interp.call_method(main, "roundTrip", [])
+        # nothing to assert beyond no error; identity is covered elsewhere
+
+
+class TestDiamondComposition:
+    SRC = """
+    class Base {
+      class N { int v = 1; int get() { return v; } }
+    }
+    class Left extends Base {
+      class N shares Base.N { int get() { return v + 10; } }
+    }
+    class Right extends Base {
+      class N shares Base.N { int get() { return v + 20; } }
+    }
+    class Both extends Left & Right adapts Base {
+      class N { int get() { return v + 30; } }
+    }
+    class Main {
+      int run() sharing Base!.N = Both!.N {
+        Base!.N n = new Base.N();
+        Both!.N b = (view Both!.N)n;
+        return n.get() * 100 + b.get();
+      }
+    }
+    """
+
+    def test_diamond_shares_transitively(self):
+        program, _ = build(self.SRC)
+        table = program.table
+        assert table.shared_with(("Left", "N"), ("Right", "N"))
+        assert table.shared_with(("Both", "N"), ("Base", "N"))
+
+    def test_diamond_dispatch(self):
+        _, interp = build(self.SRC)
+        main = interp.new_instance(("Main",), ())
+        assert interp.call_method(main, "run", []) == 131
+
+    def test_explicit_override_wins_over_both_parents(self):
+        program, _ = build(self.SRC)
+        owner, _ = program.table.find_method(("Both", "N"), "get")
+        assert owner == ("Both", "N")
+
+
+class TestNestedFamilies:
+    """Families nested inside families (two-level prefix types)."""
+
+    SRC = """
+    class Outer {
+      class Inner {
+        class Leaf { int id() { return 1; } }
+        class Node { Leaf mk() { return new Leaf(); } }
+      }
+    }
+    class DOuter extends Outer {
+      class Inner {
+        class Leaf { int id() { return 2; } }
+      }
+    }
+    class Main {
+      int viaBase() { return new Outer.Inner.Node().mk().id(); }
+      int viaDerived() { return new DOuter.Inner.Node().mk().id(); }
+    }
+    """
+
+    def test_inner_family_late_binding(self):
+        _, interp = build(self.SRC)
+        main = interp.new_instance(("Main",), ())
+        assert interp.call_method(main, "viaBase", []) == 1
+        # DOuter.Inner.Node is implicit; its mk() must create DOuter's Leaf
+        assert interp.call_method(main, "viaDerived", []) == 2
+
+    def test_implicit_nested_classes_exist(self):
+        program, _ = build(self.SRC)
+        assert program.table.class_exists(("DOuter", "Inner", "Node"))
+        assert not program.table.is_explicit(("DOuter", "Inner", "Node"))
+
+
+class TestBidirectionalAdaptation:
+    """Section 2.2: 'not only can objects of a base family be adapted
+    into a derived family, but those of the derived family can be adapted
+    to the base family'."""
+
+    SRC = """
+    class base {
+      class Msg { int size = 1; int cost() { return size; } }
+    }
+    class fancy extends base {
+      class Msg shares base.Msg { int cost() { return size * 7; } }
+    }
+    class Main {
+      int derivedToBase() sharing base!.Msg = fancy!.Msg {
+        fancy!.Msg m = new fancy.Msg();
+        base!.Msg b = (view base!.Msg)m;
+        return m.cost() * 10 + b.cost();
+      }
+    }
+    """
+
+    def test_derived_object_viewed_in_base(self):
+        _, interp = build(self.SRC)
+        main = interp.new_instance(("Main",), ())
+        assert interp.call_method(main, "derivedToBase", []) == 71
+
+
+class TestMultipleMasks:
+    SRC = """
+    class A1 { class C { } }
+    class A2 extends A1 {
+      class C shares A1.C { int p; int q; int r; }
+    }
+    class Main {
+      int run() sharing A1!.C = A2!.C\\p\\q\\r {
+        A1!.C c = new A1.C();
+        A2!.C\\p\\q\\r v = (view A2!.C\\p\\q\\r)c;
+        v.p = 1;
+        v.q = 2;
+        v.r = 3;
+        return v.p + v.q + v.r;
+      }
+    }
+    """
+
+    def test_multiple_masks_flow(self):
+        _, interp = build(self.SRC)
+        main = interp.new_instance(("Main",), ())
+        assert interp.call_method(main, "run", []) == 6
+
+    def test_partial_initialization_rejected(self):
+        broken = self.SRC.replace("v.r = 3;\n", "")
+        broken = broken.replace("return v.p + v.q + v.r;", "return v.p + v.r;")
+        with pytest.raises(JnsError):
+            compile_program(broken)
+
+
+class TestUnsharedSubclassLeak:
+    """The motivating safety scenario of Section 3.2: objects of unshared
+    subclasses must not leak into an incompatible family."""
+
+    SRC = """
+    class base {
+      class Exp { }
+      class Wrap { Exp e; }
+    }
+    class ext extends base {
+      class Exp shares base.Exp { }
+      class Wrap shares base.Wrap\\e { }
+      class Extra extends Exp { }    // unshared: forces the mask on e
+    }
+    class Main {
+      base!.Wrap make() sharing ext!.Wrap\\e = base!.Wrap\\e {
+        ext!.Wrap w = new ext.Wrap();
+        w.e = new ext.Extra();
+        base!.Wrap\\e b = (view base!.Wrap\\e)w;
+        b.e = new base.Exp();         // must re-initialize before use
+        return b;
+      }
+    }
+    """
+
+    def test_masked_translation_safe(self):
+        _, interp = build(self.SRC)
+        main = interp.new_instance(("Main",), ())
+        b = interp.call_method(main, "make", [])
+        e = interp.get_field(b, "e")
+        assert e.view.path == ("base", "Exp")
+
+    def test_unmasked_view_change_rejected(self):
+        broken = self.SRC.replace(
+            "sharing ext!.Wrap\\e = base!.Wrap\\e", "sharing ext!.Wrap = base!.Wrap"
+        ).replace("(view base!.Wrap\\e)w", "(view base!.Wrap)w").replace(
+            "base!.Wrap\\e b =", "base!.Wrap b ="
+        )
+        with pytest.raises(JnsError):
+            compile_program(broken)
+
+    def test_runtime_guard_without_reinit(self):
+        # compile without the re-initialization, bypassing static checks,
+        # and confirm the runtime still refuses to leak the Extra object
+        src = self.SRC.replace("b.e = new base.Exp();         // must re-initialize before use", "")
+        program = compile_program(src, check=False)
+        interp = program.interp()
+        main = interp.new_instance(("Main",), ())
+        b = interp.call_method(main, "make", [])
+        with pytest.raises(JnsError):
+            interp.get_field(interp._adapt(b, b.view.as_type().pure()), "e")

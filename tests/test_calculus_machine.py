@@ -1,0 +1,176 @@
+"""Small-step machine tests: each reduction rule of Figure 17."""
+
+import pytest
+
+from repro import compile_program
+from repro.calculus import (
+    Config,
+    ECall,
+    EField,
+    ELet,
+    ENew,
+    ESeq,
+    ESet,
+    EValue,
+    EVar,
+    EView,
+    Machine,
+    StuckError,
+    free_vars,
+    rename_var,
+)
+from repro.lang import types as T
+from repro.lang.types import ClassType, View
+
+SOURCE = """
+class A {
+  class Leaf { }
+  class C {
+    Leaf child = new Leaf();
+    Leaf get() { return child; }
+    C self() { return this; }
+  }
+}
+class B extends A {
+  class Leaf shares A.Leaf { }
+  class C shares A.C {
+    Leaf get2() { return child; }
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def machine():
+    table = compile_program(SOURCE).table
+    return Machine(table)
+
+
+def run_to_value(machine, expr, max_steps=1000):
+    cfg = Config(expr=expr)
+    value = machine.run(cfg, max_steps)
+    return value, cfg
+
+
+A_C = ClassType(("A", "C"))
+A_C_EXACT = ClassType(("A", "C"), frozenset({1}))
+B_C_EXACT = ClassType(("B", "C"), frozenset({1}))
+
+
+class TestRules:
+    def test_r_alloc_creates_initialized_object(self, machine):
+        value, cfg = run_to_value(machine, ENew(A_C))
+        assert value.view.path == ("A", "C")
+        assert value.view.masks == frozenset()  # initializer removed it
+        owner = machine.table.fclass(("A", "C"), "child")
+        assert (value.loc, owner, "child") in cfg.heap
+
+    def test_r_var_reads_stack(self, machine):
+        cfg = Config(expr=EVar("x"))
+        leaf = EValue(99, View(("A", "Leaf")))
+        cfg.stack["x"] = leaf
+        cfg.refs.append(leaf)
+        assert machine.run(cfg) == leaf
+
+    def test_r_var_unbound_is_stuck(self, machine):
+        with pytest.raises(StuckError):
+            machine.run(Config(expr=EVar("nope")))
+
+    def test_r_let_binds_fresh_variable(self, machine):
+        expr = ELet(A_C_EXACT, "x", ENew(A_C), EVar("x"))
+        value, cfg = run_to_value(machine, expr)
+        assert value.view.path == ("A", "C")
+
+    def test_r_get_returns_field(self, machine):
+        expr = EField(ENew(A_C), "child")
+        value, cfg = run_to_value(machine, expr)
+        assert value.view.path == ("A", "Leaf")
+
+    def test_r_get_applies_implicit_view_change(self, machine):
+        # reading child through the B view yields a B.Leaf view
+        expr = EField(EView(B_C_EXACT, ENew(A_C)), "child")
+        value, cfg = run_to_value(machine, expr)
+        assert value.view.path == ("B", "Leaf")
+
+    def test_r_set_updates_heap(self, machine):
+        expr = ELet(
+            A_C_EXACT,
+            "x",
+            ENew(A_C),
+            ESeq(ESet(EVar("x"), "child", ENew(ClassType(("A", "Leaf")))), EVar("x")),
+        )
+        value, cfg = run_to_value(machine, expr)
+        owner = machine.table.fclass(("A", "C"), "child")
+        stored = cfg.heap[(value.loc, owner, "child")]
+        assert stored.view.path == ("A", "Leaf")
+
+    def test_r_call_dispatches_on_view(self, machine):
+        base = ECall(ENew(A_C), "get", ())
+        value, _ = run_to_value(machine, base)
+        assert value.view.path == ("A", "Leaf")
+
+    def test_r_call_after_view_change_uses_derived_method(self, machine):
+        expr = ECall(EView(B_C_EXACT, ENew(A_C)), "get2", ())
+        value, _ = run_to_value(machine, expr)
+        assert value.view.path == ("B", "Leaf")
+
+    def test_missing_method_in_base_view_is_stuck(self, machine):
+        with pytest.raises(StuckError):
+            run_to_value(machine, ECall(ENew(A_C), "get2", ()))
+
+    def test_r_seq_discards_first(self, machine):
+        expr = ESeq(ENew(A_C), ENew(ClassType(("A", "Leaf"))))
+        value, _ = run_to_value(machine, expr)
+        assert value.view.path == ("A", "Leaf")
+
+    def test_r_view_preserves_location(self, machine):
+        expr = ELet(
+            A_C_EXACT,
+            "x",
+            ENew(A_C),
+            ESeq(EView(B_C_EXACT, EVar("x")), EVar("x")),
+        )
+        value, cfg = run_to_value(machine, expr)
+        views = {
+            ref.view.path for ref in cfg.refs if ref.loc == value.loc
+        }
+        assert ("A", "C") in views and ("B", "C") in views
+
+    def test_view_to_unshared_is_stuck(self, machine):
+        table = compile_program(
+            "class A { class C { } } class B extends A { class C { } }"
+        ).table
+        m = Machine(table)
+        with pytest.raises(StuckError):
+            run_to_value(m, EView(ClassType(("B", "C"), frozenset({1})), ENew(ClassType(("A", "C")))))
+
+    def test_reference_set_grows(self, machine):
+        _, cfg = run_to_value(machine, ENew(A_C))
+        assert len(cfg.refs) >= 1
+
+    def test_self_returns_same_location(self, machine):
+        expr = ECall(ENew(A_C), "self", ())
+        value, cfg = run_to_value(machine, expr)
+        assert value.view.path == ("A", "C")
+
+
+class TestSyntaxHelpers:
+    def test_rename_var(self):
+        e = ECall(EVar("x"), "m", (EVar("y"),))
+        renamed = rename_var(e, "x", "z")
+        assert free_vars(renamed) == ["z", "y"]
+
+    def test_rename_respects_let_shadowing(self):
+        e = ELet(A_C, "x", EVar("x"), EVar("x"))
+        renamed = rename_var(e, "x", "z")
+        assert isinstance(renamed.init, EVar) and renamed.init.name == "z"
+        assert isinstance(renamed.body, EVar) and renamed.body.name == "x"
+
+    def test_rename_types_in_new(self):
+        dep = T.NestedType(T.PrefixType(("A",), T.DepType(("x",))), "C")
+        renamed = rename_var(ENew(dep), "x", "y")
+        assert T.paths_in(renamed.type) == frozenset({("y",)})
+
+    def test_free_vars_nested(self):
+        e = ESeq(EVar("a"), ELet(A_C, "b", EVar("c"), EVar("b")))
+        assert free_vars(e) == ["a", "c"]

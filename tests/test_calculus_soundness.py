@@ -1,0 +1,205 @@
+"""Property-based soundness tests (Theorem 5.8): subject reduction and
+progress checked step-by-step on generated calculus programs.
+
+The generator builds random well-typed-looking expressions over a family
+program with sharing, masks, duplicated fields, and both view-change
+directions; expressions that do not type-check initially are discarded
+(the theorem quantifies over well-typed programs)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import compile_program
+from repro.calculus import (
+    Config,
+    ECall,
+    EField,
+    ELet,
+    ENew,
+    ESeq,
+    ESet,
+    EVar,
+    EView,
+    check_progress_and_preservation,
+    runtime_env,
+    type_expr,
+    well_formed_config,
+)
+from repro.lang import types as T
+from repro.lang.classtable import JnsError
+from repro.lang.types import ClassType
+
+#: A program exercising all the calculus features: sharing, a new field in
+#: the derived family, a duplicated (masked) field, subclassing, and
+#: methods in both families.
+PROGRAM = """
+class A {
+  class Leaf { }
+  class Box {
+    Leaf item = new Leaf();
+    Leaf get() { return item; }
+    Box dup() { return this; }
+  }
+  class Pair {
+    Box first = new Box();
+    Box second = new Box();
+    Box fst() { return first; }
+  }
+}
+class B extends A {
+  class Leaf shares A.Leaf { }
+  class Box shares A.Box {
+    Leaf get2() { return item; }
+  }
+  class Pair shares A.Pair {
+    Box snd() { return second; }
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def table():
+    return compile_program(PROGRAM).table
+
+
+def C(*parts, exact=None):
+    path = tuple(parts)
+    return ClassType(path, frozenset({exact}) if exact else frozenset())
+
+
+NEWABLE = [("A", "Leaf"), ("A", "Box"), ("A", "Pair"), ("B", "Box"), ("B", "Pair")]
+VIEW_TARGETS = [
+    C("A", "Box", exact=1),
+    C("B", "Box", exact=1),
+    C("A", "Pair", exact=1),
+    C("B", "Pair", exact=1),
+    C("A", "Leaf", exact=1),
+    C("B", "Leaf", exact=1),
+]
+METHODS = ["get", "get2", "dup", "fst", "snd"]
+FIELDS = ["item", "first", "second"]
+
+
+@st.composite
+def expressions(draw, depth=3):
+    """Random calculus expressions; most will type-check against PROGRAM."""
+    if depth == 0:
+        return ENew(C(*draw(st.sampled_from(NEWABLE))))
+    kind = draw(
+        st.sampled_from(["new", "field", "call", "seq", "view", "let", "set"])
+    )
+    if kind == "new":
+        return ENew(C(*draw(st.sampled_from(NEWABLE))))
+    if kind == "field":
+        return EField(draw(expressions(depth=depth - 1)), draw(st.sampled_from(FIELDS)))
+    if kind == "call":
+        return ECall(
+            draw(expressions(depth=depth - 1)), draw(st.sampled_from(METHODS)), ()
+        )
+    if kind == "seq":
+        return ESeq(
+            draw(expressions(depth=depth - 1)), draw(expressions(depth=depth - 1))
+        )
+    if kind == "view":
+        return EView(
+            draw(st.sampled_from(VIEW_TARGETS)), draw(expressions(depth=depth - 1))
+        )
+    if kind == "set":
+        cls = draw(st.sampled_from([("A", "Box"), ("B", "Box")]))
+        return ELet(
+            ClassType(cls, frozenset({2})),
+            "x",
+            ENew(C(*cls)),
+            ESeq(
+                ESet(EVar("x"), "item", draw(expressions(depth=depth - 1))),
+                EVar("x"),
+            ),
+        )
+    # let
+    cls = draw(st.sampled_from(NEWABLE))
+    return ELet(
+        ClassType(cls, frozenset({2})),
+        "x",
+        ENew(C(*cls)),
+        draw(expressions(depth=depth - 1)),
+    )
+
+
+def initially_well_typed(table, expr):
+    cfg = Config(expr=expr)
+    env = runtime_env(table, cfg)
+    try:
+        type_expr(table, env, expr)
+        return True
+    except JnsError:
+        return False
+
+
+@settings(max_examples=150, deadline=None, suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow])
+@given(expressions())
+def test_soundness_on_generated_programs(expr):
+    """Theorem 5.8 on random expressions: if the initial configuration is
+    well-typed, evaluation never gets stuck and preserves types."""
+    table = compile_program(PROGRAM).table
+    if not initially_well_typed(table, expr):
+        return  # the theorem only speaks about well-typed programs
+    cfg = Config(expr=expr)
+    value = check_progress_and_preservation(table, cfg, max_steps=3000)
+    assert value is not None
+    assert well_formed_config(table, cfg) is None
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow])
+@given(expressions(depth=2))
+def test_final_value_types_at_expression_type(expr):
+    """The final value's view conforms to the static type of the program
+    (the statement of Theorem 5.8)."""
+    table = compile_program(PROGRAM).table
+    cfg = Config(expr=expr)
+    env = runtime_env(table, cfg)
+    try:
+        static_type = type_expr(table, env, expr)
+    except JnsError:
+        return
+    value = check_progress_and_preservation(table, cfg, max_steps=3000)
+    from repro.lang.subtype import Env, subtype
+
+    final_env = runtime_env(table, cfg)
+    assert subtype(final_env, value.view.as_type(), static_type)
+
+
+class TestKnownCases:
+    """Deterministic soundness checks on the interesting shapes."""
+
+    def test_cross_family_roundtrip(self, table):
+        expr = EView(
+            C("A", "Box", exact=1), EView(C("B", "Box", exact=1), ENew(C("A", "Box")))
+        )
+        cfg = Config(expr=expr)
+        value = check_progress_and_preservation(table, cfg)
+        assert value.view.path == ("A", "Box")
+
+    def test_derived_method_through_view(self, table):
+        expr = ECall(EView(C("B", "Pair", exact=1), ENew(C("A", "Pair"))), "snd", ())
+        cfg = Config(expr=expr)
+        value = check_progress_and_preservation(table, cfg)
+        assert value.view.path == ("B", "Box")
+
+    def test_field_write_then_read(self, table):
+        expr = ELet(
+            ClassType(("A", "Box"), frozenset({2})),
+            "x",
+            ENew(C("A", "Box")),
+            ESeq(
+                ESet(EVar("x"), "item", ENew(C("A", "Leaf"))),
+                EField(EVar("x"), "item"),
+            ),
+        )
+        value = check_progress_and_preservation(table, Config(expr=expr))
+        assert value.view.path == ("A", "Leaf")
+
+    def test_untypable_view_is_not_checked(self, table):
+        # Leaf cannot be viewed as Box: the expression does not type
+        expr = EView(C("A", "Box", exact=1), ENew(C("A", "Leaf")))
+        assert not initially_well_typed(table, expr)

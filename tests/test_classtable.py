@@ -1,0 +1,291 @@
+"""Class-table tests: implicit classes, further binding, prefix types,
+member lookup, fclass, sharing groups, adapts."""
+
+import pytest
+
+from repro import compile_program
+from repro.lang import types as T
+from repro.lang.classtable import JnsError, ResolveError
+from repro.lang.types import ClassType, View
+
+from conftest import FIG123_SOURCE, FIG5_SOURCE
+
+
+@pytest.fixture(scope="module")
+def t123():
+    return compile_program(FIG123_SOURCE).table
+
+
+@pytest.fixture(scope="module")
+def t5():
+    return compile_program(FIG5_SOURCE).table
+
+
+class TestExistence:
+    def test_explicit_class_exists(self, t123):
+        assert t123.class_exists(("AST", "Binary"))
+
+    def test_implicit_class_exists(self, t123):
+        # GUI classes are implicit members of ASTDisplay (Section 2.1)
+        assert t123.class_exists(("ASTDisplay", "Node"))
+        assert t123.class_exists(("ASTDisplay", "Leaf"))
+        assert not t123.is_explicit(("ASTDisplay", "Node"))
+
+    def test_nonexistent(self, t123):
+        assert not t123.class_exists(("AST", "Nope"))
+        assert not t123.class_exists(("Nope",))
+
+    def test_root_exists(self, t123):
+        assert t123.class_exists(())
+
+    def test_member_names_include_inherited(self, t123):
+        names = set(t123.member_names(("ASTDisplay",)))
+        assert {"Exp", "Value", "Binary", "Node", "Composite", "Leaf"} <= names
+
+    def test_all_class_paths_include_implicit(self, t123):
+        paths = set(t123.all_class_paths())
+        assert ("ASTDisplay", "Composite") in paths
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_program("class A { } class A { }")
+
+
+class TestInheritance:
+    def test_declared_superclass(self, t123):
+        assert t123.inherits(("AST", "Binary"), ("AST", "Exp"))
+
+    def test_further_binding(self, t123):
+        assert t123.inherits(("ASTDisplay", "Binary"), ("AST", "Binary"))
+
+    def test_late_bound_superclass(self, t123):
+        # ASTDisplay.Binary extends ASTDisplay.Exp, not AST.Exp (Section 2.1)
+        parents = t123.parents(("ASTDisplay", "Binary"))
+        assert ("ASTDisplay", "Exp") in parents
+        assert ("ASTDisplay", "Composite") in parents
+        assert ("AST", "Binary") in parents
+
+    def test_implicit_class_parents(self, t123):
+        # implicit ASTDisplay.Composite further binds TreeDisplay.Composite
+        parents = t123.parents(("ASTDisplay", "Composite"))
+        assert ("TreeDisplay", "Composite") in parents
+        assert ("ASTDisplay", "Node") in parents
+
+    def test_ancestors_reflexive(self, t123):
+        assert t123.ancestors(("AST",))[0] == ("AST",)
+
+    def test_family_inheritance(self, t123):
+        assert t123.inherits(("ASTDisplay",), ("AST",))
+        assert t123.inherits(("ASTDisplay",), ("TreeDisplay",))
+
+    def test_transitive(self, t123):
+        assert t123.inherits(("ASTDisplay", "Value"), ("TreeDisplay", "Node"))
+
+    def test_not_inherits_sibling(self, t123):
+        assert not t123.inherits(("AST", "Value"), ("AST", "Binary"))
+
+    def test_cyclic_inheritance_detected(self):
+        with pytest.raises((ResolveError, JnsError)):
+            compile_program("class A extends B { } class B extends A { }")
+
+    def test_longer_cycle_detected(self):
+        with pytest.raises((ResolveError, JnsError)):
+            compile_program(
+                "class A extends B { } class B extends C { } class C extends A { }"
+            )
+
+
+class TestPrefix:
+    def test_prefix_of_nested(self, t123):
+        assert t123.prefix_of(("AST",), ("AST", "Binary")) == ("AST",)
+
+    def test_prefix_of_derived(self, t123):
+        # prefix(AST, ASTDisplay.Binary) = ASTDisplay (Section 2.1)
+        assert t123.prefix_of(("AST",), ("ASTDisplay", "Binary")) == ("ASTDisplay",)
+
+    def test_prefix_of_family_itself(self, t123):
+        assert t123.prefix_of(("AST",), ("ASTDisplay",)) == ("ASTDisplay",)
+
+    def test_prefix_via_other_parent(self, t123):
+        assert t123.prefix_of(("TreeDisplay",), ("ASTDisplay", "Value")) == (
+            "ASTDisplay",
+        )
+
+    def test_prefix_missing(self, t123):
+        with pytest.raises(ResolveError):
+            t123.prefix_of(("TreeDisplay",), ("AST", "Binary"))
+
+
+class TestTypeEvaluation:
+    def test_eval_late_bound_name(self, t123):
+        # `Exp` inside AST evaluated for an ASTDisplay.Binary view
+        t = T.NestedType(T.PrefixType(("AST",), T.DepType(("this",))), "Exp")
+        out = t123.eval_type(t, lambda p: View(("ASTDisplay", "Binary")))
+        assert out == ClassType(("ASTDisplay", "Exp"), frozenset({1}))
+
+    def test_eval_same_family(self, t123):
+        t = T.NestedType(T.PrefixType(("AST",), T.DepType(("this",))), "Exp")
+        out = t123.eval_type(t, lambda p: View(("AST", "Value")))
+        assert out == ClassType(("AST", "Exp"), frozenset({1}))
+
+    def test_eval_static(self, t123):
+        t = T.NestedType(T.PrefixType(("AST",), T.DepType(("this",))), "Value")
+        out = t123.eval_type_static(t, this=("ASTDisplay", "Binary"))
+        assert out.path == ("ASTDisplay", "Value")
+
+    def test_eval_masked(self, t123):
+        t = T.masked(ClassType(("AST", "Binary")), "l")
+        out = t123.eval_type(t, lambda p: View(("AST",)))
+        assert out.masks == frozenset({"l"})
+
+    def test_eval_unknown_member(self, t123):
+        t = T.NestedType(T.PrefixType(("AST",), T.DepType(("this",))), "Missing")
+        with pytest.raises(ResolveError):
+            t123.eval_type(t, lambda p: View(("AST",)))
+
+
+class TestMemberLookup:
+    def test_find_field(self, t123):
+        owner, decl = t123.find_field(("ASTDisplay", "Binary"), "l")
+        assert owner == ("AST", "Binary")
+        assert decl.name == "l"
+
+    def test_find_field_missing(self, t123):
+        assert t123.find_field(("AST", "Exp"), "nope") is None
+
+    def test_find_method_own(self, t123):
+        owner, decl = t123.find_method(("AST", "Value"), "eval")
+        assert owner == ("AST", "Value")
+
+    def test_find_method_inherited(self, t123):
+        owner, decl = t123.find_method(("ASTDisplay", "Leaf"), "display")
+        assert owner == ("TreeDisplay", "Node")
+
+    def test_override_beats_base(self, t123):
+        owner, decl = t123.find_method(("ASTDisplay", "Value"), "display")
+        assert owner == ("ASTDisplay", "Value")
+
+    def test_family_update_propagates_to_implicit(self):
+        # B.D overrides m; implicit B.C (extends D in A) must see B.D's m
+        src = """
+        class A {
+          class D { int m() { return 1; } }
+          class C extends D { }
+        }
+        class B extends A {
+          class D { int m() { return 2; } }
+        }
+        class Main { int main() { return new B.C().m(); } }
+        """
+        program = compile_program(src)
+        owner, _ = program.table.find_method(("B", "C"), "m")
+        assert owner == ("B", "D")
+        interp = program.interp()
+        ref = interp.new_instance(("Main",), ())
+        assert interp.call_method(ref, "main", []) == 2
+
+    def test_find_ctor_by_arity(self, t123):
+        found = t123.find_ctor(("AST", "Binary"), 2)
+        assert found is not None
+        assert t123.find_ctor(("AST", "Binary"), 3) is None
+
+    def test_ctor_inherited_into_derived_family(self, t123):
+        found = t123.find_ctor(("ASTDisplay", "Binary"), 2)
+        assert found is not None
+
+    def test_all_fields_no_duplicates(self, t123):
+        fields = t123.all_fields(("ASTDisplay", "Binary"))
+        names = [d.name for _, d in fields]
+        assert len(names) == len(set(names))
+
+
+class TestSharing:
+    def test_shared_with_declared(self, t123):
+        assert t123.shared_with(("AST", "Exp"), ("ASTDisplay", "Exp"))
+
+    def test_sharing_symmetric(self, t123):
+        assert t123.shared_with(("ASTDisplay", "Value"), ("AST", "Value"))
+
+    def test_not_shared_without_declaration(self, t123):
+        assert not t123.shared_with(("AST", "Exp"), ("TreeDisplay", "Node"))
+
+    def test_subclasses_not_automatically_shared(self):
+        src = """
+        class A { class C { } class Sub extends C { } }
+        class B extends A { class C shares A.C { } }
+        """
+        table = compile_program(src).table
+        assert table.shared_with(("A", "C"), ("B", "C"))
+        assert not table.shared_with(("A", "Sub"), ("B", "Sub"))
+
+    def test_sharing_group(self, t123):
+        group = set(t123.sharing_group(("AST", "Exp")))
+        assert group == {("AST", "Exp"), ("ASTDisplay", "Exp")}
+
+    def test_share_target(self, t123):
+        assert t123.share_target(("ASTDisplay", "Exp")) == ("AST", "Exp")
+        assert t123.share_target(("AST", "Exp")) == ("AST", "Exp")
+
+    def test_share_masks_declared(self, t5):
+        assert t5.share_masks(("A2", "C")) == frozenset({"g"})
+
+    def test_adapts_creates_sharing(self):
+        src = """
+        class A { class C { } class D { } }
+        class B extends A adapts A { }
+        """
+        table = compile_program(src).table
+        assert table.shared_with(("B", "C"), ("A", "C"))
+        assert table.shared_with(("B", "D"), ("A", "D"))
+
+    def test_transitive_sharing_through_base(self):
+        src = """
+        class A { class C { } }
+        class B1 extends A { class C shares A.C { } }
+        class B2 extends A { class C shares A.C { } }
+        """
+        table = compile_program(src).table
+        assert table.shared_with(("B1", "C"), ("B2", "C"))
+
+
+class TestFclass:
+    def test_unshared_class_is_its_own_fclass(self, t5):
+        assert t5.fclass(("A1", "B"), "b0") == ("A1", "B")
+
+    def test_shared_field_uses_base_copy(self, t5):
+        assert t5.fclass(("A2", "B"), "b0") == ("A1", "B")
+
+    def test_new_field_uses_own_copy(self, t5):
+        assert t5.fclass(("A2", "B"), "f") == ("A2", "B")
+
+    def test_masked_field_is_duplicated(self, t5):
+        # g is masked in the shares clause: each family has its own copy
+        assert t5.fclass(("A2", "C"), "g") == ("A2", "C")
+        assert t5.fclass(("A1", "C"), "g") == ("A1", "C")
+
+    def test_fig123_children_shared(self, t123):
+        assert t123.fclass(("ASTDisplay", "Binary"), "l") == ("AST", "Binary")
+
+
+class TestViewOf:
+    def test_view_of_shared(self, t123):
+        v = t123.view_of(View(("AST", "Value")), ClassType(("ASTDisplay", "Exp"), frozenset({1})))
+        assert v.path == ("ASTDisplay", "Value")
+
+    def test_view_of_noop_conforming(self, t123):
+        v = t123.view_of(View(("AST", "Value")), ClassType(("AST", "Exp")))
+        assert v.path == ("AST", "Value")
+
+    def test_view_of_sets_masks(self, t5):
+        v = t5.view_of(
+            View(("A1", "B")),
+            T.masked(ClassType(("A2", "B"), frozenset({2})), "f"),
+        )
+        assert v.path == ("A2", "B")
+        assert v.masks == frozenset({"f"})
+
+    def test_view_of_unshared_fails(self, t123):
+        with pytest.raises(JnsError):
+            t123.view_of(
+                View(("AST", "Value")), ClassType(("TreeDisplay", "Leaf"), frozenset({2}))
+            )

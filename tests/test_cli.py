@@ -1,0 +1,91 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+GOOD = """
+class A { class C { } }
+class B extends A { class C shares A.C { } }
+class Main {
+  int main() {
+    A!.C a = new A.C();
+    B!.C b = (view B!.C)a;
+    Sys.print("hi");
+    return 5;
+  }
+}
+"""
+
+BAD_TYPES = 'class Main { int main() { return "oops"; } }'
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.jns"
+    path.write_text(GOOD)
+    return str(path)
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.jns"
+    path.write_text(BAD_TYPES)
+    return str(path)
+
+
+class TestRun:
+    def test_run_success(self, good_file, capsys):
+        assert main(["run", good_file]) == 0
+        out = capsys.readouterr().out
+        assert "hi" in out and "=> 5" in out
+
+    def test_run_mode_flag(self, good_file, capsys):
+        # java mode rejects the view change at run time
+        assert main(["run", good_file, "--mode", "java"]) == 1
+
+    def test_run_custom_entry(self, tmp_path, capsys):
+        path = tmp_path / "app.jns"
+        path.write_text("class App { int go() { return 9; } }")
+        assert main(["run", str(path), "--entry", "App.go"]) == 0
+        assert "=> 9" in capsys.readouterr().out
+
+    def test_run_type_error(self, bad_file, capsys):
+        assert main(["run", bad_file]) == 1
+
+    def test_run_no_check_skips_static_errors(self, tmp_path, capsys):
+        path = tmp_path / "sloppy.jns"
+        path.write_text("class Main { int main() { return 1; } int bad() { return nope.x; } }")
+        # resolution failure is still fatal even without type checking
+        rc = main(["run", str(path), "--no-check"])
+        assert rc == 1
+
+
+class TestCheck:
+    def test_check_ok(self, good_file, capsys):
+        assert main(["check", good_file]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_check_reports_errors(self, bad_file, capsys):
+        assert main(["check", bad_file]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_strict_fails_without_constraints(self, good_file, capsys):
+        assert main(["check", good_file, "--strict"]) == 1
+
+    def test_infer_fixes_strict(self, good_file, capsys):
+        assert main(["check", good_file, "--strict", "--infer"]) == 0
+        out = capsys.readouterr().out
+        assert "inferred" in out and "A!.C = B!.C" in out
+
+
+class TestFmt:
+    def test_fmt_outputs_parseable_source(self, good_file, capsys):
+        assert main(["fmt", good_file]) == 0
+        printed = capsys.readouterr().out
+        from repro import compile_program
+
+        program = compile_program(printed)
+        interp = program.interp()
+        ref = interp.new_instance(("Main",), ())
+        assert interp.call_method(ref, "main", []) == 5

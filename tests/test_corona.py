@@ -1,0 +1,92 @@
+"""CorONA case-study tests (Section 7.4): live evolution of a running
+DHT-based feed aggregator."""
+
+import pytest
+
+from repro.programs.corona import CoronaSystem, evolution_loc, program, run_experiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_experiment(size=16, objects=64, fetches=300)
+
+
+class TestStructure:
+    def test_families_shared(self):
+        table = program().table
+        for cls in ("Node", "Net", "Store", "DataObject", "Entry", "Finger"):
+            assert table.shared_with(("corona", cls), ("pccorona", cls))
+            assert table.shared_with(("corona", cls), ("beecorona", cls))
+
+    def test_transitive_sharing_between_caching_families(self):
+        table = program().table
+        assert table.shared_with(("pccorona", "Node"), ("beecorona", "Node"))
+
+    def test_manager_classes_not_shared(self):
+        table = program().table
+        assert table.sharing_group(("pccorona", "CacheMgr")) == (
+            ("pccorona", "CacheMgr"),
+        )
+        assert table.sharing_group(("beecorona", "ReplMgr")) == (
+            ("beecorona", "ReplMgr"),
+        )
+
+    def test_manager_fields_are_per_family(self):
+        table = program().table
+        assert table.fclass(("pccorona", "Node"), "mgr") == ("pccorona", "Node")
+        assert table.fclass(("beecorona", "Node"), "repl") == ("beecorona", "Node")
+        # shared state lives in the base family's slot
+        assert table.fclass(("pccorona", "Node"), "store") == ("corona", "Node")
+
+
+class TestRouting:
+    def test_fetch_returns_published_content(self):
+        system = CoronaSystem(size=8, objects=10)
+        stats = system.run_phase("corona", fetches=50)
+        assert stats.lookups == 50
+        assert stats.misses == 0
+
+    def test_hops_logarithmic(self):
+        small = CoronaSystem(size=8, objects=16).run_phase("corona", 100)
+        large = CoronaSystem(size=32, objects=16).run_phase("corona", 100)
+        assert small.avg_hops < large.avg_hops <= 6
+
+
+class TestEvolution:
+    def test_hop_counts_improve_per_phase(self, experiment):
+        plain = experiment["plain"].avg_hops
+        pc = experiment["pc_warm"].avg_hops
+        bee = experiment["bee"].avg_hops
+        assert plain > pc > bee
+
+    def test_no_lost_content(self, experiment):
+        for phase in ("plain", "pc_cold", "pc_warm", "bee"):
+            assert experiment[phase].misses == 0
+
+    def test_replication_happened(self, experiment):
+        assert experiment["replicated"] > 0
+
+    def test_evolution_code_is_tiny(self, experiment):
+        loc = experiment["loc"]
+        assert loc["evolution"] < 30
+        assert loc["evolution"] / loc["total"] < 0.15
+
+    def test_nodes_preserved_across_evolutions(self):
+        system = CoronaSystem(size=8, objects=16)
+        system.run_phase("corona", 40)
+        system.evolve_to_pc()
+        system.run_phase("pccorona", 40)
+        system.evolve_to_bee()
+        system.run_phase("beecorona", 40)
+        assert system.nodes_preserved()
+
+    def test_two_variants_same_objects(self):
+        """The paper: 'we can actually run the two variants of the system
+        at the same time, using the same set of host node objects'."""
+        system = CoronaSystem(size=8, objects=16)
+        system.evolve_to_pc()
+        system.evolve_to_bee()
+        pc = system.run_phase("pccorona", 60, seed=5)
+        bee = system.run_phase("beecorona", 60, seed=5)
+        assert pc.lookups == bee.lookups == 60
+        assert system.nodes_preserved()

@@ -1,0 +1,74 @@
+"""Family-graph extraction tests (the structure of Figure 20)."""
+
+import pytest
+
+from repro import compile_program
+from repro.lang.graph import family_graph
+
+from conftest import FIG123_SOURCE
+
+
+@pytest.fixture(scope="module")
+def fig20_graph():
+    from repro.programs.lambdac import SOURCE
+
+    return family_graph(compile_program(SOURCE).table)
+
+
+class TestFigure20Structure:
+    """The solid (inheritance) and dashed (sharing) arrows of Figure 20."""
+
+    def test_family_inheritance_arrows(self, fig20_graph):
+        edges = fig20_graph.inherit_edges
+        assert (("sum",), ("lam",)) in edges
+        assert (("pair",), ("lam",)) in edges
+        assert (("sumpair",), ("sum",)) in edges
+        assert (("sumpair",), ("pair",)) in edges
+        assert (("lam",), ("base",)) in edges
+
+    def test_sharing_arrows_per_family(self, fig20_graph):
+        shares = fig20_graph.share_edges
+        for fam in ("lam", "sum", "pair", "sumpair"):
+            for cls in ("Exp", "Var", "Abs", "App"):
+                assert ((fam, cls), ("base", cls)) in shares, (fam, cls)
+
+    def test_new_nodes_have_no_sharing_arrows(self, fig20_graph):
+        shares = dict(fig20_graph.share_edges)
+        assert ("pair", "Pair") not in shares
+        assert ("sum", "Case") not in shares
+        assert ("sumpair", "Pair") not in shares
+
+    def test_node_subclassing_within_families(self, fig20_graph):
+        edges = fig20_graph.inherit_edges
+        assert (("pair", "Pair"), ("pair", "Exp")) in edges
+        assert (("sumpair", "Case"), ("sum", "Case")) in edges  # further binding
+
+    def test_families_listed(self, fig20_graph):
+        fams = set(fig20_graph.families())
+        assert {("base",), ("lam",), ("sum",), ("pair",), ("sumpair",)} <= fams
+
+
+class TestRendering:
+    def test_text_output(self):
+        graph = family_graph(compile_program(FIG123_SOURCE).table)
+        text = graph.to_text()
+        assert "ASTDisplay extends AST, TreeDisplay" in text
+        assert "shares AST.Exp" in text
+
+    def test_dot_output(self):
+        graph = family_graph(compile_program(FIG123_SOURCE).table)
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        assert '"ASTDisplay.Exp" -> "AST.Exp" [style=dashed];' in dot
+        assert '"AST.Binary" -> "AST.Exp";' in dot
+
+    def test_explicit_only_smaller(self):
+        table = compile_program(FIG123_SOURCE).table
+        full = family_graph(table)
+        explicit = family_graph(table, include_implicit=False)
+        assert len(explicit.classes) < len(full.classes)
+
+    def test_implicit_classes_in_full_graph(self):
+        table = compile_program(FIG123_SOURCE).table
+        full = family_graph(table)
+        assert ("ASTDisplay", "Leaf") in full.classes

@@ -1,0 +1,93 @@
+"""Sharing-constraint inference tests (Section 2.5 future work)."""
+
+import pytest
+
+from repro import compile_program
+from repro.lang.classtable import ClassTable
+from repro.lang.infer import infer_constraints, install_constraints
+from repro.lang.resolve import resolve_program
+from repro.lang.typecheck import check_program
+from repro.source.parser import parse_program
+
+
+def fresh_table(source: str) -> ClassTable:
+    unit = parse_program(source)
+    table = ClassTable(unit)
+    resolve_program(table)
+    return table
+
+
+UNANNOTATED = """
+class A { class C { } }
+class B extends A { class C shares A.C { } }
+class Main {
+  B!.C toB(A!.C a) { return (view B!.C)a; }
+  A!.C toA(B!.C b) { return (view A!.C)b; }
+  int noViews() { return 1; }
+}
+"""
+
+
+class TestInference:
+    def test_infers_one_constraint_per_view_change(self):
+        inferred = infer_constraints(fresh_table(UNANNOTATED))
+        methods = {(c.cls, c.method) for c in inferred}
+        assert (("Main",), "toB") in methods
+        assert (("Main",), "toA") in methods
+        assert not any(c.method == "noViews" for c in inferred)
+
+    def test_inferred_constraint_types(self):
+        inferred = infer_constraints(fresh_table(UNANNOTATED))
+        to_b = next(c for c in inferred if c.method == "toB")
+        assert repr(to_b.left) == "A!.C"
+        assert repr(to_b.right) == "B!.C"
+
+    def test_installation_makes_strict_pass(self):
+        table = fresh_table(UNANNOTATED)
+        assert not check_program(table, strict_sharing=True).ok
+        table2 = fresh_table(UNANNOTATED)
+        installed = install_constraints(table2, infer_constraints(table2))
+        assert installed >= 2
+        report = check_program(table2, strict_sharing=True)
+        assert report.ok, [str(e) for e in report.errors]
+
+    def test_installation_idempotent(self):
+        table = fresh_table(UNANNOTATED)
+        inferred = infer_constraints(table)
+        first = install_constraints(table, inferred)
+        second = install_constraints(table, inferred)
+        assert first > 0 and second == 0
+
+    def test_annotated_methods_produce_nothing(self):
+        src = UNANNOTATED.replace(
+            "B!.C toB(A!.C a) {",
+            "B!.C toB(A!.C a) sharing A!.C = B!.C {",
+        )
+        inferred = infer_constraints(fresh_table(src))
+        assert not any(c.method == "toB" for c in inferred)
+
+    def test_masked_view_change_inferred_with_masks(self):
+        src = """
+        class A1 { class B { } }
+        class A2 extends A1 { class B shares A1.B { int f; } }
+        class Main {
+          A2!.B\\f go(A1!.B b) { return (view A2!.B\\f)b; }
+        }
+        """
+        table = fresh_table(src)
+        inferred = infer_constraints(table)
+        clause = next(c for c in inferred if c.method == "go")
+        assert "\\f" in repr(clause.right)
+        install_constraints(table, inferred)
+        assert check_program(table, strict_sharing=True).ok
+
+    def test_inference_on_paper_programs(self):
+        """The evolution examples rely on the global closed world; the
+        inferred constraints make them fully modular."""
+        from repro.programs.corona import SOURCE
+
+        table = fresh_table(SOURCE)
+        inferred = infer_constraints(table)
+        install_constraints(table, inferred)
+        report = check_program(table, strict_sharing=True)
+        assert report.ok, [str(e) for e in report.errors]

@@ -1,0 +1,186 @@
+"""Correctness tests for the jolden benchmark ports (Table 1 workloads).
+
+Each benchmark is validated semantically (not just "it runs"): sortedness
+for bisort, valid tours for tsp, analytic perimeter bounds, MST costs
+against a Python reimplementation, and cross-mode agreement."""
+
+import math
+
+import pytest
+
+from repro.programs.jolden import ALL, BY_NAME, bh, bisort, em3d, health, mst
+from repro.programs.jolden import perimeter, power, treeadd, tsp, voronoi
+
+
+class TestTreeadd:
+    def test_result_counts_nodes(self):
+        assert treeadd.run("java", depth=10, iters=1) == 2 ** 10 - 1
+
+    def test_all_modes_agree(self):
+        results = {m: treeadd.run(m, depth=8, iters=1) for m in ("java", "jx", "jx_cl", "jns")}
+        assert len(set(results.values())) == 1
+
+
+class TestBisort:
+    def test_sorts_and_preserves_checksum(self):
+        # the program itself asserts sortedness and checksum via Sys.fail
+        assert bisort.run("java", depth=6, seed=7) > 0
+
+    def test_different_seeds_different_sums(self):
+        assert bisort.run("java", depth=6, seed=7) != bisort.run(
+            "java", depth=6, seed=8
+        )
+
+    def test_jns_agrees(self):
+        assert bisort.run("jns", depth=6, seed=7) == bisort.run("java", depth=6, seed=7)
+
+
+class TestEm3d:
+    def test_deterministic(self):
+        a = em3d.run("java", 32, 3, 4, 5)
+        b = em3d.run("java", 32, 3, 4, 5)
+        assert a == b
+
+    def test_zero_iterations_is_initial_sum(self):
+        total = em3d.run("java", 16, 2, 0, 5)
+        assert 0.0 < total < 32.0  # 32 nodes with values in [0,1)
+
+    def test_modes_agree(self):
+        assert em3d.run("jns", 16, 2, 3, 5) == em3d.run("jx_cl", 16, 2, 3, 5)
+
+
+class TestHealth:
+    def test_simulation_treats_patients(self):
+        result = health.run("java", 2, 30, 9)
+        treated, waiting = divmod(result, 1000)
+        assert treated > 0
+
+    def test_deterministic(self):
+        assert health.run("java", 2, 20, 9) == health.run("java", 2, 20, 9)
+
+    def test_modes_agree(self):
+        assert health.run("jns", 2, 15, 9) == health.run("java", 2, 15, 9)
+
+
+class TestMst:
+    @staticmethod
+    def python_mst(n, seed):
+        def weight(i, j):
+            v = (i * 31 + j * 17 + seed) % 2048
+            return abs(v) + 1
+
+        in_tree = [False] * n
+        dist = [10 ** 6] * n
+        dist[0] = 0
+        cost = 0
+        for _ in range(n):
+            best = min(
+                (i for i in range(n) if not in_tree[i]), key=lambda i: dist[i]
+            )
+            in_tree[best] = True
+            cost += dist[best]
+            for j in range(n):
+                if not in_tree[j]:
+                    w = weight(min(best, j), max(best, j))
+                    dist[j] = min(dist[j], w)
+        return cost
+
+    def test_against_python_reference(self):
+        assert mst.run("java", 24, 5) == self.python_mst(24, 5)
+
+    def test_modes_agree(self):
+        assert mst.run("jns", 20, 3) == mst.run("java", 20, 3)
+
+
+class TestPerimeter:
+    def test_value_is_plausible_for_disk(self):
+        # a taxicab circle of radius 3n/8 has perimeter 8r = 3n
+        for size in (16, 32):
+            p = perimeter.run("java", size)
+            assert 2 * size <= p <= 4 * size
+
+    def test_grows_linearly(self):
+        p16 = perimeter.run("java", 16)
+        p32 = perimeter.run("java", 32)
+        assert 1.5 <= p32 / p16 <= 2.5
+
+    def test_modes_agree(self):
+        assert perimeter.run("jns", 16) == perimeter.run("java", 16)
+
+
+class TestPower:
+    def test_positive_and_deterministic(self):
+        total = power.run("java", 2, 2, 3, 4)
+        assert total > 0
+        assert total == power.run("java", 2, 2, 3, 4)
+
+    def test_demand_scales_with_size(self):
+        small = power.run("java", 1, 2, 2, 3)
+        large = power.run("java", 2, 2, 2, 3)
+        assert large > small
+
+    def test_modes_agree(self):
+        assert power.run("jns", 2, 2, 2, 3) == power.run("java", 2, 2, 2, 3)
+
+
+class TestTsp:
+    def test_tour_visits_all_cities(self):
+        # Sys.fail inside the program enforces tour size == n
+        length = tsp.run("java", 15, 3)
+        assert length > 0
+
+    def test_tour_not_absurdly_long(self):
+        # a reasonable heuristic tour over n uniform points in the unit
+        # square stays well below the n * sqrt(2) worst case
+        n = 15
+        length = tsp.run("java", n, 3)
+        assert length < n * math.sqrt(2) / 2
+
+    def test_modes_agree(self):
+        assert tsp.run("jns", 11, 3) == tsp.run("java", 11, 3)
+
+
+class TestBh:
+    def test_bodies_stay_finite(self):
+        checksum = bh.run("java", 12, 2, 3)
+        assert math.isfinite(checksum)
+
+    def test_zero_steps_is_initial_positions(self):
+        checksum = bh.run("java", 12, 0, 3)
+        assert 0.0 < checksum < 24.0
+
+    def test_gravity_attracts(self):
+        # after steps the checksum changes deterministically
+        a = bh.run("java", 12, 2, 3)
+        b = bh.run("java", 12, 2, 3)
+        assert a == b
+        assert a != bh.run("java", 12, 0, 3)
+
+    def test_modes_agree(self):
+        assert bh.run("jns", 10, 2, 3) == bh.run("java", 10, 2, 3)
+
+
+class TestVoronoi:
+    def test_edge_count_bounds(self):
+        # the Gabriel graph is connected (>= n-1 edges) and planar (< 3n)
+        n = 20
+        result = voronoi.run("java", n, 4)
+        count = int(result // 1000)
+        assert n - 1 <= count <= 3 * n
+
+    def test_modes_agree(self):
+        assert voronoi.run("jns", 16, 4) == voronoi.run("java", 16, 4)
+
+
+class TestSuite:
+    def test_registry_complete(self):
+        assert len(ALL) == 10
+        assert set(BY_NAME) == {
+            "bh", "bisort", "em3d", "health", "mst",
+            "perimeter", "power", "treeadd", "tsp", "voronoi",
+        }
+
+    @pytest.mark.parametrize("module", ALL, ids=[m.NAME for m in ALL])
+    def test_default_run_all_four_modes_agree(self, module):
+        results = {m: module.run(m) for m in ("java", "jx", "jx_cl", "jns")}
+        assert len(set(map(repr, results.values()))) == 1

@@ -1,0 +1,103 @@
+"""Execution-mode tests (the four implementations of Table 1)."""
+
+import pytest
+
+from repro import JnsRuntimeError, compile_program
+from repro.runtime.interp import MODES
+
+from conftest import FIG123_SOURCE
+
+SIMPLE = """
+class Counter {
+  int n;
+  void bump() { n = n + 1; }
+  int get() { return n; }
+}
+class Main {
+  int main() {
+    Counter c = new Counter();
+    for (int i = 0; i < 100; i++) { c.bump(); }
+    return c.get();
+  }
+}
+"""
+
+
+class TestModeAgreement:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_simple_program_all_modes(self, mode):
+        program = compile_program(SIMPLE)
+        interp = program.interp(mode=mode)
+        main = interp.new_instance(("Main",), ())
+        assert interp.call_method(main, "main", []) == 100
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_inheritance_all_modes(self, mode):
+        src = """
+        class A { int m() { return 1; } int call() { return m(); } }
+        class B extends A { int m() { return 2; } }
+        class Main { int main() { A a = new B(); return a.call(); } }
+        """
+        program = compile_program(src)
+        interp = program.interp(mode=mode)
+        main = interp.new_instance(("Main",), ())
+        assert interp.call_method(main, "main", []) == 2
+
+    @pytest.mark.parametrize("mode", ("java", "jx", "jx_cl"))
+    def test_view_change_requires_jns(self, mode):
+        program = compile_program(FIG123_SOURCE)
+        interp = program.interp(mode=mode)
+        main = interp.new_instance(("Main",), ())
+        with pytest.raises(JnsRuntimeError):
+            interp.call_method(main, "showSample", [])
+
+    def test_jns_supports_views(self):
+        program = compile_program(FIG123_SOURCE)
+        interp = program.interp(mode="jns")
+        main = interp.new_instance(("Main",), ())
+        assert interp.call_method(main, "showSample", []) == "(v1+v2)"
+
+    def test_unknown_mode_rejected(self):
+        program = compile_program(SIMPLE)
+        with pytest.raises(ValueError):
+            program.interp(mode="hotspot")
+
+
+class TestModeMachinery:
+    def test_jx_mode_has_no_cache(self):
+        program = compile_program(SIMPLE)
+        interp = program.interp(mode="jx")
+        assert not interp.loader.cached
+
+    def test_cached_modes_reuse_rtclass(self):
+        program = compile_program(SIMPLE)
+        interp = program.interp(mode="jx_cl")
+        rtc1 = interp.loader.rtclass(("Counter",))
+        rtc2 = interp.loader.rtclass(("Counter",))
+        assert rtc1 is rtc2
+
+    def test_jx_mode_resynthesizes(self):
+        program = compile_program(SIMPLE)
+        interp = program.interp(mode="jx")
+        rtc1 = interp.loader.rtclass(("Counter",))
+        rtc2 = interp.loader.rtclass(("Counter",))
+        assert rtc1 is not rtc2
+
+    def test_sharing_flag_only_in_jns(self):
+        program = compile_program(SIMPLE)
+        for mode in MODES:
+            interp = program.interp(mode=mode)
+            assert interp.sharing == (mode == "jns")
+
+    def test_jns_field_keys_use_fclass(self):
+        program = compile_program(FIG123_SOURCE)
+        interp = program.interp(mode="jns")
+        value = interp.new_instance(("ASTDisplay", "Value"), (3,))
+        # the shared field v lives in the base family's slot
+        assert (("AST", "Value"), "v") in value.inst.fields
+
+    def test_non_sharing_modes_use_plain_keys(self):
+        program = compile_program(FIG123_SOURCE)
+        interp = program.interp(mode="java")
+        value = interp.new_instance(("AST", "Value"), (3,))
+        assert "v" in value.inst.fields

@@ -1,0 +1,77 @@
+"""REPL session tests."""
+
+import pytest
+
+from repro.repl import ReplSession
+
+
+@pytest.fixture
+def session():
+    return ReplSession()
+
+
+class TestDeclarations:
+    def test_class_accumulates(self, session):
+        out = session.feed("class A { class C { int v = 7; } }")
+        assert out == ["ok (1 top-level classes: A)"]
+        assert len(session.decls) == 1
+
+    def test_multiple_classes(self, session):
+        session.feed("class A { class C { } }")
+        out = session.feed("class B extends A { class C shares A.C { } }")
+        assert "A, B" in out[0]
+
+    def test_bad_declaration_not_kept(self, session):
+        out = session.feed("class X extends Missing { }")
+        assert out[0].startswith("error:")
+        assert session.decls == []
+
+    def test_reset(self, session):
+        session.feed("class A { }")
+        assert session.feed(":reset") == ["(cleared)"]
+        assert session.decls == []
+
+    def test_classes_listing(self, session):
+        session.feed("class A { }")
+        assert session.feed(":classes") == ["class A { }"]
+
+
+class TestEvaluation:
+    def test_expression_prints_value(self, session):
+        assert session.feed("1 + 2 * 3") == ["7"]
+
+    def test_trailing_semicolon_suppresses(self, session):
+        assert session.feed("1 + 2;") == []
+
+    def test_statements_run(self, session):
+        out = session.feed('int x = 3; Sys.print(x * x);')
+        assert out == ["9"]
+
+    def test_uses_declared_classes(self, session):
+        session.feed("class A { class C { int v = 7; } }")
+        session.feed(
+            "class B extends A { class C shares A.C "
+            "{ int twice() { return v * 2; } } }"
+        )
+        out = session.feed("B!.C c = (view B!.C)(new A.C()); Sys.print(c.twice());")
+        assert out == ["14"]
+
+    def test_parse_error_reported(self, session):
+        out = session.feed("nonsense +")
+        assert out[0].startswith("error:")
+
+    def test_runtime_error_reported(self, session):
+        out = session.feed("int[] a = new int[1]; Sys.print(a[5]);")
+        assert any("runtime error" in line for line in out)
+
+    def test_empty_input(self, session):
+        assert session.feed("   ") == []
+
+
+class TestMultiline:
+    def test_needs_more_on_open_brace(self):
+        assert ReplSession.needs_more("class A {")
+        assert not ReplSession.needs_more("class A { }")
+
+    def test_needs_more_ignores_braces_in_strings(self):
+        assert not ReplSession.needs_more('Sys.print("{");')

@@ -1,0 +1,159 @@
+"""Name-resolution tests: late binding of type names (Section 2.1),
+locals vs fields, Sys natives."""
+
+import pytest
+
+from repro import compile_program
+from repro.lang import types as T
+from repro.lang.classtable import ClassTable, ResolveError
+from repro.lang.resolve import resolve_program, resolve_type
+from repro.source import ast
+from repro.source.parser import parse_program, parse_type_text
+
+from conftest import FIG123_SOURCE
+
+
+@pytest.fixture(scope="module")
+def table():
+    return compile_program(FIG123_SOURCE).table
+
+
+def resolve_in(table, text: str, ctx):
+    return resolve_type(parse_type_text(text), table, tuple(ctx))
+
+
+class TestTypeResolution:
+    def test_top_level_name_is_absolute(self, table):
+        t = resolve_in(table, "TreeDisplay", ("ASTDisplay",))
+        assert t == T.ClassType(("TreeDisplay",))
+
+    def test_qualified_name_absolute(self, table):
+        t = resolve_in(table, "AST.Binary", ("Main",))
+        assert t == T.ClassType(("AST", "Binary"))
+
+    def test_member_name_is_late_bound(self, table):
+        # `Exp` inside AST.Binary is sugar for AST[this.class].Exp
+        t = resolve_in(table, "Exp", ("AST", "Binary"))
+        assert isinstance(t, T.NestedType)
+        assert isinstance(t.outer, T.PrefixType)
+        assert t.outer.family == ("AST",)
+        assert t.outer.index == T.DepType(("this",))
+
+    def test_inherited_member_late_bound_at_inheriting_family(self, table):
+        # `Node` inside ASTDisplay resolves against ASTDisplay
+        t = resolve_in(table, "Node", ("ASTDisplay", "Exp"))
+        assert isinstance(t, T.NestedType)
+        assert t.outer.family == ("ASTDisplay",)
+
+    def test_innermost_enclosing_wins(self):
+        src = """
+        class Out {
+          class X { }
+          class Mid {
+            class X { }
+            class User { }
+          }
+        }
+        """
+        table = compile_program(src).table
+        t = resolve_in(table, "X", ("Out", "Mid", "User"))
+        assert t.outer.family == ("Out", "Mid")
+
+    def test_exactness_applied(self, table):
+        t = resolve_in(table, "AST!.Exp", ("Main",))
+        assert t == T.ClassType(("AST", "Exp"), frozenset({1}))
+
+    def test_masks_applied(self, table):
+        t = resolve_in(table, "AST.Binary\\l", ("Main",))
+        assert t.masks == frozenset({"l"})
+
+    def test_unknown_name_rejected(self, table):
+        with pytest.raises(ResolveError):
+            resolve_in(table, "Bogus", ("Main",))
+
+    def test_unknown_member_rejected(self, table):
+        with pytest.raises(ResolveError):
+            resolve_in(table, "AST.Bogus", ("Main",))
+
+    def test_dependent_path_kept_symbolic(self, table):
+        t = resolve_in(table, "e.class", ("ASTDisplay",))
+        assert t == T.DepType(("e",))
+
+    def test_explicit_prefix_type(self, table):
+        t = resolve_in(table, "AST[this.class].Value", ("ASTDisplay",))
+        assert isinstance(t, T.NestedType)
+        assert t.outer.family == ("AST",)
+
+    def test_intersection(self, table):
+        t = resolve_in(table, "AST & TreeDisplay", ("Main",))
+        assert isinstance(t, T.IsectType)
+
+    def test_array_of_member_type(self, table):
+        t = resolve_in(table, "Exp[]", ("AST",))
+        assert isinstance(t, T.ArrayType)
+        assert isinstance(t.elem, T.NestedType)
+
+
+class TestBodyResolution:
+    def test_bare_field_name_becomes_this_access(self):
+        src = "class A { int x; int m() { return x; } }"
+        program = compile_program(src)
+        decl = program.table.explicit[("A",)].decl
+        ret = decl.methods[0].body.stmts[0]
+        assert isinstance(ret.value, ast.FieldGet)
+        assert isinstance(ret.value.obj, ast.This)
+
+    def test_local_shadows_field(self):
+        src = "class A { int x = 1; int m() { int x = 2; return x; } }"
+        program = compile_program(src)
+        interp = program.interp()
+        ref = interp.new_instance(("A",), ())
+        assert interp.call_method(ref, "m", []) == 2
+
+    def test_param_shadows_field(self):
+        src = "class A { int x = 1; int m(int x) { return x; } }"
+        program = compile_program(src)
+        interp = program.interp()
+        ref = interp.new_instance(("A",), ())
+        assert interp.call_method(ref, "m", [9]) == 9
+
+    def test_implicit_this_call(self):
+        src = "class A { int f() { return 3; } int m() { return f(); } }"
+        result = compile_program(src)
+        interp = result.interp()
+        ref = interp.new_instance(("A",), ())
+        assert interp.call_method(ref, "m", []) == 3
+
+    def test_sys_call_rewritten(self):
+        src = "class A { double m() { return Sys.sqrt(4.0); } }"
+        program = compile_program(src)
+        decl = program.table.explicit[("A",)].decl
+        ret = decl.methods[0].body.stmts[0]
+        assert isinstance(ret.value, ast.SysCall)
+
+    def test_sys_constant_rewritten(self):
+        src = "class A { double m() { return Sys.PI; } }"
+        program = compile_program(src)
+        decl = program.table.explicit[("A",)].decl
+        assert isinstance(decl.methods[0].body.stmts[0].value, ast.SysCall)
+
+    def test_unknown_sys_function_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_program("class A { void m() { Sys.bogus(1); } }")
+
+    def test_unknown_identifier_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_program("class A { int m() { return mystery; } }")
+
+    def test_for_loop_scoping(self):
+        # the loop variable is not visible after the loop
+        with pytest.raises(ResolveError):
+            compile_program(
+                "class A { int m() { for (int i = 0; i < 3; i++) { } return i; } }"
+            )
+
+    def test_block_scoping(self):
+        with pytest.raises(ResolveError):
+            compile_program(
+                "class A { int m() { if (true) { int y = 1; } return y; } }"
+            )

@@ -1,0 +1,99 @@
+"""Robustness: malformed input must fail with JnsError (never an
+internal crash like AttributeError/KeyError/RecursionError)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import JnsError, compile_program
+
+from conftest import FIG123_SOURCE
+
+BASE = FIG123_SOURCE
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.integers(0, len(BASE) - 1),
+    st.sampled_from(list("{}()[];.!\\&=<>+-*/\"'x1 ")),
+)
+def test_single_character_mutations_fail_cleanly(position, replacement):
+    """Mutate one character of a valid program: the pipeline either still
+    accepts it or raises a JnsError — anything else is an internal bug."""
+    mutated = BASE[:position] + replacement + BASE[position + 1 :]
+    try:
+        compile_program(mutated)
+    except JnsError:
+        pass
+    except RecursionError:
+        pytest.fail("recursion blow-up on mutated input")
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, len(BASE) - 40), st.integers(1, 40))
+def test_deletion_mutations_fail_cleanly(start, length):
+    mutated = BASE[:start] + BASE[start + length :]
+    try:
+        compile_program(mutated)
+    except JnsError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet="classharewvintxy{}();=.!&\\ \n", max_size=120))
+def test_garbage_input_fails_cleanly(garbage):
+    try:
+        compile_program(garbage)
+    except JnsError:
+        pass
+
+
+CRASHY_SNIPPETS = [
+    "class A extends A { }",
+    "class A { class B extends B { } }",
+    "class A { A f(A x) { return x.f(x).f(x); } }",
+    "class A { int m() { return m(); } }",  # typechecks; diverges only if run
+    "class A { void m() { this.m; } }",
+    "class A { int x = x; }",
+    "class A { class B shares A.B { } }",
+    "class A { void m() sharing A = A { } }",
+    'class A { void m() { String s = "a" + + "b"; } }',
+    "class A { int[] m() { return new int[-1]; } }",  # static ok, runtime error
+    "class A { void m() { (view A)this; } }",
+]
+
+
+@pytest.mark.parametrize("snippet", CRASHY_SNIPPETS)
+def test_tricky_snippets_never_crash_internally(snippet):
+    try:
+        compile_program(snippet)
+    except JnsError:
+        pass
+
+
+def test_deeply_nested_expressions():
+    depth = 200
+    src = "class A { int m() { return " + "(" * depth + "1" + ")" * depth + "; } }"
+    program = compile_program(src)
+    interp = program.interp()
+    ref = interp.new_instance(("A",), ())
+    assert interp.call_method(ref, "m", []) == 1
+
+
+def test_many_classes():
+    decls = "\n".join(f"class C{i} {{ int v = {i}; }}" for i in range(120))
+    src = decls + "\nclass Main { int main() { return new C7().v + new C99().v; } }"
+    program = compile_program(src)
+    interp = program.interp()
+    ref = interp.new_instance(("Main",), ())
+    assert interp.call_method(ref, "main", []) == 106
+
+
+def test_long_inheritance_chain():
+    decls = ["class C0 { int m() { return 0; } }"]
+    for i in range(1, 40):
+        decls.append(f"class C{i} extends C{i-1} {{ }}")
+    src = "\n".join(decls) + "\nclass Main { int main() { return new C39().m(); } }"
+    program = compile_program(src)
+    interp = program.interp()
+    ref = interp.new_instance(("Main",), ())
+    assert interp.call_method(ref, "main", []) == 0

@@ -1,0 +1,181 @@
+"""Sharing-judgment tests: SH-CLS, required masks, the directional
+refinement of Section 3.3."""
+
+import pytest
+
+from repro import compile_program
+from repro.lang import types as T
+from repro.lang.sharing import SharingChecker
+from repro.lang.subtype import Env
+from repro.lang.types import ClassType
+
+from conftest import FIG123_SOURCE, FIG5_SOURCE
+
+PAIR_SOURCE = """
+abstract class base {
+  abstract class Exp { }
+  class Var extends Exp { String x; Var(String x) { this.x = x; } }
+  class Abs extends Exp {
+    String x; Exp e;
+    Abs(String x, Exp e) { this.x = x; this.e = e; }
+  }
+}
+abstract class pair extends base {
+  abstract class Exp shares base.Exp { }
+  class Var extends Exp shares base.Var { }
+  class Abs extends Exp shares base.Abs\\e { }
+  class Pair extends Exp {
+    Exp fst; Exp snd;
+    Pair(Exp fst, Exp snd) { this.fst = fst; this.snd = snd; }
+  }
+}
+"""
+
+
+def C(*parts, exact=()):
+    return ClassType(tuple(parts), frozenset(exact))
+
+
+@pytest.fixture(scope="module")
+def pair_checker():
+    table = compile_program(PAIR_SOURCE).table
+    return table, SharingChecker(table)
+
+
+@pytest.fixture(scope="module")
+def fig5_checker():
+    table = compile_program(FIG5_SOURCE).table
+    return table, SharingChecker(table)
+
+
+class TestRequiredMasks:
+    def test_new_field_requires_mask(self, fig5_checker):
+        table, checker = fig5_checker
+        masks = checker.required_masks(("A1", "B"), ("A2", "B"))
+        assert masks == frozenset({"f"})
+
+    def test_no_mask_back_to_base(self, fig5_checker):
+        table, checker = fig5_checker
+        assert checker.required_masks(("A2", "B"), ("A1", "B")) == frozenset()
+
+    def test_duplicated_field_requires_mask_both_ways(self, fig5_checker):
+        table, checker = fig5_checker
+        assert checker.required_masks(("A1", "C"), ("A2", "C")) == frozenset({"g"})
+        assert checker.required_masks(("A2", "C"), ("A1", "C")) == frozenset({"g"})
+
+    def test_directional_refinement_of_section_3_3(self, pair_checker):
+        """base.Abs! ~> pair.Abs! needs no mask on e (every base Exp can be
+        viewed in pair), but pair.Abs! ~> base.Abs! must mask e (a Pair has
+        no base view)."""
+        table, checker = pair_checker
+        assert checker.required_masks(("base", "Abs"), ("pair", "Abs")) == frozenset()
+        assert checker.required_masks(("pair", "Abs"), ("base", "Abs")) == frozenset(
+            {"e"}
+        )
+
+    def test_lenient_ignores_new_fields(self, fig5_checker):
+        table, checker = fig5_checker
+        assert checker.required_masks(("A1", "B"), ("A2", "B"), lenient=True) == (
+            frozenset()
+        )
+        # duplicated fields stay masked even leniently
+        assert checker.required_masks(("A1", "C"), ("A2", "C"), lenient=True) == (
+            frozenset({"g"})
+        )
+
+
+class TestTypeShares:
+    def test_fully_shared_families(self):
+        table = compile_program(FIG123_SOURCE).table
+        checker = SharingChecker(table)
+        assert checker.type_shares(
+            C("AST", "Exp", exact=(1,)), C("ASTDisplay", "Exp", exact=(1,)), frozenset()
+        )
+        assert checker.type_shares(
+            C("ASTDisplay", "Exp", exact=(1,)), C("AST", "Exp", exact=(1,)), frozenset()
+        )
+
+    def test_unshared_subclass_breaks_direction(self, pair_checker):
+        table, checker = pair_checker
+        # pair!.Exp has subclass Pair with no shared base counterpart
+        assert not checker.type_shares(
+            C("pair", "Exp", exact=(1,)), C("base", "Exp", exact=(1,)), frozenset()
+        )
+
+    def test_other_direction_holds(self, pair_checker):
+        table, checker = pair_checker
+        assert checker.type_shares(
+            C("base", "Exp", exact=(1,)), C("pair", "Exp", exact=(1,)), frozenset()
+        )
+
+    def test_masks_enable_sharing(self, pair_checker):
+        table, checker = pair_checker
+        assert checker.type_shares(
+            C("pair", "Abs", exact=(1,)),
+            C("base", "Abs", exact=(1,)),
+            frozenset({"e"}),
+        )
+
+    def test_primitives_share_reflexively(self, pair_checker):
+        table, checker = pair_checker
+        assert checker.type_shares(T.INT, T.INT, frozenset())
+        assert not checker.type_shares(T.INT, T.DOUBLE, frozenset())
+
+
+class TestSharingJudgment:
+    def test_subtype_is_a_view_noop(self):
+        table = compile_program(FIG123_SOURCE).table
+        checker = SharingChecker(table)
+        env = Env(table, ("ASTDisplay",))
+        env.vars["this"] = C("ASTDisplay")
+        holds, how = checker.sharing_judgment(
+            env, C("AST", "Value", exact=(2,)), C("AST", "Exp")
+        )
+        assert holds and how == "subtype"
+
+    def test_constraint_in_scope(self):
+        table = compile_program(FIG123_SOURCE).table
+        checker = SharingChecker(table)
+        env = Env(table, ("ASTDisplay",))
+        env.vars["this"] = C("ASTDisplay")
+        exp = T.NestedType(
+            T.PrefixType(("ASTDisplay",), T.DepType(("this",))), "Exp"
+        )
+        env.constraints = [(C("AST", "Exp", exact=(1,)), exp)]
+        holds, how = checker.sharing_judgment(env, C("AST", "Exp", exact=(1,)), exp)
+        assert holds and how == "constraint"
+
+    def test_global_closed_world(self):
+        table = compile_program(FIG123_SOURCE).table
+        checker = SharingChecker(table)
+        env = Env(table, ("ASTDisplay",))
+        env.vars["this"] = C("ASTDisplay")
+        holds, how = checker.sharing_judgment(
+            env,
+            C("AST", "Exp", exact=(1,)),
+            C("ASTDisplay", "Exp", exact=(1,)),
+        )
+        assert holds and how == "global"
+
+    def test_strict_mode_rejects_global(self):
+        table = compile_program(FIG123_SOURCE).table
+        checker = SharingChecker(table)
+        env = Env(table, ("ASTDisplay",))
+        env.vars["this"] = C("ASTDisplay")
+        holds, how = checker.sharing_judgment(
+            env,
+            C("AST", "Exp", exact=(1,)),
+            C("ASTDisplay", "Exp", exact=(1,)),
+            allow_global=False,
+        )
+        assert not holds
+
+    def test_no_judgment_for_unrelated(self):
+        table = compile_program(FIG123_SOURCE).table
+        checker = SharingChecker(table)
+        env = Env(table, ("Main",))
+        env.vars["this"] = C("Main")
+        holds, _ = checker.sharing_judgment(
+            env, C("AST", "Exp", exact=(1,)), C("TreeDisplay", "Node", exact=(1,))
+        )
+        assert not holds

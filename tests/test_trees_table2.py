@@ -1,0 +1,62 @@
+"""Tests for the Table 2 benchmark harness (binary-tree view changes)."""
+
+import pytest
+
+from repro.programs import trees
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return trees.measure(height=7, mode="jns")
+
+
+class TestMeasurements:
+    def test_all_rows_present(self, measured):
+        assert set(measured) == set(trees.ROWS)
+
+    def test_times_positive(self, measured):
+        assert all(v >= 0 for v in measured.values())
+
+    def test_table_grid(self):
+        grid = trees.table(heights=(5, 6))
+        assert set(grid) == set(trees.ROWS)
+        assert set(grid["creation"]) == {5, 6}
+
+    def test_format_table(self):
+        grid = trees.table(heights=(5,))
+        text = trees.format_table(grid, heights=(5,))
+        assert "Tree creation" in text
+        assert "Explicit translation" in text
+
+
+class TestShape:
+    """The qualitative claims of Section 7.2 at a size where the
+    interpreter's timing is stable."""
+
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return trees.measure(height=11, mode="jns")
+
+    def test_inplace_adaptation_cheaper_than_translation(self, grid):
+        assert grid["view_changes"] < grid["explicit_translation"]
+
+    def test_traversal_after_close_to_before(self, grid):
+        # memoized reference objects: at most 2x of the plain traversal
+        assert grid["traversal_after"] < 2.5 * grid["traversal_before"] + 0.01
+
+    def test_view_changes_comparable_to_creation(self, grid):
+        # the paper's Table 2 shows view changes ~ creation time
+        assert grid["view_changes"] < 2.0 * grid["creation"] + 0.01
+
+
+class TestSemantics:
+    def test_program_compiles_cleanly(self):
+        from repro.programs import cached_program
+
+        program = cached_program(trees.SOURCE)
+        assert program.report.ok
+
+    def test_adaptation_preserves_structure(self):
+        # measure() itself asserts: xsum == 2 * sum, identity preserved by
+        # adaptation and broken by translation
+        trees.measure(height=4, mode="jns")

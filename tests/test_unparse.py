@@ -1,0 +1,135 @@
+"""Pretty-printer tests: output parses back to the same program."""
+
+import pytest
+
+from repro import compile_program
+from repro.source.parser import parse_program
+from repro.source.unparse import expr_to_src, type_to_src, unparse
+
+from conftest import FIG123_SOURCE, FIG5_SOURCE
+
+
+def roundtrip_fixpoint(source: str) -> None:
+    """unparse(parse(s)) must be a fixpoint of parse-then-unparse."""
+    once = unparse(parse_program(source))
+    twice = unparse(parse_program(once))
+    assert once == twice
+
+
+def roundtrip_executes_identically(source: str, entry: str) -> None:
+    printed = unparse(parse_program(source))
+    p1 = compile_program(source)
+    p2 = compile_program(printed)
+    i1, i2 = p1.interp(), p2.interp()
+    cls, method = entry.rsplit(".", 1)
+    r1 = i1.call_method(i1.new_instance(tuple(cls.split(".")), ()), method, [])
+    r2 = i2.call_method(i2.new_instance(tuple(cls.split(".")), ()), method, [])
+    assert r1 == r2
+    assert i1.output == i2.output
+
+
+class TestRoundTrip:
+    def test_fig123_fixpoint(self):
+        roundtrip_fixpoint(FIG123_SOURCE)
+
+    def test_fig5_fixpoint(self):
+        roundtrip_fixpoint(FIG5_SOURCE)
+
+    def test_fig123_executes_identically(self):
+        roundtrip_executes_identically(FIG123_SOURCE, "Main.evalSample")
+        roundtrip_executes_identically(FIG123_SOURCE, "Main.showSample")
+
+    def test_lambda_compiler_fixpoint(self):
+        from repro.programs.lambdac import SOURCE
+
+        roundtrip_fixpoint(SOURCE)
+
+    def test_corona_fixpoint(self):
+        from repro.programs.corona import SOURCE
+
+        roundtrip_fixpoint(SOURCE)
+
+    def test_trees_fixpoint(self):
+        from repro.programs import trees
+
+        roundtrip_fixpoint(trees.SOURCE)
+
+    @pytest.mark.parametrize(
+        "name", ["bh", "bisort", "em3d", "health", "mst",
+                 "perimeter", "power", "treeadd", "tsp", "voronoi"]
+    )
+    def test_jolden_fixpoints(self, name):
+        from repro.programs.jolden import BY_NAME
+
+        roundtrip_fixpoint(BY_NAME[name].SOURCE)
+
+    def test_jolden_executes_identically(self):
+        from repro.programs.jolden import treeadd
+
+        printed = unparse(parse_program(treeadd.SOURCE))
+        program = compile_program(printed)
+        interp = program.interp(mode="java")
+        ref = interp.new_instance(("Main",), ())
+        assert interp.call_method(ref, "run", [8, 1]) == 2 ** 8 - 1
+
+
+class TestTypes:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "int",
+            "A.B.C",
+            "A!",
+            "A!.B",
+            "A.B\\f\\g",
+            "this.class",
+            "x.f.class",
+            "AST[this.class].Exp",
+            "int[]",
+            "double[][]",
+            "A & B",
+            "base!.Abs\\e",
+        ],
+    )
+    def test_type_roundtrip(self, text):
+        from repro.source.parser import parse_type_text
+
+        t = parse_type_text(text)
+        printed = type_to_src(t)
+        reparsed = parse_type_text(printed)
+        assert type_to_src(reparsed) == printed
+
+
+class TestExpressions:
+    def exprs(self, body: str) -> str:
+        unit = parse_program("class A { void m() { x = " + body + "; } }")
+        stmt = unit.classes[0].methods[0].body.stmts[0]
+        return expr_to_src(stmt.expr.value)
+
+    def test_precedence_preserved(self):
+        assert self.exprs("1 + 2 * 3") == "1 + 2 * 3"
+        assert self.exprs("(1 + 2) * 3") == "(1 + 2) * 3"
+
+    def test_nested_unary(self):
+        assert self.exprs("-(-x)") == "--x" or self.exprs("-(-x)") == "-(-x)"
+
+    def test_string_escapes_roundtrip(self):
+        printed = self.exprs(r'"a\nb\"c\\d"')
+        unit = parse_program("class A { void m() { x = " + printed + "; } }")
+        lit = unit.classes[0].methods[0].body.stmts[0].expr.value
+        assert lit.value == 'a\nb"c\\d'
+
+    def test_view_change(self):
+        assert self.exprs("(view A!.B\\f)c") == "(view A!.B\\f)c"
+
+    def test_left_assoc_subtraction(self):
+        # 1 - 2 - 3 must not reprint as 1 - (2 - 3)
+        printed = self.exprs("1 - 2 - 3")
+        unit = parse_program("class A { void m() { x = " + printed + "; } }")
+        e = unit.classes[0].methods[0].body.stmts[0].expr.value
+        assert expr_to_src(e) == printed
+        # evaluate: left-assoc gives -4
+        from repro import run_program
+
+        src = "class Main { int main() { return " + printed + "; } }"
+        assert run_program(src)[0] == -4

@@ -1,0 +1,294 @@
+"""Runtime view machinery tests: view changes, identity preservation,
+view-dependent dispatch and fields, lazy implicit view changes,
+memoization, duplicate fields, uninitialized-read protection."""
+
+import pytest
+
+from repro import UninitializedFieldError, compile_program
+from repro.lang.types import ClassType
+
+from conftest import FIG123_SOURCE, FIG5_SOURCE
+
+
+def setup(src, cls="Main"):
+    program = compile_program(src)
+    interp = program.interp()
+    return interp, interp.new_instance((cls,), ())
+
+
+PAIR = """
+class A {
+  class C {
+    int payload;
+    String who() { return "A"; }
+  }
+}
+class B extends A {
+  class C shares A.C {
+    String who() { return "B"; }
+  }
+}
+class Main {
+  A!.C makeA() { return new A.C(); }
+  B!.C toB(A!.C c) sharing A!.C = B!.C { return (view B!.C)c; }
+  A!.C toA(B!.C c) sharing A!.C = B!.C { return (view A!.C)c; }
+  String whoIs(A!.C c) { return c.who(); }
+}
+"""
+
+
+class TestViewChange:
+    def test_identity_preserved(self):
+        interp, main = setup(PAIR)
+        a = interp.call_method(main, "makeA", [])
+        b = interp.call_method(main, "toB", [a])
+        assert a.inst is b.inst
+        assert a is not b
+
+    def test_view_determines_dispatch(self):
+        interp, main = setup(PAIR)
+        a = interp.call_method(main, "makeA", [])
+        b = interp.call_method(main, "toB", [a])
+        assert interp.call_method(main, "whoIs", [a]) == "A"
+        assert interp.call_method(main, "whoIs", [b]) == "B"
+
+    def test_bidirectional(self):
+        interp, main = setup(PAIR)
+        a = interp.call_method(main, "makeA", [])
+        b = interp.call_method(main, "toB", [a])
+        back = interp.call_method(main, "toA", [b])
+        assert back.view.path == ("A", "C")
+        assert back.inst is a.inst
+
+    def test_view_change_memoized(self):
+        interp, main = setup(PAIR)
+        a = interp.call_method(main, "makeA", [])
+        b1 = interp.call_method(main, "toB", [a])
+        b2 = interp.call_method(main, "toB", [a])
+        assert b1 is b2  # the reference object is reused (Section 6.3)
+
+    def test_shared_state_visible_through_both_views(self):
+        interp, main = setup(PAIR)
+        a = interp.call_method(main, "makeA", [])
+        b = interp.call_method(main, "toB", [a])
+        interp.set_field(a, "payload", 99)
+        assert interp.get_field(b, "payload") == 99
+
+    def test_noop_view_change(self):
+        interp, main = setup(PAIR)
+        a = interp.call_method(main, "makeA", [])
+        again = interp.call_method(main, "toA", [a])
+        assert again.view.path == ("A", "C")
+
+    def test_created_in_derived_viewed_in_base(self):
+        interp, main = setup(PAIR)
+        b = interp.new_instance(("B", "C"), ())
+        a = interp.call_method(main, "toA", [b])
+        assert interp.call_method(main, "whoIs", [a]) == "A"
+        assert interp.call_method(main, "whoIs", [b]) == "B"
+
+    def test_view_change_on_null_is_null(self):
+        src = PAIR.replace(
+            "A!.C makeA() { return new A.C(); }",
+            "A!.C makeA() { return new A.C(); }\n"
+            "  B!.C nullCase() sharing A!.C = B!.C { A!.C c = null; return (view B!.C)c; }",
+        )
+        interp, main = setup(src)
+        assert interp.call_method(main, "nullCase", []) is None
+
+
+class TestDuplicateFields:
+    def test_each_view_has_own_copy(self):
+        interp, main = setup(
+            FIG5_SOURCE
+            + """
+        class Main {
+          int run() {
+            A2!.C c2 = new A2.C();
+            c2.g = new A2.E();
+            A1!.C\\g c1 = (view A1!.C\\g)c2;
+            c1.g = new A1.D();
+            return c1.g.tag() * 10 + c2.g.tag();
+          }
+        }
+        """
+        )
+        assert interp.call_method(main, "run", []) == 12
+
+    def test_uninitialized_duplicate_read_fails(self):
+        interp, main = setup(
+            FIG5_SOURCE
+            + """
+        class Main {
+          A1!.C\\g toBase(A2!.C c) sharing A2!.C\\g = A1!.C\\g {
+            return (view A1!.C\\g)c;
+          }
+        }
+        """
+        )
+        c2 = interp.new_instance(("A2", "C"), ())
+        c1 = interp.call_method(main, "toBase", [c2])
+        with pytest.raises(UninitializedFieldError):
+            interp.get_field(c1.inst.view_refs[("A1", "C")], "g")
+
+    def test_new_field_uninitialized_until_assigned(self):
+        interp, main = setup(
+            FIG5_SOURCE
+            + """
+        class Main {
+          A2!.B\\f toDerived(A1!.B b) sharing A1!.B = A2!.B\\f {
+            return (view A2!.B\\f)b;
+          }
+        }
+        """
+        )
+        b1 = interp.new_instance(("A1", "B"), ())
+        b2 = interp.call_method(main, "toDerived", [b1])
+        with pytest.raises(UninitializedFieldError):
+            interp.get_field(b2, "f")
+        interp.set_field(b2, "f", 7)
+        assert interp.get_field(b2, "f") == 7
+
+    def test_write_removes_runtime_mask(self):
+        interp, main = setup(
+            FIG5_SOURCE
+            + """
+        class Main {
+          A2!.B\\f toDerived(A1!.B b) sharing A1!.B = A2!.B\\f {
+            return (view A2!.B\\f)b;
+          }
+        }
+        """
+        )
+        b1 = interp.new_instance(("A1", "B"), ())
+        b2 = interp.call_method(main, "toDerived", [b1])
+        assert "f" in b2.view.masks
+        interp.set_field(b2, "f", 1)
+        assert "f" not in b2.view.masks
+
+    def test_shared_field_single_copy(self):
+        interp, main = setup(PAIR)
+        a = interp.call_method(main, "makeA", [])
+        b = interp.call_method(main, "toB", [a])
+        interp.set_field(b, "payload", 5)
+        assert interp.get_field(a, "payload") == 5
+        # only one heap slot exists
+        assert len(a.inst.fields) == 1
+
+
+class TestImplicitViewChanges:
+    def test_children_adapt_lazily(self, fig123):
+        interp = fig123.interp()
+        main = interp.new_instance(("Main",), ())
+        tree = interp.call_method(main, "sample", [])
+        shown = interp.call_method(main, "showSample", [])
+        assert shown == "(v1+v2)"
+
+    def test_child_view_matches_parent_family(self, fig123):
+        interp = fig123.interp()
+        main = interp.new_instance(("Main",), ())
+        tree = interp.call_method(main, "sample", [])
+        display = interp.new_instance(("ASTDisplay",), ())
+        adapted = interp._adapt(
+            tree, ClassType(("ASTDisplay", "Exp"), frozenset({1}))
+        )
+        left = interp.get_field(adapted, "l")
+        assert left.view.path == ("ASTDisplay", "Value")
+        # through the original reference the child stays in the base family
+        left_base = interp.get_field(tree, "l")
+        assert left_base.view.path == ("AST", "Value")
+
+    def test_implicit_views_memoized(self, fig123):
+        interp = fig123.interp()
+        main = interp.new_instance(("Main",), ())
+        tree = interp.call_method(main, "sample", [])
+        adapted = interp._adapt(
+            tree, ClassType(("ASTDisplay", "Exp"), frozenset({1}))
+        )
+        left1 = interp.get_field(adapted, "l")
+        left2 = interp.get_field(adapted, "l")
+        assert left1 is left2
+
+    def test_whole_tree_adapts_consistently(self, fig123):
+        interp = fig123.interp()
+        main = interp.new_instance(("Main",), ())
+        # nested tree: (1 + (2 + 3))
+        v1 = interp.new_instance(("AST", "Value"), (1,))
+        v2 = interp.new_instance(("AST", "Value"), (2,))
+        v3 = interp.new_instance(("AST", "Value"), (3,))
+        inner = interp.new_instance(("AST", "Binary"), (v2, v3))
+        root = interp.new_instance(("AST", "Binary"), (v1, inner))
+        display = interp.new_instance(("ASTDisplay",), ())
+        assert interp.call_method(display, "show", [root]) == "(v1+(v2+v3))"
+        # original views untouched
+        assert root.view.path == ("AST", "Binary")
+        assert interp.call_method(root, "eval", []) == 6
+
+
+class TestEvolution:
+    """Dynamic object evolution via view change (Section 2.4, Figure 4):
+    the server's stored dispatcher reference is cast to the exact base
+    type and view-changed to the derived family, exactly the paper's
+    two-line recipe."""
+
+    SERVICE = """
+    class service {
+      class Handler {
+        int count;
+        String handle() { count = count + 1; return "plain"; }
+      }
+      class Dispatcher {
+        Handler h;
+        Dispatcher() { this.h = new Handler(); }
+        String dispatch() { return h.handle(); }
+      }
+    }
+    class logService extends service {
+      class Handler shares service.Handler {
+        String handle() { count = count + 1; return "logged"; }
+      }
+      class Dispatcher shares service.Dispatcher {
+      }
+    }
+    class Server {
+      service.Dispatcher disp;
+      Server() { this.disp = new service.Dispatcher(); }
+      String tick() { return disp.dispatch(); }
+      void evolve() sharing service!.Dispatcher = logService!.Dispatcher {
+        service!.Dispatcher d = (service!.Dispatcher)disp;  // cast
+        disp = (view logService!.Dispatcher)d;              // view change
+      }
+    }
+    """
+
+    def test_behavior_changes_at_runtime(self):
+        interp, server = setup(self.SERVICE, cls="Server")
+        assert interp.call_method(server, "tick", []) == "plain"
+        interp.call_method(server, "evolve", [])
+        assert interp.call_method(server, "tick", []) == "logged"
+
+    def test_nested_objects_evolve_transitively(self):
+        # the Handler reached through the evolved dispatcher runs the
+        # derived family's code without being touched explicitly
+        interp, server = setup(self.SERVICE, cls="Server")
+        interp.call_method(server, "evolve", [])
+        disp = interp.get_field(server, "disp")
+        handler = interp.get_field(disp, "h")
+        assert handler.view.path == ("logService", "Handler")
+
+    def test_state_survives_evolution(self):
+        interp, server = setup(self.SERVICE, cls="Server")
+        interp.call_method(server, "tick", [])
+        interp.call_method(server, "tick", [])
+        interp.call_method(server, "evolve", [])
+        interp.call_method(server, "tick", [])
+        disp = interp.get_field(server, "disp")
+        handler = interp.get_field(disp, "h")
+        assert interp.get_field(handler, "count") == 3
+
+    def test_dispatcher_object_identity_preserved(self):
+        interp, server = setup(self.SERVICE, cls="Server")
+        before = interp.get_field(server, "disp")
+        interp.call_method(server, "evolve", [])
+        after = interp.get_field(server, "disp")
+        assert before.inst is after.inst
