@@ -16,7 +16,9 @@ Public entry points:
   the lambda compiler, CorONA).
 """
 
-from .api import Program, compile_program, run_program
+from .api import Program, check_source, compile_program, run_program
+from .diagnostics import Diagnostic, DiagnosticSink, Span
+from .errors import JnsResourceError
 from .lang.classtable import ClassTable, JnsError, ResolveError, TypeError_
 from .lang.typecheck import CheckReport
 from .runtime.interp import Interp
@@ -32,11 +34,16 @@ __version__ = "0.1.0"
 __all__ = [
     "Program",
     "compile_program",
+    "check_source",
     "run_program",
     "ClassTable",
     "CheckReport",
+    "Diagnostic",
+    "DiagnosticSink",
+    "Span",
     "Interp",
     "JnsError",
+    "JnsResourceError",
     "ResolveError",
     "TypeError_",
     "JnsRuntimeError",

@@ -10,6 +10,10 @@ Typical use::
     print(interp.output)                       # lines from Sys.print
 
 Modes (Section 7.1 / Table 1): ``java``, ``jx``, ``jx_cl``, ``jns``.
+
+For tooling that wants *all* problems in a source file rather than the
+first raised exception, use :func:`check_source`, which drives every
+front-end and semantic stage through one :class:`~repro.diagnostics.DiagnosticSink`.
 """
 
 from __future__ import annotations
@@ -17,7 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
-from .lang.classtable import ClassTable, JnsError, ResolveError, TypeError_
+from .diagnostics import DiagnosticSink
+from .errors import JnsError
+from .lang.classtable import ClassTable, ResolveError, TypeError_
 from .lang.resolve import resolve_program
 from .lang.typecheck import CheckReport, check_program
 from .runtime.interp import Interp
@@ -38,11 +44,15 @@ class Program:
         memoize_views: bool = True,
         eager_views: bool = False,
         compiled: bool = False,
+        max_steps: Optional[int] = None,
+        max_depth: Optional[int] = None,
     ) -> Interp:
         """Create a fresh interpreter for this program.  The keyword flags
         select the ablation variants described in DESIGN.md (D1: disable
         view-change memoization; D3: eager instead of lazy implicit view
-        changes)."""
+        changes).  ``max_steps``/``max_depth`` bound evaluation fuel and
+        J&s call depth; exceeding either raises
+        :class:`~repro.errors.JnsResourceError`."""
         return Interp(
             self.table,
             mode=mode,
@@ -50,6 +60,8 @@ class Program:
             memoize_views=memoize_views,
             eager_views=eager_views,
             compiled=compiled,
+            max_steps=max_steps,
+            max_depth=max_depth,
         )
 
 
@@ -74,14 +86,50 @@ def compile_program(
     return Program(table, report)
 
 
+def check_source(
+    source: str,
+    file: Optional[str] = None,
+    strict_sharing: bool = False,
+    sink: Optional[DiagnosticSink] = None,
+) -> DiagnosticSink:
+    """Run the whole static pipeline, accumulating *every* diagnostic.
+
+    Unlike :func:`compile_program`, no stage aborts on the first error:
+    the lexer skips bad characters, the parser resynchronizes at ``;`` /
+    ``}`` boundaries, resolution records per-member failures, and the
+    type checker reports per-construct errors (skipping classes whose
+    resolution failed).  Returns the sink; callers decide how to render
+    it (carets via ``sink.render(source)``, machine-readable via
+    ``sink.to_json()``)."""
+    if sink is None:
+        sink = DiagnosticSink(file=file)
+    try:
+        unit = parse_program(source, file=file, sink=sink)
+        table = ClassTable(unit)
+        resolve_program(table, sink=sink)
+        # Partially resolved members are flagged by the resolver and
+        # skipped member-by-member inside check_program, so sibling
+        # members of a broken one still get their own diagnostics.
+        report = check_program(table, strict_sharing=strict_sharing)
+        for diag in report.errors + report.warnings:
+            sink.add(diag)
+    except JnsError as exc:
+        # A table-construction failure (duplicate class, cyclic
+        # inheritance) can still abort the later stages wholesale.
+        sink.add_exc(exc)
+    return sink
+
+
 def run_program(
     source: str,
     entry: str = "Main.main",
     mode: str = "jns",
     check: bool = True,
+    max_steps: Optional[int] = None,
+    max_depth: Optional[int] = None,
 ) -> Tuple[Any, List[str]]:
     """Compile and run; returns (result value, printed output lines)."""
     program = compile_program(source, check=check)
-    interp = program.interp(mode=mode)
+    interp = program.interp(mode=mode, max_steps=max_steps, max_depth=max_depth)
     result = interp.run(entry)
     return result, interp.output

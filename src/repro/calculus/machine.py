@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..errors import JnsResourceError
 from ..lang import types as T
 from ..lang.classtable import ClassTable, JnsError, ResolveError, path_str
 from ..lang.types import ClassType, Path, Type, View
@@ -45,6 +46,8 @@ from .syntax import (
 class StuckError(JnsError):
     """The machine cannot take a step and the expression is not a value —
     for a well-typed program this would contradict Lemma 5.7 (progress)."""
+
+    code = "JNS-RUN-009"
 
 
 class _NoRedex(Exception):
@@ -198,7 +201,11 @@ class Machine:
             if not self.step(cfg):
                 assert isinstance(cfg.expr, EValue)
                 return cfg.expr
-        raise StuckError(f"no value after {max_steps} steps")
+        # Fuel exhaustion is a resource condition, not stuckness: the
+        # expression may well still be reducible.
+        raise JnsResourceError(
+            f"no value after {max_steps} steps", code="JNS-RES-003"
+        )
 
     def _step(self, e: CalcExpr, cfg: Config) -> CalcExpr:
         if isinstance(e, EValue):

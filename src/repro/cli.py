@@ -3,10 +3,14 @@
 Commands:
 
 * ``run FILE``      — compile and run a J&s program (``--entry Main.main``,
-  ``--mode jns|java|jx|jx_cl``).
-* ``check FILE``    — type-check only; ``--strict`` enforces modular
-  sharing constraints, ``--infer`` first infers missing constraints
-  (Section 2.5 future work) and reports them.
+  ``--mode jns|java|jx|jx_cl``); ``--max-steps``/``--max-depth`` bound
+  evaluation fuel and J&s call depth (runaway programs exit 1 with a
+  ``JNS-RES-*`` diagnostic instead of crashing the host).
+* ``check FILE``    — report *all* static diagnostics (the parser
+  resynchronizes after errors); ``--json`` emits a machine-readable
+  report, ``--strict`` enforces modular sharing constraints, ``--infer``
+  first infers missing constraints (Section 2.5 future work) and
+  reports them.
 * ``fmt FILE``      — parse and pretty-print the program.
 * ``report WHAT``   — regenerate an evaluation artifact: ``table1``
   (jolden), ``table2`` (tree traversal), or ``corona`` (Section 7.4).
@@ -19,6 +23,7 @@ import sys
 from typing import List, Optional
 
 from .api import compile_program
+from .diagnostics import DiagnosticSink, render
 from .lang.classtable import ClassTable, JnsError
 from .lang.infer import infer_constraints, install_constraints
 from .lang.resolve import resolve_program
@@ -28,21 +33,36 @@ from .source.unparse import unparse
 
 
 def _read(path: str) -> str:
-    with open(path) as f:
-        return f.read()
+    """Read a source file; unreadable paths exit with a clean error
+    instead of a traceback (the SystemExit carries the exit code)."""
+    try:
+        with open(path) as f:
+            return f.read()
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc.strerror}", file=sys.stderr)
+        raise SystemExit(1)
 
 
 def cmd_run(args) -> int:
+    source = _read(args.file)
     try:
-        program = compile_program(_read(args.file), check=not args.no_check)
+        program = compile_program(source, check=not args.no_check)
     except JnsError as exc:
-        print(exc, file=sys.stderr)
+        print(render(exc.to_diagnostic(), source), file=sys.stderr)
         return 1
-    interp = program.interp(mode=args.mode, echo=True)
+    interp = program.interp(
+        mode=args.mode,
+        echo=True,
+        max_steps=args.max_steps,
+        max_depth=args.max_depth,
+    )
     try:
         result = interp.run(args.entry)
     except JnsError as exc:
         print(f"runtime error: {exc}", file=sys.stderr)
+        for note in exc.notes:
+            print(f"  note: {note}", file=sys.stderr)
+        print(f"[{exc.code}]", file=sys.stderr)
         return 1
     if result is not None:
         print(f"=> {result}")
@@ -51,26 +71,41 @@ def cmd_run(args) -> int:
 
 def cmd_check(args) -> int:
     source = _read(args.file)
+    sink = DiagnosticSink(file=args.file)
+    table = None
     try:
-        unit = parse_program(source)
+        unit = parse_program(source, file=args.file, sink=sink)
         table = ClassTable(unit)
-        resolve_program(table)
+        resolve_program(table, sink=sink)
     except JnsError as exc:
-        print(exc, file=sys.stderr)
-        return 1
-    if args.infer:
-        inferred = infer_constraints(table)
-        installed = install_constraints(table, inferred)
-        for c in inferred:
-            print(f"inferred  {c}")
-        print(f"installed {installed} constraint clause(s)")
-    report = check_program(table, strict_sharing=args.strict)
-    for warning in report.warnings:
-        print(f"warning: {warning}")
-    for error in report.errors:
-        print(f"error: {error}")
-    print("ok" if report.ok else f"{len(report.errors)} error(s)")
-    return 0 if report.ok else 1
+        # Table construction (duplicate class, cyclic extends) aborts the
+        # later stages wholesale; everything else accumulates in the sink.
+        sink.add_exc(exc)
+        table = None
+    inferred_lines = []
+    if table is not None:
+        if args.infer:
+            try:
+                inferred = infer_constraints(table)
+                installed = install_constraints(table, inferred)
+                for c in inferred:
+                    inferred_lines.append(f"inferred  {c}")
+                inferred_lines.append(f"installed {installed} constraint clause(s)")
+            except JnsError as exc:
+                sink.add_exc(exc)
+        report = check_program(table, strict_sharing=args.strict)
+        for diag in report.warnings + report.errors:
+            sink.add(diag)
+    if args.json:
+        print(sink.to_json())
+        return 1 if sink.has_errors else 0
+    for line in inferred_lines:
+        print(line)
+    if len(sink):
+        print(sink.render(source))
+    errors = sink.errors
+    print("ok" if not errors else f"{len(errors)} error(s)")
+    return 1 if errors else 0
 
 
 def cmd_fmt(args) -> int:
@@ -127,12 +162,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--entry", default="Main.main")
     p_run.add_argument("--mode", default="jns", choices=("java", "jx", "jx_cl", "jns"))
     p_run.add_argument("--no-check", action="store_true")
+    p_run.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluation fuel: abort with JNS-RES-001 after N expression steps",
+    )
+    p_run.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="J&s call-depth limit (default 4000); exceeding it raises JNS-RES-002",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_check = sub.add_parser("check", help="type-check a J&s program")
     p_check.add_argument("file")
     p_check.add_argument("--strict", action="store_true")
     p_check.add_argument("--infer", action="store_true")
+    p_check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit diagnostics as machine-readable JSON",
+    )
     p_check.set_defaults(func=cmd_check)
 
     p_fmt = sub.add_parser("fmt", help="pretty-print a J&s program")

@@ -1,0 +1,310 @@
+"""Structured diagnostics for the J&s pipeline.
+
+Every layer of the compiler and runtime reports failures through the
+same vocabulary:
+
+* :class:`Span` — a source region (1-based line/col, optional file);
+* :class:`Diagnostic` — a stable error code (``JNS-PARSE-001``, …), a
+  severity, a message, an optional span, and optional notes;
+* :class:`DiagnosticSink` — an accumulator so that one ``check``
+  invocation can report *all* errors in a file instead of aborting on
+  the first;
+* :func:`render` — a human renderer that prints the offending source
+  line with a caret under the span.
+
+The module is dependency-free (even :mod:`repro.errors` imports from
+here) so that the front end, the semantic layers, and the runtime can
+all share it without cycles.
+
+Error-code registry
+-------------------
+
+Codes are grouped by pipeline stage; the numeric suffix is stable and
+may be relied upon by tooling (see ``--json`` on ``python -m repro
+check``).  Add new codes at the end of a group — never renumber.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Severities, most severe first.
+ERROR = "error"
+WARNING = "warning"
+NOTE = "note"
+SEVERITIES = (ERROR, WARNING, NOTE)
+
+#: The registry of stable diagnostic codes.  The CLI and the docs
+#: (docs/IMPLEMENTATION.md) render this table; tests assert membership.
+CODES: Dict[str, str] = {
+    # -- lexer ---------------------------------------------------------
+    "JNS-LEX-001": "unexpected character",
+    "JNS-LEX-002": "unterminated string literal",
+    "JNS-LEX-003": "unterminated block comment",
+    "JNS-LEX-004": "newline in string literal",
+    # -- parser --------------------------------------------------------
+    "JNS-PARSE-001": "unexpected token",
+    "JNS-PARSE-002": "expected a type or declaration",
+    "JNS-PARSE-003": "invalid assignment or increment target",
+    "JNS-PARSE-004": "method body missing or misplaced",
+    "JNS-PARSE-005": "expression or type nesting too deep",
+    # -- name resolution ----------------------------------------------
+    "JNS-RESOLVE-001": "unknown name",
+    "JNS-RESOLVE-002": "unknown type name or class",
+    "JNS-RESOLVE-003": "unknown Sys native",
+    "JNS-RESOLVE-004": "cyclic inheritance",
+    "JNS-RESOLVE-005": "duplicate class declaration",
+    "JNS-RESOLVE-006": "unresolvable construct",
+    # -- static semantics ---------------------------------------------
+    "JNS-TYPE-001": "type error",
+    "JNS-TYPE-002": "cyclic inheritance (checker)",
+    "JNS-TYPE-003": "incompatible initializer type",
+    "JNS-TYPE-004": "incompatible return",
+    "JNS-TYPE-005": "operand type mismatch",
+    "JNS-TYPE-006": "bad call arguments",
+    "JNS-TYPE-007": "unknown member",
+    "JNS-TYPE-008": "invalid assignment",
+    "JNS-TYPE-009": "duplicate local variable",
+    "JNS-TYPE-010": "bad instantiation",
+    "JNS-TYPE-011": "use of masked fields",
+    "JNS-TYPE-012": "sharing constraint does not hold",
+    "JNS-TYPE-013": "illegal shares clause",
+    "JNS-TYPE-014": "unjustified view change",
+    "JNS-TYPE-015": "bad cast",
+    "JNS-TYPE-016": "overriding arity mismatch",
+    # -- runtime -------------------------------------------------------
+    "JNS-RUN-000": "runtime error",
+    "JNS-RUN-001": "null dereference",
+    "JNS-RUN-002": "uninitialized or masked field",
+    "JNS-RUN-003": "unknown field, method, or variable",
+    "JNS-RUN-004": "arity mismatch",
+    "JNS-RUN-005": "failed cast or view change",
+    "JNS-RUN-006": "array error",
+    "JNS-RUN-007": "arithmetic error",
+    "JNS-RUN-008": "Sys.fail",
+    "JNS-RUN-009": "calculus machine stuck",
+    # -- resource guards ----------------------------------------------
+    "JNS-RES-001": "step budget exhausted",
+    "JNS-RES-002": "call depth limit exceeded",
+    "JNS-RES-003": "calculus fuel exhausted",
+    "JNS-RES-004": "host stack exhausted",
+    # -- catch-all -----------------------------------------------------
+    "JNS-GEN-000": "unclassified error",
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """A source region.  Lines and columns are 1-based; ``end_*`` default
+    to the start so a bare position renders as a single caret."""
+
+    line: int
+    col: int
+    end_line: Optional[int] = None
+    end_col: Optional[int] = None
+    file: Optional[str] = None
+
+    @classmethod
+    def from_pos(cls, pos: Optional[Tuple[int, int]], file: Optional[str] = None):
+        """Build from an AST ``pos`` tuple ``(line, col)``; None-safe."""
+        if pos is None:
+            return None
+        return cls(line=pos[0], col=pos[1], file=file)
+
+    @classmethod
+    def from_token(cls, token, file: Optional[str] = None) -> "Span":
+        """Build from a lexer token, spanning its text."""
+        width = max(len(getattr(token, "value", "") or ""), 1)
+        return cls(
+            line=token.line,
+            col=token.col,
+            end_line=token.line,
+            end_col=token.col + width - 1,
+            file=file,
+        )
+
+    def with_file(self, file: Optional[str]) -> "Span":
+        if file is None or self.file is not None:
+            return self
+        return Span(self.line, self.col, self.end_line, self.end_col, file)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line if self.end_line is not None else self.line,
+            "end_col": self.end_col if self.end_col is not None else self.col,
+        }
+
+    def __str__(self) -> str:
+        prefix = f"{self.file}:" if self.file else ""
+        return f"{prefix}{self.line}:{self.col}"
+
+
+@dataclass
+class Diagnostic:
+    """One reportable condition with a stable code."""
+
+    code: str
+    severity: str
+    message: str
+    span: Optional[Span] = None
+    where: Optional[str] = None  # semantic context, e.g. "Main.main"
+    notes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def __str__(self) -> str:
+        # Keep the historical "<where>: <message>" shape so existing
+        # callers (and raise_on_error aggregates) stay readable.
+        if self.where:
+            return f"{self.where}: {self.message}"
+        if self.span is not None:
+            return f"{self.span}: {self.message}"
+        return self.message
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.span is not None:
+            payload["span"] = self.span.to_dict()
+            if self.span.file:
+                payload["file"] = self.span.file
+        if self.where:
+            payload["where"] = self.where
+        if self.notes:
+            payload["notes"] = list(self.notes)
+        return payload
+
+
+class DiagnosticSink:
+    """Accumulates diagnostics across pipeline stages.
+
+    A sink optionally carries a default ``file`` that is stamped onto
+    spans that do not name one, so layers below the CLI never need to
+    know which file they are compiling.
+    """
+
+    def __init__(self, file: Optional[str] = None) -> None:
+        self.file = file
+        self.diagnostics: List[Diagnostic] = []
+
+    # -- recording ------------------------------------------------------
+
+    def add(self, diag: Diagnostic) -> Diagnostic:
+        if diag.span is not None:
+            diag.span = diag.span.with_file(self.file)
+        self.diagnostics.append(diag)
+        return diag
+
+    def emit(
+        self,
+        code: str,
+        severity: str,
+        message: str,
+        span: Optional[Span] = None,
+        where: Optional[str] = None,
+        notes: Iterable[str] = (),
+    ) -> Diagnostic:
+        return self.add(
+            Diagnostic(code, severity, message, span=span, where=where, notes=list(notes))
+        )
+
+    def error(self, code: str, message: str, **kw) -> Diagnostic:
+        return self.emit(code, ERROR, message, **kw)
+
+    def warning(self, code: str, message: str, **kw) -> Diagnostic:
+        return self.emit(code, WARNING, message, **kw)
+
+    def add_exc(self, exc: BaseException, where: Optional[str] = None) -> Diagnostic:
+        """Record a :class:`repro.errors.JnsError` (or anything carrying
+        ``code``/``span``/``notes`` attributes) as a diagnostic."""
+        return self.add(
+            Diagnostic(
+                code=getattr(exc, "code", "JNS-GEN-000"),
+                severity=getattr(exc, "severity", ERROR),
+                message=str(exc),
+                span=getattr(exc, "span", None),
+                where=where,
+                notes=list(getattr(exc, "notes", ()) or ()),
+            )
+        )
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        for d in diags:
+            self.add(d)
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    # -- output ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": not self.has_errors,
+                "diagnostics": [d.to_dict() for d in self.diagnostics],
+            },
+            indent=2,
+        )
+
+    def render(self, source: Optional[str] = None) -> str:
+        return "\n".join(render(d, source) for d in self.diagnostics)
+
+
+def render(diag: Diagnostic, source: Optional[str] = None) -> str:
+    """Render one diagnostic, caret-pointing into ``source`` when the
+    diagnostic has a span and the source text is available::
+
+        demo.jns:3:11: error: expected ';' [JNS-PARSE-001]
+            int x = 1
+                     ^
+          note: ...
+    """
+    lines: List[str] = []
+    location = f"{diag.span}: " if diag.span is not None else ""
+    context = f" (in {diag.where})" if diag.where and diag.span is not None else ""
+    head = f"{location}{diag.severity}: {diag.message}{context} [{diag.code}]"
+    if diag.span is None and diag.where:
+        head = f"{diag.where}: {diag.severity}: {diag.message} [{diag.code}]"
+    lines.append(head)
+    if diag.span is not None and source is not None:
+        src_lines = source.splitlines()
+        if 1 <= diag.span.line <= len(src_lines):
+            text = src_lines[diag.span.line - 1]
+            lines.append(f"    {text}")
+            start = max(diag.span.col, 1)
+            end = diag.span.end_col if (
+                diag.span.end_col is not None
+                and (diag.span.end_line is None or diag.span.end_line == diag.span.line)
+                and diag.span.end_col >= start
+            ) else start
+            end = min(end, max(len(text), start))
+            lines.append("    " + " " * (start - 1) + "^" * (end - start + 1))
+    for note in diag.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

@@ -33,10 +33,14 @@ from .types import ClassType, Path, Type, View, exact_class
 class ResolveError(JnsError):
     """A name or type could not be resolved."""
 
+    code = "JNS-RESOLVE-006"
+
 
 class TypeError_(JnsError):
     """A static type error (named with a trailing underscore to avoid
     shadowing the builtin)."""
+
+    code = "JNS-TYPE-001"
 
 
 def path_str(path: Path) -> str:
@@ -93,7 +97,9 @@ class ClassTable:
         for decl in decls:
             path = prefix + (decl.name,)
             if path in self.explicit:
-                raise ResolveError(f"duplicate class {path_str(path)}")
+                raise ResolveError(
+                    f"duplicate class {path_str(path)}", code="JNS-RESOLVE-005"
+                )
             self.explicit[path] = ClassInfo(path, decl)
             self._register(path, decl.nested_classes)
 
@@ -190,7 +196,10 @@ class ClassTable:
         if cached is not None:
             return cached
         if path in self._parents_in_progress:
-            raise ResolveError(f"cyclic inheritance involving {path_str(path)}")
+            raise ResolveError(
+                f"cyclic inheritance involving {path_str(path)}",
+                code="JNS-RESOLVE-004",
+            )
         self._parents_in_progress.add(path)
         try:
             result: List[Path] = []

@@ -14,9 +14,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from ..diagnostics import DiagnosticSink, Span
+from ..errors import JnsError
 from ..source import ast
 from . import types as T
-from .classtable import ClassTable, ResolveError
+from .classtable import ClassTable, ResolveError, path_str
 from .types import ClassType, Path, Type
 
 #: Names of native functions/constants available via ``Sys``.
@@ -119,7 +121,9 @@ def _resolve_name(parts: tuple, table: ClassTable, ctx: Path, pos) -> Type:
                 full = tuple(parts)
                 if not table.class_exists(full):
                     raise ResolveError(
-                        f"no such class {'.'.join(parts)} at {pos[0]}:{pos[1]}"
+                        f"no such class {'.'.join(parts)} at {pos[0]}:{pos[1]}",
+                        code="JNS-RESOLVE-002",
+                        span=Span.from_pos(pos),
                     )
                 return ClassType(full)
             # late-bound: enclosing[this.class].head.rest...
@@ -129,7 +133,11 @@ def _resolve_name(parts: tuple, table: ClassTable, ctx: Path, pos) -> Type:
             for name in parts[1:]:
                 result = T.make_member(result, name)
             return result
-    raise ResolveError(f"unknown type name {'.'.join(parts)} at {pos[0]}:{pos[1]}")
+    raise ResolveError(
+        f"unknown type name {'.'.join(parts)} at {pos[0]}:{pos[1]}",
+        code="JNS-RESOLVE-002",
+        span=Span.from_pos(pos),
+    )
 
 
 class BodyResolver:
@@ -219,13 +227,19 @@ class BodyResolver:
                 return ast.FieldGet(ast.This(e.pos), e.name, e.pos)
             raise ResolveError(
                 f"unknown name {e.name!r} at {e.pos[0]}:{e.pos[1]} "
-                f"in {'.'.join(self.ctx)}"
+                f"in {'.'.join(self.ctx)}",
+                code="JNS-RESOLVE-001",
+                span=Span.from_pos(e.pos),
             )
         if isinstance(e, ast.FieldGet):
             if isinstance(e.obj, ast.Var) and e.obj.name == "Sys":
                 if e.name in SYS_CONSTANTS:
                     return ast.SysCall(e.name, [], e.pos)
-                raise ResolveError(f"unknown Sys constant {e.name!r}")
+                raise ResolveError(
+                    f"unknown Sys constant {e.name!r}",
+                    code="JNS-RESOLVE-003",
+                    span=Span.from_pos(e.pos),
+                )
             e.obj = self.expr(e.obj)
             return e
         if isinstance(e, ast.Call):
@@ -233,7 +247,11 @@ class BodyResolver:
                 e.obj = ast.This(e.pos)
             elif isinstance(e.obj, ast.Var) and e.obj.name == "Sys":
                 if e.name not in SYS_FUNCTIONS:
-                    raise ResolveError(f"unknown Sys function {e.name!r}")
+                    raise ResolveError(
+                        f"unknown Sys function {e.name!r}",
+                        code="JNS-RESOLVE-003",
+                        span=Span.from_pos(e.pos),
+                    )
                 return ast.SysCall(e.name, [self.expr(a) for a in e.args], e.pos)
             else:
                 e.obj = self.expr(e.obj)
@@ -285,37 +303,63 @@ class BodyResolver:
         raise ResolveError(f"unknown expression form {e!r}")
 
 
-def resolve_program(table: ClassTable) -> None:
+def _resolve_member(member, table: ClassTable, path: Path) -> None:
+    if isinstance(member, ast.FieldDecl):
+        member.type = resolve_type(member.type, table, path)
+        if member.init is not None:
+            resolver = BodyResolver(table, path)
+            resolver.push()
+            member.init = resolver.expr(member.init)
+            resolver.pop()
+    elif isinstance(member, ast.MethodDecl):
+        member.ret_type = resolve_type(member.ret_type, table, path)
+        resolver = BodyResolver(table, path)
+        resolver.push()
+        for param in member.params:
+            param.type = resolve_type(param.type, table, path)
+            resolver.declare(param.name)
+        for constraint in member.constraints:
+            constraint.left = resolve_type(constraint.left, table, path)
+            constraint.right = resolve_type(constraint.right, table, path)
+        if member.body is not None:
+            member.body = resolver.stmt(member.body)
+        resolver.pop()
+    elif isinstance(member, ast.CtorDecl):
+        resolver = BodyResolver(table, path)
+        resolver.push()
+        for param in member.params:
+            param.type = resolve_type(param.type, table, path)
+            resolver.declare(param.name)
+        member.body = resolver.stmt(member.body)
+        resolver.pop()
+
+
+def resolve_program(
+    table: ClassTable, sink: Optional[DiagnosticSink] = None
+) -> Set[Path]:
     """Resolve every explicit class in the table: extends/shares clauses
-    (done lazily by the table), member types, and bodies."""
+    (done lazily by the table), member types, and bodies.
+
+    Without a ``sink``, the first resolution error raises (historical
+    behavior).  With one, errors are accumulated per *member* so a
+    single pass reports every unresolved name, and the set of class
+    paths that failed is returned so the type checker can skip them
+    (their ASTs are only partially resolved).
+    """
+    failed: Set[Path] = set()
     for path, info in list(table.explicit.items()):
         decl = info.decl
         for member in decl.members:
-            if isinstance(member, ast.FieldDecl):
-                member.type = resolve_type(member.type, table, path)
-                if member.init is not None:
-                    resolver = BodyResolver(table, path)
-                    resolver.push()
-                    member.init = resolver.expr(member.init)
-                    resolver.pop()
-            elif isinstance(member, ast.MethodDecl):
-                member.ret_type = resolve_type(member.ret_type, table, path)
-                resolver = BodyResolver(table, path)
-                resolver.push()
-                for param in member.params:
-                    param.type = resolve_type(param.type, table, path)
-                    resolver.declare(param.name)
-                for constraint in member.constraints:
-                    constraint.left = resolve_type(constraint.left, table, path)
-                    constraint.right = resolve_type(constraint.right, table, path)
-                if member.body is not None:
-                    member.body = resolver.stmt(member.body)
-                resolver.pop()
-            elif isinstance(member, ast.CtorDecl):
-                resolver = BodyResolver(table, path)
-                resolver.push()
-                for param in member.params:
-                    param.type = resolve_type(param.type, table, path)
-                    resolver.declare(param.name)
-                member.body = resolver.stmt(member.body)
-                resolver.pop()
+            if sink is None:
+                _resolve_member(member, table, path)
+                continue
+            try:
+                _resolve_member(member, table, path)
+            except JnsError as exc:
+                sink.add_exc(exc, where=path_str(path))
+                # Mark the member so the type checker skips it (its AST
+                # is only partially resolved); sibling members still get
+                # checked, so independent errors all surface in one pass.
+                member._resolve_failed = True
+                failed.add(path)
+    return failed

@@ -22,8 +22,9 @@ Implements the practical analogue of the paper's static semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from ..diagnostics import Diagnostic, Span
 from ..source import ast
 from . import types as T
 from .classtable import ClassTable, JnsError, ResolveError, TypeError_, path_str
@@ -75,15 +76,6 @@ _SYS_SIGS: Dict[str, Tuple[Tuple[str, ...], object]] = {
 
 
 @dataclass
-class Diagnostic:
-    where: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.where}: {self.message}"
-
-
-@dataclass
 class CheckReport:
     errors: List[Diagnostic] = field(default_factory=list)
     warnings: List[Diagnostic] = field(default_factory=list)
@@ -107,19 +99,55 @@ class _MethodCtx:
 
 
 class TypeChecker:
-    def __init__(self, table: ClassTable, strict_sharing: bool = False) -> None:
+    def __init__(
+        self,
+        table: ClassTable,
+        strict_sharing: bool = False,
+        skip: Iterable[Path] = (),
+    ) -> None:
         self.table = table
         self.sharing = SharingChecker(table)
         self.strict_sharing = strict_sharing
+        self.skip = frozenset(skip)
         self.report = CheckReport()
 
     # ------------------------------------------------------------------
 
-    def error(self, where: str, message: str) -> None:
-        self.report.errors.append(Diagnostic(where, message))
+    def error(
+        self,
+        where: str,
+        message: str,
+        code: str = "JNS-TYPE-001",
+        pos=None,
+        span: Optional[Span] = None,
+    ) -> None:
+        if span is None:
+            span = Span.from_pos(pos)
+        self.report.errors.append(
+            Diagnostic(code, "error", message, span=span, where=where)
+        )
 
-    def warn(self, where: str, message: str) -> None:
-        self.report.warnings.append(Diagnostic(where, message))
+    def warn(
+        self,
+        where: str,
+        message: str,
+        code: str = "JNS-TYPE-001",
+        pos=None,
+        span: Optional[Span] = None,
+    ) -> None:
+        if span is None:
+            span = Span.from_pos(pos)
+        self.report.warnings.append(
+            Diagnostic(code, "warning", message, span=span, where=where)
+        )
+
+    def _error_exc(self, where: str, exc: Exception, pos=None) -> None:
+        """Record a raised JnsError, preserving its code/span when present."""
+        code = getattr(exc, "code", None) or "JNS-TYPE-001"
+        span = getattr(exc, "span", None)
+        if span is None:
+            span = Span.from_pos(pos)
+        self.error(where, str(exc), code=code, span=span)
 
     def check_program(self) -> CheckReport:
         # P-OK: the inheritance relation must be acyclic
@@ -127,21 +155,24 @@ class TypeChecker:
             try:
                 ancestors = self.table.ancestors(path)
             except (ResolveError, JnsError) as exc:
-                self.error(path_str(path), str(exc))
+                self._error_exc(path_str(path), exc)
                 return self.report
             for other in ancestors[1:]:
                 if path in self.table.ancestors(other):
                     self.error(
                         path_str(path),
                         f"cyclic inheritance with {path_str(other)}",
+                        code="JNS-TYPE-002",
                     )
                     return self.report
         self.table._build_sharing()
         for path, info in self.table.explicit.items():
+            if path in self.skip:
+                continue
             try:
                 self.check_class(path, info)
             except (ResolveError, TypeError_, JnsError) as exc:
-                self.error(path_str(path), str(exc))
+                self._error_exc(path_str(path), exc)
         self._check_inherited_constraints()
         return self.report
 
@@ -160,15 +191,19 @@ class TypeChecker:
                 self.error(
                     where,
                     f"shares target {path_str(target)} is not an ancestor",
+                    code="JNS-TYPE-013",
                 )
             elif target[-1:] != path[-1:]:
                 self.warn(
                     where,
                     f"shares target {path_str(target)} has a different member "
                     "name; sharing is intended for overriding classes",
+                    code="JNS-TYPE-013",
                 )
             self._check_share_masks(path, target)
         for member in decl.members:
+            if getattr(member, "_resolve_failed", False):
+                continue  # partially resolved; its error is already reported
             try:
                 if isinstance(member, ast.FieldDecl):
                     self._check_field(path, member)
@@ -177,7 +212,16 @@ class TypeChecker:
                 elif isinstance(member, ast.CtorDecl):
                     self._check_ctor(path, member)
             except (ResolveError, TypeError_, JnsError) as exc:
-                self.error(where, str(exc))
+                self._error_exc(where, exc, pos=getattr(member, "pos", None))
+            except Exception as exc:  # internal guard: a partially resolved
+                # sibling can leak surface TypeASTs into this member's
+                # types; report instead of crashing the whole check.
+                self.error(
+                    where,
+                    f"internal checker error: {type(exc).__name__}: {exc}",
+                    code="JNS-GEN-000",
+                    pos=getattr(member, "pos", None),
+                )
         self._check_overrides(path, decl)
 
     def _check_share_masks(self, path: Path, target: Path) -> None:
@@ -189,7 +233,9 @@ class TypeChecker:
         for owner, fdecl in self.table.all_fields(target):
             if fdecl.final and fdecl.name in masks:
                 self.error(
-                    where, f"final field {fdecl.name!r} may not be masked in shares"
+                    where,
+                    f"final field {fdecl.name!r} may not be masked in shares",
+                    code="JNS-TYPE-013",
                 )
             if fdecl.name in masks:
                 continue
@@ -215,6 +261,8 @@ class TypeChecker:
                     f"field {fdecl.name!r} has unshared interpreted types "
                     f"({t_here!r} vs {t_there!r}) and must be masked in the "
                     "shares clause (Section 3.1)",
+                    code="JNS-TYPE-013",
+                    pos=getattr(fdecl, "pos", None),
                 )
 
     def _check_overrides(self, path: Path, decl: ast.ClassDecl) -> None:
@@ -232,6 +280,8 @@ class TypeChecker:
                             where,
                             f"method {method.name!r} overrides "
                             f"{path_str(sup)}.{other.name} with different arity",
+                            code="JNS-TYPE-016",
+                            pos=getattr(method, "pos", None),
                         )
 
     def _check_inherited_constraints(self) -> None:
@@ -253,6 +303,7 @@ class TypeChecker:
                             f"{path_str(owner)}.{name} does not hold in this "
                             "family; the method must be overridden "
                             "(Section 2.5)",
+                            code="JNS-TYPE-012",
                         )
 
     def _constraint_holds(self, ctx: Path, constraint: ast.SharingConstraint) -> bool:
@@ -290,7 +341,12 @@ class TypeChecker:
         ctx = _MethodCtx(T.VOID)
         t = self.type_expr(decl.init, env, ctx, where)
         if t is not None and not subtype(env, t, decl.type):
-            self.error(where, f"initializer type {t!r} is not a {decl.type!r}")
+            self.error(
+                where,
+                f"initializer type {t!r} is not a {decl.type!r}",
+                code="JNS-TYPE-003",
+                pos=getattr(decl, "pos", None),
+            )
 
     def _check_ctor(self, path: Path, decl: ast.CtorDecl) -> None:
         where = f"{path_str(path)}.{decl.name}(ctor)"
@@ -312,10 +368,16 @@ class TypeChecker:
                     where,
                     f"sharing constraint {constraint.left!r} = "
                     f"{constraint.right!r} does not hold",
+                    code="JNS-TYPE-012",
+                    pos=getattr(decl, "pos", None),
                 )
         if decl.body is None:
             if not decl.abstract:
-                self.error(where, "non-abstract method has no body")
+                self.error(
+                    where,
+                    "non-abstract method has no body",
+                    pos=getattr(decl, "pos", None),
+                )
             return
         env = self._base_env(path, decl.constraints)
         ctx = _MethodCtx(decl.ret_type)
@@ -335,7 +397,12 @@ class TypeChecker:
             return
         if isinstance(s, ast.LocalDecl):
             if s.name in env.vars:
-                self.error(where, f"duplicate local variable {s.name!r}")
+                self.error(
+                    where,
+                    f"duplicate local variable {s.name!r}",
+                    code="JNS-TYPE-009",
+                    pos=s.pos,
+                )
             t = s.type
             if s.init is not None:
                 t_init = self.type_expr(s.init, env, ctx, where)
@@ -343,6 +410,8 @@ class TypeChecker:
                     self.error(
                         where,
                         f"cannot initialize {s.name}: {t_init!r} is not a {t!r}",
+                        code="JNS-TYPE-003",
+                        pos=s.pos,
                     )
                 if t_init is not None and t_init.masks and not t.masks:
                     # keep flow masks from the initializer (view targets)
@@ -386,11 +455,21 @@ class TypeChecker:
         if isinstance(s, ast.Return):
             if s.value is None:
                 if ctx.ret != T.VOID:
-                    self.error(where, "missing return value")
+                    self.error(
+                        where,
+                        "missing return value",
+                        code="JNS-TYPE-004",
+                        pos=s.pos,
+                    )
                 return
             t = self.type_expr(s.value, env, ctx, where)
             if t is not None and not subtype(env, t, ctx.ret):
-                self.error(where, f"return type {t!r} is not a {ctx.ret!r}")
+                self.error(
+                    where,
+                    f"return type {t!r} is not a {ctx.ret!r}",
+                    code="JNS-TYPE-004",
+                    pos=s.pos,
+                )
             return
         if isinstance(s, (ast.Break, ast.Continue, ast.Empty)):
             return
@@ -399,7 +478,12 @@ class TypeChecker:
     def _check_bool(self, e: ast.Expr, env: Env, ctx: _MethodCtx, where: str) -> None:
         t = self.type_expr(e, env, ctx, where)
         if t is not None and t.pure() != T.BOOLEAN:
-            self.error(where, f"condition has type {t!r}, expected boolean")
+            self.error(
+                where,
+                f"condition has type {t!r}, expected boolean",
+                code="JNS-TYPE-005",
+                pos=getattr(e, "pos", None),
+            )
 
     # ------------------------------------------------------------------
     # expressions
@@ -411,7 +495,7 @@ class TypeChecker:
         try:
             t = self._type_expr(e, env, ctx, where)
         except (ResolveError, TypeError_, JnsError) as exc:
-            self.error(where, str(exc))
+            self._error_exc(where, exc, pos=getattr(e, "pos", None))
             return None
         e.rtype = t
         return t
@@ -431,7 +515,11 @@ class TypeChecker:
         if isinstance(e, ast.Var):
             t = env.lookup(e.name)
             if t is None:
-                raise TypeError_(f"unbound variable {e.name!r}")
+                raise TypeError_(
+                    f"unbound variable {e.name!r}",
+                    code="JNS-TYPE-007",
+                    span=Span.from_pos(e.pos),
+                )
             return t
         if isinstance(e, ast.FieldGet):
             t_obj = self.type_expr(e.obj, env, ctx, where)
@@ -449,15 +537,23 @@ class TypeChecker:
             if t_obj.masks:
                 raise TypeError_(
                     f"cannot call {e.name!r} on a value with masked fields "
-                    f"({sorted(t_obj.masks)}); initialize them first"
+                    f"({sorted(t_obj.masks)}); initialize them first",
+                    code="JNS-TYPE-011",
+                    span=Span.from_pos(e.pos),
                 )
             sig = env.method_sig(t_obj, e.name)
             if sig is None:
-                raise TypeError_(f"no method {e.name!r} on {t_obj!r}")
+                raise TypeError_(
+                    f"no method {e.name!r} on {t_obj!r}",
+                    code="JNS-TYPE-007",
+                    span=Span.from_pos(e.pos),
+                )
             params, ret, decl, owner = sig
             if len(params) != len(e.args):
                 raise TypeError_(
-                    f"{e.name!r} expects {len(params)} arguments, got {len(e.args)}"
+                    f"{e.name!r} expects {len(params)} arguments, got {len(e.args)}",
+                    code="JNS-TYPE-006",
+                    span=Span.from_pos(e.pos),
                 )
             for i, (param_t, arg) in enumerate(zip(params, e.args)):
                 t_arg = self.type_expr(arg, env, ctx, where)
@@ -466,6 +562,8 @@ class TypeChecker:
                         where,
                         f"argument {i + 1} of {e.name!r}: {t_arg!r} is not a "
                         f"{param_t!r}",
+                        code="JNS-TYPE-006",
+                        pos=getattr(arg, "pos", None),
                     )
             return ret
         if isinstance(e, ast.NewObj):
@@ -473,16 +571,27 @@ class TypeChecker:
             bound = env.bound(t).pure()
             cls = env._single_class(bound)
             if not self.table.class_exists(cls.path):
-                raise TypeError_(f"no such class {cls!r}")
+                raise TypeError_(
+                    f"no such class {cls!r}",
+                    code="JNS-TYPE-010",
+                    span=Span.from_pos(e.pos),
+                )
             info = self.table.explicit.get(cls.path)
             if info is not None and info.decl.abstract:
-                self.error(where, f"cannot instantiate abstract class {cls!r}")
+                self.error(
+                    where,
+                    f"cannot instantiate abstract class {cls!r}",
+                    code="JNS-TYPE-010",
+                    pos=e.pos,
+                )
             ctor = self.table.find_ctor(cls.path, len(e.args))
             if ctor is None:
                 if e.args:
                     self.error(
                         where,
                         f"no {len(e.args)}-argument constructor for {cls!r}",
+                        code="JNS-TYPE-006",
+                        pos=e.pos,
                     )
             else:
                 _, ctor_decl = ctor
@@ -494,23 +603,39 @@ class TypeChecker:
                             where,
                             f"constructor argument {i + 1}: {t_arg!r} is not a "
                             f"{param_t!r}",
+                            code="JNS-TYPE-006",
+                            pos=getattr(arg, "pos", None),
                         )
             return T.make_exact(t)
         if isinstance(e, ast.NewArray):
             t_len = self.type_expr(e.length, env, ctx, where)
             if t_len is not None and t_len.pure() != T.INT:
-                self.error(where, f"array length has type {t_len!r}")
+                self.error(
+                    where,
+                    f"array length has type {t_len!r}",
+                    code="JNS-TYPE-005",
+                    pos=e.pos,
+                )
             return T.ArrayType(e.elem_type)
         if isinstance(e, ast.Index):
             t_arr = self.type_expr(e.arr, env, ctx, where)
             t_idx = self.type_expr(e.idx, env, ctx, where)
             if t_idx is not None and t_idx.pure() != T.INT:
-                self.error(where, f"array index has type {t_idx!r}")
+                self.error(
+                    where,
+                    f"array index has type {t_idx!r}",
+                    code="JNS-TYPE-005",
+                    pos=e.pos,
+                )
             if t_arr is None:
                 return None
             arr_pure = t_arr.pure()
             if not isinstance(arr_pure, T.ArrayType):
-                raise TypeError_(f"indexing non-array type {t_arr!r}")
+                raise TypeError_(
+                    f"indexing non-array type {t_arr!r}",
+                    code="JNS-TYPE-005",
+                    span=Span.from_pos(e.pos),
+                )
             return arr_pure.elem
         if isinstance(e, ast.Unary):
             t = self.type_expr(e.operand, env, ctx, where)
@@ -518,10 +643,14 @@ class TypeChecker:
                 return None
             if e.op == "!":
                 if t.pure() != T.BOOLEAN:
-                    self.error(where, f"! applied to {t!r}")
+                    self.error(
+                        where, f"! applied to {t!r}", code="JNS-TYPE-005", pos=e.pos
+                    )
                 return T.BOOLEAN
             if t.pure() not in _NUMERIC:
-                self.error(where, f"unary - applied to {t!r}")
+                self.error(
+                    where, f"unary - applied to {t!r}", code="JNS-TYPE-005", pos=e.pos
+                )
             return t.pure()
         if isinstance(e, ast.Binary):
             return self._type_binary(e, env, ctx, where)
@@ -537,7 +666,12 @@ class TypeChecker:
                 return t1
             if t1.pure() in _NUMERIC and t2.pure() in _NUMERIC:
                 return T.DOUBLE
-            self.error(where, f"incompatible ternary branches: {t1!r} vs {t2!r}")
+            self.error(
+                where,
+                f"incompatible ternary branches: {t1!r} vs {t2!r}",
+                code="JNS-TYPE-005",
+                pos=e.pos,
+            )
             return t1
         if isinstance(e, ast.Cast):
             t_src = self.type_expr(e.expr, env, ctx, where)
@@ -547,7 +681,12 @@ class TypeChecker:
                 tgt_pure = target.pure()
                 if isinstance(src_pure, T.PrimType) and src_pure in _NUMERIC:
                     if tgt_pure not in _NUMERIC:
-                        self.error(where, f"cannot cast {t_src!r} to {target!r}")
+                        self.error(
+                            where,
+                            f"cannot cast {t_src!r} to {target!r}",
+                            code="JNS-TYPE-015",
+                            pos=e.pos,
+                        )
             return target
         if isinstance(e, ast.ViewChange):
             t_src = self.type_expr(e.expr, env, ctx, where)
@@ -562,12 +701,16 @@ class TypeChecker:
                         f"view change to {target!r} is not justified by any "
                         f"sharing relationship from {t_src!r} "
                         "(add a sharing constraint, Section 2.5)",
+                        code="JNS-TYPE-014",
+                        pos=e.pos,
                     )
                 elif how == "global":
                     self.warn(
                         where,
                         f"view change to {target!r} relies on the global "
                         "closed world, not a constraint in scope",
+                        code="JNS-TYPE-014",
+                        pos=e.pos,
                     )
             return target
         if isinstance(e, ast.InstanceOf):
@@ -586,7 +729,12 @@ class TypeChecker:
         op = e.op
         if op in ("&&", "||"):
             if p1 != T.BOOLEAN or p2 != T.BOOLEAN:
-                self.error(where, f"{op} applied to {t1!r}, {t2!r}")
+                self.error(
+                    where,
+                    f"{op} applied to {t1!r}, {t2!r}",
+                    code="JNS-TYPE-005",
+                    pos=e.pos,
+                )
             return T.BOOLEAN
         if op in ("==", "!="):
             return T.BOOLEAN
@@ -594,14 +742,28 @@ class TypeChecker:
             return T.STRING
         if op in ("+", "-", "*", "/", "%"):
             if p1 not in _NUMERIC or p2 not in _NUMERIC:
-                self.error(where, f"{op} applied to {t1!r}, {t2!r}")
+                self.error(
+                    where,
+                    f"{op} applied to {t1!r}, {t2!r}",
+                    code="JNS-TYPE-005",
+                    pos=e.pos,
+                )
                 return T.INT
             return T.DOUBLE if T.DOUBLE in (p1, p2) else T.INT
         if op in ("<", "<=", ">", ">="):
             if p1 not in _NUMERIC or p2 not in _NUMERIC:
-                self.error(where, f"{op} applied to {t1!r}, {t2!r}")
+                self.error(
+                    where,
+                    f"{op} applied to {t1!r}, {t2!r}",
+                    code="JNS-TYPE-005",
+                    pos=e.pos,
+                )
             return T.BOOLEAN
-        raise TypeError_(f"unknown operator {op!r}")
+        raise TypeError_(
+            f"unknown operator {op!r}",
+            code="JNS-TYPE-005",
+            span=Span.from_pos(e.pos),
+        )
 
     def _type_assign(self, e: ast.Assign, env: Env, ctx: _MethodCtx, where: str):
         t_val = self.type_expr(e.value, env, ctx, where)
@@ -614,24 +776,40 @@ class TypeChecker:
                 if e.op == "+=" and p == T.STRING:
                     return T.STRING
                 if p not in _NUMERIC:
-                    self.error(where, f"{e.op} applied to {t_tgt!r}")
+                    self.error(
+                        where,
+                        f"{e.op} applied to {t_tgt!r}",
+                        code="JNS-TYPE-005",
+                        pos=e.pos,
+                    )
                 if (
                     t_val is not None
                     and p == T.INT
                     and t_val.pure() == T.DOUBLE
                 ):
-                    self.error(where, "possible lossy double-to-int assignment")
+                    self.error(
+                        where,
+                        "possible lossy double-to-int assignment",
+                        code="JNS-TYPE-015",
+                        pos=e.pos,
+                    )
                 return p
             return None
         if isinstance(target, ast.Var):
             declared = ctx.declared.get(target.name, env.lookup(target.name))
             if declared is None:
-                raise TypeError_(f"unbound variable {target.name!r}")
+                raise TypeError_(
+                    f"unbound variable {target.name!r}",
+                    code="JNS-TYPE-007",
+                    span=Span.from_pos(target.pos),
+                )
             if t_val is not None:
                 if not subtype(env, t_val, declared.pure().with_masks(t_val.masks)):
                     self.error(
                         where,
                         f"cannot assign {t_val!r} to {target.name}: {declared!r}",
+                        code="JNS-TYPE-008",
+                        pos=e.pos,
                     )
                 env.vars[target.name] = declared.pure().with_masks(t_val.masks)
             return t_val
@@ -641,13 +819,19 @@ class TypeChecker:
                 return t_val
             obj_pure = t_obj.pure()
             if isinstance(obj_pure, T.ArrayType):
-                raise TypeError_("array length is not assignable")
+                raise TypeError_(
+                    "array length is not assignable",
+                    code="JNS-TYPE-008",
+                    span=Span.from_pos(e.pos),
+                )
             # field type for writing ignores the mask on the receiver
             ftype = env.field_type(obj_pure, target.name)
             if t_val is not None and not subtype(env, t_val, ftype):
                 self.error(
                     where,
                     f"cannot assign {t_val!r} to field {target.name!r}: {ftype!r}",
+                    code="JNS-TYPE-008",
+                    pos=e.pos,
                 )
             # grant: remove the mask (T-SET / R-SET)
             self._grant(target.obj, target.name, env)
@@ -658,14 +842,24 @@ class TypeChecker:
             if t_arr is not None:
                 arr_pure = t_arr.pure()
                 if not isinstance(arr_pure, T.ArrayType):
-                    raise TypeError_(f"indexing non-array type {t_arr!r}")
+                    raise TypeError_(
+                        f"indexing non-array type {t_arr!r}",
+                        code="JNS-TYPE-005",
+                        span=Span.from_pos(e.pos),
+                    )
                 if t_val is not None and not subtype(env, t_val, arr_pure.elem):
                     self.error(
                         where,
                         f"cannot store {t_val!r} into {arr_pure!r}",
+                        code="JNS-TYPE-008",
+                        pos=e.pos,
                     )
             return t_val
-        raise TypeError_("invalid assignment target")
+        raise TypeError_(
+            "invalid assignment target",
+            code="JNS-TYPE-008",
+            span=Span.from_pos(e.pos),
+        )
 
     def _grant(self, obj: ast.Expr, fname: str, env: Env) -> None:
         """Remove the mask on ``x.f`` / ``this.f`` after an assignment."""
@@ -683,12 +877,18 @@ class TypeChecker:
     def _type_sys(self, e: ast.SysCall, env: Env, ctx: _MethodCtx, where: str):
         sig = _SYS_SIGS.get(e.name)
         if sig is None:
-            raise TypeError_(f"unknown Sys function {e.name!r}")
+            raise TypeError_(
+                f"unknown Sys function {e.name!r}",
+                code="JNS-TYPE-007",
+                span=Span.from_pos(e.pos),
+            )
         param_kinds, ret = sig
         if len(param_kinds) != len(e.args):
             raise TypeError_(
                 f"Sys.{e.name} expects {len(param_kinds)} arguments, got "
-                f"{len(e.args)}"
+                f"{len(e.args)}",
+                code="JNS-TYPE-006",
+                span=Span.from_pos(e.pos),
             )
         numeric_widest: Type = T.INT
         for kind, arg in zip(param_kinds, e.args):
@@ -698,19 +898,40 @@ class TypeChecker:
             p = t_arg.pure()
             if kind == "num":
                 if p not in _NUMERIC:
-                    self.error(where, f"Sys.{e.name}: {t_arg!r} is not numeric")
+                    self.error(
+                        where,
+                        f"Sys.{e.name}: {t_arg!r} is not numeric",
+                        code="JNS-TYPE-005",
+                        pos=getattr(arg, "pos", None),
+                    )
                 elif p == T.DOUBLE:
                     numeric_widest = T.DOUBLE
             elif kind == "any":
                 pass
             elif isinstance(kind, T.Type):
                 if not subtype(env, t_arg, kind):
-                    self.error(where, f"Sys.{e.name}: {t_arg!r} is not a {kind!r}")
+                    self.error(
+                        where,
+                        f"Sys.{e.name}: {t_arg!r} is not a {kind!r}",
+                        code="JNS-TYPE-005",
+                        pos=getattr(arg, "pos", None),
+                    )
         if ret == "num":
             return numeric_widest
         return ret
 
 
-def check_program(table: ClassTable, strict_sharing: bool = False) -> CheckReport:
-    """Type-check a resolved program."""
-    return TypeChecker(table, strict_sharing=strict_sharing).check_program()
+def check_program(
+    table: ClassTable,
+    strict_sharing: bool = False,
+    skip: Iterable[Path] = (),
+) -> CheckReport:
+    """Type-check a resolved program.
+
+    ``skip`` names classes whose resolution failed; their (partially
+    resolved) members are not checked, so one broken class does not
+    drown the report in cascading errors.
+    """
+    return TypeChecker(
+        table, strict_sharing=strict_sharing, skip=skip
+    ).check_program()

@@ -120,9 +120,15 @@ class BodyCompiler:
         if cls is ast.While:
             cond = self.expr(s.cond)
             body = self.stmt(s.body)
+            # Compiled closures bypass Interp.eval, so a finite step
+            # budget is charged per loop iteration instead.  The hook is
+            # bound at compile time: unmetered interpreters pay nothing.
+            tick = self.interp._tick if self.interp._max_steps is not None else None
 
             def run_while(frame: Frame) -> None:
                 while cond(frame):
+                    if tick is not None:
+                        tick()
                     try:
                         body(frame)
                     except _Break:
@@ -136,11 +142,14 @@ class BodyCompiler:
             cond = self.expr(s.cond) if s.cond is not None else None
             update = self.expr(s.update) if s.update is not None else None
             body = self.stmt(s.body)
+            tick = self.interp._tick if self.interp._max_steps is not None else None
 
             def run_for(frame: Frame) -> None:
                 if init is not None:
                     init(frame)
                 while cond is None or cond(frame):
+                    if tick is not None:
+                        tick()
                     try:
                         body(frame)
                     except _Break:

@@ -28,6 +28,7 @@ import math
 import sys
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..errors import JnsResourceError
 from ..lang import types as T
 from ..lang.classtable import ClassTable, JnsError, ResolveError, path_str
 from ..lang.types import ClassType, Path, Type, View
@@ -46,6 +47,22 @@ from .values import (
 MODES = ("java", "jx", "jx_cl", "jns")
 
 _MISSING = object()
+
+#: Default J&s call-depth budget.  Deep enough for every jolden workload
+#: (treeadd/bisort recurse to tree height; the deepest tier-1 program
+#: recurses 2000 calls) while still catching runaway recursion long
+#: before the Python stack would.
+DEFAULT_MAX_DEPTH = 4000
+
+#: Python frames consumed per J&s call in the tree-walking evaluator
+#: (call_method -> exec_stmt -> eval chains), with slack for expression
+#: nesting inside each body.
+_FRAMES_PER_CALL = 12
+
+#: Ceiling for the *temporary* recursion-limit raise during ``run()``:
+#: matches the old global limit; anything deeper trips the
+#: RecursionError safety net (JNS-RES-004) instead of the C stack.
+_MAX_PY_RECURSION = 100000
 
 
 class _Return(Exception):
@@ -113,6 +130,8 @@ class Interp:
         memoize_views: bool = True,
         eager_views: bool = False,
         compiled: bool = False,
+        max_steps: Optional[int] = None,
+        max_depth: Optional[int] = None,
     ) -> None:
         """``memoize_views=False`` disables the per-instance reference-object
         memoization of Section 6.3 (ablation D1); ``eager_views=True``
@@ -120,7 +139,12 @@ class Interp:
         fields immediately instead of lazily at access time (ablation D3);
         ``compiled=True`` translates method bodies to Python closures once
         instead of tree-walking them (the Section 6 compilation strategy
-        on the Python substrate)."""
+        on the Python substrate).
+
+        ``max_steps`` bounds the number of expression evaluations (fuel;
+        ``None`` = unlimited); ``max_depth`` bounds the J&s call depth.
+        Exhausting either raises :class:`JnsResourceError` carrying the
+        J&s call stack, instead of hitting Python's recursion limit."""
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
         self.table = table
@@ -140,8 +164,16 @@ class Interp:
         #: conformance cache: (view path, target type) -> bool
         self._conforms_cache: Dict[Tuple[Path, Type], bool] = {}
         self._sys = self._build_sys()
-        if sys.getrecursionlimit() < 100000:
-            sys.setrecursionlimit(100000)
+        self._max_steps = max_steps
+        self._max_depth = DEFAULT_MAX_DEPTH if max_depth is None else max_depth
+        self._steps = 0
+        self._depth = 0
+        #: J&s-level call stack ("A.B.m" frames, deepest last) — attached
+        #: to JnsResourceError so resource diagnostics are actionable.
+        self.call_stack: List[str] = []
+        #: snapshot of the deepest call stack when a RecursionError is
+        #: first seen (the stack has unwound by the time run() converts it)
+        self._res_stack: Optional[List[str]] = None
         self._eval_dispatch: Dict[type, Callable] = {
             ast.Lit: self._eval_lit,
             ast.This: self._eval_this,
@@ -160,6 +192,11 @@ class Interp:
             ast.InstanceOf: self._eval_instanceof,
             ast.Assign: self._eval_assign,
         }
+        if max_steps is not None:
+            # Shadow the unlimited fast path with the counting evaluator
+            # only when a budget is set, so fuel tracking costs nothing
+            # on ordinary runs.
+            self.eval = self._eval_counting  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # entry points
@@ -167,18 +204,81 @@ class Interp:
 
     def run(self, entry: str = "Main.main", args: Tuple = ()) -> Any:
         """Instantiate the entry class with a no-arg constructor and invoke
-        the entry method (e.g. ``"Main.main"``)."""
+        the entry method (e.g. ``"Main.main"``).
+
+        The Python recursion limit is raised only for the duration of the
+        run (sized to ``max_depth``) and restored afterwards; a
+        RecursionError that still escapes the depth guard is converted to
+        a :class:`JnsResourceError` rather than leaking a Python-level
+        crash."""
         *cls_parts, method = entry.split(".")
         path = tuple(cls_parts)
         if not self.table.class_exists(path):
             raise ResolveError(f"no entry class {'.'.join(cls_parts)}")
+        self._steps = 0
+        self._depth = 0
+        self.call_stack = []
+        self._res_stack = None
         ref = self.new_instance(path, ())
         return self.call_method(ref, method, list(args))
+
+    def _enter_boundary(self) -> int:
+        """Called when execution enters J&s code from the host (depth 0):
+        temporarily raises the Python recursion limit so the J&s depth
+        guard — not the host stack — is what bounds recursion.  Returns
+        the previous limit for the matching ``_exit_boundary``."""
+        old_limit = sys.getrecursionlimit()
+        needed = min(
+            max(old_limit, self._max_depth * _FRAMES_PER_CALL + 2000),
+            _MAX_PY_RECURSION,
+        )
+        self._res_stack = None
+        if needed > old_limit:
+            sys.setrecursionlimit(needed)
+        return old_limit
+
+    def _boundary_resource_error(self) -> JnsResourceError:
+        return JnsResourceError(
+            "Python recursion limit exceeded; lower max_depth or rewrite "
+            "the program iteratively",
+            code="JNS-RES-004",
+            jns_stack=self._res_stack or [],
+        )
 
     def new_instance(self, path: Path, args: Tuple) -> Ref:
         rtc = self.loader.rtclass(path)
         if rtc.is_abstract:
             raise JnsRuntimeError(f"cannot instantiate abstract class {path_str(path)}")
+        if self._depth == 0:
+            old_limit = self._enter_boundary()
+            try:
+                return self._guarded_new(rtc, path, args)
+            except RecursionError:
+                raise self._boundary_resource_error() from None
+            finally:
+                sys.setrecursionlimit(old_limit)
+        return self._guarded_new(rtc, path, args)
+
+    def _guarded_new(self, rtc: RTClass, path: Path, args: Tuple) -> Ref:
+        self._depth += 1
+        self.call_stack.append(f"new {path_str(path)}")
+        try:
+            if self._depth > self._max_depth:
+                raise JnsResourceError(
+                    f"J&s call depth limit exceeded ({self._max_depth})",
+                    code="JNS-RES-002",
+                    jns_stack=list(self.call_stack),
+                )
+            return self._new_instance(rtc, path, args)
+        except RecursionError:
+            if self._res_stack is None:
+                self._res_stack = list(self.call_stack)
+            raise
+        finally:
+            self._depth -= 1
+            self.call_stack.pop()
+
+    def _new_instance(self, rtc: RTClass, path: Path, args: Tuple) -> Ref:
         inst = Instance(path)
         view = View(path)
         ref = Ref(inst, view)
@@ -229,16 +329,43 @@ class Interp:
             raise JnsRuntimeError(
                 f"{name!r} expects {len(decl.params)} arguments, got {len(args)}"
             )
-        frame = {"this": ref}
-        for param, arg in zip(decl.params, args):
-            frame[param.name] = arg
-        if self.compiled:
-            return self._compiled_body(decl)(frame)
+        if self._depth == 0:
+            old_limit = self._enter_boundary()
+            try:
+                return self._guarded_call(owner, decl, ref, name, args)
+            except RecursionError:
+                raise self._boundary_resource_error() from None
+            finally:
+                sys.setrecursionlimit(old_limit)
+        return self._guarded_call(owner, decl, ref, name, args)
+
+    def _guarded_call(self, owner, decl, ref: Ref, name: str, args: List[Any]) -> Any:
+        self._depth += 1
+        self.call_stack.append(f"{path_str(owner)}.{name}")
         try:
-            self.exec_stmt(decl.body, frame)
-        except _Return as r:
-            return r.value
-        return None
+            if self._depth > self._max_depth:
+                raise JnsResourceError(
+                    f"J&s call depth limit exceeded ({self._max_depth})",
+                    code="JNS-RES-002",
+                    jns_stack=list(self.call_stack),
+                )
+            frame = {"this": ref}
+            for param, arg in zip(decl.params, args):
+                frame[param.name] = arg
+            if self.compiled:
+                return self._compiled_body(decl)(frame)
+            try:
+                self.exec_stmt(decl.body, frame)
+            except _Return as r:
+                return r.value
+            return None
+        except RecursionError:
+            if self._res_stack is None:
+                self._res_stack = list(self.call_stack)
+            raise
+        finally:
+            self._depth -= 1
+            self.call_stack.pop()
 
     def _compiled_body(self, decl):
         """Method/constructor body compiled once to Python closures."""
@@ -330,6 +457,31 @@ class Interp:
 
     def eval(self, e: ast.Expr, frame: Dict[str, Any]) -> Any:
         return self._eval_dispatch[type(e)](e, frame)
+
+    def _eval_counting(self, e: ast.Expr, frame: Dict[str, Any]) -> Any:
+        """Fuel-metered evaluation: installed as ``self.eval`` when a step
+        budget is configured."""
+        self._steps += 1
+        if self._steps > self._max_steps:
+            raise JnsResourceError(
+                f"step budget exhausted ({self._max_steps} steps)",
+                code="JNS-RES-001",
+                jns_stack=list(self.call_stack),
+            )
+        return self._eval_dispatch[type(e)](e, frame)
+
+    def _tick(self, weight: int = 1) -> None:
+        """Charge ``weight`` fuel from the compiled backend, whose loop
+        bodies do not route through :meth:`eval`."""
+        if self._max_steps is None:
+            return
+        self._steps += weight
+        if self._steps > self._max_steps:
+            raise JnsResourceError(
+                f"step budget exhausted ({self._max_steps} steps)",
+                code="JNS-RES-001",
+                jns_stack=list(self.call_stack),
+            )
 
     def _eval_lit(self, e: ast.Lit, frame):
         return e.value

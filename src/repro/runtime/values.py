@@ -23,9 +23,11 @@ from ..lang.types import Path, Type, View
 class JnsRuntimeError(JnsError):
     """A run-time failure of an executing J&s program."""
 
+    code = "JNS-RUN-000"
+
 
 class NullDereference(JnsRuntimeError):
-    pass
+    code = "JNS-RUN-001"
 
 
 class UninitializedFieldError(JnsRuntimeError):
@@ -33,9 +35,13 @@ class UninitializedFieldError(JnsRuntimeError):
     current view's family.  The static masked-type discipline prevents
     this; the runtime check makes the guarantee observable in tests."""
 
+    code = "JNS-RUN-002"
+
 
 class JnsFailure(JnsRuntimeError):
     """Raised by the Sys.fail native."""
+
+    code = "JNS-RUN-008"
 
 
 class Instance:

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from ..diagnostics import DiagnosticSink, Span
 from ..errors import JnsError
 from .tokens import (
     DOUBLE_LIT,
@@ -23,8 +24,14 @@ class LexError(JnsError):
     """Raised when the input contains a character sequence that is not a
     valid J&s token."""
 
-    def __init__(self, message: str, line: int, col: int) -> None:
-        super().__init__(f"{message} at {line}:{col}")
+    code = "JNS-LEX-001"
+
+    def __init__(
+        self, message: str, line: int, col: int, code: Optional[str] = None
+    ) -> None:
+        super().__init__(
+            f"{message} at {line}:{col}", code=code, span=Span(line, col)
+        )
         self.line = line
         self.col = col
 
@@ -32,12 +39,22 @@ class LexError(JnsError):
 _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\", "'": "'", "0": "\0"}
 
 
-def tokenize(source: str) -> List[Token]:
+def tokenize(source: str, sink: Optional[DiagnosticSink] = None) -> List[Token]:
     """Convert ``source`` into a token list ending with an EOF token.
 
     Supports ``//`` line comments and ``/* */`` block comments.
+
+    Without a ``sink`` the first lexical error raises :class:`LexError`.
+    With one, errors are recorded as diagnostics and lexing continues
+    (skipping the offending character / truncating the offending
+    literal) so later phases can still report *their* findings.
     """
     tokens: List[Token] = []
+
+    def fail(message: str, line: int, col: int, code: str) -> None:
+        if sink is None:
+            raise LexError(message, line, col, code=code)
+        sink.error(code, f"{message} at {line}:{col}", span=Span(line, col))
     i = 0
     line = 1
     col = 1
@@ -68,7 +85,8 @@ def tokenize(source: str) -> List[Token]:
             while i < n and not source.startswith("*/", i):
                 advance(1)
             if i >= n:
-                raise LexError("unterminated block comment", start_line, start_col)
+                fail("unterminated block comment", start_line, start_col, "JNS-LEX-003")
+                continue
             advance(2)
             continue
         if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
@@ -120,12 +138,16 @@ def tokenize(source: str) -> List[Token]:
                     advance(1)
                 else:
                     if source[i] == "\n":
-                        raise LexError("newline in string literal", line, col)
+                        fail("newline in string literal", line, col, "JNS-LEX-004")
+                        break
                     chars.append(source[i])
                     advance(1)
             if i >= n:
-                raise LexError("unterminated string literal", start_line, start_col)
-            advance(1)
+                fail(
+                    "unterminated string literal", start_line, start_col, "JNS-LEX-002"
+                )
+            else:
+                advance(1)  # closing quote (or the newline, under recovery)
             tokens.append(Token(STRING_LIT, "".join(chars), start_line, start_col))
             continue
         matched = False
@@ -136,7 +158,8 @@ def tokenize(source: str) -> List[Token]:
                 matched = True
                 break
         if not matched:
-            raise LexError(f"unexpected character {ch!r}", line, col)
+            fail(f"unexpected character {ch!r}", line, col, "JNS-LEX-001")
+            advance(1)  # recovery: skip the offending character
 
     tokens.append(Token(EOF, "", line, col))
     return tokens

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..diagnostics import DiagnosticSink, Span
 from ..errors import JnsError
 from . import ast
 from .lexer import tokenize
@@ -40,15 +41,37 @@ _ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=")
 class ParseError(JnsError):
     """Raised on a syntax error, with the offending token position."""
 
-    def __init__(self, message: str, token: Token) -> None:
-        super().__init__(f"{message} at {token.line}:{token.col} (got {token.value!r})")
+    code = "JNS-PARSE-001"
+
+    def __init__(
+        self, message: str, token: Token, code: Optional[str] = None
+    ) -> None:
+        super().__init__(
+            f"{message} at {token.line}:{token.col} (got {token.value!r})",
+            code=code,
+            span=Span.from_token(token),
+        )
         self.token = token
 
 
+#: Maximum nesting of expressions/types.  Each level costs a bounded
+#: number of Python frames (see :func:`parse_program`), so this keeps
+#: adversarial inputs well inside the temporarily-raised stack limit.
+MAX_NESTING = 1200
+
+
 class Parser:
-    def __init__(self, source: str) -> None:
-        self.tokens = tokenize(source)
+    def __init__(
+        self,
+        source: str,
+        file: Optional[str] = None,
+        sink: Optional[DiagnosticSink] = None,
+    ) -> None:
+        self.file = file
+        self.sink = sink
+        self.tokens = tokenize(source, sink=sink)
         self.pos = 0
+        self._depth = 0  # current expression/type nesting
 
     # -- token helpers ----------------------------------------------------
 
@@ -100,12 +123,66 @@ class Parser:
         tok = self.peek()
         return (tok.line, tok.col)
 
+    def _enter_nesting(self) -> None:
+        self._depth += 1
+        if self._depth > MAX_NESTING:
+            raise ParseError(
+                f"nesting deeper than {MAX_NESTING} levels",
+                self.peek(),
+                code="JNS-PARSE-005",
+            )
+
+    # -- panic-mode recovery ----------------------------------------------
+
+    def _sync_member(self) -> None:
+        """After a syntax error in a member: skip to just past the next
+        ``;`` at this brace depth, or stop at the ``}`` closing the class
+        (or EOF), so the member loop can continue."""
+        depth = 0
+        while True:
+            tok = self.peek()
+            if tok.kind == EOF:
+                return
+            if tok.is_punct("{"):
+                depth += 1
+            elif tok.is_punct("}"):
+                if depth == 0:
+                    return  # class closer: leave it for the member loop
+                depth -= 1
+            elif tok.is_punct(";") and depth == 0:
+                self.next()
+                return
+            self.next()
+
+    def _sync_toplevel(self) -> None:
+        """After a syntax error at class level: skip (balancing braces)
+        until the next top-level ``class``/``abstract`` or EOF."""
+        depth = 0
+        while self.peek().kind != EOF:
+            tok = self.peek()
+            if tok.is_punct("{"):
+                depth += 1
+            elif tok.is_punct("}"):
+                depth = max(0, depth - 1)
+            elif depth == 0 and (
+                tok.is_keyword("class") or tok.is_keyword("abstract")
+            ):
+                return
+            self.next()
+
     # -- program ----------------------------------------------------------
 
     def parse_program(self) -> ast.CompilationUnit:
         classes: List[ast.ClassDecl] = []
         while self.peek().kind != EOF:
-            classes.append(self.parse_class_decl())
+            if self.sink is None:
+                classes.append(self.parse_class_decl())
+                continue
+            try:
+                classes.append(self.parse_class_decl())
+            except ParseError as exc:
+                self.sink.add_exc(exc)
+                self._sync_toplevel()
         return ast.CompilationUnit(classes)
 
     def parse_class_decl(self) -> ast.ClassDecl:
@@ -133,8 +210,15 @@ class Parser:
                 break
         self.expect_punct("{")
         members: List[object] = []
-        while not self.at_punct("}"):
-            members.append(self.parse_member(name))
+        while not self.at_punct("}") and self.peek().kind != EOF:
+            if self.sink is None:
+                members.append(self.parse_member(name))
+                continue
+            try:
+                members.append(self.parse_member(name))
+            except ParseError as exc:
+                self.sink.add_exc(exc)
+                self._sync_member()
         self.expect_punct("}")
         return ast.ClassDecl(
             name=name,
@@ -176,7 +260,11 @@ class Parser:
             if self.accept_punct(";"):
                 body: Optional[ast.Block] = None
                 if not abstract:
-                    raise ParseError("non-abstract method needs a body", self.peek())
+                    raise ParseError(
+                        "non-abstract method needs a body",
+                        self.peek(),
+                        code="JNS-PARSE-004",
+                    )
             else:
                 body = self.parse_block()
             return ast.MethodDecl(abstract, decl_type, name, params, constraints, body, pos)
@@ -211,14 +299,18 @@ class Parser:
     # -- types ------------------------------------------------------------
 
     def parse_type(self) -> ast.TypeAST:
-        pos = self._pos()
-        first = self.parse_type_no_isect()
-        if self.at_punct("&"):
-            parts = [first]
-            while self.accept_punct("&"):
-                parts.append(self.parse_type_no_isect())
-            return ast.TIsect(tuple(parts), pos)
-        return first
+        self._enter_nesting()
+        try:
+            pos = self._pos()
+            first = self.parse_type_no_isect()
+            if self.at_punct("&"):
+                parts = [first]
+                while self.accept_punct("&"):
+                    parts.append(self.parse_type_no_isect())
+                return ast.TIsect(tuple(parts), pos)
+            return first
+        finally:
+            self._depth -= 1
 
     def parse_type_no_isect(self) -> ast.TypeAST:
         pos = self._pos()
@@ -295,7 +387,7 @@ class Parser:
         if tok.kind == IDENT:
             self.next()
             return ast.TName((tok.value,), pos)
-        raise ParseError("expected type", tok)
+        raise ParseError("expected type", tok, code="JNS-PARSE-002")
 
     # -- statements ---------------------------------------------------------
 
@@ -390,7 +482,11 @@ class Parser:
     # -- expressions --------------------------------------------------------
 
     def parse_expr(self) -> ast.Expr:
-        return self.parse_assign()
+        self._enter_nesting()
+        try:
+            return self.parse_assign()
+        finally:
+            self._depth -= 1
 
     def parse_assign(self) -> ast.Expr:
         pos = self._pos()
@@ -398,7 +494,9 @@ class Parser:
         tok = self.peek()
         if tok.kind == PUNCT and tok.value in _ASSIGN_OPS:
             if not isinstance(left, (ast.Var, ast.FieldGet, ast.Index)):
-                raise ParseError("invalid assignment target", tok)
+                raise ParseError(
+                    "invalid assignment target", tok, code="JNS-PARSE-003"
+                )
             self.next()
             value = self.parse_assign()
             return ast.Assign(left, value, tok.value, pos)
@@ -477,20 +575,24 @@ class Parser:
         return left
 
     def parse_unary(self) -> ast.Expr:
-        pos = self._pos()
-        if self.at_punct("!"):
-            self.next()
-            return ast.Unary("!", self.parse_unary(), pos)
-        if self.at_punct("-"):
-            self.next()
-            return ast.Unary("-", self.parse_unary(), pos)
-        if self.at_punct("+"):
-            self.next()
-            return self.parse_unary()
-        cast = self.try_parse_cast()
-        if cast is not None:
-            return cast
-        return self.parse_postfix()
+        self._enter_nesting()
+        try:
+            pos = self._pos()
+            if self.at_punct("!"):
+                self.next()
+                return ast.Unary("!", self.parse_unary(), pos)
+            if self.at_punct("-"):
+                self.next()
+                return ast.Unary("-", self.parse_unary(), pos)
+            if self.at_punct("+"):
+                self.next()
+                return self.parse_unary()
+            cast = self.try_parse_cast()
+            if cast is not None:
+                return cast
+            return self.parse_postfix()
+        finally:
+            self._depth -= 1
 
     def try_parse_cast(self) -> Optional[ast.Expr]:
         """Parse ``(T)e`` or ``(view T)e``, backtracking if the parenthesized
@@ -558,7 +660,9 @@ class Parser:
             if self.at_punct("++") or self.at_punct("--"):
                 op = self.next().value
                 if not isinstance(expr, (ast.Var, ast.FieldGet, ast.Index)):
-                    raise ParseError("invalid increment target", self.peek())
+                    raise ParseError(
+                        "invalid increment target", self.peek(), code="JNS-PARSE-003"
+                    )
                 one = ast.Lit(1, "int", pos)
                 expr = ast.Assign(expr, one, "+=" if op == "++" else "-=", pos)
                 continue
@@ -690,14 +794,33 @@ class Parser:
         return t
 
 
-def parse_program(source: str) -> ast.CompilationUnit:
-    """Parse a full J&s compilation unit from source text."""
+def parse_program(
+    source: str,
+    file: Optional[str] = None,
+    sink: Optional[DiagnosticSink] = None,
+) -> ast.CompilationUnit:
+    """Parse a full J&s compilation unit from source text.
+
+    Without a ``sink``, the first syntax error raises :class:`ParseError`
+    (the historical behavior).  With a sink, the parser runs in
+    panic-mode-recovery: lexical and syntax errors are recorded as
+    diagnostics, the parser re-synchronizes on ``;``/``}`` boundaries,
+    and a (possibly partial) compilation unit is still returned so later
+    phases can report additional, independent errors.
+    """
     import sys
 
-    # the expression grammar recurses ~12 Python frames per nesting level
-    if sys.getrecursionlimit() < 20000:
-        sys.setrecursionlimit(20000)
-    return Parser(source).parse_program()
+    # The expression grammar costs ~13 Python frames per nesting level.
+    # Raise the interpreter stack limit for the duration of the parse
+    # only, and restore it afterwards — the process-wide limit must be
+    # left untouched (MAX_NESTING bounds how much of it we can use).
+    old_limit = sys.getrecursionlimit()
+    try:
+        if old_limit < 20000:
+            sys.setrecursionlimit(20000)
+        return Parser(source, file=file, sink=sink).parse_program()
+    finally:
+        sys.setrecursionlimit(old_limit)
 
 
 def parse_type_text(source: str) -> ast.TypeAST:

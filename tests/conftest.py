@@ -2,9 +2,20 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro import compile_program
+
+# Two fuzzing tiers (see ROADMAP "Testing tiers"): the default profile keeps
+# tier-1 (`pytest -x -q`) fast; tier-2 raises the example budget via
+# ``HYPOTHESIS_PROFILE=fuzz pytest -m fuzz``.  Tests that should scale with
+# the tier are marked ``@pytest.mark.fuzz`` and do *not* pin max_examples.
+settings.register_profile("default", max_examples=50, deadline=None)
+settings.register_profile("fuzz", max_examples=1500, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 #: The AST / TreeDisplay / ASTDisplay example of Figures 1-3.
 FIG123_SOURCE = """

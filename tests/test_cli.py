@@ -1,5 +1,8 @@
 """CLI tests (python -m repro)."""
 
+import json
+import sys
+
 import pytest
 
 from repro.cli import main
@@ -60,6 +63,25 @@ class TestRun:
         rc = main(["run", str(path), "--no-check"])
         assert rc == 1
 
+    def test_run_max_steps_bounds_divergence(self, tmp_path, capsys):
+        path = tmp_path / "diverge.jns"
+        path.write_text("class Main { int main() { while (true) { } return 0; } }")
+        limit_before = sys.getrecursionlimit()
+        assert main(["run", str(path), "--max-steps", "10000"]) == 1
+        err = capsys.readouterr().err
+        assert "JNS-RES" in err
+        assert sys.getrecursionlimit() == limit_before
+
+    def test_run_max_depth_bounds_recursion(self, tmp_path, capsys):
+        path = tmp_path / "recurse.jns"
+        path.write_text("class Main { int main() { return main(); } }")
+        limit_before = sys.getrecursionlimit()
+        assert main(["run", str(path), "--max-depth", "100"]) == 1
+        err = capsys.readouterr().err
+        assert "JNS-RES-002" in err
+        assert "Main.main" in err  # the J&s call stack rides along as notes
+        assert sys.getrecursionlimit() == limit_before
+
 
 class TestCheck:
     def test_check_ok(self, good_file, capsys):
@@ -77,6 +99,58 @@ class TestCheck:
         assert main(["check", good_file, "--strict", "--infer"]) == 0
         out = capsys.readouterr().out
         assert "inferred" in out and "A!.C = B!.C" in out
+
+    def test_check_reports_all_errors_with_carets(self, tmp_path, capsys):
+        path = tmp_path / "multi.jns"
+        path.write_text(
+            "class Main {\n"
+            "  int main() {\n"
+            "    int x = 1 +;\n"
+            "    return x\n"
+            "  }\n"
+            "  double bad() { return $ 3.0; }\n"
+            "}\n"
+        )
+        assert main(["check", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert out.count("^") >= 3  # caret-rendered, one per diagnostic
+        for code in ("JNS-LEX-001", "JNS-PARSE-001", "JNS-PARSE-002"):
+            assert code in out
+
+    def test_check_json_matches_text_error_set(self, tmp_path, capsys):
+        path = tmp_path / "multi.jns"
+        path.write_text(
+            "class Main {\n"
+            "  int main() { return y; }\n"
+            "  boolean b() { return 1 + true; }\n"
+            "}\n"
+        )
+        assert main(["check", str(path)]) == 1
+        text_out = capsys.readouterr().out
+        assert main(["check", str(path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        json_codes = {d["code"] for d in payload["diagnostics"]}
+        assert len(json_codes) >= 3
+        for code in json_codes:
+            assert f"[{code}]" in text_out
+
+    def test_check_json_ok_on_clean_file(self, good_file, capsys):
+        assert main(["check", good_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        # non-strict mode may still report warnings (globally justified
+        # view changes), but never error-severity diagnostics
+        assert all(d["severity"] != "error" for d in payload["diagnostics"])
+
+
+class TestMissingFile:
+    def test_unreadable_file_exits_cleanly(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["check", str(tmp_path / "nope.jns")])
+        assert exc_info.value.code == 1
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "Traceback" not in err
 
 
 class TestFmt:

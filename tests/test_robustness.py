@@ -1,17 +1,27 @@
 """Robustness: malformed input must fail with JnsError (never an
-internal crash like AttributeError/KeyError/RecursionError)."""
+internal crash like AttributeError/KeyError/RecursionError), and
+runaway programs must degrade into JNS-RES-* resource diagnostics
+instead of blowing the Python stack.
+
+The hypothesis tests here are marked ``fuzz`` and scale with the
+hypothesis profile: tier-1 runs them with the small default budget,
+tier-2 (``HYPOTHESIS_PROFILE=fuzz pytest -m fuzz``) raises it.
+"""
+
+import sys
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import JnsError, compile_program
+from repro import JnsError, JnsResourceError, check_source, compile_program
 
 from conftest import FIG123_SOURCE
 
 BASE = FIG123_SOURCE
 
 
-@settings(max_examples=120, deadline=None)
+@pytest.mark.fuzz
+@settings(deadline=None)
 @given(
     st.integers(0, len(BASE) - 1),
     st.sampled_from(list("{}()[];.!\\&=<>+-*/\"'x1 ")),
@@ -28,7 +38,8 @@ def test_single_character_mutations_fail_cleanly(position, replacement):
         pytest.fail("recursion blow-up on mutated input")
 
 
-@settings(max_examples=60, deadline=None)
+@pytest.mark.fuzz
+@settings(deadline=None)
 @given(st.integers(0, len(BASE) - 40), st.integers(1, 40))
 def test_deletion_mutations_fail_cleanly(start, length):
     mutated = BASE[:start] + BASE[start + length :]
@@ -38,7 +49,8 @@ def test_deletion_mutations_fail_cleanly(start, length):
         pass
 
 
-@settings(max_examples=60, deadline=None)
+@pytest.mark.fuzz
+@settings(deadline=None)
 @given(st.text(alphabet="classharewvintxy{}();=.!&\\ \n", max_size=120))
 def test_garbage_input_fails_cleanly(garbage):
     try:
@@ -47,27 +59,109 @@ def test_garbage_input_fails_cleanly(garbage):
         pass
 
 
+@pytest.mark.fuzz
+@settings(deadline=None)
+@given(
+    st.integers(0, len(BASE) - 1),
+    st.sampled_from(list("{}()[];.!\\&=<>+-*/\"'x1 ")),
+)
+def test_runtime_fuzz_under_fuel_budget(position, replacement):
+    """Fuzz the *runtime*: compile-and-run mutated programs under a small
+    fuel budget.  Only JnsError (including JnsResourceError) may escape;
+    the guards must keep the Python recursion limit untouched."""
+    limit_before = sys.getrecursionlimit()
+    mutated = BASE[:position] + replacement + BASE[position + 1 :]
+    try:
+        program = compile_program(mutated)
+        interp = program.interp(max_steps=3000, max_depth=64)
+        ref = interp.new_instance(("Main",), ())
+        interp.call_method(ref, "evalSample", [])
+        interp.call_method(ref, "showSample", [])
+    except JnsError:
+        pass
+    assert sys.getrecursionlimit() == limit_before
+
+
+# Each entry is pinned to the set of error codes that one `check`
+# invocation reports for it (empty = statically clean; several entries
+# are only "crashy" at runtime and are exercised in
+# test_divergent_snippets_hit_resource_guards below).
 CRASHY_SNIPPETS = [
-    "class A extends A { }",
-    "class A { class B extends B { } }",
-    "class A { A f(A x) { return x.f(x).f(x); } }",
-    "class A { int m() { return m(); } }",  # typechecks; diverges only if run
-    "class A { void m() { this.m; } }",
-    "class A { int x = x; }",
-    "class A { class B shares A.B { } }",
-    "class A { void m() sharing A = A { } }",
-    'class A { void m() { String s = "a" + + "b"; } }',
-    "class A { int[] m() { return new int[-1]; } }",  # static ok, runtime error
-    "class A { void m() { (view A)this; } }",
+    # Direct self-extends: the inheritance graph drops self-edges, so
+    # this degenerates to `class A { }` rather than a cycle error.
+    ("class A extends A { }", set()),
+    ("class A { class B extends B { } }", set()),
+    ("class A extends B { } class B extends A { }", {"JNS-TYPE-002"}),
+    ("class A { A f(A x) { return x.f(x).f(x); } }", set()),
+    ("class A { int m() { return m(); } }", set()),  # diverges only if run
+    ("class A { void m() { this.m; } }", {"JNS-TYPE-001"}),
+    ("class A { int x = x; }", set()),
+    ("class A { class B shares A.B { } }", set()),
+    ("class A { void m() sharing A = A { } }", set()),
+    ('class A { void m() { String s = "a" + + "b"; } }', set()),
+    ("class A { int[] m() { return new int[-1]; } }", set()),  # runtime error
+    ("class A { void m() { (view A)this; } }", set()),
+    ("class A { void m() { y = 1; } }", {"JNS-RESOLVE-001"}),
+    ("class A { void m() { Sys.frobnicate(1); } }", {"JNS-RESOLVE-003"}),
+    ("class A { int m() { return 1 } }", {"JNS-PARSE-001"}),
 ]
 
 
-@pytest.mark.parametrize("snippet", CRASHY_SNIPPETS)
-def test_tricky_snippets_never_crash_internally(snippet):
+@pytest.mark.parametrize("snippet,_codes", CRASHY_SNIPPETS)
+def test_tricky_snippets_never_crash_internally(snippet, _codes):
     try:
         compile_program(snippet)
     except JnsError:
         pass
+
+
+@pytest.mark.parametrize("snippet,codes", CRASHY_SNIPPETS)
+def test_tricky_snippets_pin_diagnostic_codes(snippet, codes):
+    sink = check_source(snippet)
+    assert {d.code for d in sink.errors} == codes
+
+
+def test_divergent_snippets_hit_resource_guards():
+    """The runtime-divergent CRASHY_SNIPPETS entries degrade into
+    JNS-RES-* / JNS-RUN-* diagnostics under a resource budget."""
+    limit_before = sys.getrecursionlimit()
+
+    program = compile_program("class A { int m() { return m(); } }")
+    interp = program.interp(max_depth=100)
+    ref = interp.new_instance(("A",), ())
+    with pytest.raises(JnsResourceError) as exc_info:
+        interp.call_method(ref, "m", [])
+    assert exc_info.value.code == "JNS-RES-002"
+    assert any("A.m" in frame for frame in exc_info.value.jns_stack)
+
+    program = compile_program("class A { int m() { while (true) { } return 0; } }")
+    interp = program.interp(max_steps=5000)
+    ref = interp.new_instance(("A",), ())
+    with pytest.raises(JnsResourceError) as exc_info:
+        interp.call_method(ref, "m", [])
+    assert exc_info.value.code == "JNS-RES-001"
+
+    program = compile_program("class A { int[] m() { return new int[-1]; } }")
+    interp = program.interp(max_steps=5000)
+    ref = interp.new_instance(("A",), ())
+    with pytest.raises(JnsError) as exc_info:
+        interp.call_method(ref, "m", [])
+    assert exc_info.value.code.startswith("JNS-RUN")
+
+    assert sys.getrecursionlimit() == limit_before
+
+
+def test_unbounded_recursion_fails_without_raising_process_limit():
+    """Even with no explicit budget, runaway recursion is caught by the
+    default depth guard and the process recursion limit is restored."""
+    limit_before = sys.getrecursionlimit()
+    program = compile_program("class A { int m() { return m(); } }")
+    interp = program.interp()
+    ref = interp.new_instance(("A",), ())
+    with pytest.raises(JnsResourceError) as exc_info:
+        interp.call_method(ref, "m", [])
+    assert exc_info.value.code.startswith("JNS-RES")
+    assert sys.getrecursionlimit() == limit_before
 
 
 def test_deeply_nested_expressions():
