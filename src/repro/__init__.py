@@ -16,8 +16,18 @@ Public entry points:
   the lambda compiler, CorONA).
 """
 
-from .api import Program, check_source, compile_program, run_program
+from .api import (
+    Program,
+    cache_stats,
+    caches_enabled,
+    check_source,
+    clear_caches,
+    compile_program,
+    run_program,
+    set_caches_enabled,
+)
 from .diagnostics import Diagnostic, DiagnosticSink, Span
+from .lang.queries import CacheStats, QueryEngine
 from .errors import JnsResourceError
 from .lang.classtable import ClassTable, JnsError, ResolveError, TypeError_
 from .lang.typecheck import CheckReport
@@ -36,6 +46,12 @@ __all__ = [
     "compile_program",
     "check_source",
     "run_program",
+    "CacheStats",
+    "QueryEngine",
+    "cache_stats",
+    "caches_enabled",
+    "clear_caches",
+    "set_caches_enabled",
     "ClassTable",
     "CheckReport",
     "Diagnostic",

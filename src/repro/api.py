@@ -24,10 +24,25 @@ from typing import Any, List, Optional, Tuple
 from .diagnostics import DiagnosticSink
 from .errors import JnsError
 from .lang.classtable import ClassTable, ResolveError, TypeError_
+from .lang.queries import (
+    CacheStats,
+    caches_enabled,
+    clear_caches,
+    collect_stats,
+    global_stats,
+    set_caches_enabled,
+)
 from .lang.resolve import resolve_program
 from .lang.typecheck import CheckReport, check_program
 from .runtime.interp import Interp
 from .source.parser import parse_program
+
+
+def cache_stats() -> CacheStats:
+    """Aggregate hit/miss/size counters for every live query cache in the
+    process (class tables, sharing checkers, loaders, interpreters, and
+    the program compile cache)."""
+    return global_stats()
 
 
 @dataclass
@@ -63,6 +78,13 @@ class Program:
             max_steps=max_steps,
             max_depth=max_depth,
         )
+
+    def cache_stats(self) -> CacheStats:
+        """Live counters for this program's class-table queries (they keep
+        moving after the check, as interpreters run against the same
+        table).  The snapshot taken at check time — including the sharing
+        checker's queries — is on ``report.cache_stats``."""
+        return collect_stats([self.table.queries])
 
 
 def compile_program(

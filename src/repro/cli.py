@@ -22,7 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .api import compile_program
+from .api import cache_stats, compile_program
 from .diagnostics import DiagnosticSink, render
 from .lang.classtable import ClassTable, JnsError
 from .lang.infer import infer_constraints, install_constraints
@@ -66,6 +66,8 @@ def cmd_run(args) -> int:
         return 1
     if result is not None:
         print(f"=> {result}")
+    if args.stats:
+        print(interp.cache_stats().format(), file=sys.stderr)
     return 0
 
 
@@ -96,6 +98,8 @@ def cmd_check(args) -> int:
         report = check_program(table, strict_sharing=args.strict)
         for diag in report.warnings + report.errors:
             sink.add(diag)
+        if args.stats and report.cache_stats is not None:
+            print(report.cache_stats.format(), file=sys.stderr)
     if args.json:
         print(sink.to_json())
         return 1 if sink.has_errors else 0
@@ -176,6 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="J&s call-depth limit (default 4000); exceeding it raises JNS-RES-002",
     )
+    p_run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print query-cache hit/miss counters to stderr after the run",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_check = sub.add_parser("check", help="type-check a J&s program")
@@ -186,6 +195,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit diagnostics as machine-readable JSON",
+    )
+    p_check.add_argument(
+        "--stats",
+        action="store_true",
+        help="print query-cache hit/miss counters to stderr after checking",
     )
     p_check.set_defaults(func=cmd_check)
 

@@ -27,7 +27,8 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tup
 from ..errors import JnsError
 from ..source import ast
 from . import types as T
-from .types import ClassType, Path, Type, View, exact_class
+from .queries import MISS, QueryEngine
+from .types import ClassType, Path, Type, View, exact_class, intern_type
 
 
 class ResolveError(JnsError):
@@ -74,20 +75,57 @@ class ClassTable:
         self.explicit: Dict[Path, ClassInfo] = {}
         self._register((), unit.classes)
 
-        # memo tables
-        self._has_member: Dict[Tuple[Path, str], bool] = {}
-        self._parents: Dict[Path, Tuple[Path, ...]] = {}
+        # Memoized queries (see queries.py).  Cycle guards are explicit
+        # sets — never the memo tables themselves — so the judgments stay
+        # correct when caching is globally disabled.
+        self.queries = QueryEngine("table")
+        q = self.queries.query
+        self._q_has_member = q("has_member")
+        self._q_parents = q("parents")
+        self._q_ancestors = q("ancestors")
+        self._q_member_names = q("member_names")
+        self._q_all_paths = q("all_paths")
+        self._q_fields = q("all_fields")
+        self._q_find_field = q("find_field")
+        self._q_method = q("find_method")
+        self._q_method_names = q("all_method_names")
+        self._q_ctor = q("find_ctor")
+        self._q_mem = q("mem")
+        self._q_eval_static = q("eval_type_static")
+        self._q_subclasses = q("subclasses_of")
+        self._q_group = q("sharing_group")
+        self._q_view_of = q("view_of")
+        # used by subtype.py (keyed on this table's lifetime)
+        self._q_subtype = q("subtype")
+        self._q_bound = q("bound")
+        self._q_class_subtype = q("class_subtype")
+
+        # cycle guards (explicit, cache-independent)
         self._parents_in_progress: Set[Path] = set()
-        self._ancestors: Dict[Path, Tuple[Path, ...]] = {}
-        self._member_names: Dict[Path, Tuple[str, ...]] = {}
-        self._fields: Dict[Path, Tuple[Tuple[Path, ast.FieldDecl], ...]] = {}
-        self._method_cache: Dict[Tuple[Path, str], Optional[Tuple[Path, ast.MethodDecl]]] = {}
+        self._has_member_active: Set[Tuple[Path, str]] = set()
+
+        # derived sharing relation (program state, rebuilt by invalidate())
         self._share_parent: Dict[Path, Path] = {}
         self._share_masks: Dict[Path, FrozenSet[str]] = {}
         self._groups_built = False
         self._group_find: Dict[Path, Path] = {}
-        self._group_cache: Dict[Path, Tuple[Path, ...]] = {}
-        self._all_paths: Optional[Tuple[Path, ...]] = None
+
+    def invalidate(self) -> None:
+        """Drop every memoized result and derived sharing state.
+
+        The single invalidation entry point: after this, all judgments
+        recompute from ``self.explicit`` (and re-resolve extends/shares
+        clauses) on next use.  Used when the program changes under the
+        table and by the cache-disabled differential/benchmark modes."""
+        self.queries.clear()
+        self._share_parent.clear()
+        self._share_masks.clear()
+        self._group_find.clear()
+        self._groups_built = False
+        self._parents_in_progress.clear()
+        self._has_member_active.clear()
+        for info in self.explicit.values():
+            info.super_types = None
 
     # ------------------------------------------------------------------
     # registration
@@ -111,26 +149,30 @@ class ClassTable:
         """Whether class ``owner`` has a member class ``name`` (explicit or
         inherited), i.e. whether CT'(owner.name) is defined."""
         key = (owner, name)
-        cached = self._has_member.get(key)
-        if cached is not None:
+        cached = self._q_has_member.get(key)
+        if cached is not MISS:
             return cached
-        self._has_member[key] = False  # cycle guard: assume no
-        result = owner + (name,) in self.explicit
-        if not result and owner not in self._parents_in_progress:
-            # While a class's own extends clause is being resolved, only its
-            # explicit members are visible (prevents the extends clause from
-            # resolving through the inheritance it is introducing).
-            for parent in self.parents(owner):
-                if self.has_member(parent, name):
-                    result = True
-                    break
-            self._has_member[key] = result
-        elif result:
-            self._has_member[key] = result
-        else:
-            # do not cache a conservative negative answer
-            del self._has_member[key]
-        return result
+        if key in self._has_member_active:
+            return False  # cycle: assume no (never cached)
+        self._has_member_active.add(key)
+        try:
+            result = owner + (name,) in self.explicit
+            if not result and owner not in self._parents_in_progress:
+                # While a class's own extends clause is being resolved, only
+                # its explicit members are visible (prevents the extends
+                # clause from resolving through the inheritance it is
+                # introducing).
+                for parent in self.parents(owner):
+                    if self.has_member(parent, name):
+                        result = True
+                        break
+                self._q_has_member.put(key, result)
+            elif result:
+                self._q_has_member.put(key, result)
+            # else: conservative negative during resolution — never cached
+            return result
+        finally:
+            self._has_member_active.discard(key)
 
     def class_exists(self, path: Path) -> bool:
         """CT'(path) != bottom: the class exists explicitly or implicitly."""
@@ -145,8 +187,8 @@ class ClassTable:
 
     def member_names(self, owner: Path) -> Tuple[str, ...]:
         """All member-class names of ``owner``, explicit and inherited."""
-        cached = self._member_names.get(owner)
-        if cached is not None:
+        cached = self._q_member_names.get(owner)
+        if cached is not MISS:
             return cached
         names: List[str] = []
         seen: Set[str] = set()
@@ -160,17 +202,16 @@ class ClassTable:
                 if name not in seen:
                     seen.add(name)
                     names.append(name)
-        result = tuple(names)
-        self._member_names[owner] = result
-        return result
+        return self._q_member_names.put(owner, tuple(names))
 
     def all_class_paths(self) -> Tuple[Path, ...]:
         """Every class path in the program, explicit and implicit.
 
         This is the 'locally closed world' enumeration that sharing checks
         (SH-CLS) rely on; the calculus assumes all classes are known."""
-        if self._all_paths is not None:
-            return self._all_paths
+        cached = self._q_all_paths.get(())
+        if cached is not MISS:
+            return cached
         out: List[Path] = []
 
         def walk(owner: Path) -> None:
@@ -180,8 +221,7 @@ class ClassTable:
                 walk(path)
 
         walk(())
-        self._all_paths = tuple(out)
-        return self._all_paths
+        return self._q_all_paths.put((), tuple(out))
 
     # ------------------------------------------------------------------
     # inheritance graph: @sc, @fb, parents, ancestors
@@ -192,8 +232,8 @@ class ClassTable:
         further-bound classes (``@fb``)."""
         if not path:
             return ()
-        cached = self._parents.get(path)
-        if cached is not None:
+        cached = self._q_parents.get(path)
+        if cached is not MISS:
             return cached
         if path in self._parents_in_progress:
             raise ResolveError(
@@ -218,9 +258,7 @@ class ClassTable:
                         fb = enc_parent + (name,)
                         if fb != path and fb not in result:
                             result.append(fb)
-            final = tuple(result)
-            self._parents[path] = final
-            return final
+            return self._q_parents.put(path, tuple(result))
         finally:
             self._parents_in_progress.discard(path)
 
@@ -269,8 +307,8 @@ class ClassTable:
     def ancestors(self, path: Path) -> Tuple[Path, ...]:
         """Reflexive-transitive closure of ``@`` as an ordered linearization
         (self first, then BFS over parents, first occurrence kept)."""
-        cached = self._ancestors.get(path)
-        if cached is not None:
+        cached = self._q_ancestors.get(path)
+        if cached is not MISS:
             return cached
         order: List[Path] = []
         seen: Set[Path] = set()
@@ -282,9 +320,7 @@ class ClassTable:
             seen.add(current)
             order.append(current)
             queue.extend(self.parents(current))
-        result = tuple(order)
-        self._ancestors[path] = result
-        return result
+        return self._q_ancestors.put(path, tuple(order))
 
     def inherits(self, sub: Path, sup: Path) -> bool:
         """``sub @* sup`` (reflexive)."""
@@ -299,6 +335,12 @@ class ClassTable:
 
     def _mem(self, t: Type) -> Tuple[Path, ...]:
         """``mem(PS)``: the classes comprising a pure non-dependent type."""
+        cached = self._q_mem.get(t)
+        if cached is not MISS:
+            return cached
+        return self._q_mem.put(t, self._mem_uncached(t))
+
+    def _mem_uncached(self, t: Type) -> Tuple[Path, ...]:
         t = t.pure()
         if isinstance(t, ClassType):
             return (t.path,)
@@ -365,7 +407,19 @@ class ClassTable:
         """Interpret a resolved type in the context of class ``this``
         (substituting ``this.class := this!`` and evaluating prefixes).
         Only ``this``-rooted dependent paths are allowed."""
-        return self.eval_type(t, lambda p: self._static_path_view(p, this))
+        key = (t, this)
+        cached = self._q_eval_static.get(key)
+        if cached is not MISS:
+            return cached
+        result = intern_type(
+            self.eval_type(t, lambda p: self._static_path_view(p, this))
+        )
+        if not self._parents_in_progress:
+            # During extends-clause resolution `_inherits_safe` answers
+            # conservatively, so mid-resolution evaluations may differ from
+            # the quiescent answer — never cache those.
+            self._q_eval_static.put(key, result)
+        return result
 
     def _static_path_view(self, dep_path: Path, this: Path) -> View:
         if dep_path == ("this",):
@@ -446,8 +500,8 @@ class ClassTable:
     def all_fields(self, path: Path) -> Tuple[Tuple[Path, ast.FieldDecl], ...]:
         """``fields(S)``: (declaring class, decl) pairs over all supers.
         A field name appears once; the most derived declaration wins."""
-        cached = self._fields.get(path)
-        if cached is not None:
+        cached = self._q_fields.get(path)
+        if cached is not MISS:
             return cached
         out: List[Tuple[Path, ast.FieldDecl]] = []
         seen: Set[str] = set()
@@ -456,15 +510,19 @@ class ClassTable:
                 if decl.name not in seen:
                     seen.add(decl.name)
                     out.append((sup, decl))
-        result = tuple(out)
-        self._fields[path] = result
-        return result
+        return self._q_fields.put(path, tuple(out))
 
     def find_field(self, path: Path, name: str) -> Optional[Tuple[Path, ast.FieldDecl]]:
+        key = (path, name)
+        cached = self._q_find_field.get(key)
+        if cached is not MISS:
+            return cached
+        result: Optional[Tuple[Path, ast.FieldDecl]] = None
         for owner, decl in self.all_fields(path):
             if decl.name == name:
-                return owner, decl
-        return None
+                result = (owner, decl)
+                break
+        return self._q_find_field.put(key, result)
 
     def find_method(self, path: Path, name: str) -> Optional[Tuple[Path, ast.MethodDecl]]:
         """Most-specific method implementation for a receiver whose view is
@@ -476,8 +534,9 @@ class ClassTable:
         path prefix with the view (the 'current family' wins, which is how
         family-wide updates propagate to implicit classes)."""
         key = (path, name)
-        if key in self._method_cache:
-            return self._method_cache[key]
+        cached = self._q_method.get(key)
+        if cached is not MISS:
+            return cached
         candidates: List[Tuple[Path, ast.MethodDecl]] = []
         for sup in self.ancestors(path):
             info = self.explicit.get(sup)
@@ -508,27 +567,37 @@ class ClassTable:
 
                 filtered.sort(key=lambda od: (-common_prefix(od[0]), -len(od[0])))
             result = filtered[0]
-        self._method_cache[key] = result
-        return result
+        return self._q_method.put(key, result)
 
-    def all_method_names(self, path: Path) -> Set[str]:
+    def all_method_names(self, path: Path) -> FrozenSet[str]:
+        cached = self._q_method_names.get(path)
+        if cached is not MISS:
+            return cached
         names: Set[str] = set()
         for sup in self.ancestors(path):
             info = self.explicit.get(sup)
             if info is not None:
                 names.update(m.name for m in info.decl.methods)
-        return names
+        return self._q_method_names.put(path, frozenset(names))
 
     def find_ctor(self, path: Path, argc: int) -> Optional[Tuple[Path, ast.CtorDecl]]:
         """Nearest constructor with matching arity along the ancestors."""
+        key = (path, argc)
+        cached = self._q_ctor.get(key)
+        if cached is not MISS:
+            return cached
+        result: Optional[Tuple[Path, ast.CtorDecl]] = None
         for sup in self.ancestors(path):
             info = self.explicit.get(sup)
             if info is None:
                 continue
             for ctor in info.decl.ctors:
                 if len(ctor.params) == argc:
-                    return sup, ctor
-        return None
+                    result = (sup, ctor)
+                    break
+            if result is not None:
+                break
+        return self._q_ctor.put(key, result)
 
     # ------------------------------------------------------------------
     # sharing (Section 2.2, 3.1): groups, share(), fclass()
@@ -675,16 +744,14 @@ class ClassTable:
     def sharing_group(self, path: Path) -> Tuple[Path, ...]:
         """All classes sharing instances with ``path`` (including itself)."""
         self._build_sharing()
-        cached = self._group_cache.get(path)
-        if cached is not None:
+        cached = self._q_group.get(path)
+        if cached is not MISS:
             return cached
         root = self._find(path)
         group = [p for p in self.all_class_paths() if self._find(p) == root]
         if path not in group:
             group.append(path)
-        result = tuple(group)
-        self._group_cache[path] = result
-        return result
+        return self._q_group.put(path, tuple(group))
 
     def share_target(self, path: Path) -> Path:
         """``share(P)``: the declared shared class of P (P itself if none)."""
@@ -724,11 +791,14 @@ class ClassTable:
         """All classes P with P! <= bound, enumerated in the locally closed
         world (bound should have an exact prefix for this to be modular,
         Section 2.1; we enumerate globally as the calculus does)."""
+        cached = self._q_subclasses.get(bound)
+        if cached is not MISS:
+            return cached
         out = []
         for p in self.all_class_paths():
             if self.inherits(p, bound.path) and self._exact_prefix_matches(p, bound):
                 out.append(p)
-        return tuple(out)
+        return self._q_subclasses.put(bound, tuple(out))
 
     def _exact_prefix_matches(self, p: Path, bound: ClassType) -> bool:
         m = max(bound.exact, default=0)
@@ -763,6 +833,10 @@ class ClassTable:
         otherwise the unique shared class under the target is selected.
         Raises :class:`JnsError` when no shared view exists (statically
         prevented by sharing constraints)."""
+        key = (current, target)
+        cached = self._q_view_of.get(key)
+        if cached is not MISS:
+            return cached
         target_pure = target.pure()
         masks = target.masks
         if not isinstance(target_pure, ClassType):
@@ -770,7 +844,7 @@ class ClassTable:
         if self.inherits(current.path, target_pure.path) and self._exact_prefix_matches(
             current.path, target_pure
         ):
-            return View(current.path, frozenset(masks))
+            return self._q_view_of.put(key, View(current.path, frozenset(masks)))
         self._build_sharing()
         matches = [
             p
@@ -779,7 +853,7 @@ class ClassTable:
             and self._exact_prefix_matches(p, target_pure)
         ]
         if len(matches) == 1:
-            return View(matches[0], frozenset(masks))
+            return self._q_view_of.put(key, View(matches[0], frozenset(masks)))
         if not matches:
             raise JnsError(
                 f"no view of {path_str(current.path)} is compatible with {target!r}"

@@ -1,0 +1,331 @@
+"""Memoized query engine for the semantic core.
+
+The checker and the runtime recompute the same judgments — ancestor
+linearizations, ``mem``, field/method lookup, subtyping, sharing-group
+closure — thousands of times per program.  This module gives every
+subsystem a uniform memo-table abstraction with observability:
+
+* :class:`Query` — one named memo table with hit/miss counters.  The hot
+  path (:meth:`Query.get`) is a single dict lookup plus a counter
+  increment; enabling/disabling caching is implemented by making
+  :meth:`Query.put` a no-op and dropping the tables, so ``get`` never
+  branches on a flag.
+* :class:`QueryEngine` — a named collection of queries owned by one
+  component (a ``ClassTable``, a ``SharingChecker``, an ``Interp``).
+  Engines register themselves in a process-wide weak registry so
+  :func:`clear_caches` / :func:`set_caches_enabled` reach every live
+  cache from one entry point.
+* :class:`CacheStats` — an immutable snapshot of per-query counters,
+  with ``to_dict()`` for JSON and ``format()`` for ``--stats`` output.
+
+Keys must be hashable and — for type-valued keys — interned via
+:func:`repro.lang.types.intern_type` so equality degenerates to a
+pointer comparison on the hot path.
+
+Correctness ground rules (see docs/IMPLEMENTATION.md):
+
+* memo tables are *not* cycle guards.  Judgments that need in-progress
+  detection (``parents``, ``has_member``, coinductive sharing) keep an
+  explicit guard set; with caches disabled the guard still works.
+* state-dependent judgments only cache in the quiescent state (e.g.
+  ``type_shares`` is not cached while a coinductive assumption is
+  active, ``eval_type_static`` is not cached mid-resolution).
+
+Set ``REPRO_DISABLE_CACHES=1`` in the environment to start the process
+with all query caches off (used by the differential correctness tests
+and the benchmark "before" measurements).
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Query",
+    "QueryEngine",
+    "QueryStat",
+    "CacheStats",
+    "set_caches_enabled",
+    "caches_enabled",
+    "clear_caches",
+    "collect_stats",
+    "MISS",
+]
+
+#: Sentinel distinguishing "not cached" from a cached ``None`` result.
+MISS: Any = object()
+
+# Process-wide enabled flag.  Individual engines mirror it into each
+# Query's ``put`` behavior so the get/put fast paths stay branch-free.
+_ENABLED: bool = os.environ.get("REPRO_DISABLE_CACHES", "") not in ("1", "true", "yes")
+
+# Weak registry of every live engine, so clear_caches()/set_caches_enabled()
+# can reach caches owned by long-lived objects (session-scoped fixtures,
+# the program cache) without those objects registering callbacks.
+_ENGINES: "weakref.WeakSet[QueryEngine]" = weakref.WeakSet()
+
+
+class Query:
+    """One named memo table with hit/miss accounting.
+
+    ``get`` returns :data:`MISS` when the key is absent.  ``put`` stores
+    the value (bounded queries evict least-recently-inserted entries).
+    When caching is disabled the table is empty and ``put`` is a no-op,
+    so every ``get`` is a miss — the judgment recomputes from scratch.
+    """
+
+    __slots__ = ("name", "table", "hits", "misses", "maxsize", "_enabled")
+
+    def __init__(self, name: str, maxsize: Optional[int] = None) -> None:
+        self.name = name
+        self.table: Dict[Any, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.maxsize = maxsize
+        self._enabled = _ENABLED
+
+    def get(self, key: Any) -> Any:
+        value = self.table.get(key, MISS)
+        if value is MISS:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> Any:
+        if self._enabled:
+            if self.maxsize is not None and len(self.table) >= self.maxsize:
+                # Bounded mode: evict in insertion order (FIFO ~ LRU for
+                # the program cache's access pattern, without per-get
+                # bookkeeping on unbounded hot queries).
+                self.table.pop(next(iter(self.table)))
+            self.table[key] = value
+        return value
+
+    def touch(self, key: Any) -> None:
+        """Refresh ``key``'s eviction position in a bounded query."""
+        if self.maxsize is not None and key in self.table:
+            self.table[key] = self.table.pop(key)
+
+    def clear(self) -> None:
+        self.table.clear()
+
+    def set_enabled(self, enabled: bool) -> None:
+        self._enabled = enabled
+        if not enabled:
+            self.table.clear()
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.table
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+@dataclass(frozen=True)
+class QueryStat:
+    """Counters for one query at snapshot time."""
+
+    engine: str
+    name: str
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "query": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of cache counters across one or more engines."""
+
+    stats: Tuple[QueryStat, ...]
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self.stats)
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self.stats)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def query(self, name: str, engine: Optional[str] = None) -> Optional[QueryStat]:
+        for s in self.stats:
+            if s.name == name and (engine is None or s.engine == engine):
+                return s
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "enabled": caches_enabled(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "queries": [s.to_dict() for s in self.stats],
+        }
+
+    def format(self) -> str:
+        """Human-readable table for ``repro check/run --stats``."""
+        lines = [
+            "cache stats ({}): {} hits / {} misses ({:.1%} hit rate)".format(
+                "enabled" if caches_enabled() else "disabled",
+                self.hits,
+                self.misses,
+                self.hit_rate,
+            )
+        ]
+        width = max((len(f"{s.engine}.{s.name}") for s in self.stats), default=0)
+        for s in sorted(self.stats, key=lambda s: -s.lookups):
+            if not s.lookups and not s.size:
+                continue
+            lines.append(
+                "  {:<{w}}  {:>8} hits  {:>8} misses  {:>7} entries  {:>6.1%}".format(
+                    f"{s.engine}.{s.name}",
+                    s.hits,
+                    s.misses,
+                    s.size,
+                    s.hit_rate,
+                    w=width,
+                )
+            )
+        return "\n".join(lines)
+
+
+class QueryEngine:
+    """A named group of queries owned by one component."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.queries: Dict[str, Query] = {}
+        _ENGINES.add(self)
+
+    def query(self, name: str, maxsize: Optional[int] = None) -> Query:
+        q = self.queries.get(name)
+        if q is None:
+            q = self.queries[name] = Query(name, maxsize=maxsize)
+        return q
+
+    def clear(self) -> None:
+        for q in self.queries.values():
+            q.clear()
+
+    def set_enabled(self, enabled: bool) -> None:
+        for q in self.queries.values():
+            q.set_enabled(enabled)
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            tuple(
+                QueryStat(self.name, q.name, q.hits, q.misses, len(q.table))
+                for q in self.queries.values()
+            )
+        )
+
+    def reset_counters(self) -> None:
+        for q in self.queries.values():
+            q.hits = 0
+            q.misses = 0
+
+
+def caches_enabled() -> bool:
+    """True when query memoization is globally enabled."""
+    return _ENABLED
+
+
+def set_caches_enabled(enabled: bool) -> None:
+    """Globally enable/disable all query caches.
+
+    Disabling clears every live memo table (so stale entries can't leak
+    back in when re-enabled) and makes subsequent ``put`` calls no-ops.
+    Type interning (`types.intern_type`) is *not* affected — interning is
+    a representation invariant, not a cache.
+    """
+    global _ENABLED
+    _ENABLED = enabled
+    for engine in list(_ENGINES):
+        engine.set_enabled(enabled)
+
+
+def clear_caches() -> None:
+    """Drop every live memo table (the single invalidation entry point).
+
+    Also clears the type-interning table — safe because interning is
+    self-repopulating — so long test runs can't grow memory without
+    bound.
+    """
+    for engine in list(_ENGINES):
+        engine.clear()
+    # Imported lazily to avoid an import cycle (types.py does not import
+    # queries.py; the intern table lives there).
+    from . import types as _types
+
+    _types._INTERN.clear()
+
+
+def reset_counters() -> None:
+    """Zero the hit/miss counters of every live engine without touching
+    the memo tables.  Benchmarks call this after warm-up so reported hit
+    rates describe the steady state, not the warming traffic."""
+    for engine in list(_ENGINES):
+        engine.reset_counters()
+
+
+def collect_stats(engines: Iterable[Optional[QueryEngine]]) -> CacheStats:
+    """Aggregate a CacheStats snapshot across several engines."""
+    stats: List[QueryStat] = []
+    for engine in engines:
+        if engine is not None:
+            stats.extend(engine.stats().stats)
+    return CacheStats(tuple(stats))
+
+
+def global_stats() -> CacheStats:
+    """Snapshot every live engine in the process."""
+    return collect_stats(list(_ENGINES))
+
+
+def memoized(query: Query) -> Callable:
+    """Decorator form for module-level single-argument-tuple functions.
+
+    The wrapped function must accept hashable positional arguments; the
+    key is the argument tuple.  Used for helpers where threading a table
+    through call sites would obscure the logic.
+    """
+
+    def wrap(fn: Callable) -> Callable:
+        def wrapper(*args: Any) -> Any:
+            value = query.get(args)
+            if value is not MISS:
+                return value
+            return query.put(args, fn(*args))
+
+        wrapper.__name__ = getattr(fn, "__name__", "memoized")
+        wrapper.__doc__ = fn.__doc__
+        return wrapper
+
+    return wrap

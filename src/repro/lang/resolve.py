@@ -59,7 +59,14 @@ SYS_CONSTANTS = frozenset({"PI", "E", "MAX_INT", "MIN_INT", "MAX_DOUBLE"})
 
 
 def resolve_type(t: ast.TypeAST, table: ClassTable, ctx: Path) -> Type:
-    """Resolve a surface type written lexically inside class ``ctx``."""
+    """Resolve a surface type written lexically inside class ``ctx``.
+
+    Every resolved type is interned (:func:`repro.lang.types.intern_type`)
+    so the memoized queries downstream get identity-cheap keys."""
+    return T.intern_type(_resolve_type(t, table, ctx))
+
+
+def _resolve_type(t: ast.TypeAST, table: ClassTable, ctx: Path) -> Type:
     if isinstance(t, T.Type):
         return t  # already resolved (idempotent for re-entrant passes)
     if isinstance(t, ast.TPrim):

@@ -24,6 +24,7 @@ from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from . import types as T
 from .classtable import ClassTable, JnsError, ResolveError, path_str
+from .queries import MISS, QueryEngine
 from .subtype import Env, subtype
 from .types import ClassType, Path, Type
 
@@ -31,14 +32,21 @@ from .types import ClassType, Path, Type
 class SharingChecker:
     """Computes directional sharing judgments over a class table.
 
-    Results are memoized; cyclic field-type dependencies (a shared class
+    Results are memoized *per checker instance*: the auto-mask fixpoint in
+    ``ClassTable._build_sharing`` spins up fresh checkers against mutating
+    mask state, so the memo tables must not outlive the state they were
+    computed against.  Cyclic field-type dependencies (a shared class
     whose field type mentions the same pair of families) are resolved
-    coinductively by assuming the in-progress judgment holds."""
+    coinductively by assuming the in-progress judgment holds; the
+    ``_in_progress`` set is the cycle guard and works with caching
+    disabled."""
 
     def __init__(self, table: ClassTable) -> None:
         self.table = table
-        self._req_masks: Dict[Tuple[Path, Path], FrozenSet[str]] = {}
-        self._in_progress: Set[Tuple[Path, Path]] = set()
+        self.queries = QueryEngine("sharing")
+        self._q_req_masks = self.queries.query("required_masks")
+        self._q_type_shares = self.queries.query("type_shares")
+        self._in_progress: Set[Tuple[Path, Path, bool]] = set()
 
     # ------------------------------------------------------------------
     # per-class-pair mask requirements
@@ -58,8 +66,8 @@ class SharingChecker:
         before use, and the runtime still guards uninitialized reads);
         explicit view changes stay strict, exactly as in Figure 5."""
         key = (src, dst, lenient)
-        cached = self._req_masks.get(key)
-        if cached is not None:
+        cached = self._q_req_masks.get(key)
+        if cached is not MISS:
             return cached
         if key in self._in_progress:
             return frozenset()  # coinductive assumption
@@ -84,9 +92,7 @@ class SharingChecker:
                     masks.add(fname)
                 elif not self.type_shares(t_src, t_dst, frozenset(), lenient):
                     masks.add(fname)
-            result = frozenset(masks)
-            self._req_masks[key] = result
-            return result
+            return self._q_req_masks.put(key, frozenset(masks))
         finally:
             self._in_progress.discard(key)
 
@@ -112,7 +118,28 @@ class SharingChecker:
         lenient: bool = False,
     ) -> bool:
         """SH-CLS: every subclass of ``src`` has a unique shared subclass
-        of ``dst`` whose required masks are within ``allowed_masks``."""
+        of ``dst`` whose required masks are within ``allowed_masks``.
+
+        Memoized only in the quiescent state: while a coinductive
+        assumption is active (``_in_progress`` non-empty) the inner
+        ``required_masks`` answers are provisional, so nothing computed
+        then may be recorded."""
+        key = (src, dst, allowed_masks, lenient)
+        cached = self._q_type_shares.get(key)
+        if cached is not MISS:
+            return cached
+        result = self._type_shares_uncached(src, dst, allowed_masks, lenient)
+        if not self._in_progress:
+            self._q_type_shares.put(key, result)
+        return result
+
+    def _type_shares_uncached(
+        self,
+        src: Type,
+        dst: Type,
+        allowed_masks: FrozenSet[str],
+        lenient: bool,
+    ) -> bool:
         src_p, dst_p = src.pure(), dst.pure()
         if src_p == dst_p:
             return True

@@ -22,7 +22,20 @@ from typing import Dict, Optional
 
 from . import types as T
 from .classtable import ClassTable, ResolveError, TypeError_
+from .queries import MISS
 from .types import ClassType, Path, Type
+
+#: The only dependent path whose judgments are cacheable: results for
+#: ``this``-rooted types are a function of (ctx, type) alone *provided*
+#: the environment binds ``this`` the standard way (``this : ctx``, see
+#: ``_standard_this``).  Types depending on other locals go through the
+#: flow-sensitive ``env.vars`` and are never cached.
+_THIS_PATH = ("this",)
+
+
+def _standard_this(env: "Env") -> bool:
+    tv = env.vars.get("this")
+    return tv is not None and tv.pure() == ClassType(env.ctx)
 
 
 class Env:
@@ -59,7 +72,26 @@ class Env:
 
     def bound(self, t: Type) -> Type:
         """The most specific pure non-dependent bound of ``t``
-        (``Gamma |- T <| PS``)."""
+        (``Gamma |- T <| PS``).
+
+        Memoized per class table keyed on (ctx, type) when the type's
+        dependent paths are all ``this``-rooted and ``this`` has its
+        standard binding; other bounds read the flow-sensitive variable
+        environment and recompute every time."""
+        paths = T.paths_in(t)
+        cacheable = all(p == _THIS_PATH for p in paths) and (
+            not paths or _standard_this(self)
+        )
+        if cacheable:
+            q = self.table._q_bound
+            key = (self.ctx, t)
+            cached = q.get(key)
+            if cached is not MISS:
+                return cached
+            return q.put(key, self._bound_uncached(t))
+        return self._bound_uncached(t)
+
+    def _bound_uncached(self, t: Type) -> Type:
         t = t.pure()
         if isinstance(t, (T.PrimType, ClassType)):
             return t
@@ -221,7 +253,27 @@ def _subst(t: Type, receiver: Type, env: Env) -> Type:
 
 
 def subtype(env: Env, t1: Type, t2: Type) -> bool:
-    """``Gamma |- T1 <= T2``."""
+    """``Gamma |- T1 <= T2``.
+
+    Memoized per class table keyed on (ctx, t1, t2) under the same
+    eligibility rule as :meth:`Env.bound`: every dependent path in both
+    types is ``this``-rooted and ``this`` has its standard binding.  The
+    judgment never reads ``env.constraints`` (sharing never implies
+    subtyping), so constraints don't enter the key."""
+    if t1 == t2:
+        return True
+    paths = T.paths_in(t1) | T.paths_in(t2)
+    if all(p == _THIS_PATH for p in paths) and (not paths or _standard_this(env)):
+        q = env.table._q_subtype
+        key = (env.ctx, t1, t2)
+        cached = q.get(key)
+        if cached is not MISS:
+            return cached
+        return q.put(key, _subtype_uncached(env, t1, t2))
+    return _subtype_uncached(env, t1, t2)
+
+
+def _subtype_uncached(env: Env, t1: Type, t2: Type) -> bool:
     if t1 == t2:
         return True
     # S-MASK: masks may only be added going up (T <= T\f).
@@ -346,7 +398,17 @@ def _same_shape_equiv(env: Env, t1: Type, t2: Type) -> bool:
 
 
 def _class_subtype(table: ClassTable, c1: ClassType, c2) -> bool:
-    """Subtyping between canonical path types with exactness positions."""
+    """Subtyping between canonical path types with exactness positions.
+    A pure function of the table; memoized unconditionally."""
+    q = table._q_class_subtype
+    key = (c1, c2)
+    cached = q.get(key)
+    if cached is not MISS:
+        return cached
+    return q.put(key, _class_subtype_uncached(table, c1, c2))
+
+
+def _class_subtype_uncached(table: ClassTable, c1: ClassType, c2) -> bool:
     c2 = c2.pure() if isinstance(c2, T.MaskedType) else c2
     if isinstance(c2, T.IsectType):
         return all(

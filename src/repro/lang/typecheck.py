@@ -28,6 +28,7 @@ from ..diagnostics import Diagnostic, Span
 from ..source import ast
 from . import types as T
 from .classtable import ClassTable, JnsError, ResolveError, TypeError_, path_str
+from .queries import CacheStats, collect_stats
 from .sharing import SharingChecker
 from .subtype import Env, substitute_this, subtype
 from .types import ClassType, Path, Type
@@ -79,6 +80,9 @@ _SYS_SIGS: Dict[str, Tuple[Tuple[str, ...], object]] = {
 class CheckReport:
     errors: List[Diagnostic] = field(default_factory=list)
     warnings: List[Diagnostic] = field(default_factory=list)
+    #: snapshot of the table/sharing query caches after checking
+    #: (populated by :func:`check_program`; None for hand-built reports)
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def ok(self) -> bool:
@@ -932,6 +936,7 @@ def check_program(
     resolved) members are not checked, so one broken class does not
     drown the report in cascading errors.
     """
-    return TypeChecker(
-        table, strict_sharing=strict_sharing, skip=skip
-    ).check_program()
+    checker = TypeChecker(table, strict_sharing=strict_sharing, skip=skip)
+    report = checker.check_program()
+    report.cache_stats = collect_stats([table.queries, checker.sharing.queries])
+    return report

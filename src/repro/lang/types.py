@@ -20,7 +20,7 @@ keep their structure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 Path = Tuple[str, ...]
 
@@ -305,6 +305,47 @@ def depends_on_this_only(t: Type) -> bool:
     """True when every dependent path in ``t`` starts at ``this`` (needed by
     sharing-constraint well-formedness, Section 2.5)."""
     return all(p and p[0] == "this" for p in paths_in(t))
+
+
+#: Hash-consing table: structural type -> canonical instance.  All frozen
+#: dataclasses above hash/compare structurally, so one dict keyed on the
+#: type itself suffices; rebuilding a node with interned children does not
+#: change its equality class.  Cleared by ``queries.clear_caches()`` —
+#: safe, because interning is self-repopulating.
+_INTERN: Dict["Type", "Type"] = {}
+
+
+def intern_type(t: Type) -> Type:
+    """Return the canonical instance of ``t`` (hash-consing).
+
+    After interning, structurally equal types are the *same object*, so
+    ``==`` on them hits CPython's identity fast path and they are cheap
+    dict keys for the memoized queries.  Children are interned
+    recursively, so any subterm of an interned type is interned too.
+    Idempotent; safe on any resolved type.
+    """
+    cached = _INTERN.get(t)
+    if cached is not None:
+        return cached
+    if isinstance(t, ArrayType):
+        t = ArrayType(intern_type(t.elem))
+    elif isinstance(t, PrefixType):
+        t = PrefixType(t.family, intern_type(t.index))
+    elif isinstance(t, NestedType):
+        t = NestedType(intern_type(t.outer), t.name)
+    elif isinstance(t, ExactType):
+        t = ExactType(intern_type(t.inner))
+    elif isinstance(t, IsectType):
+        t = IsectType(tuple(intern_type(p) for p in t.parts))
+    elif isinstance(t, MaskedType):
+        t = MaskedType(intern_type(t.base), t.masks)
+    _INTERN[t] = t
+    return t
+
+
+for _prim in (INT, DOUBLE, BOOLEAN, STRING, VOID, NULL):
+    _INTERN[_prim] = _prim
+del _prim
 
 
 @dataclass(frozen=True)

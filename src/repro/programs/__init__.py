@@ -9,16 +9,22 @@
   (Section 7.4).
 """
 
-from functools import lru_cache
-
 from ..api import Program, compile_program
+from ..lang.queries import MISS, QueryEngine
 
-
-@lru_cache(maxsize=None)
-def _compile_cached(source: str, check: bool = True) -> Program:
-    return compile_program(source, check=check)
+#: Bounded, clearable compile cache (sources are module constants, so a
+#: few dozen entries covers every evaluation program; the bound keeps
+#: long fuzzing runs from growing memory without limit).  Cleared by
+#: ``repro.clear_caches()`` like every other query table.
+_ENGINE = QueryEngine("programs")
+_COMPILE = _ENGINE.query("compile", maxsize=32)
 
 
 def cached_program(source: str, check: bool = True) -> Program:
     """Compile a program once per process (sources are module constants)."""
-    return _compile_cached(source, check)
+    key = (source, check)
+    program = _COMPILE.get(key)
+    if program is not MISS:
+        _COMPILE.touch(key)
+        return program
+    return _COMPILE.put(key, compile_program(source, check=check))

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List
 
 from ..lang import types as T
+from ..lang.classtable import path_str
 from ..lang.types import ClassType
 from ..source import ast
 from .values import JnsRuntimeError, NullDereference, Ref
@@ -214,16 +215,56 @@ class BodyCompiler:
             name = e.name
             args = tuple(self.expr(a) for a in e.args)
             call = interp.call_method
+            if not interp.loader.cached:
+                # jx mode: no run-time caching anywhere, including here.
 
-            def run_call(frame: Frame):
+                def run_call(frame: Frame):
+                    receiver = obj(frame)
+                    if receiver is None:
+                        raise NullDereference(f"null dereference calling {name!r}")
+                    if not isinstance(receiver, Ref):
+                        raise JnsRuntimeError(
+                            f"cannot call {name!r} on {receiver!r}"
+                        )
+                    return call(receiver, name, [a(frame) for a in args])
+
+                return run_call
+            # Monomorphic per-call-site inline cache: remember the last
+            # (view path -> resolved method) so the common same-receiver-
+            # class case skips even the dispatch query.  Compared with
+            # ``==`` (not ``is``): equal-but-not-identical path tuples
+            # occur.  ``site_q`` supplies hit/miss counters and the live
+            # enabled flag (the cache degrades to plain dispatch when
+            # caching is globally disabled).
+            invoke = interp._invoke
+            lookup = interp._lookup_method
+            site_q = interp._q_site
+            site: List[Any] = [None, None, None]  # view path, owner, decl
+
+            def run_call_ic(frame: Frame):
                 receiver = obj(frame)
                 if receiver is None:
                     raise NullDereference(f"null dereference calling {name!r}")
                 if not isinstance(receiver, Ref):
                     raise JnsRuntimeError(f"cannot call {name!r} on {receiver!r}")
-                return call(receiver, name, [a(frame) for a in args])
+                vp = receiver.view.path
+                if site[0] == vp:
+                    site_q.hits += 1
+                    return invoke(
+                        site[1], site[2], receiver, name, [a(frame) for a in args]
+                    )
+                site_q.misses += 1
+                found = lookup(vp, name)
+                if found is None:
+                    raise JnsRuntimeError(f"no method {name!r} on {path_str(vp)}")
+                owner, decl = found
+                if site_q._enabled:
+                    site[0], site[1], site[2] = vp, owner, decl
+                else:
+                    site[0] = None
+                return invoke(owner, decl, receiver, name, [a(frame) for a in args])
 
-            return run_call
+            return run_call_ic
         if cls is ast.SysCall:
             fn = interp._sys[e.name]
             args = tuple(self.expr(a) for a in e.args)

@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..errors import JnsResourceError
 from ..lang import types as T
 from ..lang.classtable import ClassTable, JnsError, ResolveError, path_str
+from ..lang.queries import MISS, CacheStats, QueryEngine, collect_stats
 from ..lang.types import ClassType, Path, Type, View
 from ..source import ast
 from .loader import Loader, RTClass
@@ -154,15 +155,29 @@ class Interp:
         self.memoize_views = memoize_views
         self.eager_views = eager_views
         self.compiled = compiled
-        self._body_cache: Dict[int, Callable] = {}
-        self._init_cache: Dict[int, Callable] = {}
         self._compiler = None
         self.output: List[str] = []
         self.loader = Loader(table, cached=(mode != "jx"), sharing=self.sharing)
-        #: per-(view path, field) evaluated retarget types (jns mode)
-        self._retarget_cache: Dict[Tuple[Path, str], Optional[Type]] = {}
-        #: conformance cache: (view path, target type) -> bool
-        self._conforms_cache: Dict[Tuple[Path, Type], bool] = {}
+        # Run-time query caches (see lang/queries.py).  ``dispatch`` is
+        # the (view path, method name) inline cache that makes steady-state
+        # dispatch a single dict hit; ``call_site`` counts the compiler's
+        # per-call-site monomorphic inline caches.  jx mode (uncached
+        # loader) bypasses all of them to reproduce the J& [31] row of
+        # Table 1.
+        self.queries = QueryEngine("interp")
+        q = self.queries.query
+        self._q_dispatch = q("dispatch")
+        self._q_body = q("body")
+        self._q_init = q("init")
+        self._q_retarget = q("retarget")
+        self._q_conforms = q("conforms")
+        self._q_site = q("call_site")
+        # Legacy aliases: the underlying dicts of the queries (cleared in
+        # place, never replaced), kept for introspection/tests.
+        self._body_cache = self._q_body.table
+        self._init_cache = self._q_init.table
+        self._retarget_cache = self._q_retarget.table
+        self._conforms_cache = self._q_conforms.table
         self._sys = self._build_sys()
         self._max_steps = max_steps
         self._max_depth = DEFAULT_MAX_DEPTH if max_depth is None else max_depth
@@ -321,6 +336,11 @@ class Interp:
                 f"no method {name!r} on {path_str(ref.view.path)}"
             )
         owner, decl = found
+        return self._invoke(owner, decl, ref, name, args)
+
+    def _invoke(self, owner: Path, decl, ref: Ref, name: str, args: List[Any]) -> Any:
+        """Invoke an already-resolved method (lookup done by the caller —
+        ``call_method`` or a compiled call site's inline cache)."""
         if decl.body is None:
             raise JnsRuntimeError(
                 f"abstract method {path_str(owner)}.{name} called"
@@ -369,31 +389,47 @@ class Interp:
 
     def _compiled_body(self, decl):
         """Method/constructor body compiled once to Python closures."""
-        fn = self._body_cache.get(id(decl))
-        if fn is None:
+        fn = self._q_body.get(id(decl))
+        if fn is MISS:
             if self._compiler is None:
                 from .compiler import BodyCompiler
 
                 self._compiler = BodyCompiler(self)
-            fn = self._compiler.compile_body(decl.body)
-            self._body_cache[id(decl)] = fn
+            fn = self._q_body.put(id(decl), self._compiler.compile_body(decl.body))
         return fn
 
     def _compiled_init(self, decl):
-        fn = self._init_cache.get(id(decl))
-        if fn is None:
+        fn = self._q_init.get(id(decl))
+        if fn is MISS:
             if self._compiler is None:
                 from .compiler import BodyCompiler
 
                 self._compiler = BodyCompiler(self)
-            fn = self._compiler.expr(decl.init)
-            self._init_cache[id(decl)] = fn
+            fn = self._q_init.put(id(decl), self._compiler.expr(decl.init))
         return fn
 
     def _lookup_method(self, path: Path, name: str):
         # All modes dispatch through the loader; mode differences live in
         # the loader itself (jx re-synthesizes the table on every call).
+        # In cached-loader modes the (view path, method name) dispatch
+        # query reuses the precomputed vtable entry — steady-state
+        # dispatch is one dict hit, no find_method walk.
+        if self.loader.cached:
+            key = (path, name)
+            found = self._q_dispatch.get(key)
+            if found is not MISS:
+                return found
+            return self._q_dispatch.put(
+                key, self.loader.rtclass(path).vtable.get(name)
+            )
         return self.loader.rtclass(path).vtable.get(name)
+
+    def cache_stats(self) -> CacheStats:
+        """Snapshot of this interpreter's query caches plus the loader's
+        and the class table's (they all serve this run)."""
+        return collect_stats(
+            [self.queries, self.loader.queries, self.table.queries]
+        )
 
     # ------------------------------------------------------------------
     # statements
@@ -577,8 +613,8 @@ class Interp:
         if decl_type is None:
             return None
         key = (rtc.path, name)
-        cached = self._retarget_cache.get(key, _MISSING)
-        if cached is not _MISSING:
+        cached = self._q_retarget.get(key)
+        if cached is not MISS:
             return cached
         paths = T.paths_in(decl_type)
         this_only = all(p == ("this",) or p[0] == "this" for p in paths)
@@ -589,7 +625,7 @@ class Interp:
         except (ResolveError, JnsError):
             evaled = None
         if this_only and all(p == ("this",) for p in paths):
-            self._retarget_cache[key] = evaled
+            self._q_retarget.put(key, evaled)
         return evaled
 
     def _path_view(self, path: Path, this: Ref) -> View:
@@ -754,12 +790,10 @@ class Interp:
         evaluated to non-dependent form)."""
         t = t.pure()
         key = (view.path, t)
-        cached = self._conforms_cache.get(key)
-        if cached is not None:
+        cached = self._q_conforms.get(key)
+        if cached is not MISS:
             return cached
-        result = self._conforms(view.path, t)
-        self._conforms_cache[key] = result
-        return result
+        return self._q_conforms.put(key, self._conforms(view.path, t))
 
     def _conforms(self, path: Path, t: Type) -> bool:
         if isinstance(t, ClassType):

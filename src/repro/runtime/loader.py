@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..lang import types as T
 from ..lang.classtable import ClassTable, ResolveError
+from ..lang.queries import MISS, QueryEngine
 from ..lang.types import Path, Type
 from ..source import ast
 
@@ -61,17 +62,19 @@ class Loader:
         self.table = table
         self.cached = cached
         self.sharing = sharing  # J&s mode: fclass keys + view retargeting
-        self._classes: Dict[Path, RTClass] = {}
+        self.queries = QueryEngine("loader")
+        self._q_rtclass = self.queries.query("rtclass")
 
     def rtclass(self, path: Path) -> RTClass:
-        if self.cached:
-            rtc = self._classes.get(path)
-            if rtc is not None:
-                return rtc
-        rtc = self._synthesize(path)
-        if self.cached:
-            self._classes[path] = rtc
-        return rtc
+        if not self.cached:
+            # The J& [31] configuration: no classloader caching at all —
+            # bypass the query layer entirely so the mode stays honest
+            # (no hits, no stored classes) regardless of the global flag.
+            return self._synthesize(path)
+        rtc = self._q_rtclass.get(path)
+        if rtc is not MISS:
+            return rtc
+        return self._q_rtclass.put(path, self._synthesize(path))
 
     def _synthesize(self, path: Path) -> RTClass:
         table = self.table

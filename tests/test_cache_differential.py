@@ -1,0 +1,140 @@
+"""Differential cache-correctness: every observable of the pipeline —
+checker verdict, the full diagnostic list, and interpreter results/output
+across execution modes — must be identical with the query caches enabled
+and with them globally disabled (ISSUE 2 satellite).
+
+Tier-2: ``HYPOTHESIS_PROFILE=fuzz pytest -m fuzz`` raises the example
+budget; the default profile keeps this cheap enough for tier-1.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    JnsError,
+    check_source,
+    clear_caches,
+    compile_program,
+    set_caches_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _caches_restored():
+    yield
+    set_caches_enabled(True)
+    clear_caches()
+
+
+@st.composite
+def probe_programs(draw):
+    """Two-family programs with randomized sharing structure, including a
+    slice of *invalid* ones (unshared subclass + view change; bad mask)
+    so the diagnostic output is differentially covered too."""
+    x0 = draw(st.integers(0, 40))
+    bonus = draw(st.integers(1, 9))
+    loops = draw(st.integers(1, 3))
+    use_b = draw(st.booleans())        # subclass B in the base family
+    share_b = use_b and draw(st.booleans())
+    override_get = draw(st.booleans())
+    new_field = draw(st.booleans())    # derived A introduces y (needs mask)
+    do_view = draw(st.booleans())      # Main performs a view change
+    forget_mask = new_field and draw(st.booleans())  # inject a type error
+
+    b_base = "class B extends A { int get() { return x + 100; } }" if use_b else ""
+    b_derived = "class B shares F0.B { }" if share_b else ""
+    derived_get = f"int get() {{ return x + {bonus}; }}" if override_get else ""
+    y_decl = "int y;" if new_field else ""
+    mask = "" if (not new_field or forget_mask) else "\\y"
+
+    view_block = ""
+    if do_view:
+        view_block = f"F1!.A{mask} v = (view F1!.A{mask})a; s = s + v.get();"
+
+    src = f"""
+class F0 {{
+  class A {{
+    int x = {x0};
+    int get() {{ return x; }}
+  }}
+  {b_base}
+}}
+class F1 extends F0 {{
+  class A shares F0.A {{
+    {y_decl}
+    {derived_get}
+  }}
+  {b_derived}
+}}
+class Main {{
+  int main() {{
+    int s = 0;
+    for (int i = 0; i < {loops}; i++) {{
+      F0!.A a = new F0.A();
+      s = s + a.get();
+      {view_block}
+    }}
+    return s;
+  }}
+}}
+"""
+    return src
+
+
+def _observe(src):
+    """Everything a user can see from one source: diagnostics from the
+    accumulate-everything checker, the strict compile verdict, and the
+    run result + printed output in the tree-walking and compiled
+    backends of each relevant mode."""
+    sink = check_source(src)
+    diagnostics = tuple(
+        (d.code, d.severity, d.message) for d in sink
+    )
+    outcomes = {"diagnostics": diagnostics}
+    try:
+        program = compile_program(src)
+        outcomes["check"] = "ok"
+    except JnsError as exc:
+        outcomes["check"] = (exc.code, str(exc))
+        return outcomes
+    for mode in ("jns", "jx_cl", "java"):
+        for compiled in (False, True):
+            interp = program.interp(mode=mode, compiled=compiled)
+            try:
+                result = interp.run("Main.main")
+                outcomes[(mode, compiled)] = (result, tuple(interp.output))
+            except JnsError as exc:
+                outcomes[(mode, compiled)] = ("error", exc.code)
+    return outcomes
+
+
+@pytest.mark.fuzz
+@given(probe_programs())
+def test_caches_do_not_change_observables(src):
+    clear_caches()
+    set_caches_enabled(False)
+    cold = _observe(src)
+    set_caches_enabled(True)
+    clear_caches()
+    warm_first = _observe(src)   # populates every cache
+    warm_second = _observe(src)  # served largely from caches
+    assert cold == warm_first
+    assert cold == warm_second
+
+
+@pytest.mark.fuzz
+@given(probe_programs())
+def test_invalidate_matches_fresh_table(src):
+    """A table that is invalidated mid-life answers like a fresh one."""
+    set_caches_enabled(True)
+    try:
+        program = compile_program(src)
+    except JnsError:
+        return
+    interp = program.interp()
+    before = interp.run("Main.main")
+    program.table.invalidate()
+    fresh = compile_program(src)
+    assert fresh.table.ancestors(("Main",)) == program.table.ancestors(("Main",))
+    interp2 = program.interp()
+    assert interp2.run("Main.main") == before

@@ -363,3 +363,61 @@ class TestRecursion:
             """int main() { return count(2000); }
                int count(int n) { if (n == 0) { return 0; } return 1 + count(n - 1); }"""
         ) == 2000
+
+
+class TestDispatchCaching:
+    """The dispatch inline cache (ISSUE 2 micro-fix): method invocation in
+    cached-loader modes reuses the precomputed per-class method tables and,
+    once warm, never recomputes a lookup."""
+
+    SRC = """
+    class Counter {
+      int n;
+      void bump() { n = n + 1; }
+      int get() { return n; }
+    }
+    class Main {
+      int main() {
+        Counter c = new Counter();
+        for (int i = 0; i < 200; i++) { c.bump(); }
+        return c.get();
+      }
+    }
+    """
+
+    def test_steady_state_dispatch_is_hit_only(self):
+        program = compile_program(self.SRC)
+        interp = program.interp()
+        ref = interp.new_instance(("Main",), ())
+        # Warm-up: populates the (view path, method name) dispatch query.
+        assert interp.call_method(ref, "main", []) == 200
+        q = interp.queries.queries["dispatch"]
+        warm_misses = q.misses
+        warm_hits = q.hits
+        assert interp.call_method(ref, "main", []) == 200
+        assert q.misses == warm_misses, "steady-state dispatch recomputed a lookup"
+        assert q.hits > warm_hits
+        # and the per-run find_method walks collapsed into the vtable build:
+        stats = interp.cache_stats()
+        dispatch = stats.query("dispatch", engine="interp")
+        assert dispatch is not None and dispatch.hit_rate > 0.99
+
+    def test_compiled_call_sites_go_monomorphic(self):
+        program = compile_program(self.SRC)
+        interp = program.interp(compiled=True)
+        ref = interp.new_instance(("Main",), ())
+        assert interp.call_method(ref, "main", []) == 200
+        site = interp.queries.queries["call_site"]
+        before = site.misses
+        assert interp.call_method(ref, "main", []) == 200
+        # second run: every call site has seen its receiver class already
+        assert site.misses == before
+        assert site.hits > 0
+
+    def test_jx_mode_stays_uncached(self):
+        program = compile_program(self.SRC)
+        interp = program.interp(mode="jx")
+        ref = interp.new_instance(("Main",), ())
+        assert interp.call_method(ref, "main", []) == 200
+        q = interp.queries.queries["dispatch"]
+        assert q.hits == 0 and q.misses == 0 and len(q.table) == 0

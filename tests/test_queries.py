@@ -1,0 +1,215 @@
+"""Unit tests for the query/cache layer (lang/queries.py) and the type
+interning constructor, plus the public cache-control API."""
+
+import pytest
+
+import repro
+from repro import (
+    CacheStats,
+    caches_enabled,
+    clear_caches,
+    compile_program,
+    set_caches_enabled,
+)
+from repro.lang import types as T
+from repro.lang.queries import MISS, Query, QueryEngine, collect_stats
+from repro.lang.types import ClassType, intern_type
+from repro.programs import cached_program, _COMPILE
+
+from conftest import FIG123_SOURCE
+
+
+@pytest.fixture(autouse=True)
+def _caches_restored():
+    """Every test in this module leaves the global cache switch on."""
+    yield
+    set_caches_enabled(True)
+
+
+class TestQuery:
+    def test_get_miss_then_hit(self):
+        q = Query("t")
+        assert q.get("k") is MISS
+        q.put("k", 41)
+        assert q.get("k") == 41
+        assert (q.hits, q.misses) == (1, 1)
+
+    def test_none_is_a_cacheable_value(self):
+        q = Query("t")
+        q.put("k", None)
+        assert q.get("k") is None
+        assert q.hits == 1
+
+    def test_contains_and_len(self):
+        q = Query("t")
+        q.put("a", 1)
+        assert "a" in q and len(q) == 1
+
+    def test_bounded_eviction_is_fifo(self):
+        q = Query("t", maxsize=2)
+        q.put("a", 1)
+        q.put("b", 2)
+        q.put("c", 3)  # evicts "a"
+        assert q.get("a") is MISS
+        assert q.get("b") == 2 and q.get("c") == 3
+
+    def test_touch_refreshes_eviction_order(self):
+        q = Query("t", maxsize=2)
+        q.put("a", 1)
+        q.put("b", 2)
+        q.touch("a")  # now "b" is oldest
+        q.put("c", 3)
+        assert q.get("b") is MISS
+        assert q.get("a") == 1
+
+    def test_disabled_put_is_noop_and_clears(self):
+        q = Query("t")
+        q.put("a", 1)
+        q.set_enabled(False)
+        assert len(q) == 0
+        q.put("b", 2)
+        assert q.get("b") is MISS
+        q.set_enabled(True)
+        q.put("b", 2)
+        assert q.get("b") == 2
+
+
+class TestEngineAndStats:
+    def test_engine_reuses_query_by_name(self):
+        e = QueryEngine("e")
+        assert e.query("x") is e.query("x")
+
+    def test_stats_snapshot(self):
+        e = QueryEngine("e")
+        q = e.query("x")
+        q.put("k", 1)
+        q.get("k")
+        q.get("missing")
+        s = e.stats()
+        stat = s.query("x", engine="e")
+        assert (stat.hits, stat.misses, stat.size) == (1, 1, 1)
+        assert 0 < stat.hit_rate < 1
+
+    def test_collect_merges_engines_and_skips_none(self):
+        e1, e2 = QueryEngine("a"), QueryEngine("b")
+        e1.query("x").put("k", 1)
+        e2.query("y").put("k", 2)
+        merged = collect_stats([e1, None, e2])
+        assert {s.engine for s in merged.stats} == {"a", "b"}
+        assert merged.to_dict()["queries"]
+
+    def test_format_is_printable(self):
+        e = QueryEngine("fmt")
+        q = e.query("x")
+        q.put("k", 1)
+        q.get("k")
+        text = collect_stats([e]).format()
+        assert "fmt.x" in text and "hits" in text
+
+    def test_global_switch_reaches_live_engines(self):
+        e = QueryEngine("switch-test")
+        q = e.query("x")
+        q.put("k", 1)
+        set_caches_enabled(False)
+        assert not caches_enabled()
+        assert q.get("k") is MISS  # table dropped
+        q.put("k", 1)
+        assert q.get("k") is MISS  # puts are no-ops
+        set_caches_enabled(True)
+        assert caches_enabled()
+        q.put("k", 1)
+        assert q.get("k") == 1
+
+
+class TestInterning:
+    def test_equal_types_become_identical(self):
+        a = intern_type(ClassType(("A", "B"), frozenset({1})))
+        b = intern_type(ClassType(("A", "B"), frozenset({1})))
+        assert a is b
+
+    def test_children_are_interned(self):
+        elem = ClassType(("A",))
+        arr = intern_type(T.ArrayType(elem))
+        assert arr.elem is intern_type(ClassType(("A",)))
+        isect = intern_type(T.make_isect((ClassType(("X",)), ClassType(("Y",)))))
+        assert all(p is intern_type(p) for p in isect.parts)
+
+    def test_idempotent(self):
+        t = intern_type(T.MaskedType(ClassType(("A",)), frozenset({"f"})))
+        assert intern_type(t) is t
+
+    def test_prims_are_preseeded(self):
+        assert intern_type(T.PrimType("int")) is T.INT
+
+    def test_clear_caches_resets_intern_table(self):
+        t = intern_type(ClassType(("OnlyHere",)))
+        assert T._INTERN.get(t) is t
+        clear_caches()
+        assert ClassType(("OnlyHere",)) not in T._INTERN
+        # self-repopulating afterwards
+        assert intern_type(ClassType(("OnlyHere",))) is intern_type(
+            ClassType(("OnlyHere",))
+        )
+
+
+class TestTableInvalidate:
+    def test_invalidate_empties_queries_and_recomputes(self):
+        program = compile_program(FIG123_SOURCE)
+        table = program.table
+        before = table.ancestors(("ASTDisplay", "Binary"))
+        assert any(len(q.table) for q in table.queries.queries.values())
+        table.invalidate()
+        assert all(len(q.table) == 0 for q in table.queries.queries.values())
+        assert not table._groups_built
+        assert table.ancestors(("ASTDisplay", "Binary")) == before
+        # sharing relation rebuilt identically
+        assert table.shared_with(("ASTDisplay", "Binary"), ("AST", "Binary"))
+
+
+class TestProgramCache:
+    def test_cached_program_hits_second_time(self):
+        src = "class Main { int main() { return 7; } }"
+        clear_caches()
+        p1 = cached_program(src)
+        p2 = cached_program(src)
+        assert p1 is p2
+        assert _COMPILE.hits >= 1
+
+    def test_bounded(self):
+        assert _COMPILE.maxsize is not None
+
+    def test_clear_caches_drops_compiled_programs(self):
+        src = "class Main { int main() { return 8; } }"
+        p1 = cached_program(src)
+        clear_caches()
+        assert cached_program(src) is not p1
+
+
+class TestApiSurface:
+    def test_global_cache_stats_accessor(self):
+        compile_program("class Main { int main() { return 1; } }")
+        stats = repro.cache_stats()
+        assert isinstance(stats, CacheStats)
+        assert stats.hits + stats.misses > 0
+        d = stats.to_dict()
+        assert d["enabled"] is True and isinstance(d["queries"], list)
+
+    def test_report_carries_check_time_stats(self):
+        program = compile_program(FIG123_SOURCE)
+        assert program.report.cache_stats is not None
+        assert program.report.cache_stats.hits > 0
+
+    def test_program_cache_stats_are_live(self):
+        program = compile_program(FIG123_SOURCE)
+        before = program.cache_stats().hits
+        interp = program.interp()
+        ref = interp.new_instance(("Main",), ())
+        interp.call_method(ref, "evalSample", [])
+        assert program.cache_stats().hits >= before
+
+    def test_interp_cache_stats_include_loader_and_table(self):
+        program = compile_program("class Main { int main() { return 2; } }")
+        interp = program.interp()
+        interp.run("Main.main")
+        engines = {s.engine for s in interp.cache_stats().stats}
+        assert {"interp", "loader", "table"} <= engines
