@@ -16,6 +16,7 @@ Public entry points:
   the lambda compiler, CorONA).
 """
 
+from . import obs
 from .api import (
     Program,
     cache_stats,
@@ -42,6 +43,7 @@ from .runtime.values import (
 __version__ = "0.1.0"
 
 __all__ = [
+    "obs",
     "Program",
     "compile_program",
     "check_source",

@@ -14,14 +14,22 @@ Commands:
 * ``fmt FILE``      — parse and pretty-print the program.
 * ``report WHAT``   — regenerate an evaluation artifact: ``table1``
   (jolden), ``table2`` (tree traversal), or ``corona`` (Section 7.4).
+
+``run`` and ``check`` share the observability flags (see
+:mod:`repro.obs`): ``--profile`` prints the unified phase-timing +
+semantic-event + cache report, ``--trace-out FILE`` writes a
+Chrome-trace JSON for ``chrome://tracing`` / Perfetto, ``--stats-json``
+emits machine-readable cache counters to stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from . import obs
 from .api import cache_stats, compile_program
 from .diagnostics import DiagnosticSink, render
 from .lang.classtable import ClassTable, JnsError
@@ -43,73 +51,114 @@ def _read(path: str) -> str:
         raise SystemExit(1)
 
 
+def _tracing_requested(args) -> bool:
+    return bool(getattr(args, "profile", False) or getattr(args, "trace_out", None))
+
+
+def _emit_observability(args, stats) -> None:
+    """Shared tail of ``run``/``check``: the ``--profile`` unified report
+    and ``--trace-out`` Chrome trace go to stderr/file, ``--stats-json``
+    prints the machine-readable cache counters (the same schema as
+    ``report.cache_stats.to_dict()``) to stdout for CI to diff."""
+    if getattr(args, "stats", False) and stats is not None:
+        print(stats.format(), file=sys.stderr)
+    if getattr(args, "profile", False):
+        print(obs.format_report(cache_stats=stats), file=sys.stderr)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        obs.TRACER.write_chrome_trace(trace_out)
+        print(
+            f"wrote Chrome trace to {trace_out} "
+            "(load in chrome://tracing or https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    if getattr(args, "stats_json", False) and stats is not None:
+        print(json.dumps(stats.to_dict(), sort_keys=True))
+
+
 def cmd_run(args) -> int:
     source = _read(args.file)
+    if _tracing_requested(args):
+        obs.enable()
+    interp = None
     try:
-        program = compile_program(source, check=not args.no_check)
-    except JnsError as exc:
-        print(render(exc.to_diagnostic(), source), file=sys.stderr)
-        return 1
-    interp = program.interp(
-        mode=args.mode,
-        echo=True,
-        max_steps=args.max_steps,
-        max_depth=args.max_depth,
-    )
-    try:
-        result = interp.run(args.entry)
-    except JnsError as exc:
-        print(f"runtime error: {exc}", file=sys.stderr)
-        for note in exc.notes:
-            print(f"  note: {note}", file=sys.stderr)
-        print(f"[{exc.code}]", file=sys.stderr)
-        return 1
-    if result is not None:
-        print(f"=> {result}")
-    if args.stats:
-        print(interp.cache_stats().format(), file=sys.stderr)
-    return 0
+        try:
+            program = compile_program(source, check=not args.no_check)
+        except JnsError as exc:
+            print(render(exc.to_diagnostic(), source), file=sys.stderr)
+            return 1
+        interp = program.interp(
+            mode=args.mode,
+            echo=True,
+            max_steps=args.max_steps,
+            max_depth=args.max_depth,
+        )
+        try:
+            result = interp.run(args.entry)
+        except JnsError as exc:
+            print(f"runtime error: {exc}", file=sys.stderr)
+            for note in exc.notes:
+                print(f"  note: {note}", file=sys.stderr)
+            print(f"[{exc.code}]", file=sys.stderr)
+            return 1
+        if result is not None:
+            print(f"=> {result}")
+        return 0
+    finally:
+        # Observability output is emitted even when the program failed —
+        # a profile of the failing run is exactly what one wants then.
+        if _tracing_requested(args):
+            obs.disable()
+        stats = interp.cache_stats() if interp is not None else cache_stats()
+        _emit_observability(args, stats)
 
 
 def cmd_check(args) -> int:
     source = _read(args.file)
+    if _tracing_requested(args):
+        obs.enable()
     sink = DiagnosticSink(file=args.file)
     table = None
+    stats = None
     try:
-        unit = parse_program(source, file=args.file, sink=sink)
-        table = ClassTable(unit)
-        resolve_program(table, sink=sink)
-    except JnsError as exc:
-        # Table construction (duplicate class, cyclic extends) aborts the
-        # later stages wholesale; everything else accumulates in the sink.
-        sink.add_exc(exc)
-        table = None
-    inferred_lines = []
-    if table is not None:
-        if args.infer:
-            try:
-                inferred = infer_constraints(table)
-                installed = install_constraints(table, inferred)
-                for c in inferred:
-                    inferred_lines.append(f"inferred  {c}")
-                inferred_lines.append(f"installed {installed} constraint clause(s)")
-            except JnsError as exc:
-                sink.add_exc(exc)
-        report = check_program(table, strict_sharing=args.strict)
-        for diag in report.warnings + report.errors:
-            sink.add(diag)
-        if args.stats and report.cache_stats is not None:
-            print(report.cache_stats.format(), file=sys.stderr)
-    if args.json:
-        print(sink.to_json())
-        return 1 if sink.has_errors else 0
-    for line in inferred_lines:
-        print(line)
-    if len(sink):
-        print(sink.render(source))
-    errors = sink.errors
-    print("ok" if not errors else f"{len(errors)} error(s)")
-    return 1 if errors else 0
+        try:
+            unit = parse_program(source, file=args.file, sink=sink)
+            table = ClassTable(unit)
+            resolve_program(table, sink=sink)
+        except JnsError as exc:
+            # Table construction (duplicate class, cyclic extends) aborts the
+            # later stages wholesale; everything else accumulates in the sink.
+            sink.add_exc(exc)
+            table = None
+        inferred_lines = []
+        if table is not None:
+            if args.infer:
+                try:
+                    inferred = infer_constraints(table)
+                    installed = install_constraints(table, inferred)
+                    for c in inferred:
+                        inferred_lines.append(f"inferred  {c}")
+                    inferred_lines.append(f"installed {installed} constraint clause(s)")
+                except JnsError as exc:
+                    sink.add_exc(exc)
+            report = check_program(table, strict_sharing=args.strict)
+            for diag in report.warnings + report.errors:
+                sink.add(diag)
+            stats = report.cache_stats
+        if args.json:
+            print(sink.to_json())
+            return 1 if sink.has_errors else 0
+        for line in inferred_lines:
+            print(line)
+        if len(sink):
+            print(sink.render(source))
+        errors = sink.errors
+        print("ok" if not errors else f"{len(errors)} error(s)")
+        return 1 if errors else 0
+    finally:
+        if _tracing_requested(args):
+            obs.disable()
+        _emit_observability(args, stats if stats is not None else cache_stats())
 
 
 def cmd_fmt(args) -> int:
@@ -157,6 +206,29 @@ def cmd_graph(args) -> int:
     return 0
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by ``run`` and ``check``."""
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the pipeline and print the unified phase-timing + "
+        "semantic-event + cache report to stderr",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome-trace JSON (chrome://tracing / Perfetto) of "
+        "the traced pipeline to FILE",
+    )
+    parser.add_argument(
+        "--stats-json",
+        action="store_true",
+        help="print query-cache counters as machine-readable JSON to stdout "
+        "(same schema as report.cache_stats.to_dict())",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -185,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print query-cache hit/miss counters to stderr after the run",
     )
+    _add_obs_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_check = sub.add_parser("check", help="type-check a J&s program")
@@ -201,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print query-cache hit/miss counters to stderr after checking",
     )
+    _add_obs_flags(p_check)
     p_check.set_defaults(func=cmd_check)
 
     p_fmt = sub.add_parser("fmt", help="pretty-print a J&s program")

@@ -7,9 +7,12 @@ subsystem a uniform memo-table abstraction with observability:
 
 * :class:`Query` — one named memo table with hit/miss counters.  The hot
   path (:meth:`Query.get`) is a single dict lookup plus a counter
-  increment; enabling/disabling caching is implemented by making
-  :meth:`Query.put` a no-op and dropping the tables, so ``get`` never
-  branches on a flag.
+  increment (and, for bounded queries, an LRU re-append); enabling/
+  disabling caching is implemented by making :meth:`Query.put` a no-op
+  and dropping the tables, so ``get`` never branches on a flag.  Every
+  query is bounded by :data:`DEFAULT_MAXSIZE` unless it opts out, with
+  least-recently-used eviction, so long-lived sessions cannot grow
+  memory without limit.
 * :class:`QueryEngine` — a named collection of queries owned by one
   component (a ``ClassTable``, a ``SharingChecker``, an ``Interp``).
   Engines register themselves in a process-wide weak registry so
@@ -44,6 +47,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
+    "DEFAULT_MAXSIZE",
     "Query",
     "QueryEngine",
     "QueryStat",
@@ -57,6 +61,17 @@ __all__ = [
 
 #: Sentinel distinguishing "not cached" from a cached ``None`` result.
 MISS: Any = object()
+
+#: Default per-query size bound.  Generous enough that no tier-1 or
+#: benchmark workload ever evicts (the largest observed table is a few
+#: thousand entries), while keeping long-lived REPL sessions and fuzzing
+#: runs from growing memory without bound.  Pass ``maxsize=None`` for a
+#: genuinely unbounded query, or a small bound for true LRU caches
+#: (e.g. the program compile cache).
+DEFAULT_MAXSIZE = 1 << 16
+
+#: Sentinel for "use DEFAULT_MAXSIZE" (distinct from explicit None).
+_DEFAULT: Any = object()
 
 # Process-wide enabled flag.  Individual engines mirror it into each
 # Query's ``put`` behavior so the get/put fast paths stay branch-free.
@@ -72,41 +87,52 @@ class Query:
     """One named memo table with hit/miss accounting.
 
     ``get`` returns :data:`MISS` when the key is absent.  ``put`` stores
-    the value (bounded queries evict least-recently-inserted entries).
-    When caching is disabled the table is empty and ``put`` is a no-op,
-    so every ``get`` is a miss — the judgment recomputes from scratch.
+    the value; bounded queries (the default — see :data:`DEFAULT_MAXSIZE`)
+    evict the **least recently used** entry, exploiting dict insertion
+    order: a hit moves its key to the back, so the front is always the
+    coldest entry.  When caching is disabled the table is empty and
+    ``put`` is a no-op, so every ``get`` is a miss — the judgment
+    recomputes from scratch.
     """
 
     __slots__ = ("name", "table", "hits", "misses", "maxsize", "_enabled")
 
-    def __init__(self, name: str, maxsize: Optional[int] = None) -> None:
+    def __init__(self, name: str, maxsize: Optional[int] = _DEFAULT) -> None:
         self.name = name
         self.table: Dict[Any, Any] = {}
         self.hits = 0
         self.misses = 0
-        self.maxsize = maxsize
+        self.maxsize = DEFAULT_MAXSIZE if maxsize is _DEFAULT else maxsize
         self._enabled = _ENABLED
 
     def get(self, key: Any) -> Any:
-        value = self.table.get(key, MISS)
+        table = self.table
+        value = table.get(key, MISS)
         if value is MISS:
             self.misses += 1
         else:
             self.hits += 1
+            if self.maxsize is not None:
+                # LRU bookkeeping: re-append so eviction order tracks use.
+                table[key] = table.pop(key)
         return value
 
     def put(self, key: Any, value: Any) -> Any:
         if self._enabled:
-            if self.maxsize is not None and len(self.table) >= self.maxsize:
-                # Bounded mode: evict in insertion order (FIFO ~ LRU for
-                # the program cache's access pattern, without per-get
-                # bookkeeping on unbounded hot queries).
-                self.table.pop(next(iter(self.table)))
-            self.table[key] = value
+            table = self.table
+            if self.maxsize is not None:
+                # Re-putting an existing key must refresh its position
+                # (plain __setitem__ keeps the old dict slot).
+                table.pop(key, None)
+                if len(table) >= self.maxsize:
+                    table.pop(next(iter(table)))
+            table[key] = value
         return value
 
     def touch(self, key: Any) -> None:
-        """Refresh ``key``'s eviction position in a bounded query."""
+        """Refresh ``key``'s eviction position in a bounded query.
+        Redundant after a hit (``get`` refreshes); kept for callers that
+        probe via ``__contains__``."""
         if self.maxsize is not None and key in self.table:
             self.table[key] = self.table.pop(key)
 
@@ -224,7 +250,7 @@ class QueryEngine:
         self.queries: Dict[str, Query] = {}
         _ENGINES.add(self)
 
-    def query(self, name: str, maxsize: Optional[int] = None) -> Query:
+    def query(self, name: str, maxsize: Optional[int] = _DEFAULT) -> Query:
         q = self.queries.get(name)
         if q is None:
             q = self.queries[name] = Query(name, maxsize=maxsize)

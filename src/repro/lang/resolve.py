@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Set
 
 from ..diagnostics import DiagnosticSink, Span
 from ..errors import JnsError
+from ..obs import TRACER
 from ..source import ast
 from . import types as T
 from .classtable import ClassTable, ResolveError, path_str
@@ -353,6 +354,15 @@ def resolve_program(
     paths that failed is returned so the type checker can skip them
     (their ASTs are only partially resolved).
     """
+    if not TRACER.enabled:
+        return _resolve_program(table, sink)
+    with TRACER.span("resolve", classes=len(table.explicit)):
+        return _resolve_program(table, sink)
+
+
+def _resolve_program(
+    table: ClassTable, sink: Optional[DiagnosticSink] = None
+) -> Set[Path]:
     failed: Set[Path] = set()
     for path, info in list(table.explicit.items()):
         decl = info.decl

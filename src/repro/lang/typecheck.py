@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..diagnostics import Diagnostic, Span
+from ..obs import TRACER
 from ..source import ast
 from . import types as T
 from .classtable import ClassTable, JnsError, ResolveError, TypeError_, path_str
@@ -169,12 +170,17 @@ class TypeChecker:
                         code="JNS-TYPE-002",
                     )
                     return self.report
-        self.table._build_sharing()
+        with TRACER.span("build_sharing"):
+            self.table._build_sharing()
         for path, info in self.table.explicit.items():
             if path in self.skip:
                 continue
             try:
-                self.check_class(path, info)
+                if TRACER.enabled:
+                    with TRACER.span("check_class", unit=path_str(path)):
+                        self.check_class(path, info)
+                else:
+                    self.check_class(path, info)
             except (ResolveError, TypeError_, JnsError) as exc:
                 self._error_exc(path_str(path), exc)
         self._check_inherited_constraints()
@@ -937,6 +943,7 @@ def check_program(
     drown the report in cascading errors.
     """
     checker = TypeChecker(table, strict_sharing=strict_sharing, skip=skip)
-    report = checker.check_program()
+    with TRACER.span("typecheck", classes=len(table.explicit)):
+        report = checker.check_program()
     report.cache_stats = collect_stats([table.queries, checker.sharing.queries])
     return report

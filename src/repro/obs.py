@@ -1,0 +1,454 @@
+"""Unified tracing, metrics, and profiling for the J&s pipeline and runtime.
+
+One process-wide :class:`Tracer` (the module singleton :data:`TRACER`)
+collects three kinds of observations:
+
+* **Phase spans** — hierarchical wall-clock timings opened with
+  ``with TRACER.span("typecheck", unit=name):``.  Every pipeline stage
+  (lex → parse → resolve → typecheck → load → compile → run) opens one,
+  so a single compile-and-run paints a tree of where time went.  Span
+  durations also feed a per-name histogram (count/total/min/max), which
+  is what the report's avg column comes from.
+* **Semantic events** — typed counters (and ring-buffer instants) for
+  the paper-specific runtime operations: explicit/implicit view changes
+  and reference-object memo hits (§6.3), dispatch inline-cache hit/miss,
+  sharing-group fallback reads (§3.3), masked-field checks (§3), and
+  conformance checks.  Giannini et al. (PAPERS.md) make sharing events
+  first-class observations; this is the engineering counterpart.
+* **Event ring** — a bounded ``deque`` of finished spans and instant
+  events, exportable as Chrome-trace JSON (``chrome://tracing`` /
+  Perfetto) via :meth:`Tracer.to_chrome_trace`.
+
+The disabled path is near-free by construction: instrumentation sites
+guard with a single attribute load and branch (``if TRACER.enabled:``),
+and :meth:`Tracer.span` returns a reusable no-op context manager when
+disabled, so no objects are allocated and no clocks are read.
+``benchmarks/test_obs_json.py`` measures the guard cost and enforces the
+≤ 5% disabled-overhead budget on the jolden driver.
+
+The unified report (:func:`format_report`) folds a
+:class:`~repro.lang.queries.CacheStats` snapshot into the same output,
+so ``repro run --profile`` and the REPL's ``:profile`` show phase
+timings, semantic events, and query-cache counters side by side.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Tracer",
+    "TRACER",
+    "Histogram",
+    "SpanRecord",
+    "InstantRecord",
+    "enable",
+    "disable",
+    "enabled",
+    "format_report",
+]
+
+#: Default capacity of the in-memory event ring.  Old events fall off
+#: the front; aggregate counters/histograms are unaffected by drops.
+DEFAULT_RING_CAPACITY = 16384
+
+#: Canonical pipeline ordering for the phase-timing report.
+_PHASE_ORDER = {
+    name: i
+    for i, name in enumerate(
+        (
+            "lex",
+            "parse",
+            "resolve",
+            "typecheck",
+            "build_sharing",
+            "check_class",
+            "load",
+            "compile",
+            "run",
+        )
+    )
+}
+
+
+class Histogram:
+    """Streaming summary of a series of observations (no buckets kept:
+    count / total / min / max, which is what the report renders).  Python
+    integers do not overflow, so accumulation is exact at any volume."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """A finished span, as stored in the event ring."""
+
+    name: str
+    path: Tuple[str, ...]  #: ancestor span names, self last
+    start_ns: int  #: relative to the tracer's enable() epoch
+    dur_ns: int
+    args: Tuple[Tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class InstantRecord:
+    """A point-in-time semantic event, as stored in the event ring."""
+
+    name: str
+    ts_ns: int
+    args: Tuple[Tuple[str, Any], ...]
+
+
+class _NullSpan:
+    """Reusable no-op context manager handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: measures its own duration on exit, attributes child
+    time to the parent frame, and records itself into the ring."""
+
+    __slots__ = ("tracer", "name", "args", "start_ns", "path")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        tracer = self.tracer
+        tracer._stack.append(self)
+        self.path = tuple(s.name for s in tracer._stack)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        end_ns = time.perf_counter_ns()
+        tracer = self.tracer
+        dur_ns = end_ns - self.start_ns
+        # Reentrancy-safe unwind: pop frames above us if an exception
+        # skipped their __exit__ (shouldn't happen with `with`, but a
+        # generator-held span could outlive its parent).
+        stack = tracer._stack
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        # Aggregate by call path (the report's tree) and by name (avg).
+        agg = tracer._span_agg.get(self.path)
+        if agg is None:
+            agg = tracer._span_agg[self.path] = [0, 0]
+        agg[0] += 1
+        agg[1] += dur_ns
+        tracer.histogram("span." + self.name).observe(dur_ns)
+        if tracer.enabled:  # disabled mid-span: drop the ring record
+            tracer.events.append(
+                SpanRecord(
+                    self.name,
+                    self.path,
+                    self.start_ns - tracer._epoch_ns,
+                    dur_ns,
+                    tuple(sorted(self.args.items())),
+                )
+            )
+        return False
+
+
+class Tracer:
+    """Process-wide trace/metric collector.  See the module docstring.
+
+    All state is owned by the instance so tests can build private
+    tracers; production code uses the :data:`TRACER` singleton, whose
+    ``enabled`` flag is the one branch every instrumentation site pays
+    when tracing is off.
+    """
+
+    def __init__(self, ring_capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        self.enabled = False
+        self.events: Deque[Any] = deque(maxlen=ring_capacity)
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        #: total observations recorded while enabled (spans + instants +
+        #: counter increments) — the disabled-overhead benchmark uses it
+        #: as the count of guarded sites a workload actually traverses.
+        self.observations = 0
+        self._stack: List[_Span] = []
+        #: call-path tuple -> [count, total_ns]
+        self._span_agg: Dict[Tuple[str, ...], List[int]] = {}
+        self._epoch_ns = time.perf_counter_ns()
+        self._enabled_at_ns: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def enable(self, reset: bool = True) -> None:
+        if reset:
+            self.reset()
+        self.enabled = True
+        self._epoch_ns = time.perf_counter_ns()
+        self._enabled_at_ns = self._epoch_ns
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all collected data (ring, counters, histograms, stack)."""
+        self.events.clear()
+        self.counters.clear()
+        self.histograms.clear()
+        self.observations = 0
+        self._stack.clear()
+        self._span_agg.clear()
+        self._epoch_ns = time.perf_counter_ns()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **args: Any):
+        """Open a hierarchical timing span.  Usable as
+        ``with TRACER.span("typecheck", unit=cls):`` from any call site;
+        returns a shared no-op context manager while disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        self.observations += 1
+        return _Span(self, name, args)
+
+    def event(self, name: str, **args: Any) -> None:
+        """Record an instant semantic event into the ring (and bump the
+        same-named counter).  Callers on hot paths must guard with
+        ``if TRACER.enabled:`` — this method assumes it is only reached
+        while enabled."""
+        self.count(name)
+        self.events.append(
+            InstantRecord(
+                name,
+                time.perf_counter_ns() - self._epoch_ns,
+                tuple(sorted(args.items())),
+            )
+        )
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to a named counter (created on first use).  Python
+        integers are unbounded, so counters accumulate without overflow."""
+        self.observations += 1
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into a named histogram."""
+        self.observations += 1
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    # exporters
+    # ------------------------------------------------------------------
+
+    def span_tree(self) -> List[Tuple[Tuple[str, ...], int, int]]:
+        """Aggregated spans as (call path, count, total_ns), preorder in
+        pipeline order (unknown span names sort after the known phases)."""
+        key: Callable[[Tuple[str, ...]], Tuple] = lambda path: tuple(
+            (_PHASE_ORDER.get(name, len(_PHASE_ORDER)), name) for name in path
+        )
+        return [
+            (path, agg[0], agg[1])
+            for path, agg in sorted(self._span_agg.items(), key=lambda kv: key(kv[0]))
+        ]
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The event ring as a Chrome-trace (Trace Event Format) object.
+
+        Finished spans become complete events (``ph: "X"`` with ``ts`` /
+        ``dur`` in microseconds); semantic events become thread-scoped
+        instants (``ph: "i"``).  Loads in ``chrome://tracing`` and
+        Perfetto; the schema is asserted by ``tests/test_obs.py``.
+        """
+        trace_events: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 1,
+                "args": {"name": "repro (J&s)"},
+            }
+        ]
+        for rec in self.events:
+            if isinstance(rec, SpanRecord):
+                trace_events.append(
+                    {
+                        "name": rec.name,
+                        "cat": "phase",
+                        "ph": "X",
+                        "ts": rec.start_ns / 1000.0,
+                        "dur": rec.dur_ns / 1000.0,
+                        "pid": 1,
+                        "tid": 1,
+                        "args": dict(rec.args),
+                    }
+                )
+            else:
+                trace_events.append(
+                    {
+                        "name": rec.name,
+                        "cat": "semantic",
+                        "ph": "i",
+                        "ts": rec.ts_ns / 1000.0,
+                        "s": "t",
+                        "pid": 1,
+                        "tid": 1,
+                        "args": dict(rec.args),
+                    }
+                )
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_chrome_trace(), f, indent=1)
+            f.write("\n")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable aggregate snapshot (no ring contents)."""
+        return {
+            "enabled": self.enabled,
+            "observations": self.observations,
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self.histograms.items())
+            },
+            "spans": [
+                {"path": list(path), "count": count, "total_ns": total}
+                for path, count, total in self.span_tree()
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # report
+    # ------------------------------------------------------------------
+
+    def format_phases(self) -> str:
+        """Human-readable phase-timing tree (indent = span nesting)."""
+        rows = self.span_tree()
+        if not rows:
+            return "phase timings: (no spans recorded)"
+        lines = ["phase timings:"]
+        width = max(2 * (len(p) - 1) + len(p[-1]) for p, _, _ in rows)
+        width = max(width, len("phase"))
+        lines.append(
+            "  {:<{w}}  {:>7}  {:>10}  {:>10}".format(
+                "phase", "count", "total", "avg", w=width
+            )
+        )
+        for path, count, total_ns in rows:
+            label = "  " * (len(path) - 1) + path[-1]
+            lines.append(
+                "  {:<{w}}  {:>7}  {:>10}  {:>10}".format(
+                    label,
+                    count,
+                    _fmt_ns(total_ns),
+                    _fmt_ns(total_ns // count),
+                    w=width,
+                )
+            )
+        return "\n".join(lines)
+
+    def format_events(self) -> str:
+        """Semantic event counters (everything that isn't a span)."""
+        items = sorted(self.counters.items())
+        if not items:
+            return "semantic events: (none recorded)"
+        lines = ["semantic events:"]
+        width = max(len(name) for name, _ in items)
+        for name, value in items:
+            lines.append("  {:<{w}}  {:>10}".format(name, value, w=width))
+        return "\n".join(lines)
+
+
+def _fmt_ns(ns: float) -> str:
+    """Adaptive duration formatting: ns -> µs -> ms -> s."""
+    if ns < 1_000:
+        return f"{ns:.0f}ns"
+    if ns < 1_000_000:
+        return f"{ns / 1_000:.1f}µs"
+    if ns < 1_000_000_000:
+        return f"{ns / 1_000_000:.2f}ms"
+    return f"{ns / 1_000_000_000:.3f}s"
+
+
+#: The process-wide tracer.  Instrumentation sites import this and guard
+#: with ``if TRACER.enabled:`` — one attribute load and branch when off.
+TRACER = Tracer()
+
+
+def enabled() -> bool:
+    return TRACER.enabled
+
+
+def enable(reset: bool = True) -> None:
+    """Turn on the process-wide tracer (clearing old data by default)."""
+    TRACER.enable(reset=reset)
+
+
+def disable() -> None:
+    TRACER.disable()
+
+
+def format_report(
+    tracer: Optional[Tracer] = None, cache_stats: Optional[Any] = None
+) -> str:
+    """The unified observability report: phase timings + semantic events
+    (+ a :class:`~repro.lang.queries.CacheStats` section when provided).
+    Shared by ``repro run --profile``, ``repro check --profile``, and the
+    REPL's ``:profile`` / ``:stats`` meta-commands."""
+    tracer = TRACER if tracer is None else tracer
+    parts = [tracer.format_phases(), tracer.format_events()]
+    if cache_stats is not None:
+        parts.append(cache_stats.format())
+    return "\n\n".join(parts)

@@ -23,8 +23,7 @@ _COMPILE = _ENGINE.query("compile", maxsize=32)
 def cached_program(source: str, check: bool = True) -> Program:
     """Compile a program once per process (sources are module constants)."""
     key = (source, check)
-    program = _COMPILE.get(key)
+    program = _COMPILE.get(key)  # a hit refreshes the LRU position
     if program is not MISS:
-        _COMPILE.touch(key)
         return program
     return _COMPILE.put(key, compile_program(source, check=check))

@@ -14,14 +14,16 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from .api import compile_program
+from . import obs
+from .api import cache_stats, compile_program
 from .lang.classtable import JnsError
 from .source.lexer import tokenize
 from .source.parser import ParseError, Parser
 
 _BANNER = (
     "J&s repl — class declarations accumulate; other input runs as "
-    "statements.\nCommands: :classes  :reset  :quit"
+    "statements.\nCommands: :classes  :reset  :stats  :trace on|off  "
+    ":profile  :quit"
 )
 
 
@@ -43,6 +45,24 @@ class ReplSession:
         if stripped == ":reset":
             self.decls = []
             return ["(cleared)"]
+        if stripped == ":stats":
+            # Process-wide query-cache counters (the REPL compiles a fresh
+            # program per input, so the global snapshot is the session's).
+            return cache_stats().format().splitlines()
+        if stripped in (":trace on", ":trace off"):
+            if stripped.endswith("on"):
+                obs.enable()
+                return ["(tracing on — run some input, then :profile)"]
+            obs.disable()
+            return ["(tracing off)"]
+        if stripped == ":profile":
+            # Same unified report formatter as `repro run --profile`.
+            if not obs.enabled() and not obs.TRACER.observations:
+                return ["(no trace data — enable collection with :trace on)"]
+            return obs.format_report(cache_stats=cache_stats()).splitlines()
+        if stripped.startswith(":"):
+            return [f"unknown command {stripped.split()[0]!r} (try :classes "
+                    ":reset :stats :trace :profile :quit)"]
         if self._is_declaration(stripped):
             return self._add_declaration(stripped)
         return self._run_statements(stripped)

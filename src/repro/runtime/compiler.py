@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List
 from ..lang import types as T
 from ..lang.classtable import path_str
 from ..lang.types import ClassType
+from ..obs import TRACER
 from ..source import ast
 from .values import JnsRuntimeError, NullDereference, Ref
 
@@ -55,7 +56,11 @@ class BodyCompiler:
     # ------------------------------------------------------------------
 
     def compile_body(self, body: ast.Block) -> Callable[[Frame], Any]:
-        stmt = self.stmt(body)
+        if TRACER.enabled:
+            with TRACER.span("compile"):
+                stmt = self.stmt(body)
+        else:
+            stmt = self.stmt(body)
 
         def run(frame: Frame) -> Any:
             try:
@@ -250,10 +255,14 @@ class BodyCompiler:
                 vp = receiver.view.path
                 if site[0] == vp:
                     site_q.hits += 1
+                    if TRACER.enabled:
+                        TRACER.count("dispatch.ic_hit")
                     return invoke(
                         site[1], site[2], receiver, name, [a(frame) for a in args]
                     )
                 site_q.misses += 1
+                if TRACER.enabled:
+                    TRACER.count("dispatch.ic_miss")
                 found = lookup(vp, name)
                 if found is None:
                     raise JnsRuntimeError(f"no method {name!r} on {path_str(vp)}")

@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import JnsResourceError
 from ..lang import types as T
+from ..obs import TRACER
 from ..lang.classtable import ClassTable, JnsError, ResolveError, path_str
 from ..lang.queries import MISS, CacheStats, QueryEngine, collect_stats
 from ..lang.types import ClassType, Path, Type, View
@@ -234,8 +235,12 @@ class Interp:
         self._depth = 0
         self.call_stack = []
         self._res_stack = None
-        ref = self.new_instance(path, ())
-        return self.call_method(ref, method, list(args))
+        if not TRACER.enabled:
+            ref = self.new_instance(path, ())
+            return self.call_method(ref, method, list(args))
+        with TRACER.span("run", unit=entry, mode=self.mode):
+            ref = self.new_instance(path, ())
+            return self.call_method(ref, method, list(args))
 
     def _enter_boundary(self) -> int:
         """Called when execution enters J&s code from the host (depth 0):
@@ -294,6 +299,8 @@ class Interp:
             self.call_stack.pop()
 
     def _new_instance(self, rtc: RTClass, path: Path, args: Tuple) -> Ref:
+        if TRACER.enabled:
+            TRACER.count("alloc")
         inst = Instance(path)
         view = View(path)
         ref = Ref(inst, view)
@@ -418,10 +425,16 @@ class Interp:
             key = (path, name)
             found = self._q_dispatch.get(key)
             if found is not MISS:
+                if TRACER.enabled:
+                    TRACER.count("dispatch.hit")
                 return found
+            if TRACER.enabled:
+                TRACER.count("dispatch.miss")
             return self._q_dispatch.put(
                 key, self.loader.rtclass(path).vtable.get(name)
             )
+        if TRACER.enabled:
+            TRACER.count("dispatch.uncached")
         return self.loader.rtclass(path).vtable.get(name)
 
     def cache_stats(self) -> CacheStats:
@@ -565,7 +578,13 @@ class Interp:
                 )
             return v
         # J&s mode: fclass-keyed storage + lazy implicit view change
+        if TRACER.enabled:
+            TRACER.count("mask.check")
         if name in view.masks:
+            if TRACER.enabled:
+                TRACER.event(
+                    "mask.blocked", field=name, view=path_str(view.path)
+                )
             raise UninitializedFieldError(
                 f"field {name!r} is masked in view {view!r}"
             )
@@ -588,6 +607,13 @@ class Interp:
         view's copy when its content can be viewed into this family;
         otherwise the read fails (statically prevented by masked types)."""
         inst = obj.inst
+        if TRACER.enabled:
+            TRACER.event(
+                "sharing.group_lookup",
+                field=name,
+                view=path_str(obj.view.path),
+                group=len(self.table.sharing_group(slot)),
+            )
         for other in self.table.sharing_group(slot):
             if other == slot:
                 continue
@@ -599,6 +625,8 @@ class Interp:
                 if target is not None:
                     v = self._adapt(v, target)  # raises if not shareable
             # memoize into this view's slot so later reads are direct
+            if TRACER.enabled:
+                TRACER.count("sharing.fallback_read")
             inst.fields[(slot, name)] = v
             return v
         raise UninitializedFieldError(
@@ -656,6 +684,10 @@ class Interp:
         if name in view.masks:
             # R-SET removes the mask; reference objects are immutable pairs,
             # so the unmasked view is what subsequent reads should use.
+            if TRACER.enabled:
+                TRACER.event(
+                    "mask.removed", field=name, view=path_str(view.path)
+                )
             obj.view = View(view.path, view.masks - {name})
 
     # -- calls ------------------------------------------------------------
@@ -789,6 +821,8 @@ class Interp:
         """Whether a value with this view belongs to type ``t`` (already
         evaluated to non-dependent form)."""
         t = t.pure()
+        if TRACER.enabled:
+            TRACER.count("conforms.check")
         key = (view.path, t)
         cached = self._q_conforms.get(key)
         if cached is not MISS:
@@ -855,6 +889,12 @@ class Interp:
         if not isinstance(v, Ref):
             raise JnsRuntimeError(f"view change applied to non-object {v!r}")
         target = self._eval_type(e.type, frame)
+        if TRACER.enabled:
+            TRACER.event(
+                "view_change.explicit",
+                source=path_str(v.view.path),
+                target=str(target),
+            )
         adapted = self._adapt(v, target)
         if self.eager_views:
             self.propagate_views(adapted)
@@ -868,6 +908,8 @@ class Interp:
         masks = target.masks
         if self.conforms(current, t_pure):
             if current.masks == masks:
+                if TRACER.enabled:
+                    TRACER.count("view_change.noop")
                 return ref
             new_view = View(current.path, frozenset(masks))
         else:
@@ -876,10 +918,14 @@ class Interp:
         if self.memoize_views:
             memo = inst.view_refs.get(new_view.path)
             if memo is not None and memo.view.masks == new_view.masks:
+                if TRACER.enabled:
+                    TRACER.count("view_change.memo_hit")
                 return memo
         new_ref = Ref(inst, new_view)
         if self.memoize_views:
             inst.view_refs[new_view.path] = new_ref
+        if TRACER.enabled:
+            TRACER.count("view_change.new_ref")
         return new_ref
 
     def propagate_views(self, ref: Ref) -> int:

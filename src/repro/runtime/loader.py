@@ -17,9 +17,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..lang import types as T
-from ..lang.classtable import ClassTable, ResolveError
+from ..lang.classtable import ClassTable, ResolveError, path_str
 from ..lang.queries import MISS, QueryEngine
 from ..lang.types import Path, Type
+from ..obs import TRACER
 from ..source import ast
 
 
@@ -77,6 +78,14 @@ class Loader:
         return self._q_rtclass.put(path, self._synthesize(path))
 
     def _synthesize(self, path: Path) -> RTClass:
+        # jx mode re-synthesizes on every dispatch, so the tracing guard
+        # must stay a single branch on the disabled path.
+        if not TRACER.enabled:
+            return self._synthesize_impl(path)
+        with TRACER.span("load", unit=path_str(path)):
+            return self._synthesize_impl(path)
+
+    def _synthesize_impl(self, path: Path) -> RTClass:
         table = self.table
         rtc = RTClass(path)
         info = table.explicit.get(path)

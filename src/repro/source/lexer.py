@@ -6,6 +6,7 @@ from typing import List, Optional
 
 from ..diagnostics import DiagnosticSink, Span
 from ..errors import JnsError
+from ..obs import TRACER
 from .tokens import (
     DOUBLE_LIT,
     EOF,
@@ -49,6 +50,15 @@ def tokenize(source: str, sink: Optional[DiagnosticSink] = None) -> List[Token]:
     (skipping the offending character / truncating the offending
     literal) so later phases can still report *their* findings.
     """
+    if not TRACER.enabled:
+        return _tokenize(source, sink)
+    with TRACER.span("lex", chars=len(source)):
+        tokens = _tokenize(source, sink)
+        TRACER.count("lex.tokens", len(tokens))
+        return tokens
+
+
+def _tokenize(source: str, sink: Optional[DiagnosticSink]) -> List[Token]:
     tokens: List[Token] = []
 
     def fail(message: str, line: int, col: int, code: str) -> None:

@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 
 from ..diagnostics import DiagnosticSink, Span
 from ..errors import JnsError
+from ..obs import TRACER
 from . import ast
 from .lexer import tokenize
 from .tokens import (
@@ -818,7 +819,12 @@ def parse_program(
     try:
         if old_limit < 20000:
             sys.setrecursionlimit(20000)
-        return Parser(source, file=file, sink=sink).parse_program()
+        if not TRACER.enabled:
+            return Parser(source, file=file, sink=sink).parse_program()
+        with TRACER.span("parse", chars=len(source)):
+            unit = Parser(source, file=file, sink=sink).parse_program()
+            TRACER.count("parse.classes", len(unit.classes))
+            return unit
     finally:
         sys.setrecursionlimit(old_limit)
 

@@ -144,6 +144,58 @@ class TestCheck:
         assert all(d["severity"] != "error" for d in payload["diagnostics"])
 
 
+class TestObservabilityFlags:
+    @pytest.fixture(autouse=True)
+    def _tracer_restored(self):
+        from repro import obs
+
+        yield
+        obs.disable()
+        obs.TRACER.reset()
+
+    def test_run_profile_prints_unified_report(self, good_file, capsys):
+        assert main(["run", good_file, "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "=> 5" in captured.out  # program output untouched
+        assert "phase timings:" in captured.err
+        assert "cache stats" in captured.err  # CacheStats folded in
+        for phase in ("parse", "typecheck", "run"):
+            assert phase in captured.err
+
+    def test_run_trace_out_writes_chrome_trace(self, good_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["run", good_file, "--trace-out", str(trace)]) == 0
+        assert "wrote Chrome trace" in capsys.readouterr().err
+        payload = json.loads(trace.read_text())
+        events = payload["traceEvents"]
+        assert any(e["ph"] == "X" and e["name"] == "run" for e in events)
+        assert any(e["name"] == "view_change.explicit" for e in events)
+
+    def test_run_stats_json_is_machine_readable(self, good_file, capsys):
+        assert main(["run", good_file, "--stats-json"]) == 0
+        out = capsys.readouterr().out
+        # last stdout line is the JSON document; program output precedes it
+        payload = json.loads(out.strip().splitlines()[-1])
+        assert set(payload) >= {"enabled", "hits", "misses", "hit_rate", "queries"}
+        assert isinstance(payload["queries"], list)
+
+    def test_check_stats_json(self, good_file, capsys):
+        assert main(["check", good_file, "--stats-json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out.strip().splitlines()[-1])
+        assert payload["hits"] + payload["misses"] > 0
+
+    def test_profile_emitted_even_on_runtime_failure(self, good_file, capsys):
+        assert main(["run", good_file, "--mode", "java", "--profile"]) == 1
+        assert "phase timings:" in capsys.readouterr().err
+
+    def test_tracer_disabled_after_profiled_run(self, good_file, capsys):
+        from repro import obs
+
+        assert main(["run", good_file, "--profile"]) == 0
+        assert not obs.TRACER.enabled
+
+
 class TestMissingFile:
     def test_unreadable_file_exits_cleanly(self, tmp_path, capsys):
         with pytest.raises(SystemExit) as exc_info:

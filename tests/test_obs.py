@@ -1,0 +1,300 @@
+"""Tests for the observability layer (src/repro/obs.py, ISSUE 3).
+
+Covers the tracer primitives (span nesting/reentrancy, counter
+accumulation, the bounded event ring), the Chrome-trace exporter schema,
+the unified report, and the differential guarantee that tracing never
+changes behavior: run results and diagnostics are byte-identical with
+tracing on and off.
+"""
+
+import json
+
+import pytest
+
+from repro import check_source, compile_program, obs
+from repro.obs import (
+    DEFAULT_RING_CAPACITY,
+    InstantRecord,
+    SpanRecord,
+    Tracer,
+    format_report,
+)
+
+VIEWS_PROGRAM = """
+class A { class C { int v = 7; class D { } } }
+class B extends A { class C shares A.C { int twice() { return v * 2; } } }
+class Main {
+  int main() {
+    A!.C a = new A.C();
+    B!.C b = (view B!.C)a;
+    int acc = 0;
+    for (int i = 0; i < 10; i = i + 1) { acc = acc + b.twice(); }
+    Sys.print(acc);
+    return acc;
+  }
+}
+"""
+
+BROKEN_PROGRAM = """
+class Main {
+  int main() { return y; }
+  boolean b() { return 1 + true; }
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _tracer_restored():
+    """Never leak an enabled process tracer into other tests."""
+    yield
+    obs.disable()
+    obs.TRACER.reset()
+
+
+class TestSpans:
+    def test_span_records_duration_and_path(self):
+        t = Tracer()
+        t.enable()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        tree = t.span_tree()
+        paths = [path for path, _, _ in tree]
+        assert ("outer",) in paths and ("outer", "inner") in paths
+        for _, count, total_ns in tree:
+            assert count == 1 and total_ns >= 0
+
+    def test_nested_spans_attribute_to_call_path(self):
+        t = Tracer()
+        t.enable()
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        with t.span("b"):
+            pass
+        agg = dict((path, count) for path, count, _ in t.span_tree())
+        assert agg[("a", "b")] == 1
+        assert agg[("b",)] == 1  # same name, different path: separate row
+
+    def test_reentrant_same_name_spans(self):
+        t = Tracer()
+        t.enable()
+        with t.span("phase"):
+            with t.span("phase"):
+                with t.span("phase"):
+                    pass
+        agg = {path: count for path, count, _ in t.span_tree()}
+        assert agg[("phase",)] == 1
+        assert agg[("phase", "phase")] == 1
+        assert agg[("phase", "phase", "phase")] == 1
+        assert not t._stack  # fully unwound
+
+    def test_span_exits_cleanly_on_exception(self):
+        t = Tracer()
+        t.enable()
+        with pytest.raises(ValueError):
+            with t.span("outer"):
+                with t.span("inner"):
+                    raise ValueError("boom")
+        assert not t._stack
+        assert {path for path, _, _ in t.span_tree()} == {
+            ("outer",),
+            ("outer", "inner"),
+        }
+
+    def test_span_durations_feed_histograms(self):
+        t = Tracer()
+        t.enable()
+        for _ in range(3):
+            with t.span("work"):
+                pass
+        h = t.histograms["span.work"]
+        assert h.count == 3
+        assert h.min is not None and h.min <= h.mean <= h.max
+
+    def test_disabled_span_is_shared_noop(self):
+        t = Tracer()
+        s1 = t.span("x")
+        s2 = t.span("y", unit="z")
+        assert s1 is s2  # the reusable null context manager
+        with s1:
+            pass
+        assert not t.span_tree() and not t.events and not t.counters
+
+
+class TestCountersAndRing:
+    def test_counters_accumulate_exactly(self):
+        t = Tracer()
+        t.enable()
+        for _ in range(10_000):
+            t.count("hot")
+        t.count("hot", 2**62)  # far beyond any fixed-width counter
+        t.count("hot", 2**62)
+        assert t.counters["hot"] == 10_000 + 2**63
+
+    def test_event_bumps_counter_and_ring(self):
+        t = Tracer()
+        t.enable()
+        t.event("view_change.explicit", source="A.C", target="B!.C")
+        assert t.counters["view_change.explicit"] == 1
+        rec = t.events[-1]
+        assert isinstance(rec, InstantRecord)
+        assert dict(rec.args) == {"source": "A.C", "target": "B!.C"}
+
+    def test_ring_is_bounded(self):
+        t = Tracer(ring_capacity=8)
+        t.enable()
+        for i in range(100):
+            t.event("e", i=i)
+        assert len(t.events) == 8
+        assert t.counters["e"] == 100  # aggregates unaffected by drops
+        assert dict(t.events[-1].args) == {"i": 99}
+
+    def test_default_ring_capacity(self):
+        assert Tracer().events.maxlen == DEFAULT_RING_CAPACITY
+
+    def test_histogram_observe(self):
+        t = Tracer()
+        t.enable()
+        for v in (5, 1, 3):
+            t.observe("sizes", v)
+        h = t.histograms["sizes"]
+        assert (h.count, h.total, h.min, h.max) == (3, 9, 1, 5)
+        assert h.mean == 3.0
+
+    def test_reset_clears_everything(self):
+        t = Tracer()
+        t.enable()
+        with t.span("s"):
+            t.count("c")
+            t.event("e")
+        t.reset()
+        assert not t.events and not t.counters and not t.histograms
+        assert not t.span_tree() and t.observations == 0
+
+
+class TestChromeTrace:
+    def _traced_run(self):
+        obs.enable()
+        program = compile_program(VIEWS_PROGRAM)
+        interp = program.interp(mode="jns")
+        interp.run("Main.main")
+        obs.disable()
+        return obs.TRACER.to_chrome_trace()
+
+    def test_schema(self):
+        trace = self._traced_run()
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        events = trace["traceEvents"]
+        assert events, "a traced run must record events"
+        spans = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert spans and instants
+        for e in spans:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+            assert isinstance(e["ts"], float) and isinstance(e["dur"], float)
+            assert e["dur"] >= 0 and e["ts"] >= 0
+        for e in instants:
+            assert {"name", "ph", "ts", "s", "pid", "tid"} <= set(e)
+            assert e["s"] == "t"
+        # every pipeline phase shows up as a span
+        names = {e["name"] for e in spans}
+        for phase in ("lex", "parse", "resolve", "typecheck", "load", "run"):
+            assert phase in names, f"missing phase span {phase}"
+
+    def test_semantic_events_present(self):
+        trace = self._traced_run()
+        instants = {e["name"] for e in trace["traceEvents"] if e["ph"] == "i"}
+        assert "view_change.explicit" in instants
+
+    def test_json_round_trip_and_write(self, tmp_path):
+        trace = self._traced_run()
+        assert json.loads(json.dumps(trace)) == trace
+        out = tmp_path / "trace.json"
+        obs.TRACER.write_chrome_trace(str(out))
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_spans_nest_by_containment(self):
+        """Perfetto infers nesting from time containment on one tid: every
+        child span must lie within its parent's [ts, ts+dur] interval."""
+        obs.enable()
+        compile_program(VIEWS_PROGRAM)
+        obs.disable()
+        spans = {}
+        for rec in obs.TRACER.events:
+            if isinstance(rec, SpanRecord):
+                spans.setdefault(rec.path, rec)
+        for path, rec in spans.items():
+            if len(path) < 2:
+                continue
+            parent = spans.get(path[:-1])
+            assert parent is not None
+            assert parent.start_ns <= rec.start_ns
+            assert rec.start_ns + rec.dur_ns <= parent.start_ns + parent.dur_ns
+
+
+class TestUnifiedReport:
+    def test_report_sections(self):
+        obs.enable()
+        program = compile_program(VIEWS_PROGRAM)
+        interp = program.interp(mode="jns")
+        interp.run("Main.main")
+        obs.disable()
+        report = format_report(cache_stats=interp.cache_stats())
+        assert "phase timings:" in report
+        assert "semantic events:" in report
+        assert "cache stats" in report
+        assert "typecheck" in report and "dispatch" in report
+
+    def test_empty_report_is_printable(self):
+        t = Tracer()
+        text = format_report(t)
+        assert "no spans recorded" in text and "none recorded" in text
+
+    def test_to_dict_snapshot(self):
+        t = Tracer()
+        t.enable()
+        with t.span("s", unit="u"):
+            t.count("c", 3)
+        d = t.to_dict()
+        assert d["counters"] == {"c": 3}
+        assert d["spans"][0]["path"] == ["s"]
+        assert json.loads(json.dumps(d)) == d
+
+
+class TestDifferential:
+    """Tracing must observe, never perturb."""
+
+    def test_run_results_identical_trace_on_and_off(self):
+        def run():
+            program = compile_program(VIEWS_PROGRAM)
+            interp = program.interp(mode="jns")
+            result = interp.run("Main.main")
+            return result, list(interp.output)
+
+        baseline = run()
+        obs.enable()
+        traced = run()
+        obs.disable()
+        untraced = run()
+        assert traced == baseline == untraced
+        assert obs.TRACER.observations > 0  # tracing actually observed
+
+    def test_diagnostics_identical_trace_on_and_off(self):
+        baseline = check_source(BROKEN_PROGRAM, file="x.jns").to_json()
+        obs.enable()
+        traced = check_source(BROKEN_PROGRAM, file="x.jns").to_json()
+        obs.disable()
+        assert traced == baseline  # byte-identical JSON reports
+
+    def test_compiled_backend_identical(self):
+        def run(compiled):
+            program = compile_program(VIEWS_PROGRAM)
+            interp = program.interp(mode="jns", compiled=compiled)
+            return interp.run("Main.main"), list(interp.output)
+
+        obs.enable()
+        traced = run(True)
+        obs.disable()
+        assert traced == run(True)
+        assert obs.TRACER.counters.get("dispatch.ic_hit", 0) > 0

@@ -45,13 +45,42 @@ class TestQuery:
         q.put("a", 1)
         assert "a" in q and len(q) == 1
 
-    def test_bounded_eviction_is_fifo(self):
+    def test_bounded_eviction_is_lru(self):
         q = Query("t", maxsize=2)
         q.put("a", 1)
         q.put("b", 2)
-        q.put("c", 3)  # evicts "a"
+        q.put("c", 3)  # evicts "a" (least recently used)
         assert q.get("a") is MISS
         assert q.get("b") == 2 and q.get("c") == 3
+
+    def test_hit_refreshes_eviction_order(self):
+        q = Query("t", maxsize=2)
+        q.put("a", 1)
+        q.put("b", 2)
+        assert q.get("a") == 1  # "a" is now most recently used
+        q.put("c", 3)  # evicts "b", not "a"
+        assert q.get("b") is MISS
+        assert q.get("a") == 1 and q.get("c") == 3
+
+    def test_eviction_order_tracks_interleaved_use(self):
+        q = Query("t", maxsize=3)
+        for k in "abc":
+            q.put(k, k)
+        q.get("a")
+        q.get("c")
+        q.put("d", "d")  # evicts "b": the only key never touched since insert
+        q.put("e", "e")  # evicts "a": oldest of the remaining
+        assert q.get("b") is MISS and q.get("a") is MISS
+        assert q.get("c") == "c" and q.get("d") == "d" and q.get("e") == "e"
+
+    def test_re_put_refreshes_eviction_order(self):
+        q = Query("t", maxsize=2)
+        q.put("a", 1)
+        q.put("b", 2)
+        q.put("a", 10)  # refresh, not duplicate: "b" is now coldest
+        q.put("c", 3)
+        assert q.get("b") is MISS
+        assert q.get("a") == 10
 
     def test_touch_refreshes_eviction_order(self):
         q = Query("t", maxsize=2)
@@ -61,6 +90,13 @@ class TestQuery:
         q.put("c", 3)
         assert q.get("b") is MISS
         assert q.get("a") == 1
+
+    def test_default_bound_applies(self):
+        from repro.lang.queries import DEFAULT_MAXSIZE
+
+        assert Query("t").maxsize == DEFAULT_MAXSIZE
+        assert QueryEngine("e").query("x").maxsize == DEFAULT_MAXSIZE
+        assert Query("t", maxsize=None).maxsize is None
 
     def test_disabled_put_is_noop_and_clears(self):
         q = Query("t")

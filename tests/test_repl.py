@@ -68,6 +68,52 @@ class TestEvaluation:
         assert session.feed("   ") == []
 
 
+class TestMetaCommands:
+    @pytest.fixture(autouse=True)
+    def _tracer_restored(self):
+        from repro import obs
+
+        yield
+        obs.disable()
+        obs.TRACER.reset()
+
+    def test_stats_prints_cache_table(self, session):
+        session.feed("1 + 2")
+        out = session.feed(":stats")
+        assert out and out[0].startswith("cache stats")
+
+    def test_trace_on_off(self, session):
+        from repro import obs
+
+        assert session.feed(":trace on") == [
+            "(tracing on — run some input, then :profile)"
+        ]
+        assert obs.TRACER.enabled
+        session.feed("1 + 2")
+        assert obs.TRACER.observations > 0
+        assert session.feed(":trace off") == ["(tracing off)"]
+        assert not obs.TRACER.enabled
+
+    def test_profile_reports_traced_work(self, session):
+        session.feed(":trace on")
+        session.feed("class A { class C { int v = 7; } }")
+        session.feed("Sys.print(new A.C().v);")
+        out = session.feed(":profile")
+        text = "\n".join(out)
+        assert "phase timings:" in text
+        # REPL inputs run the full static pipeline per line
+        assert "lex" in text and "typecheck" in text
+        assert "cache stats" in text  # CacheStats folded into the report
+
+    def test_profile_without_trace_hints_at_enabling(self, session):
+        out = session.feed(":profile")
+        assert out == ["(no trace data — enable collection with :trace on)"]
+
+    def test_unknown_meta_command(self, session):
+        out = session.feed(":bogus")
+        assert "unknown command" in out[0] and ":trace" in out[0]
+
+
 class TestMultiline:
     def test_needs_more_on_open_brace(self):
         assert ReplSession.needs_more("class A {")
