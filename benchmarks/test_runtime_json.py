@@ -1,0 +1,166 @@
+"""Runtime-specialization benchmark (ISSUE 4 acceptance criterion).
+
+Measures the same trimmed jolden driver set as BENCH_obs.json /
+BENCH_queries.json plus the CorONA workload under all three backends:
+
+- ``interp``: the tree-walking reference interpreter,
+- ``compiled``: the closure compiler with dict frames and inline caches,
+- ``specialized``: the AOT-specialized backend (slotted object layouts,
+  register frames, sealed-family devirtualization).
+
+Times are steady-state: one interpreter per backend, one warm-up call
+(so compilation, specialization, and inline-cache fills are excluded),
+then the best of ``ROUNDS`` timed calls.  The ISSUE floor — specialized
+at least ``MIN_SPEEDUP``x faster than compiled — is enforced per jolden
+driver; CorONA is recorded for the report but carries no hard floor
+(its wall time is dominated by the Python driver crossing the API
+boundary).  Each measurement also locks semantics: all three backends
+must produce the identical result and printed output.
+
+The numbers land in ``BENCH_runtime.json`` at the repo root (uploaded
+as a CI artifact by the runtime-bench job).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_runtime_json.py -q -s
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import clear_caches, obs
+from repro.programs import cached_program
+from repro.programs.corona import CoronaSystem
+from repro.programs.jolden import bisort, em3d, treeadd
+
+ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_runtime.json"
+MIN_SPEEDUP = 1.5
+ROUNDS = 3
+
+#: Same trimmed jolden driver set as the query and obs benchmarks, so
+#: all BENCH_*.json files describe the same workloads.
+JOLDEN = [
+    (treeadd, (9, 2)),
+    (bisort, (6, 12345)),
+    (em3d, (48, 4, 4, 777)),
+]
+
+BACKENDS = (
+    ("interp", {}),
+    ("compiled", {"compiled": True}),
+    ("specialized", {"specialized": True}),
+)
+
+_RESULTS = {}
+
+
+@pytest.fixture(autouse=True)
+def _runtime_restored():
+    yield
+    obs.disable()
+    obs.TRACER.reset()
+    clear_caches()
+
+
+def _best(fn):
+    best, value = float("inf"), None
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+@pytest.mark.parametrize("module,args", JOLDEN, ids=[m.NAME for m, _ in JOLDEN])
+def test_jolden_specialized_floor(module, args):
+    program = cached_program(module.SOURCE)
+    seconds, observed = {}, {}
+    for backend, kw in BACKENDS:
+        interp = program.interp(mode="jns", **kw)
+        ref = interp.new_instance(("Main",), ())
+
+        def run_once():
+            del interp.output[:]
+            return interp.call_method(ref, "run", list(args))
+
+        run_once()  # warm: compile/specialize/fill caches outside the clock
+        seconds[backend], result = _best(run_once)
+        observed[backend] = (result, tuple(interp.output))
+
+    assert observed["interp"] == observed["compiled"] == observed["specialized"], (
+        f"{module.NAME}: backends disagree: {observed}"
+    )
+    speedup = seconds["compiled"] / seconds["specialized"]
+    _RESULTS[f"jolden:{module.NAME}"] = {
+        "args": list(args),
+        "seconds_interp": round(seconds["interp"], 6),
+        "seconds_compiled": round(seconds["compiled"], 6),
+        "seconds_specialized": round(seconds["specialized"], 6),
+        "speedup_vs_interp": round(seconds["interp"] / seconds["specialized"], 3),
+        "speedup_vs_compiled": round(speedup, 3),
+        "floor": MIN_SPEEDUP,
+    }
+    assert speedup >= MIN_SPEEDUP, (
+        f"{module.NAME}: specialized backend is only {speedup:.2f}x faster "
+        f"than compiled (floor {MIN_SPEEDUP}x): "
+        f"{seconds['specialized']:.4f}s vs {seconds['compiled']:.4f}s"
+    )
+
+
+def test_corona_workload_recorded():
+    """CorONA under each backend: semantics must agree; times are
+    recorded without a floor (driver-bound workload)."""
+    seconds, observed = {}, {}
+    for backend, kw in BACKENDS:
+        system = CoronaSystem(size=16, objects=48, **kw)
+        system.run_phase("corona", fetches=150)  # warm
+        seconds[backend], stats = _best(
+            lambda: system.run_phase("corona", fetches=150, seed=77)
+        )
+        observed[backend] = (stats.lookups, stats.total_hops, stats.misses)
+
+    assert observed["interp"] == observed["compiled"] == observed["specialized"], (
+        f"corona: backends disagree: {observed}"
+    )
+    _RESULTS["corona:workload"] = {
+        "args": {"size": 16, "objects": 48, "fetches": 150},
+        "seconds_interp": round(seconds["interp"], 6),
+        "seconds_compiled": round(seconds["compiled"], 6),
+        "seconds_specialized": round(seconds["specialized"], 6),
+        "speedup_vs_interp": round(
+            seconds["interp"] / seconds["specialized"], 3
+        ),
+        "speedup_vs_compiled": round(
+            seconds["compiled"] / seconds["specialized"], 3
+        ),
+        "floor": None,
+    }
+
+
+def test_write_bench_json():
+    """Runs last (file order): persist everything measured above."""
+    assert _RESULTS, "measurement tests did not run"
+    payload = {
+        "benchmark": "AOT runtime specialization",
+        "mode": "jns",
+        "rounds": ROUNDS,
+        "min_speedup_vs_compiled": MIN_SPEEDUP,
+        "method": (
+            "steady state: one interpreter per backend, one warm-up call, "
+            "best-of-rounds timed calls; identical results asserted across "
+            "interp/compiled/specialized before timing counts"
+        ),
+        "results": _RESULTS,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {JSON_PATH}")
+    for name, entry in _RESULTS.items():
+        print(
+            f"  {name}: specialized {entry['seconds_specialized']}s, "
+            f"{entry['speedup_vs_compiled']}x vs compiled, "
+            f"{entry['speedup_vs_interp']}x vs interp"
+        )

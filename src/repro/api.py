@@ -59,13 +59,18 @@ class Program:
         memoize_views: bool = True,
         eager_views: bool = False,
         compiled: bool = False,
+        specialized: bool = False,
         max_steps: Optional[int] = None,
         max_depth: Optional[int] = None,
     ) -> Interp:
         """Create a fresh interpreter for this program.  The keyword flags
         select the ablation variants described in DESIGN.md (D1: disable
         view-change memoization; D3: eager instead of lazy implicit view
-        changes).  ``max_steps``/``max_depth`` bound evaluation fuel and
+        changes).  ``compiled=True`` selects the closure-compiled backend;
+        ``specialized=True`` additionally runs the ahead-of-time
+        specialization pass (slotted layouts, register frames, sealed-family
+        devirtualization — see ``repro/runtime/specialize.py``) and implies
+        ``compiled``.  ``max_steps``/``max_depth`` bound evaluation fuel and
         J&s call depth; exceeding either raises
         :class:`~repro.errors.JnsResourceError`."""
         return Interp(
@@ -75,6 +80,7 @@ class Program:
             memoize_views=memoize_views,
             eager_views=eager_views,
             compiled=compiled,
+            specialized=specialized,
             max_steps=max_steps,
             max_depth=max_depth,
         )

@@ -90,6 +90,7 @@ def cmd_run(args) -> int:
         interp = program.interp(
             mode=args.mode,
             echo=True,
+            specialized=not args.no_specialize,
             max_steps=args.max_steps,
             max_depth=args.max_depth,
         )
@@ -238,6 +239,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--entry", default="Main.main")
     p_run.add_argument("--mode", default="jns", choices=("java", "jx", "jx_cl", "jns"))
     p_run.add_argument("--no-check", action="store_true")
+    p_run.add_argument(
+        "--no-specialize",
+        action="store_true",
+        help="disable the ahead-of-time specialization pass (slotted "
+        "layouts, register frames, devirtualization) and run the "
+        "unspecialized backend",
+    )
     p_run.add_argument(
         "--max-steps",
         type=int,

@@ -99,6 +99,13 @@ class ClassTable:
         self._q_subtype = q("subtype")
         self._q_bound = q("bound")
         self._q_class_subtype = q("class_subtype")
+        # ahead-of-time specialization queries (runtime/specialize.py):
+        # sealed dispatch targets, fclass slot universes, and closed-world
+        # conformance sets.  They live on the table — not the interpreter —
+        # so their cost amortizes across every interpreter sharing it.
+        self._q_sealed = q("sealed_target")
+        self._q_slot_univ = q("slot_universe")
+        self._q_conforming = q("conforming_paths")
 
         # cycle guards (explicit, cache-independent)
         self._parents_in_progress: Set[Path] = set()
@@ -862,3 +869,89 @@ class ClassTable:
             f"ambiguous view change from {path_str(current.path)} to {target!r}: "
             + ", ".join(path_str(m) for m in matches)
         )
+
+    # ------------------------------------------------------------------
+    # ahead-of-time specialization queries (runtime/specialize.py)
+    # ------------------------------------------------------------------
+
+    def runtime_conforms(self, path: Path, t: Type) -> bool:
+        """Whether a value whose view class is ``path`` belongs to the
+        non-dependent type ``t`` — the runtime conformance relation used
+        by casts, ``instanceof``, and view-change no-op detection."""
+        if isinstance(t, ClassType):
+            m = max(t.exact, default=0)
+            if m > 0:
+                if len(path) < m or path[:m] != t.path[:m]:
+                    return False
+                if m == len(t.path) and path != t.path:
+                    return False
+            return self.inherits(path, t.path)
+        if isinstance(t, T.IsectType):
+            return all(self.runtime_conforms(path, p) for p in t.parts)
+        if isinstance(t, T.ExactType):
+            inner = t.inner
+            if isinstance(inner, ClassType):
+                return path == inner.path
+            return self.runtime_conforms(path, inner)
+        return False
+
+    def conforming_paths(self, t: Type) -> FrozenSet[Path]:
+        """All class paths in the locally closed world conforming to the
+        (pure, non-dependent) type ``t``.  Feeds the specializer's view-
+        change no-op sets: an adapt to ``t`` from any of these paths with
+        equal masks is the identity."""
+        t = intern_type(t.pure())
+        cached = self._q_conforming.get(t)
+        if cached is not MISS:
+            return cached
+        result = frozenset(
+            p for p in self.all_class_paths() if self.runtime_conforms(p, t)
+        )
+        return self._q_conforming.put(t, result)
+
+    def sealed_method_target(
+        self, name: str
+    ) -> Optional[Tuple[Path, ast.MethodDecl, FrozenSet[Path]]]:
+        """Unique dispatch target for method ``name``, if the locally
+        closed world (the SH-CLS enumeration) seals it: every class that
+        understands ``name`` resolves it to the *same* declaration.  Then
+        a call site needs no per-receiver dispatch — only the membership
+        guard over the returned path set.  ``None`` when the name is
+        polymorphic (call sites keep their inline caches)."""
+        cached = self._q_sealed.get(name)
+        if cached is not MISS:
+            return cached
+        target: Optional[Tuple[Path, ast.MethodDecl]] = None
+        valid: List[Path] = []
+        sealed = True
+        for p in self.all_class_paths():
+            found = self.find_method(p, name)
+            if found is None:
+                continue
+            if target is None:
+                target = found
+            elif found[1] is not target[1] or found[0] != target[0]:
+                sealed = False
+                break
+            valid.append(p)
+        result = None
+        if sealed and target is not None:
+            result = (target[0], target[1], frozenset(valid))
+        return self._q_sealed.put(name, result)
+
+    def slot_universe(self, path: Path) -> Tuple[Tuple[Path, str], ...]:
+        """The heap keys an instance created as ``path`` can ever hold
+        under the J&s fclass discipline: for every member ``q`` of the
+        sharing group and every field ``f`` of ``q``, the key
+        ``(fclass(q, f), f)``.  Shared fields collapse onto one key;
+        duplicated unshared/masked fields keep one key per family
+        (Section 6.3).  Sorted, so every member of the group computes the
+        identical slot numbering."""
+        cached = self._q_slot_univ.get(path)
+        if cached is not MISS:
+            return cached
+        keys: Set[Tuple[Path, str]] = set()
+        for q in self.sharing_group(path):
+            for _, decl in self.all_fields(q):
+                keys.add((self.fclass(q, decl.name), decl.name))
+        return self._q_slot_univ.put(path, tuple(sorted(keys)))

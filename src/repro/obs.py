@@ -56,6 +56,12 @@ __all__ = [
 #: the front; aggregate counters/histograms are unaffected by drops.
 DEFAULT_RING_CAPACITY = 16384
 
+#: Distinct values kept per span-arg key in the phase-tree aggregate
+#: (further distinct values are counted, not stored, so hot spans with
+#: high-cardinality args — e.g. ``load`` with one ``unit`` per class —
+#: stay bounded).
+SPAN_ARG_VALUES = 4
+
 #: Canonical pipeline ordering for the phase-timing report.
 _PHASE_ORDER = {
     name: i
@@ -179,9 +185,21 @@ class _Span:
         # Aggregate by call path (the report's tree) and by name (avg).
         agg = tracer._span_agg.get(self.path)
         if agg is None:
-            agg = tracer._span_agg[self.path] = [0, 0]
+            agg = tracer._span_agg[self.path] = [0, 0, {}]
         agg[0] += 1
         agg[1] += dur_ns
+        if self.args:
+            summary = agg[2]
+            for k, v in self.args.items():
+                entry = summary.get(k)
+                if entry is None:
+                    entry = summary[k] = [[], 0]
+                values = entry[0]
+                if v not in values:
+                    if len(values) < SPAN_ARG_VALUES:
+                        values.append(v)
+                    else:
+                        entry[1] += 1
         tracer.histogram("span." + self.name).observe(dur_ns)
         if tracer.enabled:  # disabled mid-span: drop the ring record
             tracer.events.append(
@@ -215,8 +233,10 @@ class Tracer:
         #: as the count of guarded sites a workload actually traverses.
         self.observations = 0
         self._stack: List[_Span] = []
-        #: call-path tuple -> [count, total_ns]
-        self._span_agg: Dict[Tuple[str, ...], List[int]] = {}
+        #: call-path tuple -> [count, total_ns, args_summary] where
+        #: args_summary maps each span-arg key to [distinct values
+        #: (bounded by SPAN_ARG_VALUES), overflow count]
+        self._span_agg: Dict[Tuple[str, ...], List[Any]] = {}
         self._epoch_ns = time.perf_counter_ns()
         self._enabled_at_ns: Optional[int] = None
 
@@ -303,6 +323,19 @@ class Tracer:
             for path, agg in sorted(self._span_agg.items(), key=lambda kv: key(kv[0]))
         ]
 
+    def span_args(self, path: Tuple[str, ...]) -> Dict[str, Any]:
+        """Bounded per-key summary of the args seen by spans at this call
+        path: key -> {"values": [up to SPAN_ARG_VALUES distinct],
+        "dropped": count of further distinct values}.  Empty when the
+        spans carried no args."""
+        agg = self._span_agg.get(path)
+        if agg is None:
+            return {}
+        return {
+            k: {"values": list(entry[0]), "dropped": entry[1]}
+            for k, entry in agg[2].items()
+        }
+
     def to_chrome_trace(self) -> Dict[str, Any]:
         """The event ring as a Chrome-trace (Trace Event Format) object.
 
@@ -364,7 +397,16 @@ class Tracer:
                 name: h.to_dict() for name, h in sorted(self.histograms.items())
             },
             "spans": [
-                {"path": list(path), "count": count, "total_ns": total}
+                {
+                    "path": list(path),
+                    "count": count,
+                    "total_ns": total,
+                    **(
+                        {"args": self.span_args(path)}
+                        if self._span_agg[path][2]
+                        else {}
+                    ),
+                }
                 for path, count, total in self.span_tree()
             ],
         }
@@ -374,7 +416,9 @@ class Tracer:
     # ------------------------------------------------------------------
 
     def format_phases(self) -> str:
-        """Human-readable phase-timing tree (indent = span nesting)."""
+        """Human-readable phase-timing tree (indent = span nesting).  Spans
+        that carried args show a bounded summary of the distinct values
+        seen, e.g. ``unit=Main.main mode=jns`` (PR 3 follow-up)."""
         rows = self.span_tree()
         if not rows:
             return "phase timings: (no spans recorded)"
@@ -388,15 +432,17 @@ class Tracer:
         )
         for path, count, total_ns in rows:
             label = "  " * (len(path) - 1) + path[-1]
-            lines.append(
-                "  {:<{w}}  {:>7}  {:>10}  {:>10}".format(
-                    label,
-                    count,
-                    _fmt_ns(total_ns),
-                    _fmt_ns(total_ns // count),
-                    w=width,
-                )
+            row = "  {:<{w}}  {:>7}  {:>10}  {:>10}".format(
+                label,
+                count,
+                _fmt_ns(total_ns),
+                _fmt_ns(total_ns // count),
+                w=width,
             )
+            summary = self._span_agg[path][2]
+            if summary:
+                row += "  " + _fmt_span_args(summary)
+            lines.append(row)
         return "\n".join(lines)
 
     def format_events(self) -> str:
@@ -409,6 +455,19 @@ class Tracer:
         for name, value in items:
             lines.append("  {:<{w}}  {:>10}".format(name, value, w=width))
         return "\n".join(lines)
+
+
+def _fmt_span_args(summary: Dict[str, Any]) -> str:
+    """Render a span-arg summary: ``key=v1,v2`` per key, with an
+    ``…+N`` suffix when distinct values beyond the cap were dropped."""
+    parts = []
+    for k in sorted(summary):
+        values, dropped = summary[k]
+        text = ",".join(str(v) for v in values)
+        if dropped:
+            text += f",…+{dropped}"
+        parts.append(f"{k}={text}")
+    return " ".join(parts)
 
 
 def _fmt_ns(ns: float) -> str:

@@ -372,8 +372,17 @@ class CoronaSystem:
     workload phases under each family, evolving the live system between
     phases without recreating any node or data object."""
 
-    def __init__(self, size: int = 16, objects: int = 64, mode: str = "jns"):
-        self.interp = program().interp(mode=mode)
+    def __init__(
+        self,
+        size: int = 16,
+        objects: int = 64,
+        mode: str = "jns",
+        compiled: bool = False,
+        specialized: bool = False,
+    ):
+        self.interp = program().interp(
+            mode=mode, compiled=compiled, specialized=specialized
+        )
         self.main = self.interp.new_instance(("Main",), ())
         self.size = size
         self.objects = objects

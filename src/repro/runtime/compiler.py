@@ -11,18 +11,33 @@ access, dispatch, views, and the Sys natives all go through the same
 execution strategies agree by construction on everything but speed.
 
 Enabled with ``Program.interp(compiled=True)`` (any mode).
+
+:class:`RegisterCompiler` extends this with the ahead-of-time
+specializations of :mod:`repro.runtime.specialize`: bodies run over
+fixed-size *list* frames (locals and parameters get integer registers;
+``this`` is register 0, parameters fill 1..n), field accesses go through
+per-site inline caches over the slotted object layouts, and call sites
+whose method name is sealed in the locally closed world are bound
+statically.  Enabled with ``Program.interp(specialized=True)``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from ..lang import types as T
 from ..lang.classtable import path_str
 from ..lang.types import ClassType
 from ..obs import TRACER
 from ..source import ast
-from .values import JnsRuntimeError, NullDereference, Ref
+from .values import (
+    ABSENT,
+    JnsRuntimeError,
+    NullDereference,
+    Ref,
+    UninitializedFieldError,
+    default_value,
+)
 
 Frame = Dict[str, Any]
 ExprFn = Callable[[Frame], Any]
@@ -367,7 +382,14 @@ class BodyCompiler:
                     return None
                 if not isinstance(v, Ref):
                     raise JnsRuntimeError(f"view change applied to non-object {v!r}")
-                result = adapt(v, eval_type(target, frame))
+                target_t = eval_type(target, frame)
+                if TRACER.enabled:
+                    TRACER.event(
+                        "view_change.explicit",
+                        source=path_str(v.view.path),
+                        target=str(target_t),
+                    )
+                result = adapt(v, target_t)
                 if interp.eager_views:
                     interp.propagate_views(result)
                 return result
@@ -526,3 +548,407 @@ class BodyCompiler:
             return v
 
         return run_compound
+
+
+# ---------------------------------------------------------------------------
+# register-frame compilation (ahead-of-time specialization)
+# ---------------------------------------------------------------------------
+
+
+class CompiledBody:
+    """A register-compiled unit: the entry closure, the frame size, and
+    the precomputed padding row appended after the positionally-seeded
+    registers (``this`` + parameters) so frame construction is two list
+    extends, no per-call arithmetic."""
+
+    __slots__ = ("run", "nregs", "pad")
+
+    def __init__(self, run: Callable, nregs: int, nseed: int) -> None:
+        self.run = run
+        self.nregs = nregs
+        self.pad = (ABSENT,) * (nregs - nseed)
+
+
+class _RegView:
+    """Dict-like adapter over a register frame for the cold dependent-type
+    paths (``eval_type`` / ``cast_value`` / ``instanceof_value``), which
+    resolve frame variables by name via ``.get``.  An allocated but
+    unassigned register reads as absent, matching the dict frames."""
+
+    __slots__ = ("names", "regs")
+
+    def __init__(self, names: Dict[str, int], regs: List[Any]) -> None:
+        self.names = names
+        self.regs = regs
+
+    def get(self, name: str, default: Any = None) -> Any:
+        i = self.names.get(name)
+        if i is None:
+            return default
+        v = self.regs[i]
+        return default if v is ABSENT else v
+
+
+class RegisterCompiler(BodyCompiler):
+    """Body compiler over fixed-size list frames, with specialized field
+    and call sites.
+
+    Register allocation is demand-driven during compilation (J&s locals
+    are function-scoped with last-assignment-wins, and the resolver has
+    already rewritten bare field names to ``this.f``, so every ``Var`` is
+    a genuine local): ``this`` is register 0, parameters take 1..n in
+    declaration order (a duplicated parameter name maps to its last
+    occurrence, as in dict frames), and each further name gets the next
+    free register on first mention.  Closures capture integer indices, so
+    the frame is just ``[this, *args, ABSENT…]``.
+
+    Everything frame-shape-agnostic (blocks, loops, operators, arrays,
+    Sys natives, fuel ticks) is inherited from :class:`BodyCompiler`
+    unchanged — the overrides below cover variable access, the slotted
+    field accesses, devirtualized calls, and the dependent-type sites
+    that need a by-name view of the frame."""
+
+    def __init__(self, interp) -> None:
+        super().__init__(interp)
+        self.spec = interp.spec
+        self.names: Dict[str, int] = {}
+        self._next = 0
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def _reg(self, name: str) -> int:
+        i = self.names.get(name)
+        if i is None:
+            i = self.names[name] = self._next
+            self._next += 1
+        return i
+
+    def compile_method(self, decl) -> CompiledBody:
+        """Compile a method or constructor declaration (anything with
+        ``params`` and a ``body`` block) to a register-frame unit."""
+        self.names = {"this": 0}
+        self._next = 1 + len(decl.params)
+        for i, p in enumerate(decl.params):
+            self.names[p.name] = i + 1
+        run = self.compile_body(decl.body)
+        return CompiledBody(run, self._next, 1 + len(decl.params))
+
+    def compile_init(self, expr: ast.Expr) -> CompiledBody:
+        """Compile a field initializer expression (frame: ``this`` only)."""
+        self.names = {"this": 0}
+        self._next = 1
+        if TRACER.enabled:
+            with TRACER.span("compile"):
+                fn = self.expr(expr)
+        else:
+            fn = self.expr(expr)
+        return CompiledBody(fn, self._next, 1)
+
+    # ------------------------------------------------------------------
+    # statements / stores
+    # ------------------------------------------------------------------
+
+    def stmt(self, s: ast.Stmt) -> StmtFn:
+        if type(s) is ast.LocalDecl:
+            i = self._reg(s.name)
+            if s.init is not None:
+                init = self.expr(s.init)
+
+                def run_decl(frame: List[Any]) -> None:
+                    frame[i] = init(frame)
+
+                return run_decl
+            default = default_value(s.type)
+
+            def run_decl_default(frame: List[Any]) -> None:
+                frame[i] = default
+
+            return run_decl_default
+        return super().stmt(s)
+
+    def _store(self, target: ast.Expr) -> Callable[[List[Any], Any], None]:
+        if type(target) is ast.Var:
+            i = self._reg(target.name)
+
+            def store_var(frame: List[Any], v: Any) -> None:
+                frame[i] = v
+
+            return store_var
+        if type(target) is ast.FieldGet:
+            return self._field_store(target)
+        return super()._store(target)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def expr(self, e: ast.Expr) -> ExprFn:
+        cls = type(e)
+        if cls is ast.This:
+            i = self._reg("this")
+            return lambda frame: frame[i]
+        if cls is ast.Var:
+            i = self._reg(e.name)
+            name = e.name
+
+            def run_var(frame: List[Any]) -> Any:
+                v = frame[i]
+                if v is ABSENT:
+                    raise JnsRuntimeError(f"unbound variable {name!r}")
+                return v
+
+            return run_var
+        if cls is ast.FieldGet:
+            return self._field_read(e)
+        if cls is ast.Call:
+            devirt = self._devirt_call(e)
+            if devirt is not None:
+                return devirt
+            return super().expr(e)
+        if cls is ast.NewObj and type(e.type) is not ClassType:
+            new_type = e.type
+            args = tuple(self.expr(a) for a in e.args)
+            interp = self.interp
+            eval_type = interp._eval_type
+            new_instance = interp.new_instance
+            names = self.names
+
+            def run_new_dep(frame: List[Any]):
+                evaled = eval_type(new_type, _RegView(names, frame)).pure()
+                if isinstance(evaled, T.IsectType):
+                    evaled = evaled.parts[0]
+                if not isinstance(evaled, ClassType):
+                    raise JnsRuntimeError(f"cannot instantiate {new_type!r}")
+                return new_instance(evaled.path, tuple(a(frame) for a in args))
+
+            return run_new_dep
+        if cls is ast.Cast and not isinstance(e.type.pure(), T.PrimType):
+            inner = self.expr(e.expr)
+            t = e.type
+            cast_value = self.interp.cast_value
+            names = self.names
+            return lambda frame: cast_value(inner(frame), t, _RegView(names, frame))
+        if cls is ast.ViewChange and self.interp.sharing:
+            inner = self.expr(e.expr)
+            target = e.type
+            interp = self.interp
+            eval_type = interp._eval_type
+            adapt = interp._adapt
+            names = self.names
+
+            def run_view(frame: List[Any]):
+                v = inner(frame)
+                if v is None:
+                    return None
+                if not isinstance(v, Ref):
+                    raise JnsRuntimeError(
+                        f"view change applied to non-object {v!r}"
+                    )
+                target_t = eval_type(target, _RegView(names, frame))
+                if TRACER.enabled:
+                    TRACER.event(
+                        "view_change.explicit",
+                        source=path_str(v.view.path),
+                        target=str(target_t),
+                    )
+                result = adapt(v, target_t)
+                if interp.eager_views:
+                    interp.propagate_views(result)
+                return result
+
+            return run_view
+        if cls is ast.InstanceOf:
+            inner = self.expr(e.expr)
+            t = e.type
+            instanceof_value = self.interp.instanceof_value
+            names = self.names
+            return lambda frame: instanceof_value(
+                inner(frame), t, _RegView(names, frame)
+            )
+        return super().expr(e)
+
+    # ------------------------------------------------------------------
+    # specialized field access
+    # ------------------------------------------------------------------
+
+    def _field_read(self, e: ast.FieldGet) -> ExprFn:
+        obj = self.expr(e.obj)
+        name = e.name
+        interp = self.interp
+        spec = self.spec
+        get_field = interp.get_field
+        if not interp.sharing:
+            # Non-sharing modes: a direct slot hit or the generic path
+            # (which also owns the unknown-field diagnostics and the
+            # spilled ``extra`` keys of unchecked java-mode programs).
+            site: List[Any] = [None, None]  # view path, slot index
+
+            def read_plain(frame: List[Any]):
+                o = obj(frame)
+                if o.__class__ is not Ref:
+                    return get_field(o, name)
+                vp = o.view.path
+                if site[0] != vp:
+                    cspec = spec.class_spec(vp)
+                    site[0] = vp
+                    site[1] = cspec.slot_of.get(name)
+                i = site[1]
+                if i is None:
+                    return get_field(o, name)
+                v = o.inst.slots[i]
+                if v is ABSENT:
+                    return get_field(o, name)
+                return v
+
+            return read_plain
+        adapt = interp._adapt
+        retarget_dyn = interp._retarget_type
+        rtclass = interp.loader.rtclass
+        # view path, slot index, read plan — monomorphic per-site cache
+        site = [None, -1, None]
+
+        def read_shared(frame: List[Any]):
+            o = obj(frame)
+            if o.__class__ is not Ref:
+                return get_field(o, name)
+            view = o.view
+            if TRACER.enabled:
+                TRACER.count("mask.check")
+            if name in view.masks:
+                if TRACER.enabled:
+                    TRACER.event(
+                        "mask.blocked", field=name, view=path_str(view.path)
+                    )
+                raise UninitializedFieldError(
+                    f"field {name!r} is masked in view {view!r}"
+                )
+            vp = view.path
+            if site[0] != vp:
+                cspec = spec.class_spec(vp)
+                i = cspec.slot_of.get(name)
+                if i is None:
+                    raise JnsRuntimeError(
+                        f"no field {name!r} on {path_str(vp)}"
+                    )
+                site[0], site[1], site[2] = vp, i, cspec.read_plan.get(name)
+            v = o.inst.slots[site[1]]
+            if v is ABSENT:
+                # uninitialized duplicated field: take the full generic
+                # read (sharing-group fallback + its diagnostics)
+                return get_field(o, name)
+            plan = site[2]
+            if plan is None or v.__class__ is not Ref:
+                return v
+            tag = plan[0]
+            if tag == 0:  # PLAN_NOOP
+                w = v.view
+                if w.path in plan[1] and not w.masks:
+                    return v
+                return adapt(v, plan[2])
+            if tag == 1:  # PLAN_ADAPT
+                return adapt(v, plan[1])
+            # PLAN_DYNAMIC: target depends on runtime state
+            target = retarget_dyn(rtclass(vp), name, o)
+            if target is not None:
+                return adapt(v, target)
+            return v
+
+        return read_shared
+
+    def _field_store(self, target: ast.FieldGet) -> Callable[[List[Any], Any], None]:
+        obj = self.expr(target.obj)
+        name = target.name
+        interp = self.interp
+        spec = self.spec
+        set_field = interp.set_field
+        if not interp.sharing:
+            site: List[Any] = [None, None]
+
+            def store_plain(frame: List[Any], value: Any) -> None:
+                o = obj(frame)
+                if o.__class__ is not Ref:
+                    set_field(o, name, value)  # raises the generic errors
+                    return
+                vp = o.view.path
+                if site[0] != vp:
+                    cspec = spec.class_spec(vp)
+                    site[0] = vp
+                    site[1] = cspec.slot_of.get(name)
+                i = site[1]
+                if i is None:
+                    set_field(o, name, value)  # unknown name: extra dict
+                    return
+                o.inst.slots[i] = value
+
+            return store_plain
+        from ..lang.types import View
+
+        site = [None, -1]
+
+        def store_shared(frame: List[Any], value: Any) -> None:
+            o = obj(frame)
+            if o.__class__ is not Ref:
+                set_field(o, name, value)
+                return
+            view = o.view
+            vp = view.path
+            if site[0] != vp:
+                cspec = spec.class_spec(vp)
+                i = cspec.slot_of.get(name)
+                if i is None:
+                    raise JnsRuntimeError(
+                        f"no field {name!r} on {path_str(vp)}"
+                    )
+                site[0], site[1] = vp, i
+            o.inst.slots[site[1]] = value
+            if name in view.masks:
+                # R-SET removes the mask (see Interp.set_field)
+                if TRACER.enabled:
+                    TRACER.event(
+                        "mask.removed", field=name, view=path_str(vp)
+                    )
+                o.view = View(vp, view.masks - {name})
+
+        return store_shared
+
+    # ------------------------------------------------------------------
+    # devirtualized calls
+    # ------------------------------------------------------------------
+
+    def _devirt_call(self, e: ast.Call) -> Optional[ExprFn]:
+        """Statically bind the call when the method name is sealed in the
+        locally closed world.  The receiver guard keeps the binding sound
+        on unchecked programs: receivers outside the sealed path set take
+        the generic path (which raises the usual no-method error)."""
+        target = self.spec.static_target(e.name)
+        if target is None:
+            return None
+        owner, decl, valid = target
+        name = e.name
+        obj = self.expr(e.obj)
+        args = tuple(self.expr(a) for a in e.args)
+        self.spec.note_devirtualized()
+        interp = self.interp
+        label = path_str(owner) + "." + name
+        invoke = interp._invoke_spec
+        call = interp.call_method
+        cbox: List[Any] = [None]  # compiled body, resolved on first call
+
+        def run_devirt(frame: List[Any]):
+            receiver = obj(frame)
+            if receiver is None:
+                raise NullDereference(f"null dereference calling {name!r}")
+            if receiver.__class__ is not Ref:
+                raise JnsRuntimeError(f"cannot call {name!r} on {receiver!r}")
+            if receiver.view.path in valid:
+                if TRACER.enabled:
+                    TRACER.count("dispatch.devirt_hit")
+                return invoke(
+                    owner, decl, label, cbox, receiver, name,
+                    [a(frame) for a in args],
+                )
+            return call(receiver, name, [a(frame) for a in args])
+
+        return run_devirt

@@ -37,18 +37,23 @@ from ..lang.types import ClassType, Path, Type, View
 from ..source import ast
 from .loader import Loader, RTClass
 from .values import (
+    ABSENT,
     Instance,
     JnsFailure,
     JnsRuntimeError,
     NullDereference,
     Ref,
+    SlottedInstance,
     UninitializedFieldError,
     default_value,
 )
 
 MODES = ("java", "jx", "jx_cl", "jns")
 
-_MISSING = object()
+#: "No value at this heap key" — shared with the slotted representation so
+#: the generic accessors treat an ABSENT slot exactly like a missing dict
+#: key.
+_MISSING = ABSENT
 
 #: Default J&s call-depth budget.  Deep enough for every jolden workload
 #: (treeadd/bisort recurse to tree height; the deepest tier-1 program
@@ -132,6 +137,7 @@ class Interp:
         memoize_views: bool = True,
         eager_views: bool = False,
         compiled: bool = False,
+        specialized: bool = False,
         max_steps: Optional[int] = None,
         max_depth: Optional[int] = None,
     ) -> None:
@@ -142,6 +148,12 @@ class Interp:
         ``compiled=True`` translates method bodies to Python closures once
         instead of tree-walking them (the Section 6 compilation strategy
         on the Python substrate).
+
+        ``specialized=True`` additionally runs the ahead-of-time
+        specialization pass of :mod:`repro.runtime.specialize` (slotted
+        object layouts, register frames, sealed-family devirtualization)
+        and implies ``compiled``.  It is ignored in ``jx`` mode, whose
+        point is the *absence* of run-time precomputation.
 
         ``max_steps`` bounds the number of expression evaluations (fuel;
         ``None`` = unlimited); ``max_depth`` bounds the J&s call depth.
@@ -155,10 +167,16 @@ class Interp:
         self.echo = echo
         self.memoize_views = memoize_views
         self.eager_views = eager_views
-        self.compiled = compiled
+        self.specialized = bool(specialized) and mode != "jx"
+        self.compiled = bool(compiled) or self.specialized
+        self.spec = None
         self._compiler = None
         self.output: List[str] = []
         self.loader = Loader(table, cached=(mode != "jx"), sharing=self.sharing)
+        if self.specialized:
+            from .specialize import Specializer
+
+            self.spec = Specializer(self)
         # Run-time query caches (see lang/queries.py).  ``dispatch`` is
         # the (view path, method name) inline cache that makes steady-state
         # dispatch a single dict hit; ``call_site`` counts the compiler's
@@ -235,6 +253,10 @@ class Interp:
         self._depth = 0
         self.call_stack = []
         self._res_stack = None
+        if self.specialized:
+            # Ahead-of-time: precompute layouts, read plans, and sealed
+            # targets for the locally closed world before execution.
+            self.spec.specialize_program()
         if not TRACER.enabled:
             ref = self.new_instance(path, ())
             return self.call_method(ref, method, list(args))
@@ -289,6 +311,8 @@ class Interp:
                     code="JNS-RES-002",
                     jns_stack=list(self.call_stack),
                 )
+            if self.specialized:
+                return self._new_instance_spec(rtc, path, args)
             return self._new_instance(rtc, path, args)
         except RecursionError:
             if self._res_stack is None:
@@ -336,6 +360,41 @@ class Interp:
                     pass
         return ref
 
+    def _new_instance_spec(self, rtc: RTClass, path: Path, args: Tuple) -> Ref:
+        """Specialized allocation: a :class:`SlottedInstance` over the
+        precomputed layout, initializers written straight into their
+        slots, constructor run over a register frame."""
+        if TRACER.enabled:
+            TRACER.count("alloc")
+        cspec = self.spec.class_spec(path)
+        inst = SlottedInstance(path, cspec.layout)
+        view = View(path)
+        ref = Ref(inst, view)
+        inst.view_refs[path] = ref
+        slots = inst.slots
+        for idx, decl, default in cspec.init_plan:
+            if decl is not None:
+                cb = self._compiled_init(decl)
+                frame = [ref]
+                frame.extend(cb.pad)
+                slots[idx] = cb.run(frame)
+            else:
+                slots[idx] = default
+        found = self.loader.find_ctor(rtc, len(args))
+        if found is None:
+            if args:
+                raise JnsRuntimeError(
+                    f"no {len(args)}-argument constructor for {path_str(path)}"
+                )
+        else:
+            _, ctor = found
+            cb = self._compiled_body(ctor)
+            frame = [ref]
+            frame.extend(args)
+            frame.extend(cb.pad)
+            cb.run(frame)
+        return ref
+
     def call_method(self, ref: Ref, name: str, args: List[Any]) -> Any:
         found = self._lookup_method(ref.view.path, name)
         if found is None:
@@ -376,6 +435,12 @@ class Interp:
                     code="JNS-RES-002",
                     jns_stack=list(self.call_stack),
                 )
+            if self.specialized:
+                cb = self._compiled_body(decl)
+                rframe = [ref]
+                rframe.extend(args)
+                rframe.extend(cb.pad)
+                return cb.run(rframe)
             frame = {"this": ref}
             for param, arg in zip(decl.params, args):
                 frame[param.name] = arg
@@ -394,25 +459,92 @@ class Interp:
             self._depth -= 1
             self.call_stack.pop()
 
+    def _invoke_spec(
+        self, owner: Path, decl, label: str, cbox: List[Any],
+        ref: Ref, name: str, args: List[Any],
+    ) -> Any:
+        """Invoke a statically-bound (devirtualized) method: the call-site
+        label and compiled body are precomputed, so a hot call is a guard,
+        a frame build, and the closure."""
+        if decl.body is None:
+            raise JnsRuntimeError(
+                f"abstract method {path_str(owner)}.{name} called"
+            )
+        if len(decl.params) != len(args):
+            raise JnsRuntimeError(
+                f"{name!r} expects {len(decl.params)} arguments, got {len(args)}"
+            )
+        cb = cbox[0]
+        if cb is None:
+            cb = cbox[0] = self._compiled_body(decl)
+        if self._depth == 0:
+            old_limit = self._enter_boundary()
+            try:
+                return self._guarded_call_spec(label, cb, ref, args)
+            except RecursionError:
+                raise self._boundary_resource_error() from None
+            finally:
+                sys.setrecursionlimit(old_limit)
+        return self._guarded_call_spec(label, cb, ref, args)
+
+    def _guarded_call_spec(self, label: str, cb, ref: Ref, args: List[Any]) -> Any:
+        """Mirror of ``_guarded_call`` for devirtualized sites (identical
+        depth accounting, stack labels, and resource diagnostics)."""
+        self._depth += 1
+        self.call_stack.append(label)
+        try:
+            if self._depth > self._max_depth:
+                raise JnsResourceError(
+                    f"J&s call depth limit exceeded ({self._max_depth})",
+                    code="JNS-RES-002",
+                    jns_stack=list(self.call_stack),
+                )
+            frame = [ref]
+            frame.extend(args)
+            frame.extend(cb.pad)
+            return cb.run(frame)
+        except RecursionError:
+            if self._res_stack is None:
+                self._res_stack = list(self.call_stack)
+            raise
+        finally:
+            self._depth -= 1
+            self.call_stack.pop()
+
+    def _make_compiler(self):
+        if self.specialized:
+            from .compiler import RegisterCompiler
+
+            return RegisterCompiler(self)
+        from .compiler import BodyCompiler
+
+        return BodyCompiler(self)
+
     def _compiled_body(self, decl):
-        """Method/constructor body compiled once to Python closures."""
+        """Method/constructor body compiled once to Python closures (a
+        :class:`~repro.runtime.compiler.CompiledBody` register unit when
+        specialized)."""
         fn = self._q_body.get(id(decl))
         if fn is MISS:
             if self._compiler is None:
-                from .compiler import BodyCompiler
-
-                self._compiler = BodyCompiler(self)
-            fn = self._q_body.put(id(decl), self._compiler.compile_body(decl.body))
+                self._compiler = self._make_compiler()
+            if self.specialized:
+                compiled = self._compiler.compile_method(decl)
+            else:
+                compiled = self._compiler.compile_body(decl.body)
+            fn = self._q_body.put(id(decl), compiled)
         return fn
 
     def _compiled_init(self, decl):
         fn = self._q_init.get(id(decl))
         if fn is MISS:
             if self._compiler is None:
-                from .compiler import BodyCompiler
-
-                self._compiler = BodyCompiler(self)
-            fn = self._q_init.put(id(decl), self._compiler.expr(decl.init))
+                self._compiler = self._make_compiler()
+            if self.specialized:
+                compiled = self._compiler.compile_init(decl.init)
+            else:
+                compiled = self._compiler.expr(decl.init)
+            fn = self._q_init.put(id(decl), compiled)
         return fn
 
     def _lookup_method(self, path: Path, name: str):
@@ -439,10 +571,14 @@ class Interp:
 
     def cache_stats(self) -> CacheStats:
         """Snapshot of this interpreter's query caches plus the loader's
-        and the class table's (they all serve this run)."""
-        return collect_stats(
-            [self.queries, self.loader.queries, self.table.queries]
-        )
+        and the class table's (they all serve this run), and the
+        specializer's when the specialized backend is active."""
+        engines = [self.queries, self.loader.queries, self.table.queries]
+        if self.spec is not None:
+            engines.append(self.spec.queries)
+            if self.spec._checker is not None:
+                engines.append(self.spec._checker.queries)
+        return collect_stats(engines)
 
     # ------------------------------------------------------------------
     # statements
@@ -562,16 +698,20 @@ class Interp:
                 return len(obj)
             raise JnsRuntimeError(f"cannot read field {name!r} of {obj!r}")
         view = obj.view
+        inst = obj.inst
         if not self.sharing:
-            if self.mode == "java":
-                v = obj.inst.fields.get(name, _MISSING)
-            else:
+            if self.mode != "java":
                 rtc = self.loader.rtclass(view.path)
                 if name not in rtc.field_decl:
                     raise JnsRuntimeError(
                         f"no field {name!r} on {path_str(view.path)}"
                     )
-                v = obj.inst.fields.get(name, _MISSING)
+            # both representations answer load(); the dict fast path keeps
+            # the unspecialized backends free of an extra method call
+            if type(inst) is Instance:
+                v = inst.fields.get(name, _MISSING)
+            else:
+                v = inst.load(name)
             if v is _MISSING:
                 raise JnsRuntimeError(
                     f"no field {name!r} on {path_str(view.path)}"
@@ -592,7 +732,10 @@ class Interp:
         slot = rtc.field_slot.get(name)
         if slot is None:
             raise JnsRuntimeError(f"no field {name!r} on {path_str(view.path)}")
-        v = obj.inst.fields.get((slot, name), _MISSING)
+        if type(inst) is Instance:
+            v = inst.fields.get((slot, name), _MISSING)
+        else:
+            v = inst.load((slot, name))
         if v is _MISSING:
             v = self._fallback_read(obj, rtc, name, slot)
         elif isinstance(v, Ref):
@@ -617,7 +760,7 @@ class Interp:
         for other in self.table.sharing_group(slot):
             if other == slot:
                 continue
-            v = inst.fields.get((other, name), _MISSING)
+            v = inst.load((other, name))
             if v is _MISSING:
                 continue
             if isinstance(v, Ref):
@@ -627,7 +770,7 @@ class Interp:
             # memoize into this view's slot so later reads are direct
             if TRACER.enabled:
                 TRACER.count("sharing.fallback_read")
-            inst.fields[(slot, name)] = v
+            inst.store((slot, name), v)
             return v
         raise UninitializedFieldError(
             f"field {name!r} of {inst!r} is uninitialized in view "
@@ -672,15 +815,22 @@ class Interp:
             raise NullDereference(f"null dereference writing field {name!r}")
         if not isinstance(obj, Ref):
             raise JnsRuntimeError(f"cannot write field {name!r} of {obj!r}")
+        inst = obj.inst
         if not self.sharing:
-            obj.inst.fields[name] = value
+            if type(inst) is Instance:
+                inst.fields[name] = value
+            else:
+                inst.store(name, value)
             return
         view = obj.view
         rtc = self.loader.rtclass(view.path)
         slot = rtc.field_slot.get(name)
         if slot is None:
             raise JnsRuntimeError(f"no field {name!r} on {path_str(view.path)}")
-        obj.inst.fields[(slot, name)] = value
+        if type(inst) is Instance:
+            inst.fields[(slot, name)] = value
+        else:
+            inst.store((slot, name), value)
         if name in view.masks:
             # R-SET removes the mask; reference objects are immutable pairs,
             # so the unmasked view is what subsequent reads should use.
@@ -830,22 +980,9 @@ class Interp:
         return self._q_conforms.put(key, self._conforms(view.path, t))
 
     def _conforms(self, path: Path, t: Type) -> bool:
-        if isinstance(t, ClassType):
-            m = max(t.exact, default=0)
-            if m > 0:
-                if len(path) < m or path[:m] != t.path[:m]:
-                    return False
-                if m == len(t.path) and path != t.path:
-                    return False
-            return self.table.inherits(path, t.path)
-        if isinstance(t, T.IsectType):
-            return all(self._conforms(path, p) for p in t.parts)
-        if isinstance(t, T.ExactType):
-            inner = t.inner
-            if isinstance(inner, ClassType):
-                return path == inner.path
-            return self._conforms(path, inner)
-        return False
+        # Single source of truth on the class table (the specializer's
+        # conformance-set queries use the same judgment).
+        return self.table.runtime_conforms(path, t)
 
     def _eval_cast(self, e: ast.Cast, frame):
         v = self.eval(e.expr, frame)

@@ -10,6 +10,12 @@ the per-field view-retargeting plan used for lazy implicit view changes.
 
 ``cached=False`` reproduces the J& [31] configuration: every dispatch and
 field access recomputes its lookup from the class table.
+
+The ahead-of-time specializer (:mod:`repro.runtime.specialize`) consumes
+these records: ``field_slot`` supplies the heap keys that the slotted
+layouts number, ``init_schedule`` becomes the slot-indexed initializer
+plan, and ``retarget`` seeds the per-field read plans.  Specialization
+therefore requires a cached loader (it is disabled in ``jx`` mode).
 """
 
 from __future__ import annotations

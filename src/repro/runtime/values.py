@@ -10,6 +10,14 @@ unshared fields) from the *reference object* pairing it with a view.
 realizes the heap of the calculus, whose domain is tuples ⟨l, P, f⟩.
 ``Instance.view_refs`` memoizes one reference object per view class
 (Section 6.3's memoized view changes).
+
+:class:`SlottedInstance` is the specialized representation built by
+:mod:`repro.runtime.specialize`: the same heap keys, but laid out as a
+flat list indexed by a per-sharing-group :class:`~repro.runtime.specialize.Layout`
+computed ahead of time (one slot per ``fclass``-distinct field copy, so
+duplicated/masked fields from Section 6.3 keep separate storage).  Both
+representations answer ``load``/``store`` on heap keys so the generic
+interpreter entry points work on either.
 """
 
 from __future__ import annotations
@@ -18,6 +26,13 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..lang.classtable import JnsError
 from ..lang.types import Path, Type, View
+
+#: Sentinel for "this heap key holds no value".  Slots of a
+#: :class:`SlottedInstance` are initialized to it (reads of an ABSENT
+#: slot take the duplicated-field fallback path, exactly like a missing
+#: dict key on :class:`Instance`), and ``load`` returns it for unmapped
+#: keys.  Never flows into J&s programs as a value.
+ABSENT: Any = object()
 
 
 class JnsRuntimeError(JnsError):
@@ -56,6 +71,51 @@ class Instance:
 
     def __repr__(self) -> str:
         return f"<instance of {'.'.join(self.created_as)} at {id(self):#x}>"
+
+    def load(self, key: Any) -> Any:
+        return self.fields.get(key, ABSENT)
+
+    def store(self, key: Any, value: Any) -> None:
+        self.fields[key] = value
+
+
+class SlottedInstance:
+    """Specialized object storage: a flat slot list over a fixed layout.
+
+    ``slots[i]`` holds the value of the heap key ``layout.keys[i]``; keys
+    outside the layout (possible only in the non-sharing modes, where
+    writes are unchecked) spill into the lazily-created ``extra`` dict.
+    The ``__repr__`` matches :class:`Instance` so diagnostics are
+    identical across backends (up to the object address)."""
+
+    __slots__ = ("created_as", "view_refs", "layout", "slots", "extra")
+
+    def __init__(self, created_as: Path, layout: Any) -> None:
+        self.created_as = created_as
+        self.view_refs: Dict[Path, "Ref"] = {}
+        self.layout = layout
+        self.slots: list = [ABSENT] * layout.nslots
+        self.extra: Optional[Dict[Any, Any]] = None
+
+    def __repr__(self) -> str:
+        return f"<instance of {'.'.join(self.created_as)} at {id(self):#x}>"
+
+    def load(self, key: Any) -> Any:
+        i = self.layout.index.get(key)
+        if i is None:
+            extra = self.extra
+            return extra.get(key, ABSENT) if extra is not None else ABSENT
+        return self.slots[i]
+
+    def store(self, key: Any, value: Any) -> None:
+        i = self.layout.index.get(key)
+        if i is None:
+            extra = self.extra
+            if extra is None:
+                extra = self.extra = {}
+            extra[key] = value
+        else:
+            self.slots[i] = value
 
 
 class Ref:

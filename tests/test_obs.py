@@ -262,6 +262,84 @@ class TestUnifiedReport:
         assert json.loads(json.dumps(d)) == d
 
 
+class TestSpanArgs:
+    """Per-span args in the phase-tree report (PR 3 follow-up)."""
+
+    def test_args_rendered_in_phase_report(self):
+        t = Tracer()
+        t.enable()
+        with t.span("run", unit="Main.main", mode="jns"):
+            pass
+        t.disable()
+        report = t.format_phases()
+        assert "unit=Main.main" in report
+        assert "mode=jns" in report
+
+    def test_argless_spans_unchanged(self):
+        t = Tracer()
+        t.enable()
+        with t.span("build_sharing"):
+            pass
+        t.disable()
+        line = [
+            l for l in t.format_phases().splitlines() if "build_sharing" in l
+        ][0]
+        assert "=" not in line
+
+    def test_distinct_values_bounded_with_overflow_marker(self):
+        t = Tracer()
+        t.enable()
+        for i in range(obs.SPAN_ARG_VALUES + 3):
+            with t.span("load", unit=f"C{i}"):
+                pass
+        t.disable()
+        summary = t.span_args(("load",))
+        assert len(summary["unit"]["values"]) == obs.SPAN_ARG_VALUES
+        assert summary["unit"]["dropped"] == 3
+        assert "…+3" in t.format_phases()
+
+    def test_repeated_value_counted_once(self):
+        t = Tracer()
+        t.enable()
+        for _ in range(5):
+            with t.span("run", unit="Main.main"):
+                pass
+        t.disable()
+        summary = t.span_args(("run",))
+        assert summary["unit"] == {"values": ["Main.main"], "dropped": 0}
+
+    def test_to_dict_spans_carry_args_and_serialize(self):
+        t = Tracer()
+        t.enable()
+        with t.span("run", unit="Main.main"):
+            with t.span("load", unit="Main"):
+                pass
+        t.disable()
+        d = t.to_dict()
+        by_path = {tuple(s["path"]): s for s in d["spans"]}
+        assert by_path[("run",)]["args"]["unit"]["values"] == ["Main.main"]
+        assert by_path[("run", "load")]["args"]["unit"]["values"] == ["Main"]
+        assert json.loads(json.dumps(d)) == d
+
+    def test_span_tree_signature_unchanged(self):
+        t = Tracer()
+        t.enable()
+        with t.span("run", unit="Main.main"):
+            pass
+        t.disable()
+        ((path, count, total),) = t.span_tree()
+        assert path == ("run",) and count == 1 and total > 0
+
+    def test_profile_report_shows_run_args(self):
+        obs.enable()
+        program = compile_program(VIEWS_PROGRAM)
+        interp = program.interp(mode="jns")
+        interp.run("Main.main")
+        obs.disable()
+        report = format_report()
+        assert "unit=Main.main" in report and "mode=jns" in report
+
+
 class TestDifferential:
     """Tracing must observe, never perturb."""
 

@@ -1,0 +1,367 @@
+"""Unit tests for the ahead-of-time specialization pass (ISSUE 4).
+
+Covers the slot-layout rules over sharing groups (one slot per
+``fclass``-distinct field copy; shared fields collapse, duplicated
+unshared/masked fields keep per-family slots — Section 6.3),
+sealed-family devirtualization over the locally closed world, the
+masked/duplicated-field runtime semantics on the specialized backend,
+the ``--no-specialize`` escape hatch, resource-guard parity, and the
+``specialize.*`` observability counters.
+"""
+
+import pytest
+
+from repro import UninitializedFieldError, compile_program, obs
+from repro.cli import main
+from repro.errors import JnsResourceError
+from repro.runtime.values import SlottedInstance
+
+from conftest import FIG123_SOURCE, FIG5_SOURCE
+
+
+def setup(src, cls="Main", mode="jns", **kw):
+    program = compile_program(src)
+    interp = program.interp(mode=mode, specialized=True, **kw)
+    return interp, interp.new_instance((cls,), ())
+
+
+@pytest.fixture(autouse=True)
+def _obs_restored():
+    yield
+    obs.disable()
+    obs.TRACER.reset()
+
+
+# ---------------------------------------------------------------------------
+# slot layouts
+# ---------------------------------------------------------------------------
+
+
+class TestSlotLayouts:
+    def _spec(self, source=FIG5_SOURCE, mode="jns"):
+        program = compile_program(source)
+        interp = program.interp(mode=mode, specialized=True)
+        return interp, interp.spec
+
+    def test_shared_field_one_slot_new_field_own_slot(self):
+        # FIG5 B: b0 is shared (one fclass) while f is new in A2 — the
+        # group layout has exactly two slots.
+        _, spec = self._spec()
+        s1 = spec.class_spec(("A1", "B"))
+        s2 = spec.class_spec(("A2", "B"))
+        assert s1.layout.nslots == 2
+        assert set(s1.slot_of) == {"b0"}
+        assert set(s2.slot_of) == {"b0", "f"}
+        # shared field: both views read/write the same slot
+        assert s1.slot_of["b0"] == s2.slot_of["b0"]
+
+    def test_layout_object_shared_across_group(self):
+        _, spec = self._spec()
+        assert (
+            spec.class_spec(("A1", "B")).layout
+            is spec.class_spec(("A2", "B")).layout
+        )
+
+    def test_duplicated_masked_field_gets_two_slots(self):
+        # FIG5 C: A2.C shares A1.C\g — g's fclass differs per family, so
+        # the duplicated field keeps one slot per copy.
+        _, spec = self._spec()
+        s1 = spec.class_spec(("A1", "C"))
+        s2 = spec.class_spec(("A2", "C"))
+        assert s1.layout is s2.layout
+        assert s1.layout.nslots == 2
+        assert s1.slot_of["g"] != s2.slot_of["g"]
+
+    def test_non_sharing_layout_uses_plain_names(self):
+        _, spec = self._spec(mode="java")
+        s = spec.class_spec(("A1", "B"))
+        assert s.layout.keys == ("b0",)
+        assert s.slot_of == {"b0": 0}
+
+    def test_specialized_instances_are_slotted(self):
+        interp, _ = setup(
+            FIG5_SOURCE + "class Main { int run() { return 0; } }"
+        )
+        ref = interp.new_instance(("A1", "B"), ())
+        assert type(ref.inst) is SlottedInstance
+        assert len(ref.inst.slots) == 2
+
+    def test_counters_after_specialization(self):
+        _, spec = self._spec()
+        spec.specialize_program()
+        assert spec.stats()["slots_built"] > 0
+
+
+# ---------------------------------------------------------------------------
+# sealed-family devirtualization
+# ---------------------------------------------------------------------------
+
+
+class TestSealedDevirtualization:
+    def test_unique_method_is_sealed(self):
+        program = compile_program(FIG123_SOURCE)
+        target = program.table.sealed_method_target("show")
+        assert target is not None
+        owner, decl, valid = target
+        assert owner == ("ASTDisplay",)
+        assert ("ASTDisplay",) in valid
+
+    def test_overridden_method_is_polymorphic(self):
+        program = compile_program(FIG123_SOURCE)
+        assert program.table.sealed_method_target("eval") is None
+        assert program.table.sealed_method_target("display") is None
+
+    def test_overriding_family_unseals(self):
+        program = compile_program(FIG5_SOURCE)
+        # tag is overridden in A2.E
+        assert program.table.sealed_method_target("tag") is None
+
+    def test_unknown_name_is_not_sealed(self):
+        program = compile_program(FIG5_SOURCE)
+        assert program.table.sealed_method_target("nope") is None
+
+    def test_devirtualized_run_matches_walker(self):
+        program = compile_program(FIG123_SOURCE)
+        walker = program.interp(mode="jns")
+        spec = program.interp(mode="jns", specialized=True)
+        for method in ("evalSample", "showSample"):
+            w = walker.call_method(
+                walker.new_instance(("Main",), ()), method, []
+            )
+            s = spec.call_method(spec.new_instance(("Main",), ()), method, [])
+            assert w == s
+        assert spec.spec.stats()["sites_devirtualized"] > 0
+
+    def test_devirt_through_parameter_receiver(self):
+        # `who` is sealed (defined once); the devirtualized site must
+        # still dispatch correctly when the receiver arrives via a
+        # parameter rather than `this`.
+        src = """
+        class P { class C { int who() { return 1; } } }
+        class Main {
+          int callIt(P!.C c) { return c.who(); }
+          int main() { return callIt(new P.C()); }
+        }
+        """
+        interp, mainref = setup(src)
+        assert interp.call_method(mainref, "main", []) == 1
+
+
+# ---------------------------------------------------------------------------
+# masked / duplicated field semantics (Section 6.3 parity)
+# ---------------------------------------------------------------------------
+
+
+class TestMaskedFieldParity:
+    def test_each_view_has_own_copy(self):
+        interp, mainref = setup(
+            FIG5_SOURCE
+            + """
+        class Main {
+          int run() {
+            A2!.C c2 = new A2.C();
+            c2.g = new A2.E();
+            A1!.C\\g c1 = (view A1!.C\\g)c2;
+            c1.g = new A1.D();
+            return c1.g.tag() * 10 + c2.g.tag();
+          }
+        }
+        """
+        )
+        assert interp.call_method(mainref, "run", []) == 12
+
+    def test_uninitialized_duplicate_read_fails(self):
+        interp, mainref = setup(
+            FIG5_SOURCE
+            + """
+        class Main {
+          A1!.C\\g toBase(A2!.C c) sharing A2!.C\\g = A1!.C\\g {
+            return (view A1!.C\\g)c;
+          }
+        }
+        """
+        )
+        c2 = interp.new_instance(("A2", "C"), ())
+        interp.call_method(mainref, "toBase", [c2])
+        with pytest.raises(UninitializedFieldError):
+            interp.get_field(c2.inst.view_refs[("A1", "C")], "g")
+
+    def test_masked_read_blocked_until_write(self):
+        interp, mainref = setup(
+            FIG5_SOURCE
+            + """
+        class Main {
+          A2!.B\\f toDerived(A1!.B b) sharing A1!.B = A2!.B\\f {
+            return (view A2!.B\\f)b;
+          }
+        }
+        """
+        )
+        b1 = interp.new_instance(("A1", "B"), ())
+        b2 = interp.call_method(mainref, "toDerived", [b1])
+        with pytest.raises(UninitializedFieldError) as exc:
+            interp.get_field(b2, "f")
+        assert exc.value.code == "JNS-RUN-002"
+        interp.set_field(b2, "f", 7)
+        assert interp.get_field(b2, "f") == 7
+
+    def test_mask_error_identical_to_walker(self):
+        # The typechecker rejects statically-masked reads, so the runtime
+        # check is exercised through the embedding API: all three
+        # backends must raise the same code and message.
+        src = FIG5_SOURCE + """
+        class Main {
+          A2!.B\\f toDerived(A1!.B b) sharing A1!.B = A2!.B\\f {
+            return (view A2!.B\\f)b;
+          }
+        }
+        """
+        program = compile_program(src)
+        errors = {}
+        for label, kw in (
+            ("walker", {}),
+            ("compiled", {"compiled": True}),
+            ("specialized", {"specialized": True}),
+        ):
+            interp = program.interp(mode="jns", **kw)
+            ref = interp.new_instance(("Main",), ())
+            b1 = interp.new_instance(("A1", "B"), ())
+            b2 = interp.call_method(ref, "toDerived", [b1])
+            with pytest.raises(UninitializedFieldError) as exc:
+                interp.get_field(b2, "f")
+            errors[label] = (exc.value.code, str(exc.value))
+        assert errors["walker"] == errors["compiled"] == errors["specialized"]
+
+
+# ---------------------------------------------------------------------------
+# escape hatch
+# ---------------------------------------------------------------------------
+
+
+SMALL = """
+class Counter {
+  int n;
+  void bump() { n = n + 1; }
+}
+class Main {
+  int main() {
+    Counter c = new Counter();
+    for (int i = 0; i < 10; i = i + 1) { c.bump(); }
+    Sys.print(c.n);
+    return c.n;
+  }
+}
+"""
+
+
+class TestEscapeHatch:
+    def test_specialized_implies_compiled(self):
+        program = compile_program(SMALL)
+        interp = program.interp(mode="jns", specialized=True)
+        assert interp.specialized and interp.compiled
+        assert interp.spec is not None
+
+    def test_jx_mode_ignores_specialization(self):
+        # jx's point is the absence of run-time precomputation
+        program = compile_program(SMALL)
+        interp = program.interp(mode="jx", specialized=True)
+        assert not interp.specialized
+        assert interp.spec is None
+
+    def test_default_interp_is_unspecialized(self):
+        program = compile_program(SMALL)
+        interp = program.interp(mode="jns")
+        assert not interp.specialized
+        ref = interp.new_instance(("Counter",), ())
+        assert type(ref.inst) is not SlottedInstance
+
+    def test_cli_no_specialize_same_output(self, tmp_path, capsys):
+        f = tmp_path / "small.jns"
+        f.write_text(SMALL)
+        assert main(["run", str(f)]) == 0
+        specialized_out = capsys.readouterr().out
+        assert main(["run", str(f), "--no-specialize"]) == 0
+        plain_out = capsys.readouterr().out
+        assert specialized_out == plain_out
+        assert "10" in plain_out
+
+
+# ---------------------------------------------------------------------------
+# resource guards
+# ---------------------------------------------------------------------------
+
+
+RECURSIVE = """
+class Main {
+  int spin(int n) { return spin(n + 1); }
+  int main() { return spin(0); }
+}
+"""
+
+LOOPY = """
+class Main {
+  int main() {
+    int s = 0;
+    while (true) { s = s + 1; }
+    return s;
+  }
+}
+"""
+
+
+class TestResourceGuardParity:
+    def _error(self, src, **kw):
+        program = compile_program(src)
+        interp = program.interp(mode="jns", **kw)
+        with pytest.raises(JnsResourceError) as exc:
+            interp.run("Main.main")
+        return exc.value
+
+    def test_depth_limit_identical(self):
+        spec = self._error(RECURSIVE, specialized=True, max_depth=64)
+        comp = self._error(RECURSIVE, compiled=True, max_depth=64)
+        assert spec.code == comp.code == "JNS-RES-002"
+        # identical call-stack labels, including the devirtualized frames
+        assert spec.jns_stack[-3:] == comp.jns_stack[-3:] == ["Main.spin"] * 3
+
+    def test_fuel_limit_identical(self):
+        spec = self._error(LOOPY, specialized=True, max_steps=500)
+        comp = self._error(LOOPY, compiled=True, max_steps=500)
+        assert spec.code == comp.code == "JNS-RES-001"
+
+
+# ---------------------------------------------------------------------------
+# observability
+# ---------------------------------------------------------------------------
+
+
+class TestSpecializeObservability:
+    def test_tracer_counters_and_span(self):
+        program = compile_program(FIG123_SOURCE)
+        obs.enable()
+        interp = program.interp(mode="jns", specialized=True)
+        interp.run("Main.showSample")
+        obs.disable()
+        counters = obs.TRACER.counters
+        assert counters.get("specialize.slots_built", 0) > 0
+        assert counters.get("specialize.sites_devirtualized", 0) > 0
+        assert any(path[-1] == "specialize" for path, _, _ in obs.TRACER.span_tree())
+
+    def test_stats_exposed_on_specializer(self):
+        program = compile_program(FIG123_SOURCE)
+        interp = program.interp(mode="jns", specialized=True)
+        interp.run("Main.showSample")
+        stats = interp.spec.stats()
+        assert set(stats) == {
+            "slots_built",
+            "sites_devirtualized",
+            "views_elided",
+        }
+        assert stats["slots_built"] > 0
+
+    def test_cache_stats_include_specializer_engine(self):
+        program = compile_program(FIG123_SOURCE)
+        interp = program.interp(mode="jns", specialized=True)
+        interp.run("Main.showSample")
+        text = interp.cache_stats().format()
+        assert "specialize" in text

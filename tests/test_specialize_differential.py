@@ -1,0 +1,166 @@
+"""Three-way differential for the AOT specialization pass (ISSUE 4
+satellite): for randomized programs, the tree-walking interpreter, the
+closure compiler, and the specialized backend (slotted layouts, register
+frames, devirtualization) must agree on every observable — run result,
+printed output, and runtime error codes — in every mode. Diagnostics
+come from the static pipeline, which specialization never touches, and
+are asserted stable as a guard against accidental coupling.
+
+Tier-2: ``HYPOTHESIS_PROFILE=fuzz pytest -m fuzz`` raises the example
+budget; the default profile keeps this cheap enough for tier-1.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import JnsError, check_source, clear_caches, compile_program
+
+from conftest import FIG123_SOURCE, FIG5_SOURCE
+
+
+@pytest.fixture(autouse=True)
+def _caches_restored():
+    yield
+    clear_caches()
+
+
+@st.composite
+def probe_programs(draw):
+    """Two-family programs with randomized sharing structure, masked and
+    duplicated fields, sealed and overridden methods — the shapes the
+    specializer treats differently (shared slot vs per-copy slot, devirt
+    vs inline cache, view-change elision vs adaptation)."""
+    x0 = draw(st.integers(0, 40))
+    bonus = draw(st.integers(1, 9))
+    loops = draw(st.integers(1, 4))
+    use_b = draw(st.booleans())        # subclass B in the base family
+    share_b = use_b and draw(st.booleans())
+    override_get = draw(st.booleans())  # unseals get() when drawn
+    new_field = draw(st.booleans())    # derived A introduces y (needs mask)
+    do_view = draw(st.booleans())      # Main performs a view change
+    write_y = new_field and draw(st.booleans())  # unmask then read back
+    call_tag = draw(st.booleans())     # tag() stays sealed: devirt target
+
+    b_base = "class B extends A { int get() { return x + 100; } }" if use_b else ""
+    b_derived = "class B shares F0.B { }" if share_b else ""
+    derived_get = f"int get() {{ return x + {bonus}; }}" if override_get else ""
+    y_decl = "int y;" if new_field else ""
+    mask = "\\y" if new_field else ""
+
+    view_block = ""
+    if do_view:
+        y_use = "v.y = i; s = s + v.y;" if write_y else ""
+        view_block = f"F1!.A{mask} v = (view F1!.A{mask})a; s = s + v.get(); {y_use}"
+    tag_block = "s = s + a.tag();" if call_tag else ""
+
+    src = f"""
+class F0 {{
+  class A {{
+    int x = {x0};
+    int get() {{ return x; }}
+    int tag() {{ return 7; }}
+  }}
+  {b_base}
+}}
+class F1 extends F0 {{
+  class A shares F0.A {{
+    {y_decl}
+    {derived_get}
+  }}
+  {b_derived}
+}}
+class Main {{
+  int main() {{
+    int s = 0;
+    for (int i = 0; i < {loops}; i++) {{
+      F0!.A a = new F0.A();
+      s = s + a.get();
+      {tag_block}
+      {view_block}
+    }}
+    return s;
+  }}
+}}
+"""
+    return src
+
+
+BACKENDS = (
+    ("walker", {}),
+    ("compiled", {"compiled": True}),
+    ("specialized", {"specialized": True}),
+)
+
+
+def _observe(src, backend_kw):
+    """Diagnostics, compile verdict, and run result + output per mode for
+    one backend configuration."""
+    sink = check_source(src)
+    outcomes = {
+        "diagnostics": tuple((d.code, d.severity, d.message) for d in sink)
+    }
+    try:
+        program = compile_program(src)
+        outcomes["check"] = "ok"
+    except JnsError as exc:
+        outcomes["check"] = (exc.code, str(exc))
+        return outcomes
+    for mode in ("jns", "jx_cl", "java"):
+        interp = program.interp(mode=mode, **backend_kw)
+        try:
+            result = interp.run("Main.main")
+            outcomes[mode] = (result, tuple(interp.output))
+        except JnsError as exc:
+            outcomes[mode] = ("error", exc.code)
+    return outcomes
+
+
+@pytest.mark.fuzz
+@given(probe_programs())
+def test_specialization_does_not_change_observables(src):
+    clear_caches()
+    observed = {
+        label: _observe(src, kw) for label, kw in BACKENDS
+    }
+    assert observed["walker"] == observed["compiled"]
+    assert observed["walker"] == observed["specialized"]
+
+
+@pytest.mark.fuzz
+@given(probe_programs())
+def test_unspecialized_escape_hatch_restores_baseline(src):
+    """Running specialized first must not poison the program for a later
+    unspecialized run (mirrors `repro run --no-specialize`)."""
+    clear_caches()
+    try:
+        program = compile_program(src)
+    except JnsError:
+        return
+    def run(**kw):
+        interp = program.interp(mode="jns", **kw)
+        try:
+            return interp.run("Main.main"), tuple(interp.output)
+        except JnsError as exc:
+            return ("error", exc.code)
+    baseline = run()
+    specialized = run(specialized=True)
+    after = run()
+    assert specialized == baseline
+    assert after == baseline
+
+
+def test_fixture_corpus_three_way_agreement():
+    """Deterministic tier-1 anchor: the paper's figure programs agree
+    across all three backends without relying on hypothesis."""
+    for src, entry in (
+        (FIG123_SOURCE, "Main.evalSample"),
+        (FIG123_SOURCE, "Main.showSample"),
+        (FIG5_SOURCE + "class Main { int main() { return new A1.D().tag() + new A2.E().tag(); } }",
+         "Main.main"),
+    ):
+        program = compile_program(src)
+        results = []
+        for _, kw in BACKENDS:
+            interp = program.interp(mode="jns", **kw)
+            results.append((interp.run(entry), tuple(interp.output)))
+        assert results[0] == results[1] == results[2]
