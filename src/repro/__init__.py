@@ -17,6 +17,7 @@ Public entry points:
 """
 
 from . import obs
+from .lang import provenance
 from .api import (
     Program,
     cache_stats,
@@ -44,6 +45,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "obs",
+    "provenance",
     "Program",
     "compile_program",
     "check_source",

@@ -119,6 +119,7 @@ def check_source(
     file: Optional[str] = None,
     strict_sharing: bool = False,
     sink: Optional[DiagnosticSink] = None,
+    explain: bool = False,
 ) -> DiagnosticSink:
     """Run the whole static pipeline, accumulating *every* diagnostic.
 
@@ -128,7 +129,9 @@ def check_source(
     type checker reports per-construct errors (skipping classes whose
     resolution failed).  Returns the sink; callers decide how to render
     it (carets via ``sink.render(source)``, machine-readable via
-    ``sink.to_json()``)."""
+    ``sink.to_json()``).  ``explain=True`` records derivations during the
+    check and attaches refutation trees to failing sharing diagnostics
+    (see :mod:`repro.lang.provenance`)."""
     if sink is None:
         sink = DiagnosticSink(file=file)
     try:
@@ -138,7 +141,7 @@ def check_source(
         # Partially resolved members are flagged by the resolver and
         # skipped member-by-member inside check_program, so sibling
         # members of a broken one still get their own diagnostics.
-        report = check_program(table, strict_sharing=strict_sharing)
+        report = check_program(table, strict_sharing=strict_sharing, explain=explain)
         for diag in report.errors + report.warnings:
             sink.add(diag)
     except JnsError as exc:

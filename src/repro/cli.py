@@ -11,6 +11,12 @@ Commands:
   report, ``--strict`` enforces modular sharing constraints, ``--infer``
   first infers missing constraints (Section 2.5 future work) and
   reports them.
+* ``explain FILE --query Q`` — render the proof tree of a semantic
+  judgment over the program's class table (``subtype T1 T2``,
+  ``shares T1 T2``, ``masks P.C``), citing the paper rules (SH-CLS,
+  S-EXACT, prefixExact_k, …); failing judgments additionally show the
+  refutation (the failing premise chain).  See
+  :mod:`repro.lang.provenance`.
 * ``fmt FILE``      — parse and pretty-print the program.
 * ``report WHAT``   — regenerate an evaluation artifact: ``table1``
   (jolden), ``table2`` (tree traversal), or ``corona`` (Section 7.4).
@@ -18,7 +24,8 @@ Commands:
 ``run`` and ``check`` share the observability flags (see
 :mod:`repro.obs`): ``--profile`` prints the unified phase-timing +
 semantic-event + cache report, ``--trace-out FILE`` writes a
-Chrome-trace JSON for ``chrome://tracing`` / Perfetto, ``--stats-json``
+Chrome-trace JSON for ``chrome://tracing`` / Perfetto (a ``.jsonl``
+extension streams events as JSON Lines instead), ``--stats-json``
 emits machine-readable cache counters to stdout.
 """
 
@@ -32,11 +39,14 @@ from typing import List, Optional
 from . import obs
 from .api import cache_stats, compile_program
 from .diagnostics import DiagnosticSink, render
+from .lang import provenance
 from .lang.classtable import ClassTable, JnsError
 from .lang.infer import infer_constraints, install_constraints
-from .lang.resolve import resolve_program
+from .lang.resolve import resolve_program, resolve_type
+from .lang.sharing import SharingChecker
+from .lang.subtype import Env, path_str, subtype
 from .lang.typecheck import check_program
-from .source.parser import parse_program
+from .source.parser import parse_program, parse_type_text
 from .source.unparse import unparse
 
 
@@ -55,6 +65,16 @@ def _tracing_requested(args) -> bool:
     return bool(getattr(args, "profile", False) or getattr(args, "trace_out", None))
 
 
+def _begin_tracing(args) -> None:
+    """Enable the tracer for ``run``/``check``; a ``--trace-out`` path
+    with a ``.jsonl`` extension opens the streaming JSONL sink up front
+    so events bypass the bounded ring."""
+    obs.enable()
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and trace_out.endswith(".jsonl"):
+        obs.TRACER.open_stream(trace_out)
+
+
 def _emit_observability(args, stats) -> None:
     """Shared tail of ``run``/``check``: the ``--profile`` unified report
     and ``--trace-out`` Chrome trace go to stderr/file, ``--stats-json``
@@ -66,12 +86,20 @@ def _emit_observability(args, stats) -> None:
         print(obs.format_report(cache_stats=stats), file=sys.stderr)
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
-        obs.TRACER.write_chrome_trace(trace_out)
-        print(
-            f"wrote Chrome trace to {trace_out} "
-            "(load in chrome://tracing or https://ui.perfetto.dev)",
-            file=sys.stderr,
-        )
+        if trace_out.endswith(".jsonl"):
+            obs.TRACER.close_stream()
+            print(
+                f"streamed trace events to {trace_out} "
+                "(one Chrome-trace event object per line)",
+                file=sys.stderr,
+            )
+        else:
+            obs.TRACER.write_chrome_trace(trace_out)
+            print(
+                f"wrote Chrome trace to {trace_out} "
+                "(load in chrome://tracing or https://ui.perfetto.dev)",
+                file=sys.stderr,
+            )
     if getattr(args, "stats_json", False) and stats is not None:
         print(json.dumps(stats.to_dict(), sort_keys=True))
 
@@ -79,7 +107,7 @@ def _emit_observability(args, stats) -> None:
 def cmd_run(args) -> int:
     source = _read(args.file)
     if _tracing_requested(args):
-        obs.enable()
+        _begin_tracing(args)
     interp = None
     try:
         try:
@@ -117,7 +145,7 @@ def cmd_run(args) -> int:
 def cmd_check(args) -> int:
     source = _read(args.file)
     if _tracing_requested(args):
-        obs.enable()
+        _begin_tracing(args)
     sink = DiagnosticSink(file=args.file)
     table = None
     stats = None
@@ -142,7 +170,9 @@ def cmd_check(args) -> int:
                     inferred_lines.append(f"installed {installed} constraint clause(s)")
                 except JnsError as exc:
                     sink.add_exc(exc)
-            report = check_program(table, strict_sharing=args.strict)
+            report = check_program(
+                table, strict_sharing=args.strict, explain=args.explain
+            )
             for diag in report.warnings + report.errors:
                 sink.add(diag)
             stats = report.cache_stats
@@ -192,6 +222,137 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _parse_explain_query(text: str):
+    """Split an ``--query`` string into (kind, operands).
+
+    Raises ValueError (exit code 2 in :func:`cmd_explain`) when the text
+    does not match one of the three query forms."""
+    parts = text.split()
+    if len(parts) == 3 and parts[0] in ("subtype", "shares"):
+        return parts[0], (parts[1], parts[2])
+    if len(parts) == 2 and parts[0] == "masks":
+        return parts[0], (parts[1],)
+    raise ValueError(
+        f"bad query {text!r}: expected 'subtype T1 T2', 'shares T1 T2', "
+        "or 'masks P.C'"
+    )
+
+
+def _resolve_query_type(text: str, table: ClassTable):
+    """Resolve one type operand of an explain query at the top level."""
+    return resolve_type(parse_type_text(text), table, ctx=())
+
+
+def cmd_explain(args) -> int:
+    """``repro explain FILE --query Q``: run one semantic judgment over
+    the program's class table with the derivation recorder on and render
+    the proof tree.  Only parsing + name resolution are required, so
+    programs that fail the type check can still be explained — that is
+    the main use case (asking *why* the checker rejected a judgment)."""
+    from .lang.types import ClassType
+
+    try:
+        kind, operands = _parse_explain_query(args.query)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    source = _read(args.file)
+    try:
+        unit = parse_program(source, file=args.file)
+        table = ClassTable(unit)
+        resolve_program(table)
+    except JnsError as exc:
+        print(render(exc.to_diagnostic(), source), file=sys.stderr)
+        return 1
+
+    # Resolution warms the memo tables; clear them so the proof tree is
+    # complete rather than a forest of "(cached)" leaves.
+    table.queries.clear()
+    provenance.enable()
+    try:
+        if kind in ("subtype", "shares"):
+            try:
+                t1 = _resolve_query_type(operands[0], table)
+                t2 = _resolve_query_type(operands[1], table)
+            except JnsError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            env = Env(table, ())
+            env.vars["this"] = ClassType(())
+            with provenance.PROVENANCE.capture() as cap:
+                if kind == "subtype":
+                    holds = subtype(env, t1, t2)
+                else:
+                    holds, _how = SharingChecker(table).sharing_judgment(
+                        env, t1, t2
+                    )
+            header = f"query: {kind} {t1!r} {t2!r}"
+            result = bool(holds)
+        else:
+            path = tuple(operands[0].split("."))
+            if not table.class_exists(path):
+                print(f"error: unknown class {operands[0]}", file=sys.stderr)
+                return 1
+            target = table.share_target(path)
+            checker = SharingChecker(table)
+            with provenance.PROVENANCE.capture() as cap:
+                fwd = checker.required_masks(path, target)
+                bwd = checker.required_masks(target, path)
+            header = f"query: masks {path_str(path)}"
+            result = None
+    finally:
+        provenance.disable()
+
+    if getattr(args, "json", False):
+        payload = {
+            "query": args.query,
+            "derivations": [d.to_dict() for d in cap.derivations],
+        }
+        if result is not None:
+            payload["holds"] = result
+        failed = cap.failed()
+        if failed is not None:
+            ref = failed.refutation()
+            payload["refutation"] = ref.to_dict() if ref is not None else None
+        if kind == "masks":
+            payload["share_target"] = path_str(target)
+            payload["declared_masks"] = sorted(table.share_masks(path))
+            payload["required_masks"] = {
+                f"{path_str(path)} -> {path_str(target)}": sorted(fwd),
+                f"{path_str(target)} -> {path_str(path)}": sorted(bwd),
+            }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(header)
+    if kind == "masks":
+        if target == path:
+            print(f"result: {path_str(path)} declares no sharing")
+        else:
+            masks = sorted(table.share_masks(path))
+            print(f"result: shares {path_str(target)}"
+                  + (f" \\ {{{', '.join(masks)}}}" if masks else ""))
+            print(f"  required masks {path_str(path)} -> {path_str(target)}: "
+                  + ("{" + ", ".join(sorted(fwd)) + "}" if fwd else "{}"))
+            print(f"  required masks {path_str(target)} -> {path_str(path)}: "
+                  + ("{" + ", ".join(sorted(bwd)) + "}" if bwd else "{}"))
+    else:
+        print(f"result: {'holds' if result else 'fails'}")
+    if cap.derivations:
+        print()
+        print("derivation:")
+        for d in cap.derivations:
+            print(d.format("  "))
+    failed = cap.failed()
+    if failed is not None:
+        ref = failed.refutation()
+        if ref is not None:
+            print()
+            print("refutation (failing premises only):")
+            print(ref.format("  "))
+    return 0
+
+
 def cmd_graph(args) -> int:
     from .lang.graph import family_graph
 
@@ -220,7 +381,10 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         default=None,
         help="write a Chrome-trace JSON (chrome://tracing / Perfetto) of "
-        "the traced pipeline to FILE",
+        "the traced pipeline to FILE; the in-memory event ring is bounded "
+        "(oldest events are dropped past 16384), so for long runs give "
+        "FILE a .jsonl extension to stream every event as JSON Lines "
+        "instead of going through the ring",
     )
     parser.add_argument(
         "--stats-json",
@@ -278,12 +442,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit diagnostics as machine-readable JSON",
     )
     p_check.add_argument(
+        "--explain",
+        action="store_true",
+        help="record derivations while checking and attach refutation "
+        "trees (why the judgment failed) to sharing diagnostics; "
+        "meant for --json consumers",
+    )
+    p_check.add_argument(
         "--stats",
         action="store_true",
         help="print query-cache hit/miss counters to stderr after checking",
     )
     _add_obs_flags(p_check)
     p_check.set_defaults(func=cmd_check)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="render the proof tree of a semantic judgment (subtype, "
+        "shares, masks) over the program's class table",
+    )
+    p_explain.add_argument("file")
+    p_explain.add_argument(
+        "--query",
+        required=True,
+        metavar="Q",
+        help="the judgment to explain: 'subtype T1 T2', 'shares T1 T2', "
+        "or 'masks P.C' (types use surface syntax, e.g. pair!.Exp)",
+    )
+    p_explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the derivation trees as machine-readable JSON",
+    )
+    p_explain.set_defaults(func=cmd_explain)
 
     p_fmt = sub.add_parser("fmt", help="pretty-print a J&s program")
     p_fmt.add_argument("file")

@@ -153,6 +153,11 @@ class Diagnostic:
     span: Optional[Span] = None
     where: Optional[str] = None  # semantic context, e.g. "Main.main"
     notes: List[str] = field(default_factory=list)
+    #: Optional refutation tree (a serialized
+    #: :class:`repro.lang.provenance.Derivation`) explaining *why* the
+    #: judgment behind this diagnostic failed; populated by the type
+    #: checker under ``check --json --explain``.
+    explain: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -181,6 +186,8 @@ class Diagnostic:
             payload["where"] = self.where
         if self.notes:
             payload["notes"] = list(self.notes)
+        if self.explain is not None:
+            payload["explain"] = self.explain
         return payload
 
 

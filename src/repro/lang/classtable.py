@@ -27,6 +27,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tup
 from ..errors import JnsError
 from ..source import ast
 from . import types as T
+from .provenance import PROVENANCE as _PROV
 from .queries import MISS, QueryEngine
 from .types import ClassType, Path, Type, View, exact_class, intern_type
 
@@ -342,6 +343,19 @@ class ClassTable:
 
     def _mem(self, t: Type) -> Tuple[Path, ...]:
         """``mem(PS)``: the classes comprising a pure non-dependent type."""
+        if _PROV.enabled:
+            frame = _PROV.begin("mem", f"mem({t!r})")
+            try:
+                cached = self._q_mem.get(t)
+                if cached is not MISS:
+                    return _PROV.end_hit(frame, ("mem", id(self), t), cached)
+                result = self._q_mem.put(t, self._mem_uncached(t))
+                return _PROV.end(
+                    frame, result, rule="mem (Fig. 8)", key=("mem", id(self), t)
+                )
+            except BaseException:
+                _PROV.abort(frame)
+                raise
         cached = self._q_mem.get(t)
         if cached is not MISS:
             return cached
@@ -751,9 +765,35 @@ class ClassTable:
     def sharing_group(self, path: Path) -> Tuple[Path, ...]:
         """All classes sharing instances with ``path`` (including itself)."""
         self._build_sharing()
+        if _PROV.enabled:
+            frame = _PROV.begin("sharing_group", f"group({path_str(path)})")
+            try:
+                cached = self._q_group.get(path)
+                if cached is not MISS:
+                    return _PROV.end_hit(
+                        frame, ("sharing_group", id(self), path), cached
+                    )
+                result = self._sharing_group_uncached(path)
+                _PROV.note(
+                    "union-find",
+                    f"equivalence root of {path_str(path)} is "
+                    f"{path_str(self._find(path))}",
+                )
+                return _PROV.end(
+                    frame,
+                    result,
+                    rule="sharing equivalence (Sec. 2.2)",
+                    key=("sharing_group", id(self), path),
+                )
+            except BaseException:
+                _PROV.abort(frame)
+                raise
         cached = self._q_group.get(path)
         if cached is not MISS:
             return cached
+        return self._sharing_group_uncached(path)
+
+    def _sharing_group_uncached(self, path: Path) -> Tuple[Path, ...]:
         root = self._find(path)
         group = [p for p in self.all_class_paths() if self._find(p) == root]
         if path not in group:
@@ -776,6 +816,14 @@ class ClassTable:
         Returns ``path``'s own copy when the field is new in this family or
         duplicated (masked in the sharing declaration); otherwise follows
         the share target."""
+        if _PROV.enabled:
+            frame = _PROV.begin("fclass", f"fclass({path_str(path)}, {fname!r})")
+            try:
+                result = self._fclass_recorded(path, fname)
+                return _PROV.end(frame, result, rule="fclass (Sec. 4.15)")
+            except BaseException:
+                _PROV.abort(frame)
+                raise
         target = self.share_target(path)
         if target == path:
             return path
@@ -784,6 +832,37 @@ class ClassTable:
         target_fields = {decl.name for _, decl in self.all_fields(target)}
         if fname not in target_fields:
             return path
+        return self.fclass(target, fname)
+
+    def _fclass_recorded(self, path: Path, fname: str) -> Path:
+        """The :meth:`fclass` dispatch with leaf premises explaining which
+        clause selected the copy (recording-only path)."""
+        target = self.share_target(path)
+        if target == path:
+            _PROV.note(
+                "share", f"{path_str(path)} declares no sharing: own copy"
+            )
+            return path
+        if fname in self.share_masks(path):
+            _PROV.note(
+                "duplicated",
+                f"field {fname!r} is masked in {path_str(path)}'s shares "
+                "clause: duplicated, own copy",
+            )
+            return path
+        target_fields = {decl.name for _, decl in self.all_fields(target)}
+        if fname not in target_fields:
+            _PROV.note(
+                "new-field",
+                f"field {fname!r} is new in {path_str(path)} (absent from "
+                f"{path_str(target)}): own copy",
+            )
+            return path
+        _PROV.note(
+            "share",
+            f"{path_str(path)} shares {path_str(target)} and {fname!r} is "
+            "not masked: follow the share target",
+        )
         return self.fclass(target, fname)
 
     def types_fully_shared(self, t1: ClassType, t2: ClassType) -> bool:

@@ -1,0 +1,426 @@
+"""Provenance-tracked derivations for the semantic judgments (ISSUE 5).
+
+The memoized query engine (:mod:`repro.lang.queries`) answers *whether*
+``T1 <= T2`` or ``T1 ~> T2`` holds; this module records *why*.  When the
+process-wide recorder :data:`PROVENANCE` is enabled, every instrumented
+judgment site — subtype, bound, ``mem``, ``fclass``, sharing groups,
+``required_masks``, SH-CLS ``type_shares``, and the full ``~>`` judgment
+— pushes a frame, lets its recursive sub-judgments attach themselves as
+premises, and pops a :class:`Derivation`: an immutable proof-tree node
+carrying the judgment name, a human-readable subject, the paper rule
+that decided it (SH-CLS, S-MASK, prefixExact_k, …), the result, and the
+premise derivations.
+
+Memoization stays transparent: when a judgment is answered from its
+query cache, the derivation recorded when the entry was *computed* is
+spliced into the tree (marked ``(cached)``), so a proof tree looks the
+same whether or not the memo tables were warm.  Failed judgments can be
+pruned to a *refutation* — the failing premise chain, recursively — which
+the type checker attaches to ``JNS-*`` diagnostics under
+``check --json --explain`` and ``repro explain`` renders as text.
+
+The discipline mirrors :mod:`repro.obs`: recording is off by default and
+each instrumented site pays exactly one ``if PROVENANCE.enabled:``
+attribute load and branch when off, so the ≤ 5% disabled-overhead bound
+of ``benchmarks/test_obs_json.py`` covers this layer too.  When the
+tracer is also enabled, recording bumps ``provenance.recorded`` /
+``provenance.spliced`` counters (aggregate and per judgment) and feeds a
+``provenance.premises.<judgment>`` histogram, so provenance cost is
+itself observable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs import TRACER
+
+__all__ = [
+    "Derivation",
+    "Provenance",
+    "PROVENANCE",
+    "enable",
+    "disable",
+    "enabled",
+]
+
+#: Completed root derivations kept per recording session (old roots fall
+#: off the front; splice storage is unaffected).
+MAX_ROOTS = 64
+
+
+def _elem_text(x: Any) -> str:
+    """Render one element of a set/tuple result; class paths (tuples of
+    names) print dotted."""
+    if isinstance(x, tuple) and all(isinstance(s, str) for s in x):
+        return ".".join(x) or "<top>"
+    return str(x)
+
+
+def _result_text(result: Any) -> str:
+    """Render a judgment result for one proof-tree line."""
+    if result is True:
+        return "holds"
+    if result is False:
+        return "fails"
+    if isinstance(result, frozenset):
+        return "{" + ", ".join(sorted(_elem_text(x) for x in result)) + "}"
+    if isinstance(result, tuple):
+        if result and all(isinstance(s, str) for s in result):
+            return ".".join(result)  # a class path
+        return "{" + ", ".join(_elem_text(x) for x in result) + "}"
+    return repr(result)
+
+
+def _result_json(result: Any) -> Any:
+    if isinstance(result, frozenset):
+        return sorted(_elem_text(x) for x in result)
+    if isinstance(result, tuple):
+        if result and all(isinstance(s, str) for s in result):
+            return ".".join(result)  # a class path
+        return [_elem_text(x) for x in result]
+    if isinstance(result, (bool, int, float, str)) or result is None:
+        return result
+    return repr(result)
+
+
+class Derivation:
+    """One node of a proof tree: a judgment instance, the rule that
+    decided it, its result, and the sub-judgments it rests on."""
+
+    __slots__ = ("judgment", "subject", "rule", "result", "premises", "cached", "loc")
+
+    def __init__(
+        self,
+        judgment: str,
+        subject: str,
+        rule: Optional[str],
+        result: Any,
+        premises: Tuple["Derivation", ...] = (),
+        cached: bool = False,
+        loc: Optional[str] = None,
+    ) -> None:
+        self.judgment = judgment
+        self.subject = subject
+        self.rule = rule
+        self.result = result
+        self.premises = premises
+        self.cached = cached
+        self.loc = loc
+
+    @property
+    def failed(self) -> bool:
+        return self.result is False
+
+    def size(self) -> int:
+        return 1 + sum(p.size() for p in self.premises)
+
+    def line(self) -> str:
+        """The one-line rendering of this node (no premises)."""
+        text = f"{self.judgment} {self.subject} => {_result_text(self.result)}"
+        if self.rule:
+            text += f"  [{self.rule}]"
+        if self.cached:
+            text += "  (cached)"
+        if self.loc:
+            text += f"  @ {self.loc}"
+        return text
+
+    def format(self, indent: str = "", max_depth: int = 24) -> str:
+        """Indented proof tree, premises nested two spaces per level."""
+        lines: List[str] = []
+        self._format_into(lines, indent, max_depth)
+        return "\n".join(lines)
+
+    def _format_into(self, lines: List[str], indent: str, depth: int) -> None:
+        lines.append(indent + self.line())
+        if depth <= 0 and self.premises:
+            lines.append(indent + "  ... (" + str(self.size() - 1) + " premises elided)")
+            return
+        for p in self.premises:
+            p._format_into(lines, indent + "  ", depth - 1)
+
+    def refutation(self) -> Optional["Derivation"]:
+        """For a failed judgment, the pruned tree explaining the failure:
+        this node with only its failing premises, each refuted
+        recursively.  A failing node with no failing premises is a leaf
+        refutation (the rule's side condition itself failed).  Returns
+        None when the judgment did not fail."""
+        if self.result is not False:
+            return None
+        pruned = tuple(
+            p.refutation() or p for p in self.premises if p.result is False
+        )
+        return Derivation(
+            self.judgment, self.subject, self.rule, False, pruned, self.cached, self.loc
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "judgment": self.judgment,
+            "subject": self.subject,
+            "result": _result_json(self.result),
+        }
+        if self.rule:
+            payload["rule"] = self.rule
+        if self.cached:
+            payload["cached"] = True
+        if self.loc:
+            payload["loc"] = self.loc
+        if self.premises:
+            payload["premises"] = [p.to_dict() for p in self.premises]
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Derivation {self.line()} premises={len(self.premises)}>"
+
+
+class _Frame:
+    """An in-progress judgment on the recorder stack."""
+
+    __slots__ = ("judgment", "subject", "rule", "children", "loc")
+
+    def __init__(self, judgment: str, subject: str, loc: Optional[str]) -> None:
+        self.judgment = judgment
+        self.subject = subject
+        self.rule: Optional[str] = None
+        self.children: List[Derivation] = []
+        self.loc = loc
+
+
+class _Capture:
+    """Context manager that collects the derivations produced directly
+    inside its body (a no-op when recording is disabled), so callers —
+    the type checker, the CLI — can grab a proof tree without knowing
+    whether provenance is on."""
+
+    __slots__ = ("_prov", "_frame", "derivations")
+
+    def __init__(self, prov: "Provenance") -> None:
+        self._prov = prov
+        self._frame: Optional[_Frame] = None
+        self.derivations: Tuple[Derivation, ...] = ()
+
+    def __enter__(self) -> "_Capture":
+        if self._prov.enabled:
+            self._frame = self._prov.begin("<capture>", "")
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        if self._frame is not None:
+            self._prov._pop(self._frame)
+            self.derivations = tuple(self._frame.children)
+            self._frame = None
+        return False
+
+    @property
+    def derivation(self) -> Optional[Derivation]:
+        """The first captured derivation (the judgment the body ran)."""
+        return self.derivations[0] if self.derivations else None
+
+    def failed(self) -> Optional[Derivation]:
+        """The first captured derivation that failed, if any."""
+        for d in self.derivations:
+            if d.result is False:
+                return d
+        return None
+
+
+class Provenance:
+    """The derivation recorder.  All state is per instance so tests can
+    build private recorders; production code uses :data:`PROVENANCE`,
+    whose ``enabled`` flag is the single branch every judgment site pays
+    while recording is off.
+
+    Protocol at an instrumented site::
+
+        frame = PROVENANCE.begin("subtype", f"{t1!r} <= {t2!r}")
+        try:
+            cached = q.get(key)
+            if cached is not MISS:
+                return PROVENANCE.end_hit(frame, ("subtype", id(table), key), cached)
+            result = q.put(key, compute())   # recursion re-enters recording
+            return PROVENANCE.end(frame, result, key=("subtype", id(table), key))
+        except BaseException:
+            PROVENANCE.abort(frame)
+            raise
+
+    ``end`` stores the finished derivation under ``key`` so a later
+    cache *hit* on the same judgment can splice it back in via
+    ``end_hit`` — memoization never makes a proof tree shallower.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.roots: List[Derivation] = []
+        self._stack: List[_Frame] = []
+        #: (judgment, id(owner), cache key) -> derivation recorded when
+        #: the memo entry was computed; consulted on cache hits.
+        self._store: Dict[Any, Derivation] = {}
+        self.recorded: Dict[str, int] = {}
+        self.spliced: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def enable(self, reset: bool = True) -> None:
+        if reset:
+            self.clear()
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+        self._store.clear()
+        self.recorded.clear()
+        self.spliced.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-judgment recorded/spliced counts (independent of the
+        tracer; the tracer mirrors these as ``provenance.*`` counters)."""
+        return {
+            "recorded": dict(sorted(self.recorded.items())),
+            "spliced": dict(sorted(self.spliced.items())),
+        }
+
+    # ------------------------------------------------------------------
+    # recording protocol
+    # ------------------------------------------------------------------
+
+    def begin(self, judgment: str, subject: str, loc: Optional[str] = None) -> _Frame:
+        frame = _Frame(judgment, subject, loc)
+        self._stack.append(frame)
+        return frame
+
+    def _pop(self, frame: _Frame) -> None:
+        # Reentrancy-safe unwind, mirroring obs._Span.__exit__.
+        stack = self._stack
+        while stack and stack[-1] is not frame:
+            stack.pop()
+        if stack:
+            stack.pop()
+
+    def _attach(self, d: Derivation) -> None:
+        if self._stack:
+            self._stack[-1].children.append(d)
+        else:
+            self.roots.append(d)
+            if len(self.roots) > MAX_ROOTS:
+                del self.roots[0]
+
+    def end(
+        self,
+        frame: _Frame,
+        result: Any,
+        rule: Optional[str] = None,
+        key: Any = None,
+    ) -> Any:
+        """Finish a computed (non-hit) judgment; returns ``result`` so
+        sites can ``return PROVENANCE.end(...)``."""
+        self._pop(frame)
+        d = Derivation(
+            frame.judgment,
+            frame.subject,
+            rule or frame.rule,
+            result,
+            tuple(frame.children),
+            False,
+            frame.loc,
+        )
+        self._attach(d)
+        if key is not None:
+            self._store[key] = d
+        self.recorded[frame.judgment] = self.recorded.get(frame.judgment, 0) + 1
+        tracer = TRACER
+        if tracer.enabled:
+            tracer.count("provenance.recorded")
+            tracer.count("provenance.recorded." + frame.judgment)
+            tracer.observe("provenance.premises." + frame.judgment, len(d.premises))
+        return result
+
+    def end_hit(
+        self,
+        frame: _Frame,
+        key: Any,
+        result: Any,
+        rule: Optional[str] = None,
+    ) -> Any:
+        """Finish a judgment answered from a memo table, splicing the
+        derivation stored when the entry was computed (a bare ``(cached)``
+        leaf citing the memo when the entry predates recording)."""
+        self._pop(frame)
+        stored = self._store.get(key)
+        if stored is not None:
+            d = Derivation(
+                stored.judgment,
+                stored.subject,
+                stored.rule,
+                result,
+                stored.premises,
+                True,
+                stored.loc,
+            )
+        else:
+            d = Derivation(
+                frame.judgment,
+                frame.subject,
+                rule or "memo (computed before recording)",
+                result,
+                (),
+                True,
+                frame.loc,
+            )
+        self._attach(d)
+        self.spliced[frame.judgment] = self.spliced.get(frame.judgment, 0) + 1
+        tracer = TRACER
+        if tracer.enabled:
+            tracer.count("provenance.spliced")
+            tracer.count("provenance.spliced." + frame.judgment)
+        return result
+
+    def abort(self, frame: _Frame) -> None:
+        """Unwind a frame whose judgment raised; nothing is recorded."""
+        self._pop(frame)
+
+    def rule(self, name: str) -> None:
+        """Name the paper rule deciding the innermost open judgment."""
+        if self._stack:
+            self._stack[-1].rule = name
+
+    def note(
+        self,
+        judgment: str,
+        subject: str,
+        result: Any = True,
+        rule: Optional[str] = None,
+    ) -> None:
+        """Attach a leaf premise (a side condition with no sub-proof) to
+        the innermost open judgment."""
+        d = Derivation(judgment, subject, rule, result)
+        self._attach(d)
+
+    def capture(self) -> _Capture:
+        return _Capture(self)
+
+
+#: The process-wide recorder.  Judgment sites import this and guard with
+#: ``if PROVENANCE.enabled:`` — one attribute load and branch when off.
+PROVENANCE = Provenance()
+
+
+def enabled() -> bool:
+    return PROVENANCE.enabled
+
+
+def enable(reset: bool = True) -> None:
+    """Turn on the process-wide derivation recorder (clearing previously
+    recorded derivations by default)."""
+    PROVENANCE.enable(reset=reset)
+
+
+def disable() -> None:
+    PROVENANCE.disable()

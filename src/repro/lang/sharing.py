@@ -24,9 +24,18 @@ from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from . import types as T
 from .classtable import ClassTable, JnsError, ResolveError, path_str
+from .provenance import PROVENANCE as _PROV
 from .queries import MISS, QueryEngine
 from .subtype import Env, subtype
 from .types import ClassType, Path, Type, intern_type
+
+#: How a successful ``~>`` judgment maps to the paper rule that closed it
+#: (proof-tree labels; a failed judgment carries no rule).
+_SHARES_RULES: Dict[str, str] = {
+    "subtype": "SH-REFL",
+    "constraint": "SH-ENV",
+    "global": "SH-CLS",
+}
 
 
 class SharingChecker:
@@ -88,10 +97,52 @@ class SharingChecker:
         before use, and the runtime still guards uninitialized reads);
         explicit view changes stay strict, exactly as in Figure 5."""
         key = (src, dst, lenient)
+        if _PROV.enabled:
+            subject = f"{path_str(src)}! ~> {path_str(dst)}!"
+            if lenient:
+                subject += " (lenient)"
+            frame = _PROV.begin(
+                "required_masks", subject, loc=self._decl_loc(dst)
+            )
+            try:
+                cached = self._q_req_masks.get(key)
+                if cached is not MISS:
+                    return _PROV.end_hit(
+                        frame, ("required_masks", id(self), key), cached
+                    )
+                result = self._required_masks_compute(key)
+                return _PROV.end(
+                    frame,
+                    result,
+                    rule="masks (Fig. 5)",
+                    key=("required_masks", id(self), key),
+                )
+            except BaseException:
+                _PROV.abort(frame)
+                raise
         cached = self._q_req_masks.get(key)
         if cached is not MISS:
             return cached
+        return self._required_masks_compute(key)
+
+    def _decl_loc(self, path: Path) -> Optional[str]:
+        """Source location of a class declaration (proof-tree citations;
+        only called while recording)."""
+        info = self.table.explicit.get(path)
+        pos = getattr(getattr(info, "decl", None), "pos", None)
+        if not pos or pos == (0, 0):
+            return None
+        return f"line {pos[0]}, col {pos[1]}"
+
+    def _required_masks_compute(self, key: Tuple[Path, Path, bool]) -> FrozenSet[str]:
+        src, dst, lenient = key
         if key in self._in_progress:
+            if _PROV.enabled:
+                _PROV.note(
+                    "coinduction",
+                    f"judgment for {path_str(src)}! ~> {path_str(dst)}! is in "
+                    "progress; assume no masks required (coinductive)",
+                )
             return frozenset()  # coinductive assumption
         self._in_progress.add(key)
         try:
@@ -103,8 +154,26 @@ class SharingChecker:
                 if fname not in src_fields:
                     if not lenient:
                         masks.add(fname)  # new field, uninitialized in src view
+                        if _PROV.enabled:
+                            _PROV.note(
+                                "new-field",
+                                f"field {fname!r} is new in {path_str(dst)} "
+                                f"(absent from {path_str(src)}): mask required",
+                            )
+                    elif _PROV.enabled:
+                        _PROV.note(
+                            "new-field",
+                            f"field {fname!r} is new in {path_str(dst)}: "
+                            "deferred initialization (lenient), no mask",
+                        )
                     continue
                 if table.fclass(src, fname) == table.fclass(dst, fname):
+                    if _PROV.enabled:
+                        _PROV.note(
+                            "same-copy",
+                            f"field {fname!r}: both views read the same heap "
+                            "copy (fclass agrees), no mask",
+                        )
                     continue  # same heap copy: always consistent
                 # Different copies: safe only if the source copy's contents
                 # can be implicitly viewed at the target's field type.
@@ -112,8 +181,21 @@ class SharingChecker:
                 t_dst = self._field_type_at(dst, fname)
                 if t_src is None or t_dst is None:
                     masks.add(fname)
+                    if _PROV.enabled:
+                        _PROV.note(
+                            "field-type",
+                            f"field {fname!r}: interpreted type unavailable, "
+                            "mask required",
+                        )
                 elif not self.type_shares(t_src, t_dst, frozenset(), lenient):
                     masks.add(fname)
+                    if _PROV.enabled:
+                        _PROV.note(
+                            "copy-differs",
+                            f"field {fname!r}: distinct heap copies and the "
+                            f"source copy's content ({t_src!r}) has no "
+                            f"{t_dst!r} view, mask required",
+                        )
             return self._q_req_masks.put(key, frozenset(masks))
         finally:
             self._in_progress.discard(key)
@@ -147,6 +229,26 @@ class SharingChecker:
         ``required_masks`` answers are provisional, so nothing computed
         then may be recorded."""
         key = (src, dst, allowed_masks, lenient)
+        if _PROV.enabled:
+            subject = f"{src!r} ~> {dst!r}"
+            if allowed_masks:
+                subject += " \\ {" + ", ".join(sorted(allowed_masks)) + "}"
+            frame = _PROV.begin("type_shares", subject)
+            try:
+                cached = self._q_type_shares.get(key)
+                if cached is not MISS:
+                    return _PROV.end_hit(
+                        frame, ("type_shares", id(self), key), cached
+                    )
+                result = self._type_shares_uncached(src, dst, allowed_masks, lenient)
+                store_key = None
+                if not self._in_progress:
+                    self._q_type_shares.put(key, result)
+                    store_key = ("type_shares", id(self), key)
+                return _PROV.end(frame, result, rule="SH-CLS", key=store_key)
+            except BaseException:
+                _PROV.abort(frame)
+                raise
         cached = self._q_type_shares.get(key)
         if cached is not MISS:
             return cached
@@ -164,6 +266,8 @@ class SharingChecker:
     ) -> bool:
         src_p, dst_p = src.pure(), dst.pure()
         if src_p == dst_p:
+            if _PROV.enabled:
+                _PROV.rule("SH-REFL")
             return True
         if isinstance(src_p, T.PrimType) and isinstance(dst_p, T.PrimType):
             return src_p == dst_p
@@ -174,6 +278,12 @@ class SharingChecker:
         table = self.table
         src_subs = table.subclasses_of(src_p)
         if not src_subs:
+            if _PROV.enabled:
+                _PROV.note(
+                    "closed-world",
+                    f"{src_p!r} has no subclasses in the locally closed world",
+                    False,
+                )
             return False
         for p1 in src_subs:
             matches = [
@@ -183,7 +293,26 @@ class SharingChecker:
                 and self.required_masks(p1, p2, lenient) <= allowed_masks
             ]
             if len(matches) != 1:
+                if _PROV.enabled:
+                    masks_text = (
+                        "{" + ", ".join(sorted(allowed_masks)) + "}"
+                        if allowed_masks
+                        else "no masks"
+                    )
+                    _PROV.note(
+                        "unique-shared-subclass",
+                        f"subclass {path_str(p1)} of the source has "
+                        f"{len(matches)} shared subclasses of {dst_p!r} "
+                        f"reachable under {masks_text} (exactly 1 required)",
+                        False,
+                    )
                 return False
+            if _PROV.enabled:
+                _PROV.note(
+                    "unique-shared-subclass",
+                    f"subclass {path_str(p1)} of the source shares uniquely "
+                    f"with {path_str(matches[0])}",
+                )
         return True
 
     # ------------------------------------------------------------------
@@ -199,6 +328,22 @@ class SharingChecker:
         "global" (the latter means no enabling constraint was in scope and
         the judgment came from the closed-world check — legal in the
         calculus, flagged for modularity)."""
+        if _PROV.enabled:
+            frame = _PROV.begin("shares", f"{t_src!r} ~> {t_dst!r}")
+            try:
+                holds, how = self._sharing_judgment_inner(
+                    env, t_src, t_dst, allow_global
+                )
+                _PROV.end(frame, holds, rule=_SHARES_RULES.get(how))
+                return holds, how
+            except BaseException:
+                _PROV.abort(frame)
+                raise
+        return self._sharing_judgment_inner(env, t_src, t_dst, allow_global)
+
+    def _sharing_judgment_inner(
+        self, env: Env, t_src: Type, t_dst: Type, allow_global: bool
+    ) -> Tuple[bool, str]:
         # SH-REFL (via subsumption): a no-op view change.
         if subtype(env, t_src, t_dst):
             return True, "subtype"
@@ -215,6 +360,12 @@ class SharingChecker:
         for left, right in env.constraints:
             for l, r in ((left, right), (right, left)):
                 if subtype(env, t_src, l) and subtype(env, r, t_dst):
+                    if _PROV.enabled:
+                        _PROV.note(
+                            "constraint",
+                            f"enabled by the in-scope constraint "
+                            f"sharing {l!r} = {r!r}",
+                        )
                     return True, "constraint"
                 if s is None or d is None:
                     continue
@@ -224,11 +375,31 @@ class SharingChecker:
                 except (ResolveError, JnsError):
                     continue
                 if subtype(env, s, l_ev) and subtype(env, r_ev, d):
+                    if _PROV.enabled:
+                        _PROV.note(
+                            "constraint",
+                            f"enabled by the in-scope constraint "
+                            f"sharing {l!r} = {r!r} (statically evaluated)",
+                        )
                     return True, "constraint"
         if not allow_global:
+            if _PROV.enabled:
+                _PROV.note(
+                    "strict",
+                    "no enabling sharing constraint in scope and the global "
+                    "closed-world rule is disallowed (strict mode)",
+                    False,
+                )
             return False, "none"
         # SH-DECL / SH-CLS on the evaluated types.
         if s is None or d is None:
+            if _PROV.enabled:
+                _PROV.note(
+                    "eval",
+                    "the types' dependent parts do not evaluate statically, "
+                    "so the closed-world rule cannot apply",
+                    False,
+                )
             return False, "none"
         if self.type_shares(s.pure(), d.pure(), d.masks):
             return True, "global"

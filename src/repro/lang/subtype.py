@@ -21,7 +21,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from . import types as T
-from .classtable import ClassTable, ResolveError, TypeError_
+from .classtable import ClassTable, ResolveError, TypeError_, path_str
+from .provenance import PROVENANCE as _PROV
 from .queries import MISS
 from .types import ClassType, Path, Type
 
@@ -78,6 +79,8 @@ class Env:
         dependent paths are all ``this``-rooted and ``this`` has its
         standard binding; other bounds read the flow-sensitive variable
         environment and recompute every time."""
+        if _PROV.enabled:
+            return self._bound_recorded(t)
         paths = T.paths_in(t)
         cacheable = all(p == _THIS_PATH for p in paths) and (
             not paths or _standard_this(self)
@@ -90,6 +93,35 @@ class Env:
                 return cached
             return q.put(key, self._bound_uncached(t))
         return self._bound_uncached(t)
+
+    def _bound_recorded(self, t: Type) -> Type:
+        """The :meth:`bound` control flow with derivation recording (the
+        disabled path above stays byte-identical)."""
+        frame = _PROV.begin("bound", f"{t!r} <|")
+        try:
+            paths = T.paths_in(t)
+            cacheable = all(p == _THIS_PATH for p in paths) and (
+                not paths or _standard_this(self)
+            )
+            if cacheable:
+                q = self.table._q_bound
+                key = (self.ctx, t)
+                cached = q.get(key)
+                if cached is not MISS:
+                    return _PROV.end_hit(
+                        frame, ("bound", id(self.table), key), cached
+                    )
+                result = q.put(key, self._bound_uncached(t))
+                return _PROV.end(
+                    frame,
+                    result,
+                    rule=_bound_rule(t),
+                    key=("bound", id(self.table), key),
+                )
+            return _PROV.end(frame, self._bound_uncached(t), rule=_bound_rule(t))
+        except BaseException:
+            _PROV.abort(frame)
+            raise
 
     def _bound_uncached(self, t: Type) -> Type:
         t = t.pure()
@@ -203,6 +235,23 @@ class Env:
         raise TypeError_(f"expected a class type, got {t!r}")
 
 
+def _bound_rule(t: Type) -> str:
+    """The Section 4.13 bound rule a type's shape selects (for proof
+    trees; the dispatch itself lives in ``Env._bound_uncached``)."""
+    t = t.pure()
+    if isinstance(t, T.DepType):
+        return "BD-FIN"
+    if isinstance(t, T.PrefixType):
+        return "BD-PRE"
+    if isinstance(t, T.NestedType):
+        return "BD-MEM"
+    if isinstance(t, T.ExactType):
+        return "BD-EXACT"
+    if isinstance(t, T.IsectType):
+        return "BD-ISECT"
+    return "BD-ID"
+
+
 def substitute_this(t: Type, receiver: Type, env: Env) -> Type:
     """Type substitution ``T{receiver/this}`` (Fig. 14): rewrite
     this-rooted dependent classes using the receiver's type.
@@ -260,6 +309,8 @@ def subtype(env: Env, t1: Type, t2: Type) -> bool:
     types is ``this``-rooted and ``this`` has its standard binding.  The
     judgment never reads ``env.constraints`` (sharing never implies
     subtyping), so constraints don't enter the key."""
+    if _PROV.enabled:
+        return _subtype_recorded(env, t1, t2)
     if t1 == t2:
         return True
     paths = T.paths_in(t1) | T.paths_in(t2)
@@ -273,28 +324,66 @@ def subtype(env: Env, t1: Type, t2: Type) -> bool:
     return _subtype_uncached(env, t1, t2)
 
 
+def _subtype_recorded(env: Env, t1: Type, t2: Type) -> bool:
+    """:func:`subtype` with derivation recording (same control flow as
+    the disabled path, which stays byte-identical)."""
+    frame = _PROV.begin("subtype", f"{t1!r} <= {t2!r}")
+    try:
+        if t1 == t2:
+            return _PROV.end(frame, True, rule="S-REFL")
+        paths = T.paths_in(t1) | T.paths_in(t2)
+        if all(p == _THIS_PATH for p in paths) and (not paths or _standard_this(env)):
+            q = env.table._q_subtype
+            key = (env.ctx, t1, t2)
+            cached = q.get(key)
+            if cached is not MISS:
+                return _PROV.end_hit(frame, ("subtype", id(env.table), key), cached)
+            result = q.put(key, _subtype_uncached(env, t1, t2))
+            return _PROV.end(frame, result, key=("subtype", id(env.table), key))
+        return _PROV.end(frame, _subtype_uncached(env, t1, t2))
+    except BaseException:
+        _PROV.abort(frame)
+        raise
+
+
 def _subtype_uncached(env: Env, t1: Type, t2: Type) -> bool:
     if t1 == t2:
         return True
     # S-MASK: masks may only be added going up (T <= T\f).
     if not t1.masks <= t2.masks:
+        if _PROV.enabled:
+            _PROV.rule("S-MASK")
+            _PROV.note(
+                "masks",
+                f"{{{', '.join(sorted(t1.masks - t2.masks))}}} present on the "
+                "subtype but not the supertype",
+                False,
+            )
         return False
     p1, p2 = t1.pure(), t2.pure()
     if p1 == p2:
+        if _PROV.enabled:
+            _PROV.rule("S-MASK")
         return True
     if isinstance(p1, T.PrimType) and p1.name == "null":
+        if _PROV.enabled:
+            _PROV.rule("S-NULL")
         return (
             T.is_reference_type(p2)
             or isinstance(p2, T.ArrayType)
             or p2 == T.STRING
         )
     if isinstance(p1, T.PrimType) or isinstance(p2, T.PrimType):
+        if _PROV.enabled:
+            _PROV.rule("S-PRIM")
         if isinstance(p1, T.PrimType) and isinstance(p2, T.PrimType):
             if p1.name == p2.name:
                 return True
             return p1.name == "int" and p2.name == "double"
         return False
     if isinstance(p1, T.ArrayType) or isinstance(p2, T.ArrayType):
+        if _PROV.enabled:
+            _PROV.rule("S-ARRAY")
         return (
             isinstance(p1, T.ArrayType)
             and isinstance(p2, T.ArrayType)
@@ -302,8 +391,12 @@ def _subtype_uncached(env: Env, t1: Type, t2: Type) -> bool:
         )
     # intersections
     if isinstance(p2, T.IsectType):
+        if _PROV.enabled:
+            _PROV.rule("S-ISECT-R")
         return all(subtype(env, p1, part) for part in p2.parts)
     if isinstance(p1, T.IsectType):
+        if _PROV.enabled:
+            _PROV.rule("S-ISECT-L")
         return any(subtype(env, part, p2) for part in p1.parts)
     # A dependent-shaped type with no remaining access paths (after
     # substitution of a concrete receiver) evaluates exactly to its bound,
@@ -332,6 +425,13 @@ def _subtype_uncached(env: Env, t1: Type, t2: Type) -> bool:
         try:
             e1 = env.table.eval_type_static(p1, this=env.ctx).pure()
             e2 = env.table.eval_type_static(p2, this=env.ctx).pure()
+            if _PROV.enabled:
+                _PROV.rule("S-EVAL")
+                _PROV.note(
+                    "eval",
+                    f"at this := {path_str(env.ctx) or '<top>'}: "
+                    f"{p1!r} evaluates to {e1!r}, {p2!r} to {e2!r}",
+                )
             if isinstance(e1, ClassType):
                 return _class_subtype(env.table, e1, e2)
             if isinstance(e1, T.IsectType):
@@ -346,10 +446,14 @@ def _subtype_uncached(env: Env, t1: Type, t2: Type) -> bool:
     # p1's bound against p2 (p2 dependent can only be reached nominally).
     if _is_dependent_shaped(p2):
         if _same_shape_equiv(env, p1, p2):
+            if _PROV.enabled:
+                _PROV.rule("S-PRE-2")
             return True
         # fall back: p2's bound as an upper approximation is unsound in
         # general, so only exact-bound replacement is used:
         return False
+    if _PROV.enabled:
+        _PROV.rule("S-FIN")
     c1 = env.bound(p1).pure()
     if _is_dependent_shaped(p1):
         # S-FIN: p.class <= its bound (exactness of the value itself is
@@ -400,6 +504,21 @@ def _same_shape_equiv(env: Env, t1: Type, t2: Type) -> bool:
 def _class_subtype(table: ClassTable, c1: ClassType, c2) -> bool:
     """Subtyping between canonical path types with exactness positions.
     A pure function of the table; memoized unconditionally."""
+    if _PROV.enabled:
+        frame = _PROV.begin("class_subtype", f"{c1!r} <= {c2!r}")
+        try:
+            q = table._q_class_subtype
+            key = (c1, c2)
+            cached = q.get(key)
+            if cached is not MISS:
+                return _PROV.end_hit(frame, ("class_subtype", id(table), key), cached)
+            result = q.put(key, _class_subtype_uncached(table, c1, c2))
+            return _PROV.end(
+                frame, result, rule="S-EXACT", key=("class_subtype", id(table), key)
+            )
+        except BaseException:
+            _PROV.abort(frame)
+            raise
     q = table._q_class_subtype
     key = (c1, c2)
     cached = q.get(key)
@@ -422,13 +541,41 @@ def _class_subtype_uncached(table: ClassTable, c1: ClassType, c2) -> bool:
         # must realize exactness at that depth (some exact position >= m,
         # S-EXACT shifts it outward) and agree syntactically up to m.
         if len(c1.path) < m or c1.path[:m] != c2.path[:m]:
+            if _PROV.enabled:
+                _PROV.note(
+                    "prefixExact_k",
+                    f"exact family prefix {path_str(c2.path[:m])}! of the "
+                    f"supertype is not a syntactic prefix of {path_str(c1.path)}",
+                    False,
+                    rule="prefixExact_k",
+                )
             return False
         if not any(k >= m for k in c1.exact):
+            if _PROV.enabled:
+                _PROV.note(
+                    "prefixExact_k",
+                    f"{c1!r} has no exact position at depth >= {m} "
+                    "(S-EXACT cannot shift exactness outward far enough)",
+                    False,
+                    rule="prefixExact_k",
+                )
             return False
         if m == len(c2.path):
             # fully exact supertype: run-time class must be exactly c2
+            if _PROV.enabled:
+                _PROV.note(
+                    "exact",
+                    f"supertype is fully exact: run-time class must be "
+                    f"{path_str(c2.path)} itself",
+                    c1.path == c2.path,
+                )
             return c1.path == c2.path
-    return table.inherits(c1.path, c2.path)
+    ok = table.inherits(c1.path, c2.path)
+    if _PROV.enabled:
+        _PROV.note(
+            "inherits", f"{path_str(c1.path)} @* {path_str(c2.path)}", ok
+        )
+    return ok
 
 
 def type_equiv(env: Env, t1: Type, t2: Type) -> bool:

@@ -29,6 +29,7 @@ from ..obs import TRACER
 from ..source import ast
 from . import types as T
 from .classtable import ClassTable, JnsError, ResolveError, TypeError_, path_str
+from .provenance import PROVENANCE as _PROV
 from .queries import CacheStats, collect_stats
 from .sharing import SharingChecker
 from .subtype import Env, substitute_this, subtype
@@ -109,11 +110,16 @@ class TypeChecker:
         table: ClassTable,
         strict_sharing: bool = False,
         skip: Iterable[Path] = (),
+        explain: bool = False,
     ) -> None:
         self.table = table
         self.sharing = SharingChecker(table)
         self.strict_sharing = strict_sharing
         self.skip = frozenset(skip)
+        #: When true (``check --explain``), failing sharing judgments are
+        #: recorded via :mod:`repro.lang.provenance` and their refutation
+        #: trees attached to the resulting diagnostics.
+        self.explain = explain
         self.report = CheckReport()
 
     # ------------------------------------------------------------------
@@ -125,12 +131,37 @@ class TypeChecker:
         code: str = "JNS-TYPE-001",
         pos=None,
         span: Optional[Span] = None,
+        explain=None,
+        notes: Iterable[str] = (),
     ) -> None:
         if span is None:
             span = Span.from_pos(pos)
         self.report.errors.append(
-            Diagnostic(code, "error", message, span=span, where=where)
+            Diagnostic(
+                code,
+                "error",
+                message,
+                span=span,
+                where=where,
+                notes=list(notes),
+                explain=explain,
+            )
         )
+
+    def _refutation(self, cap) -> Tuple[Optional[dict], List[str]]:
+        """Build the diagnostic payload from a provenance capture: the
+        serialized refutation tree plus human-readable note lines (empty
+        when recording was off or nothing failed)."""
+        failed = cap.failed()
+        if failed is None:
+            return None, []
+        ref = failed.refutation()
+        if ref is None:
+            return None, []
+        lines = ref.format().splitlines()
+        if len(lines) > 12:
+            lines = lines[:12] + [f"... ({len(lines) - 12} more premise lines)"]
+        return ref.to_dict(), ["refutation:"] + ["  " + l for l in lines]
 
     def warn(
         self,
@@ -262,10 +293,14 @@ class TypeChecker:
                 continue
             # lenient: new fields in the derived family are governed by the
             # deferred-initialization discipline (see SharingChecker)
-            ok = self.sharing.type_shares(
-                t_here, t_there, frozenset(), lenient=True
-            ) and self.sharing.type_shares(t_there, t_here, frozenset(), lenient=True)
+            with _PROV.capture() as cap:
+                ok = self.sharing.type_shares(
+                    t_here, t_there, frozenset(), lenient=True
+                ) and self.sharing.type_shares(
+                    t_there, t_here, frozenset(), lenient=True
+                )
             if not ok:
+                explain, notes = self._refutation(cap)
                 self.error(
                     where,
                     f"field {fdecl.name!r} has unshared interpreted types "
@@ -273,6 +308,8 @@ class TypeChecker:
                     "shares clause (Section 3.1)",
                     code="JNS-TYPE-013",
                     pos=getattr(fdecl, "pos", None),
+                    explain=explain,
+                    notes=notes,
                 )
 
     def _check_overrides(self, path: Path, decl: ast.ClassDecl) -> None:
@@ -306,7 +343,10 @@ class TypeChecker:
                 for constraint in decl.constraints:
                     if not isinstance(constraint.left, T.Type):
                         continue
-                    if not self._constraint_holds(path, constraint):
+                    with _PROV.capture() as cap:
+                        holds = self._constraint_holds(path, constraint)
+                    if not holds:
+                        explain, notes = self._refutation(cap)
                         self.error(
                             path_str(path),
                             f"sharing constraint of inherited method "
@@ -314,6 +354,8 @@ class TypeChecker:
                             "family; the method must be overridden "
                             "(Section 2.5)",
                             code="JNS-TYPE-012",
+                            explain=explain,
+                            notes=notes,
                         )
 
     def _constraint_holds(self, ctx: Path, constraint: ast.SharingConstraint) -> bool:
@@ -371,16 +413,20 @@ class TypeChecker:
         where = f"{path_str(path)}.{decl.name}"
         # Q-OK at the declaring class
         for constraint in decl.constraints:
-            if isinstance(constraint.left, T.Type) and not self._constraint_holds(
-                path, constraint
-            ):
-                self.error(
-                    where,
-                    f"sharing constraint {constraint.left!r} = "
-                    f"{constraint.right!r} does not hold",
-                    code="JNS-TYPE-012",
-                    pos=getattr(decl, "pos", None),
-                )
+            if isinstance(constraint.left, T.Type):
+                with _PROV.capture() as cap:
+                    holds = self._constraint_holds(path, constraint)
+                if not holds:
+                    explain, notes = self._refutation(cap)
+                    self.error(
+                        where,
+                        f"sharing constraint {constraint.left!r} = "
+                        f"{constraint.right!r} does not hold",
+                        code="JNS-TYPE-012",
+                        pos=getattr(decl, "pos", None),
+                        explain=explain,
+                        notes=notes,
+                    )
         if decl.body is None:
             if not decl.abstract:
                 self.error(
@@ -702,10 +748,12 @@ class TypeChecker:
             t_src = self.type_expr(e.expr, env, ctx, where)
             target = e.type
             if t_src is not None:
-                holds, how = self.sharing.sharing_judgment(
-                    env, t_src, target, allow_global=not self.strict_sharing
-                )
+                with _PROV.capture() as cap:
+                    holds, how = self.sharing.sharing_judgment(
+                        env, t_src, target, allow_global=not self.strict_sharing
+                    )
                 if not holds:
+                    explain, notes = self._refutation(cap)
                     self.error(
                         where,
                         f"view change to {target!r} is not justified by any "
@@ -713,6 +761,8 @@ class TypeChecker:
                         "(add a sharing constraint, Section 2.5)",
                         code="JNS-TYPE-014",
                         pos=e.pos,
+                        explain=explain,
+                        notes=notes,
                     )
                 elif how == "global":
                     self.warn(
@@ -935,15 +985,30 @@ def check_program(
     table: ClassTable,
     strict_sharing: bool = False,
     skip: Iterable[Path] = (),
+    explain: bool = False,
 ) -> CheckReport:
     """Type-check a resolved program.
 
     ``skip`` names classes whose resolution failed; their (partially
     resolved) members are not checked, so one broken class does not
     drown the report in cascading errors.
+
+    ``explain`` turns on derivation recording for the duration of the
+    check (see :mod:`repro.lang.provenance`): failing sharing judgments
+    (T-VIEW, Q-OK, L-OK) get their refutation trees attached to the
+    resulting ``JNS-TYPE-012/013/014`` diagnostics.
     """
-    checker = TypeChecker(table, strict_sharing=strict_sharing, skip=skip)
-    with TRACER.span("typecheck", classes=len(table.explicit)):
-        report = checker.check_program()
+    checker = TypeChecker(
+        table, strict_sharing=strict_sharing, skip=skip, explain=explain
+    )
+    was_recording = _PROV.enabled
+    if explain and not was_recording:
+        _PROV.enable()
+    try:
+        with TRACER.span("typecheck", classes=len(table.explicit)):
+            report = checker.check_program()
+    finally:
+        if explain and not was_recording:
+            _PROV.disable()
     report.cache_stats = collect_stats([table.queries, checker.sharing.queries])
     return report

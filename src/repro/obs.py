@@ -7,8 +7,9 @@ collects three kinds of observations:
   ``with TRACER.span("typecheck", unit=name):``.  Every pipeline stage
   (lex → parse → resolve → typecheck → load → compile → run) opens one,
   so a single compile-and-run paints a tree of where time went.  Span
-  durations also feed a per-name histogram (count/total/min/max), which
-  is what the report's avg column comes from.
+  durations also feed a per-name histogram (count/total/min/max plus
+  p50/p95 from a deterministic sample reservoir), which is where the
+  report's avg/p50/p95 columns come from.
 * **Semantic events** — typed counters (and ring-buffer instants) for
   the paper-specific runtime operations: explicit/implicit view changes
   and reference-object memo hits (§6.3), dispatch inline-cache hit/miss,
@@ -81,12 +82,19 @@ _PHASE_ORDER = {
 }
 
 
-class Histogram:
-    """Streaming summary of a series of observations (no buckets kept:
-    count / total / min / max, which is what the report renders).  Python
-    integers do not overflow, so accumulation is exact at any volume."""
+#: Retained-sample cap per histogram for percentile estimation.  When
+#: full, the reservoir decimates deterministically (keeps every other
+#: sample and doubles its stride) — no randomness, so reports and tests
+#: are reproducible.
+HISTOGRAM_SAMPLES = 1024
 
-    __slots__ = ("name", "count", "total", "min", "max")
+
+class Histogram:
+    """Streaming summary of a series of observations: exact count / total
+    / min / max (Python integers do not overflow), plus p50/p95 estimated
+    from a bounded, deterministically decimated sample reservoir."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_stride")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -94,6 +102,8 @@ class Histogram:
         self.total = 0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._stride = 1
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -102,10 +112,35 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        # Deterministic reservoir: keep every _stride-th observation;
+        # at capacity, thin to every other retained sample and double
+        # the stride so long runs stay O(1) memory.
+        if (self.count - 1) % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) >= HISTOGRAM_SAMPLES:
+                self._samples = self._samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The q-th percentile (0..100) estimated from the retained
+        samples; None when nothing was observed."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, int(len(ordered) * q / 100.0))
+        return ordered[idx]
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> Optional[float]:
+        return self.percentile(95)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -114,6 +149,8 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
         }
 
 
@@ -202,15 +239,16 @@ class _Span:
                         entry[1] += 1
         tracer.histogram("span." + self.name).observe(dur_ns)
         if tracer.enabled:  # disabled mid-span: drop the ring record
-            tracer.events.append(
-                SpanRecord(
-                    self.name,
-                    self.path,
-                    self.start_ns - tracer._epoch_ns,
-                    dur_ns,
-                    tuple(sorted(self.args.items())),
-                )
+            rec = SpanRecord(
+                self.name,
+                self.path,
+                self.start_ns - tracer._epoch_ns,
+                dur_ns,
+                tuple(sorted(self.args.items())),
             )
+            tracer.events.append(rec)
+            if tracer._stream is not None:
+                tracer._stream_write(rec)
         return False
 
 
@@ -232,6 +270,14 @@ class Tracer:
         #: counter increments) — the disabled-overhead benchmark uses it
         #: as the count of guarded sites a workload actually traverses.
         self.observations = 0
+        #: keep 1-in-N instant events in the ring/stream (counters and
+        #: spans are unaffected); set via ``enable(sample_rate=N)``.
+        self.sample_rate = 1
+        self._instant_seq = 0
+        #: optional JSONL sink (``open_stream``): every finished span and
+        #: every kept instant is written as one Chrome-trace event object
+        #: per line, independent of the bounded ring.
+        self._stream = None
         self._stack: List[_Span] = []
         #: call-path tuple -> [count, total_ns, args_summary] where
         #: args_summary maps each span-arg key to [distinct values
@@ -244,10 +290,17 @@ class Tracer:
     # lifecycle
     # ------------------------------------------------------------------
 
-    def enable(self, reset: bool = True) -> None:
+    def enable(self, reset: bool = True, sample_rate: int = 1) -> None:
+        """Turn on collection.  ``sample_rate=N`` keeps one in every N
+        instant events in the ring (and JSONL stream); counters,
+        histograms, and spans are never sampled, so aggregates stay exact
+        while high-volume instants stop churning the ring."""
+        if sample_rate < 1:
+            raise ValueError(f"sample_rate must be >= 1, got {sample_rate}")
         if reset:
             self.reset()
         self.enabled = True
+        self.sample_rate = sample_rate
         self._epoch_ns = time.perf_counter_ns()
         self._enabled_at_ns = self._epoch_ns
 
@@ -260,9 +313,31 @@ class Tracer:
         self.counters.clear()
         self.histograms.clear()
         self.observations = 0
+        self._instant_seq = 0
         self._stack.clear()
         self._span_agg.clear()
         self._epoch_ns = time.perf_counter_ns()
+
+    # ------------------------------------------------------------------
+    # streaming export (JSONL)
+    # ------------------------------------------------------------------
+
+    def open_stream(self, path: str) -> None:
+        """Stream events to ``path`` as JSON Lines: every finished span
+        and every kept instant is appended as one Chrome-trace event
+        object per line as it happens, so long-running workloads are not
+        limited by the bounded in-memory ring."""
+        self.close_stream()
+        self._stream = open(path, "w")
+
+    def close_stream(self) -> None:
+        stream = self._stream
+        if stream is not None:
+            self._stream = None
+            stream.close()
+
+    def _stream_write(self, rec: Any) -> None:
+        self._stream.write(json.dumps(_trace_event(rec)) + "\n")
 
     # ------------------------------------------------------------------
     # recording
@@ -281,15 +356,21 @@ class Tracer:
         """Record an instant semantic event into the ring (and bump the
         same-named counter).  Callers on hot paths must guard with
         ``if TRACER.enabled:`` — this method assumes it is only reached
-        while enabled."""
+        while enabled.  Under ``enable(sample_rate=N)`` only one in N
+        instants lands in the ring/stream; the counter always bumps."""
         self.count(name)
-        self.events.append(
-            InstantRecord(
-                name,
-                time.perf_counter_ns() - self._epoch_ns,
-                tuple(sorted(args.items())),
-            )
+        seq = self._instant_seq
+        self._instant_seq = seq + 1
+        if self.sample_rate > 1 and seq % self.sample_rate:
+            return
+        rec = InstantRecord(
+            name,
+            time.perf_counter_ns() - self._epoch_ns,
+            tuple(sorted(args.items())),
         )
+        self.events.append(rec)
+        if self._stream is not None:
+            self._stream_write(rec)
 
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to a named counter (created on first use).  Python
@@ -353,33 +434,7 @@ class Tracer:
                 "args": {"name": "repro (J&s)"},
             }
         ]
-        for rec in self.events:
-            if isinstance(rec, SpanRecord):
-                trace_events.append(
-                    {
-                        "name": rec.name,
-                        "cat": "phase",
-                        "ph": "X",
-                        "ts": rec.start_ns / 1000.0,
-                        "dur": rec.dur_ns / 1000.0,
-                        "pid": 1,
-                        "tid": 1,
-                        "args": dict(rec.args),
-                    }
-                )
-            else:
-                trace_events.append(
-                    {
-                        "name": rec.name,
-                        "cat": "semantic",
-                        "ph": "i",
-                        "ts": rec.ts_ns / 1000.0,
-                        "s": "t",
-                        "pid": 1,
-                        "tid": 1,
-                        "args": dict(rec.args),
-                    }
-                )
+        trace_events.extend(_trace_event(rec) for rec in self.events)
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
     def write_chrome_trace(self, path: str) -> None:
@@ -426,17 +481,22 @@ class Tracer:
         width = max(2 * (len(p) - 1) + len(p[-1]) for p, _, _ in rows)
         width = max(width, len("phase"))
         lines.append(
-            "  {:<{w}}  {:>7}  {:>10}  {:>10}".format(
-                "phase", "count", "total", "avg", w=width
+            "  {:<{w}}  {:>7}  {:>10}  {:>10}  {:>10}  {:>10}".format(
+                "phase", "count", "total", "avg", "p50", "p95", w=width
             )
         )
         for path, count, total_ns in rows:
             label = "  " * (len(path) - 1) + path[-1]
-            row = "  {:<{w}}  {:>7}  {:>10}  {:>10}".format(
+            hist = self.histograms.get("span." + path[-1])
+            p50 = hist.p50 if hist is not None else None
+            p95 = hist.p95 if hist is not None else None
+            row = "  {:<{w}}  {:>7}  {:>10}  {:>10}  {:>10}  {:>10}".format(
                 label,
                 count,
                 _fmt_ns(total_ns),
                 _fmt_ns(total_ns // count),
+                _fmt_ns(p50) if p50 is not None else "-",
+                _fmt_ns(p95) if p95 is not None else "-",
                 w=width,
             )
             summary = self._span_agg[path][2]
@@ -455,6 +515,32 @@ class Tracer:
         for name, value in items:
             lines.append("  {:<{w}}  {:>10}".format(name, value, w=width))
         return "\n".join(lines)
+
+
+def _trace_event(rec: Any) -> Dict[str, Any]:
+    """One ring record as a Chrome-trace (Trace Event Format) object —
+    shared by :meth:`Tracer.to_chrome_trace` and the JSONL stream."""
+    if isinstance(rec, SpanRecord):
+        return {
+            "name": rec.name,
+            "cat": "phase",
+            "ph": "X",
+            "ts": rec.start_ns / 1000.0,
+            "dur": rec.dur_ns / 1000.0,
+            "pid": 1,
+            "tid": 1,
+            "args": dict(rec.args),
+        }
+    return {
+        "name": rec.name,
+        "cat": "semantic",
+        "ph": "i",
+        "ts": rec.ts_ns / 1000.0,
+        "s": "t",
+        "pid": 1,
+        "tid": 1,
+        "args": dict(rec.args),
+    }
 
 
 def _fmt_span_args(summary: Dict[str, Any]) -> str:
@@ -490,9 +576,11 @@ def enabled() -> bool:
     return TRACER.enabled
 
 
-def enable(reset: bool = True) -> None:
-    """Turn on the process-wide tracer (clearing old data by default)."""
-    TRACER.enable(reset=reset)
+def enable(reset: bool = True, sample_rate: int = 1) -> None:
+    """Turn on the process-wide tracer (clearing old data by default).
+    ``sample_rate=N`` keeps 1-in-N instant events in the ring/stream;
+    spans and counters are never sampled."""
+    TRACER.enable(reset=reset, sample_rate=sample_rate)
 
 
 def disable() -> None:

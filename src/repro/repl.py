@@ -110,7 +110,10 @@ class ReplSession:
             program = compile_program(source)
         except JnsError as exc:
             return [f"error: {exc}"]
-        interp = program.interp(mode="jns")
+        # The specialized backend (slotted layouts, register frames) is
+        # what `repro run` defaults to; the REPL matches it so :profile
+        # and :stats report the same pipeline users measure elsewhere.
+        interp = program.interp(mode="jns", specialized=True)
         try:
             ref = interp.new_instance(("_Repl",), ())
             interp.call_method(ref, "_run", [])

@@ -1,0 +1,126 @@
+"""Golden-file tests for ``repro explain`` and the ``check --explain``
+surface.  The goldens live in tests/golden/; regenerate with::
+
+    PYTHONPATH=src python -m repro explain examples/lambda_pair.jns \\
+        --query 'subtype pair!.Var base.Exp' > tests/golden/explain_subtype.txt
+
+(and analogously for the other two — see each test's command line).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.lang import provenance
+from repro.lang.provenance import PROVENANCE
+
+HERE = os.path.dirname(__file__)
+REPO = os.path.dirname(HERE)
+GOLDEN = os.path.join(HERE, "golden")
+GOOD = os.path.join(REPO, "examples", "lambda_pair.jns")
+BAD = os.path.join(REPO, "examples", "lambda_pair_bad.jns")
+
+
+@pytest.fixture(autouse=True)
+def _recorder_restored():
+    yield
+    provenance.disable()
+    PROVENANCE.clear()
+    obs.disable()
+    obs.TRACER.reset()
+
+
+def _golden(name):
+    with open(os.path.join(GOLDEN, name)) as f:
+        return f.read()
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestExplainGolden:
+    def test_subtype_query(self, capsys):
+        code, out = _run(
+            capsys, "explain", GOOD, "--query", "subtype pair!.Var base.Exp"
+        )
+        assert code == 0
+        assert out == _golden("explain_subtype.txt")
+
+    def test_masks_query(self, capsys):
+        code, out = _run(capsys, "explain", GOOD, "--query", "masks pair.Abs")
+        assert code == 0
+        assert out == _golden("explain_masks.txt")
+
+    def test_failing_shares_query_shows_refutation(self, capsys):
+        code, out = _run(
+            capsys, "explain", BAD, "--query", "shares pair!.Exp base!.Exp"
+        )
+        assert code == 0
+        assert out == _golden("explain_refutation.txt")
+        assert "refutation (failing premises only):" in out
+        assert "pair.Pair" in out
+
+
+class TestExplainBehavior:
+    def test_bad_query_syntax_exits_2(self, capsys):
+        assert main(["explain", GOOD, "--query", "frobnicate x y"]) == 2
+        err = capsys.readouterr().err
+        assert "bad query" in err
+
+    def test_unknown_class_exits_1(self, capsys):
+        assert main(["explain", GOOD, "--query", "masks no.Such"]) == 1
+        assert "unknown class" in capsys.readouterr().err
+
+    def test_unparsable_type_exits_1(self, capsys):
+        assert main(["explain", GOOD, "--query", "subtype ))( base.Exp"]) == 1
+
+    def test_json_output(self, capsys):
+        code, out = _run(
+            capsys,
+            "explain", BAD, "--query", "shares pair!.Exp base!.Exp", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["holds"] is False
+        assert payload["derivations"][0]["judgment"] == "shares"
+        assert payload["refutation"]["result"] is False
+
+    def test_json_masks_output(self, capsys):
+        code, out = _run(capsys, "explain", GOOD, "--query", "masks pair.Abs", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["share_target"] == "base.Abs"
+        assert payload["declared_masks"] == ["e"]
+        assert payload["required_masks"]["pair.Abs -> base.Abs"] == ["e"]
+        assert payload["required_masks"]["base.Abs -> pair.Abs"] == []
+
+    def test_recorder_disabled_after_explain(self, capsys):
+        _run(capsys, "explain", GOOD, "--query", "masks pair.Abs")
+        assert not PROVENANCE.enabled
+
+
+class TestCheckExplainFlag:
+    def test_refutation_in_check_json(self, capsys):
+        code = main(["check", BAD, "--json", "--explain"])
+        out = capsys.readouterr().out
+        assert code == 1
+        payload = json.loads(out)
+        explained = [
+            d for d in payload["diagnostics"] if d.get("explain") is not None
+        ]
+        assert explained, "no diagnostic carried an explain tree"
+        tree = explained[0]["explain"]
+        assert tree["result"] is False
+        assert any("refutation:" in n for n in explained[0].get("notes", []))
+
+    def test_check_json_without_explain_has_no_trees(self, capsys):
+        code = main(["check", BAD, "--json"])
+        out = capsys.readouterr().out
+        assert code == 1
+        payload = json.loads(out)
+        assert all(d.get("explain") is None for d in payload["diagnostics"])

@@ -376,3 +376,169 @@ class TestDifferential:
         obs.disable()
         assert traced == run(True)
         assert obs.TRACER.counters.get("dispatch.ic_hit", 0) > 0
+
+
+class TestInstantSampling:
+    """enable(sample_rate=N): 1-in-N instants land in the ring, while
+    counters (and spans) stay exact — the PR 3 follow-up."""
+
+    def test_sample_rate_decimates_ring(self):
+        t = Tracer()
+        t.enable(sample_rate=10)
+        for i in range(100):
+            t.event("e", i=i)
+        assert t.counters["e"] == 100  # counter always bumps
+        assert len(t.events) == 10
+        # Deterministic phase: the kept instants are seq 0, 10, 20, ...
+        assert [dict(rec.args)["i"] for rec in t.events] == list(range(0, 100, 10))
+
+    def test_sample_rate_one_keeps_everything(self):
+        t = Tracer()
+        t.enable(sample_rate=1)
+        for i in range(7):
+            t.event("e", i=i)
+        assert len(t.events) == 7
+
+    def test_spans_not_sampled(self):
+        t = Tracer()
+        t.enable(sample_rate=50)
+        for _ in range(20):
+            with t.span("s"):
+                pass
+        assert sum(1 for rec in t.events if isinstance(rec, SpanRecord)) == 20
+
+    def test_invalid_sample_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer().enable(sample_rate=0)
+
+    def test_reset_restarts_sampling_phase(self):
+        t = Tracer()
+        t.enable(sample_rate=3)
+        t.event("e", i=0)  # seq 0: kept
+        t.reset()
+        t.event("e", i=1)  # seq 0 again after reset: kept
+        assert [dict(rec.args)["i"] for rec in t.events] == [1]
+
+
+class TestJsonlStreaming:
+    """open_stream(path): every finished span and kept instant is written
+    as one Chrome-trace event object per line, bypassing the ring bound."""
+
+    def test_stream_has_one_chrome_event_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        t = Tracer()
+        t.enable()
+        t.open_stream(str(path))
+        with t.span("parse", unit="Main"):
+            t.event("view_change.explicit", target="B!.C")
+        t.close_stream()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        events = [json.loads(line) for line in lines]
+        # Instant is written when it happens — before the span finishes.
+        assert [e["ph"] for e in events] == ["i", "X"]
+        span = events[1]
+        assert span["name"] == "parse" and span["args"]["unit"] == "Main"
+
+    def test_stream_not_bounded_by_ring(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        t = Tracer(ring_capacity=4)
+        t.enable()
+        t.open_stream(str(path))
+        for i in range(50):
+            t.event("e", i=i)
+        t.close_stream()
+        assert len(t.events) == 4  # ring still bounded
+        assert len(path.read_text().splitlines()) == 50  # stream kept all
+
+    def test_stream_respects_sampling(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        t = Tracer()
+        t.enable(sample_rate=5)
+        t.open_stream(str(path))
+        for i in range(20):
+            t.event("e", i=i)
+        t.close_stream()
+        assert len(path.read_text().splitlines()) == 4
+
+    def test_stream_matches_ring_export_schema(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        t = Tracer()
+        t.enable()
+        t.open_stream(str(path))
+        with t.span("lex"):
+            pass
+        t.close_stream()
+        streamed = json.loads(path.read_text().splitlines()[0])
+        ring = t.to_chrome_trace()["traceEvents"]
+        span_events = [e for e in ring if e["ph"] == "X" and e["name"] == "lex"]
+        assert streamed == span_events[0]
+
+    def test_close_stream_idempotent(self, tmp_path):
+        t = Tracer()
+        t.open_stream(str(tmp_path / "x.jsonl"))
+        t.close_stream()
+        t.close_stream()  # no error
+
+    def test_cli_trace_out_jsonl_streams(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        src = tmp_path / "p.jns"
+        src.write_text(VIEWS_PROGRAM)
+        out = tmp_path / "t.jsonl"
+        assert cli_main(["run", str(src), "--trace-out", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "streamed trace events" in err
+        lines = out.read_text().splitlines()
+        assert lines
+        for line in lines[:5]:
+            assert json.loads(line)["ph"] in ("X", "i")
+
+
+class TestHistogramPercentiles:
+    def test_small_series_percentiles_exact(self):
+        h = obs.Histogram("h")
+        for v in (10, 20, 30, 40, 50, 60, 70, 80, 90, 100):
+            h.observe(v)
+        assert h.p50 == 60  # index int(10*0.5)=5 of sorted samples
+        assert h.p95 == 100
+        assert h.percentile(0) == 10
+
+    def test_empty_histogram_percentile_none(self):
+        h = obs.Histogram("h")
+        assert h.p50 is None and h.p95 is None
+
+    def test_to_dict_includes_percentiles(self):
+        h = obs.Histogram("h")
+        for v in (1, 2, 3):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["p50"] == 2 and d["p95"] == 3
+        assert d["count"] == 3 and d["max"] == 3
+
+    def test_reservoir_decimates_deterministically(self):
+        from repro.obs import HISTOGRAM_SAMPLES
+
+        h = obs.Histogram("h")
+        n = HISTOGRAM_SAMPLES * 4
+        for v in range(n):
+            h.observe(v)
+        assert len(h._samples) <= HISTOGRAM_SAMPLES
+        # Aggregates stay exact regardless of decimation.
+        assert (h.count, h.min, h.max) == (n, 0, n - 1)
+        # Percentiles stay close despite decimation (exactly reproducible
+        # run to run: the reservoir keeps every stride-th observation).
+        assert abs(h.p50 - n / 2) <= n * 0.1
+        assert h.p95 >= n * 0.85
+
+    def test_format_phases_has_percentile_columns(self):
+        t = Tracer()
+        t.enable()
+        for _ in range(3):
+            with t.span("lex"):
+                pass
+        text = t.format_phases()
+        header = text.splitlines()[1]
+        assert "p50" in header and "p95" in header
+        row = next(line for line in text.splitlines() if "lex" in line)
+        assert row.count("s") >= 2  # rendered durations, not "-"

@@ -1,0 +1,282 @@
+"""Provenance-recorder tests: recording, cache-hit splicing, refutation
+pruning, the disabled-path guarantee, and the tracer integration."""
+
+import pytest
+
+from repro import obs
+from repro.api import check_source, compile_program
+from repro.lang import provenance
+from repro.lang.provenance import PROVENANCE, Derivation
+from repro.lang.sharing import SharingChecker
+from repro.lang.subtype import Env, subtype
+from repro.lang.types import ClassType
+
+PAIR_SOURCE = """
+abstract class base {
+  abstract class Exp { }
+  class Var extends Exp { String x; Var(String x) { this.x = x; } }
+  class Abs extends Exp {
+    String x; Exp e;
+    Abs(String x, Exp e) { this.x = x; this.e = e; }
+  }
+}
+abstract class pair extends base {
+  abstract class Exp shares base.Exp { }
+  class Var extends Exp shares base.Var { }
+  class Abs extends Exp shares base.Abs\\e { }
+  class Pair extends Exp {
+    Exp fst; Exp snd;
+    Pair(Exp fst, Exp snd) { this.fst = fst; this.snd = snd; }
+  }
+}
+"""
+
+#: Same families, but pair.Abs forgets the ``\\e`` mask — SH-CLS fails on
+#: the field type (pair.Pair has no base counterpart).
+BAD_SOURCE = PAIR_SOURCE.replace("shares base.Abs\\e", "shares base.Abs")
+
+
+def C(*parts, exact=()):
+    return ClassType(tuple(parts), frozenset(exact))
+
+
+@pytest.fixture(autouse=True)
+def _provenance_restored():
+    yield
+    provenance.disable()
+    PROVENANCE.clear()
+    obs.disable()
+    obs.TRACER.reset()
+
+
+@pytest.fixture
+def table():
+    return compile_program(PAIR_SOURCE).table
+
+
+def _env(table):
+    env = Env(table, ())
+    env.vars["this"] = ClassType(())
+    return env
+
+
+class TestDisabledPath:
+    def test_no_derivations_recorded_when_off(self, table):
+        """The acceptance guard: with recording off (the default), running
+        every instrumented judgment records nothing at all."""
+        assert not PROVENANCE.enabled
+        env = _env(table)
+        checker = SharingChecker(table)
+        assert subtype(env, C("pair", "Var", exact=(1,)), C("base", "Exp"))
+        # Runs the full ~> pipeline (the result — fails without the \e
+        # mask — is not the point here; the recording side effects are).
+        checker.sharing_judgment(
+            env, C("pair", "Abs", exact=(1,)), C("base", "Abs", exact=(1,))
+        )
+        checker.required_masks(("pair", "Abs"), ("base", "Abs"))
+        table.fclass(("pair", "Abs"), "e")
+        table.sharing_group(("pair", "Exp"))
+        assert PROVENANCE.roots == []
+        assert PROVENANCE.recorded == {}
+        assert PROVENANCE.spliced == {}
+
+    def test_capture_is_noop_when_off(self, table):
+        with PROVENANCE.capture() as cap:
+            subtype(_env(table), C("pair", "Var", exact=(1,)), C("base", "Exp"))
+        assert cap.derivations == ()
+        assert cap.derivation is None
+        assert cap.failed() is None
+
+    def test_results_identical_on_and_off(self, table):
+        env = _env(table)
+        t1, t2 = C("pair", "Var", exact=(1,)), C("base", "Exp")
+        off = subtype(env, t1, t2)
+        provenance.enable()
+        table.queries.clear()
+        on = subtype(_env(table), t1, t2)
+        assert on == off
+
+
+class TestRecording:
+    def test_subtype_derivation_cites_rules(self, table):
+        table.queries.clear()
+        provenance.enable()
+        with PROVENANCE.capture() as cap:
+            assert subtype(_env(table), C("pair", "Var", exact=(1,)), C("base", "Exp"))
+        d = cap.derivation
+        assert d is not None
+        assert d.judgment == "subtype" and d.result is True
+        assert d.rule == "S-FIN"
+        rules = set()
+
+        def walk(node):
+            if node.rule:
+                rules.add(node.rule)
+            for p in node.premises:
+                walk(p)
+
+        walk(d)
+        assert "S-EXACT" in rules  # class_subtype premise
+        assert "mem (Fig. 8)" in rules
+
+    def test_masks_derivation_carries_decl_loc(self, table):
+        table.queries.clear()
+        provenance.enable()
+        checker = SharingChecker(table)
+        with PROVENANCE.capture() as cap:
+            masks = checker.required_masks(("pair", "Abs"), ("base", "Abs"))
+        assert masks == frozenset({"e"})
+        d = cap.derivation
+        assert d.rule == "masks (Fig. 5)"
+        assert d.loc is not None and d.loc.startswith("line ")
+        # fclass premises cite the paper section
+        assert any(p.judgment == "fclass" for p in d.premises)
+
+    def test_recorded_counters_by_judgment(self, table):
+        table.queries.clear()
+        provenance.enable()
+        subtype(_env(table), C("pair", "Var", exact=(1,)), C("base", "Exp"))
+        assert PROVENANCE.recorded.get("subtype", 0) >= 1
+        assert PROVENANCE.recorded.get("mem", 0) >= 1
+        stats = PROVENANCE.stats()
+        assert stats["recorded"]["subtype"] == PROVENANCE.recorded["subtype"]
+
+
+class TestSplicing:
+    def test_cache_hit_splices_stored_derivation(self, table):
+        table.queries.clear()
+        provenance.enable()
+        env = _env(table)
+        t1, t2 = C("pair", "Var", exact=(1,)), C("base", "Exp")
+        with PROVENANCE.capture() as cold:
+            subtype(env, t1, t2)
+        with PROVENANCE.capture() as warm:
+            subtype(env, t1, t2)
+        assert PROVENANCE.spliced.get("subtype", 0) >= 1
+        d = warm.derivation
+        assert d.cached is True
+        # The spliced tree preserves the premises recorded on the miss.
+        assert len(d.premises) == len(cold.derivation.premises)
+
+    def test_entry_computed_before_recording_is_bare_leaf(self, table):
+        # Warm the caches with recording off...
+        env = _env(table)
+        t1, t2 = C("pair", "Var", exact=(1,)), C("base", "Exp")
+        subtype(env, t1, t2)
+        # ...then record: the hit has no stored derivation to splice.
+        provenance.enable()
+        with PROVENANCE.capture() as cap:
+            subtype(env, t1, t2)
+        d = cap.derivation
+        assert d.cached is True
+        assert d.premises == ()
+        assert "memo" in (d.rule or "")
+
+
+class TestRefutation:
+    def test_refutation_prunes_to_failing_premises(self):
+        table = compile_program(BAD_SOURCE, check=False).table
+        table.queries.clear()
+        provenance.enable()
+        checker = SharingChecker(table)
+        env = Env(table, ())
+        env.vars["this"] = ClassType(())
+        with PROVENANCE.capture() as cap:
+            holds, _how = checker.sharing_judgment(
+                env,
+                C("pair", "Exp", exact=(1,)),
+                C("base", "Exp", exact=(1,)),
+            )
+        assert not holds
+        failed = cap.failed()
+        assert failed is not None
+        ref = failed.refutation()
+        assert ref is not None and ref.result is False
+
+        def assert_all_fail(node):
+            assert node.result is False
+            for p in node.premises:
+                assert_all_fail(p)
+
+        assert_all_fail(ref)
+        # The pruned tree bottoms out at the Pair subclass that has no
+        # shared counterpart in base.
+        text = ref.format()
+        assert "pair.Pair" in text
+        assert "type_shares" in text
+
+    def test_refutation_none_for_passing_judgment(self):
+        d = Derivation("subtype", "x", "S-REFL", True)
+        assert d.refutation() is None
+
+    def test_leaf_refutation_when_no_failing_premise(self):
+        ok = Derivation("side", "cond", None, True)
+        d = Derivation("subtype", "x", "S-FIN", False, (ok,))
+        ref = d.refutation()
+        assert ref.premises == ()
+
+
+class TestTracerIntegration:
+    def test_provenance_counters_reach_tracer(self, table):
+        table.queries.clear()
+        obs.enable()
+        provenance.enable()
+        env = _env(table)
+        t1, t2 = C("pair", "Var", exact=(1,)), C("base", "Exp")
+        subtype(env, t1, t2)
+        subtype(env, t1, t2)  # warm: splices
+        t = obs.TRACER
+        assert t.counters.get("provenance.recorded", 0) >= 1
+        assert t.counters.get("provenance.recorded.subtype", 0) >= 1
+        assert t.counters.get("provenance.spliced", 0) >= 1
+        hist = t.histograms.get("provenance.premises.subtype")
+        assert hist is not None and hist.count >= 1
+
+
+class TestDerivationRendering:
+    def test_result_text_forms(self):
+        assert Derivation("j", "s", None, True).line().endswith("=> holds")
+        assert "fails" in Derivation("j", "s", None, False).line()
+        d = Derivation("fclass", "f", None, ("base", "Abs"))
+        assert "=> base.Abs" in d.line()
+        d = Derivation("masks", "m", None, frozenset({"e", "a"}))
+        assert "{a, e}" in d.line()
+
+    def test_format_elides_beyond_max_depth(self):
+        leaf = Derivation("j", "leaf", None, True)
+        mid = Derivation("j", "mid", None, True, (leaf,))
+        root = Derivation("j", "root", None, True, (mid,))
+        text = root.format(max_depth=1)
+        assert "elided" in text and "leaf" not in text
+
+    def test_to_dict_roundtrips_fields(self):
+        leaf = Derivation("side", "cond", None, False)
+        d = Derivation("shares", "a ~> b", "SH-CLS", False, (leaf,), True, "line 3, col 1")
+        payload = d.to_dict()
+        assert payload["rule"] == "SH-CLS"
+        assert payload["cached"] is True
+        assert payload["loc"] == "line 3, col 1"
+        assert payload["premises"][0]["result"] is False
+
+
+class TestCheckExplain:
+    def test_refutation_attached_to_failing_diagnostic(self):
+        sink = check_source(BAD_SOURCE, explain=True)
+        assert sink.has_errors
+        with_explain = [d for d in sink.errors if d.explain is not None]
+        assert with_explain, "no diagnostic carried a refutation tree"
+        diag = with_explain[0]
+        assert diag.code.startswith("JNS-TYPE-")
+        assert diag.explain["result"] is False
+        assert any(n.startswith("refutation:") for n in diag.notes)
+
+    def test_explain_off_by_default(self):
+        sink = check_source(BAD_SOURCE)
+        assert sink.has_errors
+        assert all(d.explain is None for d in sink.diagnostics)
+        assert not PROVENANCE.enabled
+
+    def test_check_explain_restores_recorder_state(self):
+        assert not PROVENANCE.enabled
+        check_source(BAD_SOURCE, explain=True)
+        assert not PROVENANCE.enabled

@@ -105,6 +105,26 @@ class TestMetaCommands:
         assert "lex" in text and "typecheck" in text
         assert "cache stats" in text  # CacheStats folded into the report
 
+    def test_profile_shows_specialize_phase(self, session):
+        """Statement inputs run on the specialized backend, so the traced
+        pipeline includes the ahead-of-time specialization pass."""
+        session.feed(":trace on")
+        session.feed("class A { class C { int v = 7; } }")
+        session.feed("Sys.print(new A.C().v);")
+        out = session.feed(":profile")
+        text = "\n".join(out)
+        assert "specialize" in text
+
+    def test_stats_after_specialized_run(self, session):
+        """:stats still renders the process-wide cache table when the
+        specialized backend (with its own sharing checker and query
+        caches) has executed a statement."""
+        session.feed("class A { class C { int v = 7; } }")
+        assert session.feed("Sys.print(new A.C().v);") == ["7"]
+        out = session.feed(":stats")
+        assert out and out[0].startswith("cache stats")
+        assert any("hit" in line for line in out)
+
     def test_profile_without_trace_hints_at_enabling(self, session):
         out = session.feed(":profile")
         assert out == ["(no trace data — enable collection with :trace on)"]
