@@ -1,0 +1,129 @@
+"""Chaos-hardened CorONA benchmark (ISSUE 6 acceptance criterion).
+
+Runs the acceptance-scale chaos scenario — 256 nodes over 4 sharded
+heaps, concurrent fetch/publish traffic, live corona → pccorona →
+beecorona evolution, and crash / drop / delay / fuel faults all active —
+and locks two service-level floors:
+
+- **throughput**: completed requests per wall-clock second must stay
+  above ``MIN_RPS`` (the whole point of sharding is that chaos handling
+  does not serialize the deployment);
+- **evolution pause**: the p95 per-shard pause observed by clients must
+  stay below ``MAX_PAUSE_WALL_MS`` of wall time (the view-change work
+  itself) and below ``MAX_PAUSE_VIRTUAL_MS`` of virtual time (the
+  modelled client-visible gate closure).
+
+It also locks the determinism contract: the wall-free report is
+byte-identical across two runs from the same seed, and its sha256 is
+recorded in ``BENCH_corona.json`` so CI detects any drift in the
+seeded fault schedule.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_corona_chaos_json.py -q -s
+"""
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import clear_caches, obs
+from repro.programs.corona import run_chaos
+
+ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_corona.json"
+
+MIN_RPS = 100.0
+MAX_PAUSE_WALL_MS = 1000.0
+MAX_PAUSE_VIRTUAL_MS = 50.0
+
+SCENARIO = dict(
+    nodes=256,
+    shards=4,
+    objects=96,
+    requests=400,
+    seed=11,
+    faults="crash:2@120+120,drop:0.02,delay:0.05@6,fuel:77",
+)
+
+_RESULTS = {}
+
+
+@pytest.fixture(autouse=True)
+def _runtime_restored():
+    yield
+    obs.disable()
+    obs.TRACER.reset()
+    clear_caches()
+
+
+def test_chaos_run_floors():
+    t0 = time.perf_counter()
+    report = run_chaos(**SCENARIO)
+    wall_s = time.perf_counter() - t0
+
+    assert report.oracle_violations == [], report.oracle_violations
+    assert report.failures == []
+    assert all(s["family"] == "beecorona" for s in report.shards)
+
+    rps = report.wall["rps"]
+    pause_virtual = report.histograms["evolution.pause_virtual_ms"]
+    pause_wall = report.wall["evolution_pause_ms"]
+
+    _RESULTS["chaos:acceptance"] = {
+        "scenario": report.params,
+        "wall_seconds": round(wall_s, 3),
+        "rps": rps,
+        "rps_floor": MIN_RPS,
+        "virtual_ms": round(report.virtual_ms, 3),
+        "pause_virtual_p95_ms": pause_virtual["p95"],
+        "pause_virtual_ceiling_ms": MAX_PAUSE_VIRTUAL_MS,
+        "pause_wall_p95_ms": round(pause_wall["p95"], 3),
+        "pause_wall_ceiling_ms": MAX_PAUSE_WALL_MS,
+        "counters": dict(sorted(report.counters.items())),
+    }
+
+    assert rps >= MIN_RPS, f"throughput {rps} req/s under floor {MIN_RPS}"
+    assert pause_virtual["p95"] <= MAX_PAUSE_VIRTUAL_MS
+    assert pause_wall["p95"] <= MAX_PAUSE_WALL_MS
+
+
+def test_replay_digest_stable():
+    a = run_chaos(**SCENARIO).to_json(include_wall=False)
+    b = run_chaos(**SCENARIO).to_json(include_wall=False)
+    assert a == b, "chaos report is not byte-identical across replays"
+    _RESULTS["chaos:replay"] = {
+        "sha256": hashlib.sha256(a.encode()).hexdigest(),
+        "bytes": len(a),
+    }
+
+
+def test_write_bench_json():
+    """Runs last (file order): persist everything measured above."""
+    assert _RESULTS, "measurement tests did not run"
+    payload = {
+        "benchmark": "chaos-hardened CorONA",
+        "floors": {
+            "min_rps": MIN_RPS,
+            "max_pause_wall_p95_ms": MAX_PAUSE_WALL_MS,
+            "max_pause_virtual_p95_ms": MAX_PAUSE_VIRTUAL_MS,
+        },
+        "method": (
+            "seeded acceptance scenario (256 nodes / 4 shards, crash + "
+            "drop + delay + fuel faults, live evolution under load); "
+            "zero oracle violations asserted before any floor is checked; "
+            "the replay sha256 covers the wall-free report surface"
+        ),
+        "results": _RESULTS,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {JSON_PATH}")
+    entry = _RESULTS["chaos:acceptance"]
+    print(
+        f"  {entry['rps']} req/s (floor {MIN_RPS}), "
+        f"pause p95 {entry['pause_wall_p95_ms']} ms wall / "
+        f"{entry['pause_virtual_p95_ms']} ms virtual"
+    )

@@ -13,13 +13,17 @@ Commands:
   reports them.
 * ``explain FILE --query Q`` — render the proof tree of a semantic
   judgment over the program's class table (``subtype T1 T2``,
-  ``shares T1 T2``, ``masks P.C``), citing the paper rules (SH-CLS,
-  S-EXACT, prefixExact_k, …); failing judgments additionally show the
-  refutation (the failing premise chain).  See
-  :mod:`repro.lang.provenance`.
+  ``shares T1 T2``, ``masks P.C``, ``mem T``, ``fclass P.C f``), citing
+  the paper rules (SH-CLS, S-EXACT, prefixExact_k, …); failing
+  judgments additionally show the refutation (the failing premise
+  chain).  See :mod:`repro.lang.provenance`.
 * ``fmt FILE``      — parse and pretty-print the program.
 * ``report WHAT``   — regenerate an evaluation artifact: ``table1``
   (jolden), ``table2`` (tree traversal), or ``corona`` (Section 7.4).
+* ``corona``        — the chaos harness: sharded async CorONA traffic
+  with seeded fault injection and live family evolution
+  (``--nodes N --shards K --faults PLAN --seed S``); exits non-zero on
+  any per-request oracle violation.
 
 ``run`` and ``check`` share the observability flags (see
 :mod:`repro.obs`): ``--profile`` prints the unified phase-timing +
@@ -230,11 +234,13 @@ def _parse_explain_query(text: str):
     parts = text.split()
     if len(parts) == 3 and parts[0] in ("subtype", "shares"):
         return parts[0], (parts[1], parts[2])
-    if len(parts) == 2 and parts[0] == "masks":
+    if len(parts) == 2 and parts[0] in ("masks", "mem"):
         return parts[0], (parts[1],)
+    if len(parts) == 3 and parts[0] == "fclass":
+        return parts[0], (parts[1], parts[2])
     raise ValueError(
         f"bad query {text!r}: expected 'subtype T1 T2', 'shares T1 T2', "
-        "or 'masks P.C'"
+        "'masks P.C', 'mem T', or 'fclass P.C f'"
     )
 
 
@@ -288,6 +294,27 @@ def cmd_explain(args) -> int:
                     )
             header = f"query: {kind} {t1!r} {t2!r}"
             result = bool(holds)
+        elif kind == "mem":
+            try:
+                t1 = _resolve_query_type(operands[0], table)
+            except JnsError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            with provenance.PROVENANCE.capture() as cap:
+                evaluated = table.eval_type_static(t1, ())
+                members = table._mem(evaluated)
+            header = f"query: mem {t1!r}"
+            result = None
+        elif kind == "fclass":
+            path = tuple(operands[0].split("."))
+            if not table.class_exists(path):
+                print(f"error: unknown class {operands[0]}", file=sys.stderr)
+                return 1
+            fname = operands[1]
+            with provenance.PROVENANCE.capture() as cap:
+                owner = table.fclass(path, fname)
+            header = f"query: fclass {path_str(path)} {fname}"
+            result = None
         else:
             path = tuple(operands[0].split("."))
             if not table.class_exists(path):
@@ -321,11 +348,20 @@ def cmd_explain(args) -> int:
                 f"{path_str(path)} -> {path_str(target)}": sorted(fwd),
                 f"{path_str(target)} -> {path_str(path)}": sorted(bwd),
             }
+        elif kind == "mem":
+            payload["evaluated"] = repr(evaluated)
+            payload["members"] = [path_str(p) for p in members]
+        elif kind == "fclass":
+            payload["owner"] = path_str(owner)
         print(json.dumps(payload, indent=2))
         return 0
 
     print(header)
-    if kind == "masks":
+    if kind == "mem":
+        print(f"result: {{{', '.join(path_str(p) for p in members)}}}")
+    elif kind == "fclass":
+        print(f"result: {path_str(owner)}.{fname}")
+    elif kind == "masks":
         if target == path:
             print(f"result: {path_str(path)} declares no sharing")
         else:
@@ -351,6 +387,90 @@ def cmd_explain(args) -> int:
             print("refutation (failing premises only):")
             print(ref.format("  "))
     return 0
+
+
+def cmd_corona(args) -> int:
+    """``repro corona``: run the chaos-hardened CorONA harness (sharded
+    async traffic + seeded fault injection + live evolution) and print
+    the report.  The report is byte-identical for a given seed/plan when
+    ``--json`` is used without ``--wall``."""
+    from .chaos import FaultPlan
+    from .programs.corona import ChaosCoronaDriver, EvolutionJournal
+
+    try:
+        plan = FaultPlan.parse(args.faults)
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"error: bad fault plan: {exc}", file=sys.stderr)
+        return 2
+    if _tracing_requested(args):
+        _begin_tracing(args)
+    journal = None
+    if args.journal:
+        import os
+
+        journal = (
+            EvolutionJournal.load(args.journal)
+            if os.path.exists(args.journal)
+            else EvolutionJournal(path=args.journal)
+        )
+    try:
+        driver = ChaosCoronaDriver(
+            nodes=args.nodes,
+            shards=args.shards,
+            objects=args.objects,
+            requests=args.requests,
+            seed=args.seed,
+            plan=plan,
+            journal=journal,
+        )
+        report = driver.run()
+    finally:
+        if _tracing_requested(args):
+            obs.disable()
+        _emit_observability(args, None)
+    if args.json:
+        print(report.to_json(include_wall=args.wall))
+    else:
+        c = report.counters
+        print(
+            f"corona chaos: {report.params['nodes']} nodes / "
+            f"{report.params['shards']} shards, {report.params['requests']} requests, "
+            f"seed {report.params['seed']}"
+        )
+        print(
+            f"  completed {report.wall['requests_completed']} "
+            f"({report.wall['rps']} req/s wall), virtual time "
+            f"{report.virtual_ms:.1f} ms"
+        )
+        print(
+            f"  faults injected {c.get('chaos.injected', 0)} "
+            f"(crash {c.get('chaos.injected.crash', 0)}, "
+            f"drop {c.get('chaos.injected.drop', 0)}, "
+            f"delay {c.get('chaos.injected.delay', 0)}, "
+            f"fuel {c.get('chaos.injected.fuel', 0)}); "
+            f"restarts {c.get('chaos.restart', 0)}, "
+            f"journal-recovered transitions {c.get('chaos.recovered', 0)}"
+        )
+        print(
+            f"  retries {c.get('retry.attempt', 0)} "
+            f"(exhausted {c.get('retry.exhausted', 0)}), "
+            f"stale serves {c.get('degraded.stale_serve', 0)}, "
+            f"failures {len(report.failures)}"
+        )
+        pause = report.histograms.get("evolution.pause_virtual_ms")
+        if pause:
+            print(
+                f"  evolution pause (virtual): p50 {pause['p50']:.1f} ms, "
+                f"p95 {pause['p95']:.1f} ms over {pause['count']} transitions"
+            )
+        print(f"  families: " + ", ".join(
+            f"shard{s['index']}={s['family']}(epoch {s['epoch']})"
+            for s in report.shards
+        ))
+        print(f"  oracle violations: {len(report.oracle_violations)}")
+        for v in report.oracle_violations[:10]:
+            print(f"    {v}")
+    return 1 if report.oracle_violations else 0
 
 
 def cmd_graph(args) -> int:
@@ -467,7 +587,8 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="Q",
         help="the judgment to explain: 'subtype T1 T2', 'shares T1 T2', "
-        "or 'masks P.C' (types use surface syntax, e.g. pair!.Exp)",
+        "'masks P.C', 'mem T', or 'fclass P.C f' (types use surface "
+        "syntax, e.g. pair!.Exp)",
     )
     p_explain.add_argument(
         "--json",
@@ -483,6 +604,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser("report", help="regenerate an evaluation artifact")
     p_report.add_argument("what", choices=("table1", "table2", "corona"))
     p_report.set_defaults(func=cmd_report)
+
+    p_corona = sub.add_parser(
+        "corona",
+        help="run the chaos-hardened CorONA harness: sharded async "
+        "traffic, seeded fault injection, live family evolution",
+    )
+    p_corona.add_argument("--nodes", type=int, default=256, metavar="N")
+    p_corona.add_argument("--shards", type=int, default=4, metavar="K")
+    p_corona.add_argument("--objects", type=int, default=96, metavar="M")
+    p_corona.add_argument("--requests", type=int, default=600, metavar="R")
+    p_corona.add_argument("--seed", type=int, default=11, metavar="S")
+    p_corona.add_argument(
+        "--faults",
+        default="",
+        metavar="PLAN",
+        help="fault plan: JSON file path, JSON object string, or compact "
+        "DSL 'crash:SHARD@REQ+DOWNMS,drop:RATE,delay:RATE@MS,fuel:REQ' "
+        "(empty = no faults)",
+    )
+    p_corona.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="persist the evolution journal to FILE (JSONL); if FILE "
+        "exists the run resumes from it, completing any pending "
+        "transitions (crash-recoverable evolution)",
+    )
+    p_corona.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    p_corona.add_argument(
+        "--wall",
+        action="store_true",
+        help="include wall-clock throughput/pause figures in --json output "
+        "(excluded by default so reports replay byte-identically)",
+    )
+    _add_obs_flags(p_corona)
+    p_corona.set_defaults(func=cmd_corona)
 
     p_graph = sub.add_parser(
         "graph", help="print the family graph (inheritance + sharing edges)"

@@ -429,9 +429,28 @@ class ClassTable:
         (substituting ``this.class := this!`` and evaluating prefixes).
         Only ``this``-rooted dependent paths are allowed."""
         key = (t, this)
+        if _PROV.enabled:
+            frame = _PROV.begin("eval", f"eval({t!r}) in {path_str(this)}")
+            try:
+                cached = self._q_eval_static.get(key)
+                if cached is not MISS:
+                    return _PROV.end_hit(frame, ("eval", id(self), key), cached)
+                result = self._eval_static_uncached(t, this, key)
+                return _PROV.end(
+                    frame,
+                    result,
+                    rule="type evaluation (Sec. 4.5)",
+                    key=("eval", id(self), key),
+                )
+            except BaseException:
+                _PROV.abort(frame)
+                raise
         cached = self._q_eval_static.get(key)
         if cached is not MISS:
             return cached
+        return self._eval_static_uncached(t, this, key)
+
+    def _eval_static_uncached(self, t: Type, this: Path, key) -> Type:
         result = intern_type(
             self.eval_type(t, lambda p: self._static_path_view(p, this))
         )
@@ -461,6 +480,12 @@ class ClassTable:
             return T.ArrayType(self.eval_type(t.elem, view_of_path))
         if isinstance(t, T.DepType):
             view = view_of_path(t.path)
+            if _PROV.enabled:
+                _PROV.note(
+                    "subst",
+                    f"{'.'.join(t.path)}.class := {path_str(view.path)}!",
+                    rule="dependent-path substitution",
+                )
             return exact_class(view.path)
         if isinstance(t, T.PrefixType):
             index = self.eval_type(t.index, view_of_path)
@@ -470,11 +495,25 @@ class ClassTable:
             if not isinstance(index_pure, ClassType):
                 raise ResolveError(f"prefix index did not evaluate: {t!r}")
             fam = self.prefix_of(t.family, index_pure.path)
+            if _PROV.enabled:
+                _PROV.note(
+                    "prefix",
+                    f"prefix({path_str(t.family)}, {path_str(index_pure.path)})"
+                    f" = {path_str(fam)}",
+                    result=fam,
+                    rule="prefix (Sec. 4.5)",
+                )
             # P[PS] is exact when the index's prefix at the family's depth
             # is exact (the paper's prefixExact_1 condition, generalized to
             # nested families): any exact position at or below the family
             # depth pins the family.
             if any(k >= len(fam) for k in index_pure.exact):
+                if _PROV.enabled:
+                    _PROV.note(
+                        "prefixExact",
+                        f"index exact at depth >= {len(fam)} pins the family",
+                        rule="prefixExact_k",
+                    )
                 return exact_class(fam)
             return ClassType(fam)
         if isinstance(t, T.NestedType):

@@ -16,6 +16,16 @@ collects three kinds of observations:
   sharing-group fallback reads (§3.3), masked-field checks (§3), and
   conformance checks.  Giannini et al. (PAPERS.md) make sharing events
   first-class observations; this is the engineering counterpart.
+
+  The chaos harness (:mod:`repro.programs.corona.driver`) mirrors its
+  fault/recovery bookkeeping here when tracing is enabled: counters
+  ``chaos.injected`` (with ``.crash/.drop/.delay/.fuel`` breakdowns),
+  ``chaos.restart``, ``chaos.recovered``, ``retry.attempt``,
+  ``retry.exhausted``, ``degraded.stale_serve``, and histograms
+  ``evolution.pause_virtual_ms`` (virtual-time pause clients observe
+  per shard transition), ``retry.per_request`` (retry amplification),
+  ``degraded.staleness`` and ``staleness.cache_lag`` (versions behind
+  the acknowledged head).
 * **Event ring** — a bounded ``deque`` of finished spans and instant
   events, exportable as Chrome-trace JSON (``chrome://tracing`` /
   Perfetto) via :meth:`Tracer.to_chrome_trace`.
@@ -77,6 +87,10 @@ _PHASE_ORDER = {
             "load",
             "compile",
             "run",
+            # chaos-harness spans (repro corona) sort after the pipeline
+            "corona.boot",
+            "corona.evolve",
+            "corona.restart",
         )
     )
 }

@@ -29,461 +29,56 @@ Family structure:
 The evolution code (``Main.evolveToPC`` / ``Main.evolveToBee``) changes
 the view of each live host node and initializes the masked manager field,
 exactly the paper's recipe; it is a few lines against the whole system.
+
+Package layout: :mod:`.source` holds the J&s program, :mod:`.system`
+the synchronous experiment driver, and :mod:`.driver` the chaos harness
+(sharded async traffic, fault injection, crash-recoverable evolution —
+see ``docs/IMPLEMENTATION.md``, "CorONA under chaos").
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from .driver import (
+    TRANSITIONS,
+    ChaosCoronaDriver,
+    ChaosReport,
+    DriverKilled,
+    EvolutionJournal,
+    Shard,
+    feed_content,
+    parse_feed,
+    run_chaos,
+)
+from .source import SOURCE, evolution_loc, program
+from .system import (
+    FAMILIES,
+    FAMILY_CODES,
+    CoronaSystem,
+    PhaseStats,
+    main,
+    run_experiment,
+)
 
-from .. import cached_program
-
-SOURCE = """
-class corona {
-  class DataObject {
-    int key;
-    int version;
-    String content;
-    int hits;
-    DataObject(int key, int version, String content) {
-      this.key = key; this.version = version; this.content = content;
-    }
-  }
-  class Entry {
-    int key;
-    DataObject obj;
-    Entry next;
-  }
-  class Store {
-    Entry first;
-    int count;
-    void put(DataObject d) {
-      Entry e = first;
-      while (e != null) {
-        if (e.key == d.key) { e.obj = d; return; }
-        e = e.next;
-      }
-      Entry fresh = new Entry();
-      fresh.key = d.key;
-      fresh.obj = d;
-      fresh.next = first;
-      first = fresh;
-      count = count + 1;
-    }
-    DataObject get(int key) {
-      Entry e = first;
-      while (e != null) {
-        if (e.key == key) { return e.obj; }
-        e = e.next;
-      }
-      return null;
-    }
-  }
-  class Finger {
-    Node target;
-    int span;      // this finger jumps 2^i positions around the ring
-    Finger next;
-  }
-  class Node {
-    int id;
-    Node nextNode;     // ring order (successor)
-    Finger fingers;    // largest span first
-    Store store;
-    Node(int id) {
-      this.id = id;
-      this.store = new Store();
-    }
-    // hooks overridden by the caching families
-    DataObject cacheProbe(int key) { return null; }
-    void recordFetch(DataObject d) { }
-
-    // greedy clockwise routing: follow the largest finger that does not
-    // overshoot the target (counting ring distance)
-    Node closerTo(int target, int ringSize) {
-      int dist = (target - id + ringSize) % ringSize;
-      Finger f = fingers;
-      while (f != null) {
-        if (f.span <= dist) { return f.target; }
-        f = f.next;
-      }
-      return nextNode;
-    }
-  }
-  class Net {
-    Node first;
-    int size;
-    int totalHops;
-    int lookups;
-    int misses;
-    Net(int size) {
-      this.size = size;
-    }
-    Node nodeAt(int id) {
-      Node n = first;
-      while (n.id != id) { n = n.nextNode; }
-      return n;
-    }
-    int ownerId(int key) {
-      int k = key % size;
-      if (k < 0) { k = k + size; }
-      return k;
-    }
-    void publish(DataObject d) {
-      nodeAt(ownerId(d.key)).store.put(d);
-    }
-    // route from a starting node to the key owner, consulting per-hop
-    // caches (the hook does nothing in the base family)
-    String fetch(int startId, int key) {
-      int target = ownerId(key);
-      Node cur = nodeAt(startId);
-      int hops = 0;
-      DataObject found = null;
-      while (found == null) {
-        found = cur.cacheProbe(key);
-        if (found == null) {
-          if (cur.id == target) {
-            found = cur.store.get(key);
-            if (found == null) { misses = misses + 1; return null; }
-            found.hits = found.hits + 1;
-          } else {
-            cur = cur.closerTo(target, size);
-            hops = hops + 1;
-          }
-        }
-      }
-      // let nodes on the (reverse) path record the fetch
-      cur.recordFetch(found);
-      nodeAt(startId).recordFetch(found);
-      totalHops = totalHops + hops;
-      lookups = lookups + 1;
-      return found.content;
-    }
-  }
-}
-
-class pccorona extends corona adapts corona {
-  class CacheMgr {
-    Store cache;
-    int hits;
-    int capacity;
-    CacheMgr() { this.cache = new Store(); this.capacity = 4; }
-    void add(DataObject d) {
-      if (cache.get(d.key) == null && cache.count >= capacity) {
-        cache.first = cache.first.next;   // evict the oldest entry
-        cache.count = cache.count - 1;
-      }
-      cache.put(d);
-    }
-  }
-  class Node {
-    CacheMgr mgr;
-    DataObject cacheProbe(int key) {
-      DataObject d = mgr.cache.get(key);
-      if (d != null) { mgr.hits = mgr.hits + 1; }
-      return d;
-    }
-    void recordFetch(DataObject d) { mgr.add(d); }
-  }
-}
-
-class beecorona extends corona adapts corona {
-  class ReplMgr {
-    Store replicas;
-    int level;       // Beehive replication level (0 = everywhere)
-    ReplMgr() { this.replicas = new Store(); this.level = 1; }
-  }
-  class Node {
-    ReplMgr repl;
-    DataObject cacheProbe(int key) { return repl.replicas.get(key); }
-    void recordFetch(DataObject d) { }
-  }
-  class Net {
-    // proactive replication: push every object whose popularity crosses
-    // the threshold to all nodes (Beehive level-0 for hot objects)
-    int maintain(int threshold) {
-      int replicated = 0;
-      Node n = first;
-      boolean more = true;
-      while (more) {
-        Entry e = n.store.first;
-        while (e != null) {
-          if (e.obj.hits >= threshold) {
-            Node m = n.nextNode;
-            while (m != n) {
-              m.repl.replicas.put(e.obj);
-              m = m.nextNode;
-            }
-            replicated = replicated + 1;
-          }
-          e = e.next;
-        }
-        n = n.nextNode;
-        if (n == first) { more = false; }
-      }
-      return replicated;
-    }
-  }
-}
-
-class Rand {
-  int seed;
-  Rand(int seed) { this.seed = seed; }
-  int nextInt(int n) {
-    seed = (seed * 1103515245 + 12345) % 2147483648;
-    if (seed < 0) { seed = -seed; }
-    return (seed / 65536) % n;   // high bits: LCG low bits cycle
-  }
-}
-
-class Main {
-  corona!.Net boot(int size) {
-    corona!.Net net = new corona.Net(size);
-    // create the ring
-    corona!.Node prev = null;
-    corona!.Node first = null;
-    for (int i = 0; i < size; i++) {
-      corona!.Node n = new corona.Node(i);
-      if (prev != null) { prev.nextNode = n; }
-      if (first == null) { first = n; }
-      prev = n;
-    }
-    prev.nextNode = first;
-    net.first = first;
-    // finger tables: spans 2^k, largest first
-    corona!.Node cur = first;
-    for (int i = 0; i < size; i++) {
-      int span = 1;
-      while (span * 2 <= size) { span = span * 2; }
-      // build from smallest span so the list ends largest-first
-      corona!.Finger acc = null;
-      for (int s = 1; s <= span; s = s * 2) {
-        corona!.Finger f = new corona.Finger();
-        f.span = s;
-        f.target = net.nodeAt((cur.id + s) % size);
-        f.next = acc;
-        acc = f;
-      }
-      cur.fingers = acc;
-      cur = cur.nextNode;
-    }
-    return net;
-  }
-
-  void publishAll(corona!.Net net, int objects) {
-    for (int k = 0; k < objects; k++) {
-      net.publish(new corona.DataObject(k, 1, "feed-" + k));
-    }
-  }
-
-  // a zipf-ish workload: half the fetches go to a few hot feeds
-  int workload(corona!.Net net, int fetches, int objects, int seed) {
-    Rand r = new Rand(seed);
-    int bad = 0;
-    for (int i = 0; i < fetches; i++) {
-      int key = r.nextInt(objects);
-      if (r.nextInt(2) == 0) { key = r.nextInt(3); }
-      String content = net.fetch(r.nextInt(net.size), key);
-      if (content == null) { bad = bad + 1; }
-    }
-    return bad;
-  }
-
-  // ---- the evolution code (the paper's <40 lines vs 8300) -------------
-  void evolveToPC(corona!.Net net)
-      sharing corona!.Node = pccorona!.Node\\mgr {
-    corona!.Node n = net.first;
-    boolean more = true;
-    while (more) {
-      pccorona!.Node\\mgr p = (view pccorona!.Node\\mgr)n;
-      p.mgr = new pccorona.CacheMgr();
-      n = n.nextNode;
-      if (n == net.first) { more = false; }
-    }
-  }
-  void evolveToBee(corona!.Net net)
-      sharing corona!.Node = beecorona!.Node\\repl {
-    corona!.Node n = net.first;
-    boolean more = true;
-    while (more) {
-      beecorona!.Node\\repl b = (view beecorona!.Node\\repl)n;
-      b.repl = new beecorona.ReplMgr();
-      n = n.nextNode;
-      if (n == net.first) { more = false; }
-    }
-  }
-  // ----------------------------------------------------------------------
-
-  int maintainBee(corona!.Net net, int threshold)
-      sharing corona!.Net = beecorona!.Net {
-    beecorona!.Net bnet = (view beecorona!.Net)net;
-    return bnet.maintain(threshold);
-  }
-
-  String fetchVia(corona!.Net net, int family, int startId, int key)
-      sharing corona!.Net = pccorona!.Net,
-              corona!.Net = beecorona!.Net {
-    if (family == 1) {
-      pccorona!.Net pnet = (view pccorona!.Net)net;
-      return pnet.fetch(startId, key);
-    }
-    if (family == 2) {
-      beecorona!.Net bnet = (view beecorona!.Net)net;
-      return bnet.fetch(startId, key);
-    }
-    return net.fetch(startId, key);
-  }
-
-  int workloadVia(corona!.Net net, int family, int fetches, int objects, int seed) {
-    Rand r = new Rand(seed);
-    int bad = 0;
-    for (int i = 0; i < fetches; i++) {
-      int key = r.nextInt(objects);
-      if (r.nextInt(2) == 0) { key = r.nextInt(3); }
-      String content = fetchVia(net, family, r.nextInt(net.size), key);
-      if (content == null) { bad = bad + 1; }
-    }
-    return bad;
-  }
-}
-"""
-
-#: First and last line (1-based, inclusive) of the evolution methods in
-#: SOURCE, used to report the evolution-code fraction as the paper does.
-_EVOLUTION_MARKERS = ("---- the evolution code", "--------------------\n")
-
-
-def program():
-    return cached_program(SOURCE)
-
-
-@dataclass
-class PhaseStats:
-    lookups: int
-    total_hops: int
-    misses: int
-
-    @property
-    def avg_hops(self) -> float:
-        return self.total_hops / self.lookups if self.lookups else 0.0
-
-
-class CoronaSystem:
-    """Python driver for the CorONA experiment: boots the ring, runs
-    workload phases under each family, evolving the live system between
-    phases without recreating any node or data object."""
-
-    def __init__(
-        self,
-        size: int = 16,
-        objects: int = 64,
-        mode: str = "jns",
-        compiled: bool = False,
-        specialized: bool = False,
-    ):
-        self.interp = program().interp(
-            mode=mode, compiled=compiled, specialized=specialized
-        )
-        self.main = self.interp.new_instance(("Main",), ())
-        self.size = size
-        self.objects = objects
-        self.net = self.interp.call_method(self.main, "boot", [size])
-        self.interp.call_method(self.main, "publishAll", [self.net, objects])
-        self._node_ids_before = self._node_instances()
-
-    def _node_instances(self):
-        ids = []
-        first = self.interp.get_field(self.net, "first")
-        node = first
-        while True:
-            ids.append(id(node.inst))
-            node = self.interp.get_field(node, "nextNode")
-            if node.inst is first.inst:
-                break
-        return ids
-
-    def _reset_stats(self):
-        self.interp.set_field(self.net, "totalHops", 0)
-        self.interp.set_field(self.net, "lookups", 0)
-        self.interp.set_field(self.net, "misses", 0)
-
-    def _stats(self) -> PhaseStats:
-        return PhaseStats(
-            lookups=self.interp.get_field(self.net, "lookups"),
-            total_hops=self.interp.get_field(self.net, "totalHops"),
-            misses=self.interp.get_field(self.net, "misses"),
-        )
-
-    def run_phase(self, family: str, fetches: int = 200, seed: int = 11) -> PhaseStats:
-        """family: "corona", "pccorona", or "beecorona"."""
-        code = {"corona": 0, "pccorona": 1, "beecorona": 2}[family]
-        self._reset_stats()
-        bad = self.interp.call_method(
-            self.main, "workloadVia", [self.net, code, fetches, self.objects, seed]
-        )
-        if bad:
-            raise AssertionError(f"{bad} fetches returned no content")
-        return self._stats()
-
-    def evolve_to_pc(self) -> None:
-        self.interp.call_method(self.main, "evolveToPC", [self.net])
-
-    def evolve_to_bee(self, threshold: int = 5) -> int:
-        self.interp.call_method(self.main, "evolveToBee", [self.net])
-        return self.interp.call_method(self.main, "maintainBee", [self.net, threshold])
-
-    def nodes_preserved(self) -> bool:
-        """Evolution must not create or replace host-node objects."""
-        return self._node_instances() == self._node_ids_before
-
-
-def evolution_loc() -> Dict[str, int]:
-    """Lines of evolution code vs the whole system (the paper reports
-    <40 of 8300)."""
-    lines = SOURCE.splitlines()
-    start = next(i for i, l in enumerate(lines) if "the evolution code" in l)
-    end = next(
-        i for i, l in enumerate(lines) if i > start and l.strip().startswith("// ----")
-    )
-    evolution = sum(
-        1 for l in lines[start + 1 : end] if l.strip() and not l.strip().startswith("//")
-    )
-    total = sum(1 for l in lines if l.strip() and not l.strip().startswith("//"))
-    return {"evolution": evolution, "total": total}
-
-
-def run_experiment(size: int = 16, objects: int = 64, fetches: int = 300):
-    """The full Section 7.4 scenario; returns per-phase stats."""
-    sys = CoronaSystem(size=size, objects=objects)
-    plain = sys.run_phase("corona", fetches)
-    sys.evolve_to_pc()
-    pc_cold = sys.run_phase("pccorona", fetches, seed=11)
-    pc_warm = sys.run_phase("pccorona", fetches, seed=23)
-    replicated = sys.evolve_to_bee(threshold=5)
-    bee = sys.run_phase("beecorona", fetches, seed=37)
-    assert sys.nodes_preserved(), "evolution must reuse the live node objects"
-    return {
-        "plain": plain,
-        "pc_cold": pc_cold,
-        "pc_warm": pc_warm,
-        "bee": bee,
-        "replicated": replicated,
-        "loc": evolution_loc(),
-    }
-
-
-def main() -> None:
-    results = run_experiment()
-    print("CorONA evolution experiment (Section 7.4 reproduction)")
-    for phase in ("plain", "pc_cold", "pc_warm", "bee"):
-        stats = results[phase]
-        print(
-            f"  {phase:8s} avg hops {stats.avg_hops:5.2f} "
-            f"({stats.lookups} lookups, {stats.misses} misses)"
-        )
-    print(f"  objects proactively replicated: {results['replicated']}")
-    loc = results["loc"]
-    print(f"  evolution code: {loc['evolution']} of {loc['total']} lines")
-
+__all__ = [
+    "SOURCE",
+    "program",
+    "evolution_loc",
+    "FAMILIES",
+    "FAMILY_CODES",
+    "CoronaSystem",
+    "PhaseStats",
+    "run_experiment",
+    "main",
+    "TRANSITIONS",
+    "ChaosCoronaDriver",
+    "ChaosReport",
+    "DriverKilled",
+    "EvolutionJournal",
+    "Shard",
+    "feed_content",
+    "parse_feed",
+    "run_chaos",
+]
 
 if __name__ == "__main__":
     main()

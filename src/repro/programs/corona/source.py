@@ -1,0 +1,347 @@
+"""The CorONA J&s program (Section 7.4) and its static metrics.
+
+The source string is the single authority for the corona / pccorona /
+beecorona family tower; both the synchronous experiment driver
+(``system.py``) and the chaos driver (``driver.py``) compile it via
+``program()``.  Substitutions from the real CorONA stack are documented
+in the package docstring (``__init__.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .. import cached_program
+
+SOURCE = """
+class corona {
+  class DataObject {
+    int key;
+    int version;
+    String content;
+    int hits;
+    DataObject(int key, int version, String content) {
+      this.key = key; this.version = version; this.content = content;
+    }
+  }
+  class Entry {
+    int key;
+    DataObject obj;
+    Entry next;
+  }
+  class Store {
+    Entry first;
+    int count;
+    void put(DataObject d) {
+      Entry e = first;
+      while (e != null) {
+        if (e.key == d.key) { e.obj = d; return; }
+        e = e.next;
+      }
+      Entry fresh = new Entry();
+      fresh.key = d.key;
+      fresh.obj = d;
+      fresh.next = first;
+      first = fresh;
+      count = count + 1;
+    }
+    DataObject get(int key) {
+      Entry e = first;
+      while (e != null) {
+        if (e.key == key) { return e.obj; }
+        e = e.next;
+      }
+      return null;
+    }
+  }
+  class Finger {
+    Node target;
+    int span;      // this finger jumps 2^i positions around the ring
+    Finger next;
+  }
+  class Node {
+    int id;
+    Node nextNode;     // ring order (successor)
+    Finger fingers;    // largest span first
+    Store store;
+    Node(int id) {
+      this.id = id;
+      this.store = new Store();
+    }
+    // hooks overridden by the caching families
+    DataObject cacheProbe(int key) { return null; }
+    void recordFetch(DataObject d) { }
+
+    // greedy clockwise routing: follow the largest finger that does not
+    // overshoot the target (counting ring distance)
+    Node closerTo(int target, int ringSize) {
+      int dist = (target - id + ringSize) % ringSize;
+      Finger f = fingers;
+      while (f != null) {
+        if (f.span <= dist) { return f.target; }
+        f = f.next;
+      }
+      return nextNode;
+    }
+  }
+  class Net {
+    Node first;
+    int size;
+    int totalHops;
+    int lookups;
+    int misses;
+    Net(int size) {
+      this.size = size;
+    }
+    Node nodeAt(int id) {
+      Node n = first;
+      while (n.id != id) { n = n.nextNode; }
+      return n;
+    }
+    int ownerId(int key) {
+      int k = key % size;
+      if (k < 0) { k = k + size; }
+      return k;
+    }
+    void publish(DataObject d) {
+      nodeAt(ownerId(d.key)).store.put(d);
+    }
+    // route from a starting node to the key owner, consulting per-hop
+    // caches (the hook does nothing in the base family)
+    String fetch(int startId, int key) {
+      int target = ownerId(key);
+      Node cur = nodeAt(startId);
+      int hops = 0;
+      DataObject found = null;
+      while (found == null) {
+        found = cur.cacheProbe(key);
+        if (found == null) {
+          if (cur.id == target) {
+            found = cur.store.get(key);
+            if (found == null) { misses = misses + 1; return null; }
+            found.hits = found.hits + 1;
+          } else {
+            cur = cur.closerTo(target, size);
+            hops = hops + 1;
+          }
+        }
+      }
+      // let nodes on the (reverse) path record the fetch
+      cur.recordFetch(found);
+      nodeAt(startId).recordFetch(found);
+      totalHops = totalHops + hops;
+      lookups = lookups + 1;
+      return found.content;
+    }
+  }
+}
+
+class pccorona extends corona adapts corona {
+  class CacheMgr {
+    Store cache;
+    int hits;
+    int capacity;
+    CacheMgr() { this.cache = new Store(); this.capacity = 4; }
+    void add(DataObject d) {
+      if (cache.get(d.key) == null && cache.count >= capacity) {
+        cache.first = cache.first.next;   // evict the oldest entry
+        cache.count = cache.count - 1;
+      }
+      cache.put(d);
+    }
+  }
+  class Node {
+    CacheMgr mgr;
+    DataObject cacheProbe(int key) {
+      DataObject d = mgr.cache.get(key);
+      if (d != null) { mgr.hits = mgr.hits + 1; }
+      return d;
+    }
+    void recordFetch(DataObject d) { mgr.add(d); }
+  }
+}
+
+class beecorona extends corona adapts corona {
+  class ReplMgr {
+    Store replicas;
+    int level;       // Beehive replication level (0 = everywhere)
+    ReplMgr() { this.replicas = new Store(); this.level = 1; }
+  }
+  class Node {
+    ReplMgr repl;
+    DataObject cacheProbe(int key) { return repl.replicas.get(key); }
+    void recordFetch(DataObject d) { }
+  }
+  class Net {
+    // proactive replication: push every object whose popularity crosses
+    // the threshold to all nodes (Beehive level-0 for hot objects)
+    int maintain(int threshold) {
+      int replicated = 0;
+      Node n = first;
+      boolean more = true;
+      while (more) {
+        Entry e = n.store.first;
+        while (e != null) {
+          if (e.obj.hits >= threshold) {
+            Node m = n.nextNode;
+            while (m != n) {
+              m.repl.replicas.put(e.obj);
+              m = m.nextNode;
+            }
+            replicated = replicated + 1;
+          }
+          e = e.next;
+        }
+        n = n.nextNode;
+        if (n == first) { more = false; }
+      }
+      return replicated;
+    }
+  }
+}
+
+class Rand {
+  int seed;
+  Rand(int seed) { this.seed = seed; }
+  int nextInt(int n) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    if (seed < 0) { seed = -seed; }
+    return (seed / 65536) % n;   // high bits: LCG low bits cycle
+  }
+}
+
+class Main {
+  corona!.Net boot(int size) {
+    corona!.Net net = new corona.Net(size);
+    // create the ring
+    corona!.Node prev = null;
+    corona!.Node first = null;
+    for (int i = 0; i < size; i++) {
+      corona!.Node n = new corona.Node(i);
+      if (prev != null) { prev.nextNode = n; }
+      if (first == null) { first = n; }
+      prev = n;
+    }
+    prev.nextNode = first;
+    net.first = first;
+    // finger tables: spans 2^k, largest first
+    corona!.Node cur = first;
+    for (int i = 0; i < size; i++) {
+      int span = 1;
+      while (span * 2 <= size) { span = span * 2; }
+      // build from smallest span so the list ends largest-first
+      corona!.Finger acc = null;
+      for (int s = 1; s <= span; s = s * 2) {
+        corona!.Finger f = new corona.Finger();
+        f.span = s;
+        f.target = net.nodeAt((cur.id + s) % size);
+        f.next = acc;
+        acc = f;
+      }
+      cur.fingers = acc;
+      cur = cur.nextNode;
+    }
+    return net;
+  }
+
+  void publishAll(corona!.Net net, int objects) {
+    for (int k = 0; k < objects; k++) {
+      net.publish(new corona.DataObject(k, 1, "feed-" + k));
+    }
+  }
+
+  // a zipf-ish workload: half the fetches go to a few hot feeds
+  int workload(corona!.Net net, int fetches, int objects, int seed) {
+    Rand r = new Rand(seed);
+    int bad = 0;
+    for (int i = 0; i < fetches; i++) {
+      int key = r.nextInt(objects);
+      if (r.nextInt(2) == 0) { key = r.nextInt(3); }
+      String content = net.fetch(r.nextInt(net.size), key);
+      if (content == null) { bad = bad + 1; }
+    }
+    return bad;
+  }
+
+  // ---- the evolution code (the paper's <40 lines vs 8300) -------------
+  void evolveToPC(corona!.Net net)
+      sharing corona!.Node = pccorona!.Node\\mgr {
+    corona!.Node n = net.first;
+    boolean more = true;
+    while (more) {
+      pccorona!.Node\\mgr p = (view pccorona!.Node\\mgr)n;
+      p.mgr = new pccorona.CacheMgr();
+      n = n.nextNode;
+      if (n == net.first) { more = false; }
+    }
+  }
+  void evolveToBee(corona!.Net net)
+      sharing corona!.Node = beecorona!.Node\\repl {
+    corona!.Node n = net.first;
+    boolean more = true;
+    while (more) {
+      beecorona!.Node\\repl b = (view beecorona!.Node\\repl)n;
+      b.repl = new beecorona.ReplMgr();
+      n = n.nextNode;
+      if (n == net.first) { more = false; }
+    }
+  }
+  // ----------------------------------------------------------------------
+
+  int maintainBee(corona!.Net net, int threshold)
+      sharing corona!.Net = beecorona!.Net {
+    beecorona!.Net bnet = (view beecorona!.Net)net;
+    return bnet.maintain(threshold);
+  }
+
+  String fetchVia(corona!.Net net, int family, int startId, int key)
+      sharing corona!.Net = pccorona!.Net,
+              corona!.Net = beecorona!.Net {
+    if (family == 1) {
+      pccorona!.Net pnet = (view pccorona!.Net)net;
+      return pnet.fetch(startId, key);
+    }
+    if (family == 2) {
+      beecorona!.Net bnet = (view beecorona!.Net)net;
+      return bnet.fetch(startId, key);
+    }
+    return net.fetch(startId, key);
+  }
+
+  int workloadVia(corona!.Net net, int family, int fetches, int objects, int seed) {
+    Rand r = new Rand(seed);
+    int bad = 0;
+    for (int i = 0; i < fetches; i++) {
+      int key = r.nextInt(objects);
+      if (r.nextInt(2) == 0) { key = r.nextInt(3); }
+      String content = fetchVia(net, family, r.nextInt(net.size), key);
+      if (content == null) { bad = bad + 1; }
+    }
+    return bad;
+  }
+}
+"""
+
+
+#: First and last line (1-based, inclusive) of the evolution methods in
+#: SOURCE, used to report the evolution-code fraction as the paper does.
+_EVOLUTION_MARKERS = ("---- the evolution code", "--------------------\n")
+
+
+def program():
+    return cached_program(SOURCE)
+
+
+def evolution_loc() -> Dict[str, int]:
+    """Lines of evolution code vs the whole system (the paper reports
+    <40 of 8300)."""
+    lines = SOURCE.splitlines()
+    start = next(i for i, l in enumerate(lines) if "the evolution code" in l)
+    end = next(
+        i for i, l in enumerate(lines) if i > start and l.strip().startswith("// ----")
+    )
+    evolution = sum(
+        1 for l in lines[start + 1 : end] if l.strip() and not l.strip().startswith("//")
+    )
+    total = sum(1 for l in lines if l.strip() and not l.strip().startswith("//"))
+    return {"evolution": evolution, "total": total}

@@ -264,6 +264,21 @@ class Interp:
             ref = self.new_instance(path, ())
             return self.call_method(ref, method, list(args))
 
+    def reset_budget(self) -> None:
+        """Re-arm the resource budget after a ``JnsResourceError`` so the
+        interpreter (and its caches) can serve subsequent requests.
+
+        The guard paths already restore the recursion limit and unwind
+        ``_depth`` on their ``finally`` edges; what survives a trip is the
+        cumulative step counter and the captured crash stack.  Callers
+        that treat fuel exhaustion as a recoverable fault (the chaos
+        driver, long-lived services) call this between requests."""
+        if self._depth != 0:
+            raise RuntimeError("reset_budget called while J&s code is running")
+        self._steps = 0
+        self.call_stack = []
+        self._res_stack = None
+
     def _enter_boundary(self) -> int:
         """Called when execution enters J&s code from the host (depth 0):
         temporarily raises the Python recursion limit so the J&s depth

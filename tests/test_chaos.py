@@ -1,0 +1,187 @@
+"""Unit tests for the fault-injection layer (repro.chaos): the seeded
+forkable RNG, the deterministic virtual-time scheduler, fault plans, and
+the retry policy.  The chaos *driver* built on these is covered by
+tests/test_corona_chaos.py."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    CrashFault,
+    DelayFault,
+    DropFault,
+    FaultPlan,
+    FuelFault,
+    RetryPolicy,
+    Rng,
+    SimEvent,
+    SimLoop,
+)
+
+
+class TestRng:
+    def test_deterministic_stream(self):
+        a = [Rng(42).randrange(1000) for _ in range(1)]
+        assert [Rng(42).randrange(1000)] == a
+        xs = Rng(42)
+        ys = Rng(42)
+        assert [xs.randrange(10**9) for _ in range(50)] == [
+            ys.randrange(10**9) for _ in range(50)
+        ]
+
+    def test_fork_is_keyed_by_seed_not_state(self):
+        r = Rng(7)
+        before = r.fork("child").randrange(10**9)
+        r.randrange(100)  # advance parent state
+        after = r.fork("child").randrange(10**9)
+        assert before == after
+
+    def test_forks_with_distinct_labels_are_independent(self):
+        r = Rng(7)
+        assert r.fork("a").randrange(10**9) != r.fork("b").randrange(10**9)
+
+    def test_random_unit_interval(self):
+        r = Rng(3)
+        values = [r.random() for _ in range(200)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert len(set(values)) > 190  # not degenerate
+
+
+class TestSimLoop:
+    def test_virtual_sleep_orders_by_deadline_not_creation(self):
+        loop = SimLoop()
+        wake = []
+
+        async def sleeper(tag, delay):
+            await loop.sleep(delay)
+            wake.append((tag, loop.now))
+
+        loop.create_task(sleeper("late", 30))
+        loop.create_task(sleeper("early", 10))
+        loop.run()
+        assert wake == [("early", 10.0), ("late", 30.0)]
+
+    def test_event_gate_fifo(self):
+        loop = SimLoop()
+        gate = SimEvent(False)
+        order = []
+
+        async def waiter(tag):
+            await gate.wait()
+            order.append(tag)
+
+        async def opener():
+            await loop.sleep(5)
+            gate.set()
+
+        for tag in ("a", "b", "c"):
+            loop.create_task(waiter(tag))
+        loop.create_task(opener())
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_task_join_returns_result(self):
+        loop = SimLoop()
+
+        async def child():
+            await loop.sleep(1)
+            return 99
+
+        async def parent():
+            return await loop.create_task(child())
+
+        assert loop.run(loop.create_task(parent())) == 99
+
+    def test_unawaited_failure_is_loud(self):
+        loop = SimLoop()
+
+        async def boom():
+            raise ValueError("lost in the background")
+
+        loop.create_task(boom())
+        with pytest.raises(ValueError, match="lost in the background"):
+            loop.run()
+
+    def test_virtual_time_costs_no_wall_time(self):
+        import time
+
+        loop = SimLoop()
+
+        async def long_nap():
+            await loop.sleep(10**7)  # ~2.8 virtual hours
+
+        t0 = time.perf_counter()
+        loop.create_task(long_nap())
+        loop.run()
+        assert loop.now == 10**7
+        assert time.perf_counter() - t0 < 1.0
+
+
+class TestFaultPlan:
+    DSL = "crash:1@120+150,drop:0.02,delay:0.05@6,fuel:77"
+
+    def test_dsl_parse(self):
+        plan = FaultPlan.parse(self.DSL)
+        assert plan.crashes == (CrashFault(1, 120, 150.0),)
+        assert plan.drops == (DropFault(0.02),)
+        assert plan.delays == (DelayFault(0.05, 6.0),)
+        assert plan.fuel == (FuelFault(77),)
+        assert plan.crash_at == {120: [CrashFault(1, 120, 150.0)]}
+        assert plan.fuel_at == {77}
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan.parse(self.DSL)
+        again = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert again.to_dict() == plan.to_dict()
+
+    def test_json_string_parse(self):
+        plan = FaultPlan.parse(json.dumps(FaultPlan.parse(self.DSL).to_dict()))
+        assert plan.fuel_at == {77}
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert not FaultPlan.parse("")
+        assert not FaultPlan.parse("none")
+        assert FaultPlan.parse("drop:0.5")
+
+    def test_message_fate_deterministic_and_respects_rates(self):
+        plan = FaultPlan.parse("drop:0.3,delay:0.5@8")
+        fates = [plan.message_fate(Rng(5).fork(f"m{i}")) for i in range(400)]
+        again = [plan.message_fate(Rng(5).fork(f"m{i}")) for i in range(400)]
+        assert fates == again
+        drops = sum(1 for f, _ in fates if f == "drop")
+        delays = sum(1 for f, _ in fates if f == "delay")
+        assert 60 <= drops <= 180  # ~0.3 of 400
+        assert delays > 80
+        assert all(ms == 8.0 for f, ms in fates if f == "delay")
+
+    def test_fate_stream_stable_under_plan_growth(self):
+        """Adding a delay fault must not change which messages the drop
+        fault eats (one RNG roll per configured fault)."""
+        just_drop = FaultPlan.parse("drop:0.3")
+        both = FaultPlan.parse("drop:0.3,delay:0.5@8")
+        for i in range(200):
+            a, _ = just_drop.message_fate(Rng(9).fork(f"m{i}"))
+            b, _ = both.message_fate(Rng(9).fork(f"m{i}"))
+            if a == "drop":
+                assert b == "drop"
+
+
+class TestRetryPolicy:
+    def test_backoff_capped_and_jittered(self):
+        policy = RetryPolicy()
+        rng = Rng(1)
+        backs = [policy.backoff_ms(k, rng) for k in range(10)]
+        assert all(b <= policy.cap_ms for b in backs)
+        assert all(b > 0 for b in backs)
+        # without jitter the schedule is the pure capped exponential
+        flat = RetryPolicy(jitter=0.0)
+        assert [flat.backoff_ms(k, rng) for k in range(5)] == [
+            4.0, 8.0, 16.0, 32.0, 64.0
+        ]
+
+    def test_budget_outlasts_default_crash_window(self):
+        # Retries must survive the default CrashFault down time, else
+        # every crash turns into request failures instead of retries.
+        assert RetryPolicy().budget_ms > CrashFault(0, 0).down_ms

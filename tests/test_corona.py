@@ -52,6 +52,39 @@ class TestRouting:
         assert small.avg_hops < large.avg_hops <= 6
 
 
+class TestSeedThreading:
+    """Every randomness source is threaded from the system's master seed
+    (the J&s ``Rand`` LCG is the only one, and each workload call gets a
+    fresh instance), so whole runs are bit-identical — the prerequisite
+    for deterministic fault replay in the chaos driver."""
+
+    def _trace(self, seed):
+        system = CoronaSystem(size=8, objects=16, seed=seed)
+        out = [system.run_phase("corona", 60)]
+        system.evolve_to_pc()
+        out.append(system.run_phase("pccorona", 60))
+        system.evolve_to_bee()
+        out.append(system.run_phase("beecorona", 60))
+        return out
+
+    def test_same_master_seed_is_bit_identical(self):
+        assert self._trace(5) == self._trace(5)
+
+    def test_master_seed_changes_the_workload(self):
+        assert self._trace(5) != self._trace(6)
+
+    def test_unseeded_phases_draw_independent_streams(self):
+        system = CoronaSystem(size=8, objects=16, seed=5)
+        first = system.run_phase("corona", 60)
+        second = system.run_phase("corona", 60)
+        assert first != second
+
+    def test_explicit_seed_still_wins(self):
+        a = CoronaSystem(size=8, objects=16, seed=1).run_phase("corona", 60, seed=99)
+        b = CoronaSystem(size=8, objects=16, seed=2).run_phase("corona", 60, seed=99)
+        assert a == b
+
+
 class TestEvolution:
     def test_hop_counts_improve_per_phase(self, experiment):
         plain = experiment["plain"].avg_hops

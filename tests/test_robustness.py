@@ -164,6 +164,81 @@ def test_unbounded_recursion_fails_without_raising_process_limit():
     assert sys.getrecursionlimit() == limit_before
 
 
+class TestResourceErrorRecovery:
+    """After a fuel/depth trip the interpreter must be reusable: no
+    stale step counters or crash stacks, recursion limit restored, and
+    warm caches still serving correct answers (the chaos driver treats
+    JNS-RES-001 as a recoverable fault and calls ``reset_budget``)."""
+
+    LOOPY = (
+        "class A { int spin(int n) { int i = 0; "
+        "while (i < n) { i = i + 1; } return i; } "
+        "int cheap() { return 7; } }"
+    )
+
+    def test_fuel_trip_then_reset_budget_reuses_interpreter(self):
+        program = compile_program(self.LOOPY)
+        interp = program.interp(max_steps=2000)
+        ref = interp.new_instance(("A",), ())
+        assert interp.call_method(ref, "cheap", []) == 7
+        with pytest.raises(JnsResourceError) as exc_info:
+            interp.call_method(ref, "spin", [10**6])
+        assert exc_info.value.code == "JNS-RES-001"
+        # the budget is cumulative: without a reset even a cheap call
+        # keeps tripping, which is exactly why reset_budget exists
+        with pytest.raises(JnsResourceError):
+            interp.call_method(ref, "cheap", [])
+        interp.reset_budget()
+        assert interp._steps == 0
+        assert interp._res_stack is None
+        assert interp.call_stack == []
+        assert interp.call_method(ref, "cheap", []) == 7
+        assert interp.call_method(ref, "spin", [50]) == 50
+
+    def test_depth_trip_recovers_without_reset(self):
+        """JNS-RES-002 unwinds ``_depth`` on the guard's finally edge, so
+        shallow calls work immediately afterwards."""
+        limit_before = sys.getrecursionlimit()
+        program = compile_program(
+            "class A { int m() { return m(); } int cheap() { return 3; } }"
+        )
+        interp = program.interp(max_depth=80)
+        ref = interp.new_instance(("A",), ())
+        for _ in range(2):  # twice: the recovery must itself be repeatable
+            with pytest.raises(JnsResourceError) as exc_info:
+                interp.call_method(ref, "m", [])
+            assert exc_info.value.code == "JNS-RES-002"
+            assert interp._depth == 0
+            assert sys.getrecursionlimit() == limit_before
+            assert interp.call_method(ref, "cheap", []) == 3
+
+    def test_reset_budget_preserves_warm_caches(self):
+        """Recovery must not cold-start the heap or the memoized query
+        caches: objects allocated before the trip stay intact."""
+        from repro.programs.corona import CoronaSystem
+
+        system = CoronaSystem(size=8, objects=16, specialized=True, max_steps=10**7)
+        before = system.run_phase("corona", fetches=30, seed=5)
+        interp = system.interp
+        interp._steps = interp._max_steps  # inject exhaustion (chaos-style)
+        with pytest.raises(JnsResourceError) as exc_info:
+            system.run_phase("corona", fetches=30, seed=5)
+        assert exc_info.value.code == "JNS-RES-001"
+        interp.reset_budget()
+        assert system.run_phase("corona", fetches=30, seed=5) == before
+        assert system.nodes_preserved()
+
+    def test_reset_budget_refuses_reentrant_use(self):
+        program = compile_program(self.LOOPY)
+        interp = program.interp(max_steps=2000)
+        interp._depth = 3  # simulate J&s frames still on the stack
+        try:
+            with pytest.raises(RuntimeError):
+                interp.reset_budget()
+        finally:
+            interp._depth = 0
+
+
 def test_deeply_nested_expressions():
     depth = 200
     src = "class A { int m() { return " + "(" * depth + "1" + ")" * depth + "; } }"
