@@ -43,14 +43,11 @@ from typing import List, Optional
 from . import obs
 from .api import cache_stats, compile_program
 from .diagnostics import DiagnosticSink, render
-from .lang import provenance
 from .lang.classtable import ClassTable, JnsError
 from .lang.infer import infer_constraints, install_constraints
-from .lang.resolve import resolve_program, resolve_type
-from .lang.sharing import SharingChecker
-from .lang.subtype import Env, path_str, subtype
+from .lang.resolve import resolve_program
 from .lang.typecheck import check_program
-from .source.parser import parse_program, parse_type_text
+from .source.parser import parse_program
 from .source.unparse import unparse
 
 
@@ -226,166 +223,45 @@ def cmd_report(args) -> int:
     return 0
 
 
-def _parse_explain_query(text: str):
-    """Split an ``--query`` string into (kind, operands).
-
-    Raises ValueError (exit code 2 in :func:`cmd_explain`) when the text
-    does not match one of the three query forms."""
-    parts = text.split()
-    if len(parts) == 3 and parts[0] in ("subtype", "shares"):
-        return parts[0], (parts[1], parts[2])
-    if len(parts) == 2 and parts[0] in ("masks", "mem"):
-        return parts[0], (parts[1],)
-    if len(parts) == 3 and parts[0] == "fclass":
-        return parts[0], (parts[1], parts[2])
-    raise ValueError(
-        f"bad query {text!r}: expected 'subtype T1 T2', 'shares T1 T2', "
-        "'masks P.C', 'mem T', or 'fclass P.C f'"
-    )
-
-
-def _resolve_query_type(text: str, table: ClassTable):
-    """Resolve one type operand of an explain query at the top level."""
-    return resolve_type(parse_type_text(text), table, ctx=())
-
-
 def cmd_explain(args) -> int:
     """``repro explain FILE --query Q``: run one semantic judgment over
     the program's class table with the derivation recorder on and render
     the proof tree.  Only parsing + name resolution are required, so
     programs that fail the type check can still be explained — that is
-    the main use case (asking *why* the checker rejected a judgment)."""
-    from .lang.types import ClassType
+    the main use case (asking *why* the checker rejected a judgment).
+    The evaluation itself lives in :mod:`repro.lang.explain`, shared
+    with the check service's ``explain`` op; ``--html`` writes the same
+    payload as a standalone collapsible-tree document."""
+    from .lang.explain import ExplainError, render_html, run_explain
 
-    try:
-        kind, operands = _parse_explain_query(args.query)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
     source = _read(args.file)
     try:
-        unit = parse_program(source, file=args.file)
-        table = ClassTable(unit)
-        resolve_program(table)
+        result = run_explain(source, args.file, args.query)
+    except ExplainError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
     except JnsError as exc:
         print(render(exc.to_diagnostic(), source), file=sys.stderr)
         return 1
 
-    # Resolution warms the memo tables; clear them so the proof tree is
-    # complete rather than a forest of "(cached)" leaves.
-    table.queries.clear()
-    provenance.enable()
-    try:
-        if kind in ("subtype", "shares"):
-            try:
-                t1 = _resolve_query_type(operands[0], table)
-                t2 = _resolve_query_type(operands[1], table)
-            except JnsError as exc:
-                print(f"error: {exc}", file=sys.stderr)
-                return 1
-            env = Env(table, ())
-            env.vars["this"] = ClassType(())
-            with provenance.PROVENANCE.capture() as cap:
-                if kind == "subtype":
-                    holds = subtype(env, t1, t2)
-                else:
-                    holds, _how = SharingChecker(table).sharing_judgment(
-                        env, t1, t2
-                    )
-            header = f"query: {kind} {t1!r} {t2!r}"
-            result = bool(holds)
-        elif kind == "mem":
-            try:
-                t1 = _resolve_query_type(operands[0], table)
-            except JnsError as exc:
-                print(f"error: {exc}", file=sys.stderr)
-                return 1
-            with provenance.PROVENANCE.capture() as cap:
-                evaluated = table.eval_type_static(t1, ())
-                members = table._mem(evaluated)
-            header = f"query: mem {t1!r}"
-            result = None
-        elif kind == "fclass":
-            path = tuple(operands[0].split("."))
-            if not table.class_exists(path):
-                print(f"error: unknown class {operands[0]}", file=sys.stderr)
-                return 1
-            fname = operands[1]
-            with provenance.PROVENANCE.capture() as cap:
-                owner = table.fclass(path, fname)
-            header = f"query: fclass {path_str(path)} {fname}"
-            result = None
-        else:
-            path = tuple(operands[0].split("."))
-            if not table.class_exists(path):
-                print(f"error: unknown class {operands[0]}", file=sys.stderr)
-                return 1
-            target = table.share_target(path)
-            checker = SharingChecker(table)
-            with provenance.PROVENANCE.capture() as cap:
-                fwd = checker.required_masks(path, target)
-                bwd = checker.required_masks(target, path)
-            header = f"query: masks {path_str(path)}"
-            result = None
-    finally:
-        provenance.disable()
-
+    html_out = getattr(args, "html", None)
+    if html_out:
+        try:
+            with open(html_out, "w") as f:
+                f.write(render_html(result))
+        except OSError as exc:
+            print(
+                f"error: cannot write {html_out}: {exc.strerror}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"wrote derivation tree to {html_out}", file=sys.stderr)
+        if not getattr(args, "json", False):
+            return 0
     if getattr(args, "json", False):
-        payload = {
-            "query": args.query,
-            "derivations": [d.to_dict() for d in cap.derivations],
-        }
-        if result is not None:
-            payload["holds"] = result
-        failed = cap.failed()
-        if failed is not None:
-            ref = failed.refutation()
-            payload["refutation"] = ref.to_dict() if ref is not None else None
-        if kind == "masks":
-            payload["share_target"] = path_str(target)
-            payload["declared_masks"] = sorted(table.share_masks(path))
-            payload["required_masks"] = {
-                f"{path_str(path)} -> {path_str(target)}": sorted(fwd),
-                f"{path_str(target)} -> {path_str(path)}": sorted(bwd),
-            }
-        elif kind == "mem":
-            payload["evaluated"] = repr(evaluated)
-            payload["members"] = [path_str(p) for p in members]
-        elif kind == "fclass":
-            payload["owner"] = path_str(owner)
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(result.payload, indent=2))
         return 0
-
-    print(header)
-    if kind == "mem":
-        print(f"result: {{{', '.join(path_str(p) for p in members)}}}")
-    elif kind == "fclass":
-        print(f"result: {path_str(owner)}.{fname}")
-    elif kind == "masks":
-        if target == path:
-            print(f"result: {path_str(path)} declares no sharing")
-        else:
-            masks = sorted(table.share_masks(path))
-            print(f"result: shares {path_str(target)}"
-                  + (f" \\ {{{', '.join(masks)}}}" if masks else ""))
-            print(f"  required masks {path_str(path)} -> {path_str(target)}: "
-                  + ("{" + ", ".join(sorted(fwd)) + "}" if fwd else "{}"))
-            print(f"  required masks {path_str(target)} -> {path_str(path)}: "
-                  + ("{" + ", ".join(sorted(bwd)) + "}" if bwd else "{}"))
-    else:
-        print(f"result: {'holds' if result else 'fails'}")
-    if cap.derivations:
-        print()
-        print("derivation:")
-        for d in cap.derivations:
-            print(d.format("  "))
-    failed = cap.failed()
-    if failed is not None:
-        ref = failed.refutation()
-        if ref is not None:
-            print()
-            print("refutation (failing premises only):")
-            print(ref.format("  "))
+    print(result.format_text())
     return 0
 
 
@@ -595,6 +471,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the derivation trees as machine-readable JSON",
     )
+    p_explain.add_argument(
+        "--html",
+        metavar="OUT",
+        help="write the derivation trees as a standalone HTML document "
+        "with collapsible proof-tree nodes",
+    )
     p_explain.set_defaults(func=cmd_explain)
 
     p_fmt = sub.add_parser("fmt", help="pretty-print a J&s program")
@@ -655,6 +537,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_repl = sub.add_parser("repl", help="interactive J&s session")
     p_repl.set_defaults(func=lambda args: __import__("repro.repl", fromlist=["main"]).main())
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived incremental check service (JSON Lines over a "
+        "local TCP socket; see repro.serve for the wire protocol)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port; 0 picks an ephemeral one, announced on the "
+        "JSON ready line (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="evict sessions idle longer than S seconds (default %(default)s)",
+    )
+    p_serve.set_defaults(
+        func=lambda args: __import__("repro.serve", fromlist=["main"]).main(args)
+    )
 
     return parser
 

@@ -28,7 +28,7 @@ from ..errors import JnsError
 from ..source import ast
 from . import types as T
 from .provenance import PROVENANCE as _PROV
-from .queries import MISS, QueryEngine
+from .queries import MISS, QueryEngine, VersionStore, read_input
 from .types import ClassType, Path, Type, View, exact_class, intern_type
 
 
@@ -68,6 +68,32 @@ class ClassInfo:
         return f"ClassInfo({path_str(self.path)})"
 
 
+class EditNotice:
+    """What an incremental edit changed, for runtime-product eviction.
+
+    ``dirty`` — class paths whose inputs were bumped; ``affected`` —
+    ``dirty`` plus every class inheriting from one (their synthesized
+    runtime classes embed inherited members); ``retired_ids`` — ``id()``
+    of every member declaration object that was spliced out (body/init
+    compilation caches key on member identity, and a stale entry under a
+    recycled id must never survive); ``structural`` — True when the
+    program was rebuilt wholesale."""
+
+    __slots__ = ("dirty", "affected", "retired_ids", "structural")
+
+    def __init__(
+        self,
+        dirty: Sequence[Path],
+        affected: Set[Path],
+        retired_ids: Set[int],
+        structural: bool = False,
+    ) -> None:
+        self.dirty = tuple(dirty)
+        self.affected = affected
+        self.retired_ids = retired_ids
+        self.structural = structural
+
+
 class ClassTable:
     """All family/sharing machinery for one program."""
 
@@ -76,10 +102,16 @@ class ClassTable:
         self.explicit: Dict[Path, ClassInfo] = {}
         self._register((), unit.classes)
 
+        # Versioned base inputs (see queries.py): every engine attached
+        # to this store — the table itself, its persistent sharing
+        # checker — validates cached judgments against per-class decl
+        # versions, so an edit invalidates only the affected slice.
+        self.versions = VersionStore()
+
         # Memoized queries (see queries.py).  Cycle guards are explicit
         # sets — never the memo tables themselves — so the judgments stay
         # correct when caching is globally disabled.
-        self.queries = QueryEngine("table")
+        self.queries = QueryEngine("table", versions=self.versions)
         q = self.queries.query
         self._q_has_member = q("has_member")
         self._q_parents = q("parents")
@@ -118,22 +150,105 @@ class ClassTable:
         self._groups_built = False
         self._group_find: Dict[Path, Path] = {}
 
+        # Persistent sharing checker (lazy): shared across check runs so
+        # its caches — and their hit/miss counters — survive edits.
+        self._sharing_checker = None
+
+        # Runtime artifacts (loaders, interpreters, specializers) keyed
+        # off this table register here to evict per-class products when
+        # an incremental edit splices declarations (weakly — the table
+        # must never keep an interpreter alive).
+        self._edit_listeners: List[Any] = []
+
     def invalidate(self) -> None:
         """Drop every memoized result and derived sharing state.
 
-        The single invalidation entry point: after this, all judgments
+        The global invalidation hammer: after this, all judgments
         recompute from ``self.explicit`` (and re-resolve extends/shares
-        clauses) on next use.  Used when the program changes under the
-        table and by the cache-disabled differential/benchmark modes."""
-        self.queries.clear()
+        clauses) on next use.  Used when the program changes wholesale
+        under the table and by the cache-disabled differential/benchmark
+        modes; incremental edits go through
+        :mod:`repro.lang.incremental` instead, which bumps only the
+        affected input versions.  Hit/miss counters survive (``--stats``
+        stays monotone across invalidation); recorded derivations are
+        purged so a later ``explain`` can never splice a stale proof."""
+        self.versions.invalidate_all()
+        self.reset_sharing_state()
+        self._parents_in_progress.clear()
+        self._has_member_active.clear()
+        _PROV.purge()
+
+    def reset_sharing_state(self) -> None:
+        """Drop the derived sharing relation (union-find, masks) and the
+        cached extends resolutions so they rebuild from current decls."""
         self._share_parent.clear()
         self._share_masks.clear()
         self._group_find.clear()
         self._groups_built = False
-        self._parents_in_progress.clear()
-        self._has_member_active.clear()
         for info in self.explicit.values():
             info.super_types = None
+            info.adapts_path = None
+
+    def sharing_checker(self):
+        """The table's persistent :class:`~repro.lang.sharing.SharingChecker`.
+
+        One checker per table, attached to the same version store, so
+        sharing-judgment caches revalidate across edits instead of being
+        discarded with each throwaway checker."""
+        if self._sharing_checker is None:
+            from .sharing import SharingChecker  # local import to avoid cycle
+
+            self._sharing_checker = SharingChecker(self)
+        return self._sharing_checker
+
+    # ------------------------------------------------------------------
+    # incremental edits (see lang/incremental.py)
+    # ------------------------------------------------------------------
+
+    def iface_info(self, path: Path) -> Optional[ClassInfo]:
+        """Tracked read of a class declaration (``None`` when implicit):
+        records an ``('iface', path)`` dependency so cached judgments
+        that consulted this decl are invalidated when it changes."""
+        read_input(("iface", path))
+        return self.explicit.get(path)
+
+    def replace_decl(self, path: Path, decl: ast.ClassDecl) -> None:
+        """Splice an edited declaration for an existing class in place.
+
+        Only the decl reference changes; callers are responsible for
+        bumping the matching version-store keys (and for resetting the
+        sharing state when the class's interface changed)."""
+        info = self.explicit[path]
+        info.decl = decl
+        info.super_types = None
+        info.shares_type = None
+        info.adapts_path = None
+
+    def add_edit_listener(self, method: Any) -> None:
+        """Register a bound method called with an :class:`EditNotice`
+        after every incremental splice.  Held weakly."""
+        import weakref
+
+        self._edit_listeners.append(weakref.WeakMethod(method))
+
+    def notify_edit(self, notice: "EditNotice") -> None:
+        live = []
+        for ref in self._edit_listeners:
+            cb = ref()
+            if cb is not None:
+                cb(notice)
+                live.append(ref)
+        self._edit_listeners[:] = live
+
+    def add_decl(self, path: Path, decl: ast.ClassDecl) -> None:
+        if path in self.explicit:
+            raise ResolveError(
+                f"duplicate class {path_str(path)}", code="JNS-RESOLVE-005"
+            )
+        self.explicit[path] = ClassInfo(path, decl)
+
+    def remove_decl(self, path: Path) -> None:
+        del self.explicit[path]
 
     # ------------------------------------------------------------------
     # registration
@@ -164,6 +279,7 @@ class ClassTable:
             return False  # cycle: assume no (never cached)
         self._has_member_active.add(key)
         try:
+            read_input(("iface", owner + (name,)))
             result = owner + (name,) in self.explicit
             if not result and owner not in self._parents_in_progress:
                 # While a class's own extends clause is being resolved, only
@@ -200,6 +316,7 @@ class ClassTable:
             return cached
         names: List[str] = []
         seen: Set[str] = set()
+        read_input(("classset",))
         for path, info in self.explicit.items():
             if len(path) == len(owner) + 1 and path[: len(owner)] == owner:
                 if path[-1] not in seen:
@@ -279,7 +396,7 @@ class ClassTable:
         would be unsound, e.g. ``class B shares F0.B { }`` must still be a
         subtype of its family's ``A`` when the base ``B`` extends ``A``)."""
         descs: List[Type] = []
-        info = self.explicit.get(path)
+        info = self.iface_info(path)
         if info is not None:
             if info.super_types is None:
                 from .resolve import resolve_type  # local import to avoid cycle
@@ -554,7 +671,7 @@ class ClassTable:
     # ------------------------------------------------------------------
 
     def own_fields(self, path: Path) -> List[ast.FieldDecl]:
-        info = self.explicit.get(path)
+        info = self.iface_info(path)
         return list(info.decl.fields) if info is not None else []
 
     def all_fields(self, path: Path) -> Tuple[Tuple[Path, ast.FieldDecl], ...]:
@@ -599,7 +716,7 @@ class ClassTable:
             return cached
         candidates: List[Tuple[Path, ast.MethodDecl]] = []
         for sup in self.ancestors(path):
-            info = self.explicit.get(sup)
+            info = self.iface_info(sup)
             if info is None:
                 continue
             for decl in info.decl.methods:
@@ -635,7 +752,7 @@ class ClassTable:
             return cached
         names: Set[str] = set()
         for sup in self.ancestors(path):
-            info = self.explicit.get(sup)
+            info = self.iface_info(sup)
             if info is not None:
                 names.update(m.name for m in info.decl.methods)
         return self._q_method_names.put(path, frozenset(names))
@@ -648,7 +765,7 @@ class ClassTable:
             return cached
         result: Optional[Tuple[Path, ast.CtorDecl]] = None
         for sup in self.ancestors(path):
-            info = self.explicit.get(sup)
+            info = self.iface_info(sup)
             if info is None:
                 continue
             for ctor in info.decl.ctors:
@@ -799,6 +916,7 @@ class ClassTable:
         """Whether classes a and b are in the same sharing equivalence
         class (``a! <-> b!``)."""
         self._build_sharing()
+        read_input(("sharing",))
         return self._find(a) == self._find(b)
 
     def sharing_group(self, path: Path) -> Tuple[Path, ...]:
@@ -833,6 +951,7 @@ class ClassTable:
         return self._sharing_group_uncached(path)
 
     def _sharing_group_uncached(self, path: Path) -> Tuple[Path, ...]:
+        read_input(("sharing",))
         root = self._find(path)
         group = [p for p in self.all_class_paths() if self._find(p) == root]
         if path not in group:
@@ -842,10 +961,12 @@ class ClassTable:
     def share_target(self, path: Path) -> Path:
         """``share(P)``: the declared shared class of P (P itself if none)."""
         self._build_sharing()
+        read_input(("sharing",))
         return self._share_parent.get(path, path)
 
     def share_masks(self, path: Path) -> FrozenSet[str]:
         self._build_sharing()
+        read_input(("sharing",))
         return self._share_masks.get(path, frozenset())
 
     def fclass(self, path: Path, fname: str) -> Path:

@@ -1,0 +1,306 @@
+"""Reusable core of ``repro explain``: evaluate one semantic judgment
+with the derivation recorder on and package the proof tree.
+
+``repro explain`` (the CLI) and the ``explain`` op of the check service
+(:mod:`repro.serve`) both go through :func:`run_explain`, so the JSON
+payload — and therefore the HTML rendering built from it — is identical
+no matter which front end asked.  The function builds its *own* class
+table from the source text: the service must never run a
+provenance-capturing judgment against a session's live incremental
+table, because ``table.queries.clear()`` (needed for a complete proof
+tree rather than a forest of "(cached)" leaves) would wipe the warm
+incremental state the session exists to preserve.
+
+:func:`render_html` turns a result into a standalone HTML document whose
+derivation nodes are ``<details>`` elements — collapsible without any
+script — built recursively from :meth:`Derivation.to_dict` payloads.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import provenance
+from .classtable import ClassTable, JnsError
+from .resolve import resolve_program, resolve_type
+from .sharing import SharingChecker
+from .subtype import Env, path_str, subtype
+from .types import ClassType
+from ..source.parser import parse_program, parse_type_text
+
+
+class ExplainError(Exception):
+    """A query the explainer cannot run: bad query syntax (``exit_code``
+    2) or an operand that does not resolve (``exit_code`` 1).  The
+    message is ready for ``error: ...`` display."""
+
+    def __init__(self, message: str, exit_code: int = 1) -> None:
+        super().__init__(message)
+        self.exit_code = exit_code
+
+
+def parse_explain_query(text: str) -> Tuple[str, Tuple[str, ...]]:
+    """Split an ``--query`` string into (kind, operands).
+
+    Raises :class:`ExplainError` with ``exit_code`` 2 when the text does
+    not match one of the query forms."""
+    parts = text.split()
+    if len(parts) == 3 and parts[0] in ("subtype", "shares"):
+        return parts[0], (parts[1], parts[2])
+    if len(parts) == 2 and parts[0] in ("masks", "mem"):
+        return parts[0], (parts[1],)
+    if len(parts) == 3 and parts[0] == "fclass":
+        return parts[0], (parts[1], parts[2])
+    raise ExplainError(
+        f"bad query {text!r}: expected 'subtype T1 T2', 'shares T1 T2', "
+        "'masks P.C', 'mem T', or 'fclass P.C f'",
+        exit_code=2,
+    )
+
+
+class ExplainResult:
+    """One explained judgment: the ``--json`` payload plus the captured
+    derivations (for text/HTML rendering)."""
+
+    __slots__ = ("query", "kind", "header", "payload", "derivations",
+                 "refutation", "result_lines")
+
+    def __init__(self, query, kind, header, payload, derivations,
+                 refutation, result_lines) -> None:
+        self.query = query
+        self.kind = kind
+        self.header = header
+        self.payload = payload
+        self.derivations = derivations
+        self.refutation = refutation
+        self.result_lines = result_lines
+
+    def format_text(self) -> str:
+        lines = [self.header]
+        lines.extend(self.result_lines)
+        if self.derivations:
+            lines.append("")
+            lines.append("derivation:")
+            for d in self.derivations:
+                lines.append(d.format("  "))
+        if self.refutation is not None:
+            lines.append("")
+            lines.append("refutation (failing premises only):")
+            lines.append(self.refutation.format("  "))
+        return "\n".join(lines)
+
+
+def _resolve_query_type(text: str, table: ClassTable):
+    """Resolve one type operand of an explain query at the top level."""
+    return resolve_type(parse_type_text(text), table, ctx=())
+
+
+def run_explain(source: str, file: Optional[str], query: str) -> ExplainResult:
+    """Parse + resolve ``source`` into a fresh class table and run one
+    judgment with provenance capture.
+
+    Raises :class:`ExplainError` for a malformed query or an operand
+    that does not resolve, and :class:`JnsError` when the *program*
+    itself fails to parse or resolve (the caller renders that against
+    the source)."""
+    kind, operands = parse_explain_query(query)
+    unit = parse_program(source, file=file)
+    table = ClassTable(unit)
+    resolve_program(table)
+
+    # Resolution warms the memo tables; clear them so the proof tree is
+    # complete rather than a forest of "(cached)" leaves.
+    table.queries.clear()
+    provenance.enable()
+    result: Optional[bool] = None
+    extra: Dict[str, Any] = {}
+    result_lines: List[str] = []
+    try:
+        if kind in ("subtype", "shares"):
+            try:
+                t1 = _resolve_query_type(operands[0], table)
+                t2 = _resolve_query_type(operands[1], table)
+            except JnsError as exc:
+                raise ExplainError(str(exc)) from exc
+            env = Env(table, ())
+            env.vars["this"] = ClassType(())
+            with provenance.PROVENANCE.capture() as cap:
+                if kind == "subtype":
+                    holds = subtype(env, t1, t2)
+                else:
+                    holds, _how = SharingChecker(table).sharing_judgment(
+                        env, t1, t2
+                    )
+            header = f"query: {kind} {t1!r} {t2!r}"
+            result = bool(holds)
+            result_lines.append(f"result: {'holds' if result else 'fails'}")
+        elif kind == "mem":
+            try:
+                t1 = _resolve_query_type(operands[0], table)
+            except JnsError as exc:
+                raise ExplainError(str(exc)) from exc
+            with provenance.PROVENANCE.capture() as cap:
+                evaluated = table.eval_type_static(t1, ())
+                members = table._mem(evaluated)
+            header = f"query: mem {t1!r}"
+            extra["evaluated"] = repr(evaluated)
+            extra["members"] = [path_str(p) for p in members]
+            result_lines.append(
+                f"result: {{{', '.join(path_str(p) for p in members)}}}"
+            )
+        elif kind == "fclass":
+            path = tuple(operands[0].split("."))
+            if not table.class_exists(path):
+                raise ExplainError(f"unknown class {operands[0]}")
+            fname = operands[1]
+            with provenance.PROVENANCE.capture() as cap:
+                owner = table.fclass(path, fname)
+            header = f"query: fclass {path_str(path)} {fname}"
+            extra["owner"] = path_str(owner)
+            result_lines.append(f"result: {path_str(owner)}.{fname}")
+        else:  # masks
+            path = tuple(operands[0].split("."))
+            if not table.class_exists(path):
+                raise ExplainError(f"unknown class {operands[0]}")
+            target = table.share_target(path)
+            checker = SharingChecker(table)
+            with provenance.PROVENANCE.capture() as cap:
+                fwd = checker.required_masks(path, target)
+                bwd = checker.required_masks(target, path)
+            header = f"query: masks {path_str(path)}"
+            extra["share_target"] = path_str(target)
+            extra["declared_masks"] = sorted(table.share_masks(path))
+            extra["required_masks"] = {
+                f"{path_str(path)} -> {path_str(target)}": sorted(fwd),
+                f"{path_str(target)} -> {path_str(path)}": sorted(bwd),
+            }
+            if target == path:
+                result_lines.append(
+                    f"result: {path_str(path)} declares no sharing"
+                )
+            else:
+                masks = sorted(table.share_masks(path))
+                result_lines.append(
+                    f"result: shares {path_str(target)}"
+                    + (f" \\ {{{', '.join(masks)}}}" if masks else "")
+                )
+                result_lines.append(
+                    f"  required masks {path_str(path)} -> {path_str(target)}: "
+                    + ("{" + ", ".join(sorted(fwd)) + "}" if fwd else "{}")
+                )
+                result_lines.append(
+                    f"  required masks {path_str(target)} -> {path_str(path)}: "
+                    + ("{" + ", ".join(sorted(bwd)) + "}" if bwd else "{}")
+                )
+    finally:
+        # Leave the process-wide recorder exactly as pristine as we found
+        # it: callers (the CLI, but also every `explain` op on a
+        # long-lived serve session) must not accumulate stored
+        # derivations or counters across invocations.  ``cap.derivations``
+        # is a snapshot tuple, so clearing here cannot lose the tree.
+        provenance.disable()
+        provenance.PROVENANCE.clear()
+
+    payload: Dict[str, Any] = {
+        "query": query,
+        "derivations": [d.to_dict() for d in cap.derivations],
+    }
+    if result is not None:
+        payload["holds"] = result
+    failed = cap.failed()
+    refutation = failed.refutation() if failed is not None else None
+    if failed is not None:
+        payload["refutation"] = (
+            refutation.to_dict() if refutation is not None else None
+        )
+    payload.update(extra)
+    return ExplainResult(
+        query, kind, header, payload, list(cap.derivations), refutation,
+        result_lines,
+    )
+
+
+# ----------------------------------------------------------------------
+# HTML rendering
+# ----------------------------------------------------------------------
+
+_HTML_STYLE = """\
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       margin: 2rem auto; max-width: 72rem; color: #24292f; }
+h1 { font-size: 1.1rem; }
+.result { margin: .4rem 0 1.2rem; white-space: pre-wrap; }
+details { margin-left: 1.1rem; border-left: 1px solid #d0d7de;
+          padding-left: .6rem; }
+details.root { margin-left: 0; }
+summary { cursor: pointer; padding: .1rem 0; }
+summary:hover { background: #f6f8fa; }
+.rule { color: #0550ae; font-weight: 600; }
+.holds { color: #1a7f37; }
+.fails { color: #cf222e; }
+.cached { color: #6e7781; font-style: italic; }
+.loc { color: #6e7781; }
+.refutation { border: 1px solid #cf222e; border-radius: 6px;
+              padding: .6rem; margin-top: 1.2rem; }
+.refutation > p { color: #cf222e; font-weight: 600; margin: 0 0 .4rem; }
+"""
+
+
+def _node_html(node: Dict[str, Any], out: List[str], depth: int,
+               root: bool = False) -> None:
+    """One ``Derivation.to_dict`` payload as a ``<details>`` element;
+    the first two levels start open, deeper ones collapsed."""
+    esc = _html.escape
+    result = node.get("result")
+    cls = "holds" if result in (True, "True") else (
+        "fails" if result in (False, "False", None, "None") else "holds"
+    )
+    bits = [f"<span class=\"{cls}\">{esc(str(node.get('judgment', '?')))}"
+            f"</span> {esc(str(node.get('subject', '')))}"]
+    if node.get("rule"):
+        bits.append(f"<span class=\"rule\">[{esc(str(node['rule']))}]</span>")
+    bits.append(f"&rarr; {esc(json.dumps(result))}")
+    if node.get("cached"):
+        bits.append('<span class="cached">(cached)</span>')
+    if node.get("loc"):
+        bits.append(f"<span class=\"loc\">@ {esc(str(node['loc']))}</span>")
+    premises = node.get("premises") or []
+    opened = " open" if depth < 2 else ""
+    rootcls = ' class="root"' if root else ""
+    if premises:
+        out.append(f"<details{rootcls}{opened}><summary>"
+                   + " ".join(bits) + "</summary>")
+        for p in premises:
+            _node_html(p, out, depth + 1)
+        out.append("</details>")
+    else:
+        out.append(f"<details{rootcls}><summary>" + " ".join(bits)
+                   + "</summary></details>")
+
+
+def render_html(result: ExplainResult) -> str:
+    """A standalone, script-free HTML document for one explain result:
+    the header and result lines, then every derivation as a collapsible
+    tree, then (when the judgment failed) the refutation slice."""
+    esc = _html.escape
+    out: List[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset=\"utf-8\">",
+        f"<title>{esc(result.header)}</title>",
+        f"<style>{_HTML_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{esc(result.header)}</h1>",
+        "<div class=\"result\">"
+        + "<br>".join(esc(ln) for ln in result.result_lines) + "</div>",
+    ]
+    for d in result.payload["derivations"]:
+        _node_html(d, out, 0, root=True)
+    ref = result.payload.get("refutation")
+    if ref is not None:
+        out.append("<div class=\"refutation\">")
+        out.append("<p>refutation (failing premises only)</p>")
+        _node_html(ref, out, 0, root=True)
+        out.append("</div>")
+    out.append("</body></html>")
+    return "\n".join(out) + "\n"

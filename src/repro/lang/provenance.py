@@ -279,6 +279,15 @@ class Provenance:
         self.recorded.clear()
         self.spliced.clear()
 
+    def purge(self) -> None:
+        """Drop stored derivations after an invalidation or edit.
+
+        Cached judgments recomputed against the new program must never
+        splice a derivation recorded against the old one; after a purge,
+        cache hits on surviving entries degrade to the honest
+        "(cached) … memo (computed before recording)" leaf instead."""
+        self._store.clear()
+
     def stats(self) -> Dict[str, Any]:
         """Per-judgment recorded/spliced counts (independent of the
         tracer; the tracer mirrors these as ``provenance.*`` counters)."""

@@ -42,9 +42,10 @@ and the benchmark "before" measurements).
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 __all__ = [
     "DEFAULT_MAXSIZE",
@@ -52,10 +53,13 @@ __all__ = [
     "QueryEngine",
     "QueryStat",
     "CacheStats",
+    "VersionStore",
     "set_caches_enabled",
     "caches_enabled",
     "clear_caches",
     "collect_stats",
+    "read_input",
+    "reset_tracker",
     "MISS",
 ]
 
@@ -83,6 +87,98 @@ _ENABLED: bool = os.environ.get("REPRO_DISABLE_CACHES", "") not in ("1", "true",
 _ENGINES: "weakref.WeakSet[QueryEngine]" = weakref.WeakSet()
 
 
+class VersionStore:
+    """Versioned base inputs for dependency-tracked engines.
+
+    Each *input key* names one editable fact of the program — the
+    conventional keys (see ``lang/incremental.py``) are::
+
+        ('iface', path)   # a class's interface: extends/shares/adapts,
+                          # field and method signatures, nested names
+        ('body',  path)   # a class's method/ctor bodies and field inits
+        ('sharing',)      # the derived sharing relation (union-find,
+                          # masks) — bumped on any hierarchy change
+        ('classset',)     # the set of class paths (add/remove/rename)
+
+    ``rev`` is the global revision counter; ``changed[k]`` records the
+    revision at which input ``k`` last changed (absent means "never
+    changed", i.e. revision 0).  A cached entry verified at revision
+    ``r`` is still valid iff every input it consumed satisfies
+    ``changed.get(k, 0) <= r``.
+    """
+
+    __slots__ = ("rev", "changed", "engines", "__weakref__")
+
+    def __init__(self) -> None:
+        self.rev = 1
+        self.changed: Dict[Any, int] = {}
+        # Every engine validating against this store — one invalidation
+        # domain.  ``invalidate_all`` must reach them all: version bumps
+        # alone cannot invalidate entries with empty dependency sets.
+        self.engines: "weakref.WeakSet[QueryEngine]" = weakref.WeakSet()
+
+    def bump(self, keys: Iterable[Any]) -> int:
+        """Advance the revision, marking ``keys`` as changed at it."""
+        self.rev += 1
+        rev = self.rev
+        changed = self.changed
+        for k in keys:
+            changed[k] = rev
+        return rev
+
+    def version(self, key: Any) -> int:
+        return self.changed.get(key, 0)
+
+    def invalidate_all(self) -> None:
+        """Drop every entry in every attached engine (the global hammer;
+        counters survive — see :meth:`QueryEngine.stats`)."""
+        self.rev += 1
+        self.changed.clear()
+        for engine in list(self.engines):
+            engine.clear()
+
+
+class _DepTracker(threading.local):
+    """Per-thread stack of dependency-capture frames.
+
+    A frame is ``[tag, key_set]`` where ``tag`` identifies the
+    (query, key) computation that pushed it on a cache miss.  Input
+    reads (:func:`read_input`) and absorbed hit dependencies land in the
+    top frame; :meth:`Query.put` pops down to its own frame, folding any
+    orphan frames above it (computations that never cached — exception
+    unwinds, conservative no-cache paths) into the entry's dependency
+    set, which over-approximates and therefore stays sound.
+    """
+
+    def __init__(self) -> None:
+        self.frames: List[List[Any]] = []
+
+
+_TRACKER = _DepTracker()
+
+#: Frame-stack depth bound.  On overflow the two outermost frames merge
+#: (sound: dependencies bubble outward), so unbalanced no-cache paths
+#: can never grow the stack without limit.
+_MAX_FRAMES = 256
+
+#: Marker for "consumed a value whose dependencies are unknown"; an
+#: entry whose capture contains it stores ``deps=None`` and is trusted
+#: only at the revision it was computed at.
+_UNKNOWN_DEP: Any = ("*unknown*",)
+
+
+def read_input(key: Any) -> None:
+    """Record that the computation in flight consumed input ``key``."""
+    frames = _TRACKER.frames
+    if frames:
+        frames[-1][1].add(key)
+
+
+def reset_tracker() -> None:
+    """Drop any leftover capture frames (top-of-operation hygiene)."""
+    _TRACKER.frames.clear()
+
+
 class Query:
     """One named memo table with hit/miss accounting.
 
@@ -93,32 +189,122 @@ class Query:
     coldest entry.  When caching is disabled the table is empty and
     ``put`` is a no-op, so every ``get`` is a miss — the judgment
     recomputes from scratch.
+
+    A query attached to a :class:`VersionStore` (``versions`` argument)
+    becomes *dependency tracked*: each stored entry is a mutable triple
+    ``[value, deps, verified_rev]`` where ``deps`` is the set of input
+    keys the computation consumed (``None`` when unknown — such entries
+    are only trusted within the revision they were stored at).  A hit at
+    the entry's verified revision costs one extra integer compare; after
+    an edit, the first hit re-validates the entry against the store and
+    either green-marks it or drops it (the red/green discipline).
     """
 
-    __slots__ = ("name", "table", "hits", "misses", "maxsize", "_enabled")
+    __slots__ = (
+        "name",
+        "table",
+        "hits",
+        "misses",
+        "retired_hits",
+        "retired_misses",
+        "maxsize",
+        "_enabled",
+        "_versions",
+    )
 
-    def __init__(self, name: str, maxsize: Optional[int] = _DEFAULT) -> None:
+    def __init__(
+        self,
+        name: str,
+        maxsize: Optional[int] = _DEFAULT,
+        versions: Optional[VersionStore] = None,
+    ) -> None:
         self.name = name
         self.table: Dict[Any, Any] = {}
         self.hits = 0
         self.misses = 0
+        # Counters folded in from a retired/cleared incarnation of this
+        # query so ``--stats`` never under-reports across an invalidation
+        # (see CacheStats; live hits/misses keep accumulating on top).
+        self.retired_hits = 0
+        self.retired_misses = 0
         self.maxsize = DEFAULT_MAXSIZE if maxsize is _DEFAULT else maxsize
         self._enabled = _ENABLED
+        self._versions = versions
 
     def get(self, key: Any) -> Any:
+        store = self._versions
+        if store is None:
+            table = self.table
+            value = table.get(key, MISS)
+            if value is MISS:
+                self.misses += 1
+            else:
+                self.hits += 1
+                if self.maxsize is not None:
+                    # LRU bookkeeping: re-append so eviction order tracks use.
+                    table[key] = table.pop(key)
+            return value
+        return self._get_tracked(key, store)
+
+    def _get_tracked(self, key: Any, store: VersionStore) -> Any:
         table = self.table
-        value = table.get(key, MISS)
-        if value is MISS:
+        entry = table.get(key, MISS)
+        if entry is not MISS:
+            if entry[2] != store.rev:
+                deps = entry[1]
+                changed = store.changed
+                if deps is not None and all(
+                    changed.get(k, 0) <= entry[2] for k in deps
+                ):
+                    entry[2] = store.rev  # green: inputs unchanged
+                else:
+                    del table[key]  # red: recompute
+                    entry = MISS
+        if entry is MISS:
             self.misses += 1
-        else:
-            self.hits += 1
-            if self.maxsize is not None:
-                # LRU bookkeeping: re-append so eviction order tracks use.
-                table[key] = table.pop(key)
-        return value
+            if self._enabled:
+                self._push_frame(key)
+            return MISS
+        self.hits += 1
+        if self.maxsize is not None:
+            table[key] = table.pop(key)
+        frames = _TRACKER.frames
+        if frames:
+            deps = entry[1]
+            if deps is None:
+                # Unknown provenance: poison the consumer so its own
+                # entry is trusted only within the current revision.
+                frames[-1][1].add(_UNKNOWN_DEP)
+            else:
+                # The consumer inherits everything this entry depends on.
+                frames[-1][1].update(deps)
+        return entry[0]
+
+    def _push_frame(self, key: Any) -> None:
+        frames = _TRACKER.frames
+        if len(frames) >= _MAX_FRAMES:
+            # Merge the two outermost frames; dependencies bubbling
+            # outward only widens dependency sets, never narrows them.
+            frames[0][1].update(frames[1][1])
+            frames[0][0] = frames[1][0]
+            del frames[1]
+        frames.append([(id(self), key), set()])
+
+    def get_status(self, key: Any) -> str:
+        """Non-mutating probe for incremental accounting: ``'reused'``
+        (entry verified at the current revision), ``'revalidate'``
+        (entry present but needs validation), or ``'miss'``."""
+        store = self._versions
+        entry = self.table.get(key, MISS)
+        if entry is MISS:
+            return "miss"
+        if store is None or entry[2] == store.rev:
+            return "reused"
+        return "revalidate"
 
     def put(self, key: Any, value: Any) -> Any:
         if self._enabled:
+            store = self._versions
             table = self.table
             if self.maxsize is not None:
                 # Re-putting an existing key must refresh its position
@@ -126,8 +312,34 @@ class Query:
                 table.pop(key, None)
                 if len(table) >= self.maxsize:
                     table.pop(next(iter(table)))
-            table[key] = value
+            if store is None:
+                table[key] = value
+            else:
+                table[key] = self._entry_for(key, value, store)
         return value
+
+    def _entry_for(self, key: Any, value: Any, store: VersionStore) -> List[Any]:
+        frames = _TRACKER.frames
+        tag = (id(self), key)
+        deps: Optional[Set[Any]] = None
+        for i in range(len(frames) - 1, -1, -1):
+            if frames[i][0] == tag:
+                deps = frames[i][1]
+                # Fold orphan frames above the match: computations that
+                # started but never cached (exceptions, quiescent-only
+                # rules).  Over-approximating their reads is sound.
+                for j in range(i + 1, len(frames)):
+                    deps.update(frames[j][1])
+                del frames[i:]
+                break
+        if frames and deps is not None:
+            frames[-1][1].update(deps)
+        # deps is None when no matching capture frame exists (put without
+        # a prior tracked miss) or when the computation consumed a value
+        # of unknown provenance: trust the entry only at this revision.
+        if deps is not None and _UNKNOWN_DEP in deps:
+            deps = None
+        return [value, deps, store.rev]
 
     def touch(self, key: Any) -> None:
         """Refresh ``key``'s eviction position in a bounded query.
@@ -243,17 +455,27 @@ class CacheStats:
 
 
 class QueryEngine:
-    """A named group of queries owned by one component."""
+    """A named group of queries owned by one component.
 
-    def __init__(self, name: str) -> None:
+    Pass a :class:`VersionStore` to make every query in the engine
+    dependency-tracked (red/green validation against versioned inputs);
+    engines sharing one store form one invalidation domain.
+    """
+
+    def __init__(self, name: str, versions: Optional[VersionStore] = None) -> None:
         self.name = name
+        self.versions = versions
         self.queries: Dict[str, Query] = {}
         _ENGINES.add(self)
+        if versions is not None:
+            versions.engines.add(self)
 
     def query(self, name: str, maxsize: Optional[int] = _DEFAULT) -> Query:
         q = self.queries.get(name)
         if q is None:
-            q = self.queries[name] = Query(name, maxsize=maxsize)
+            q = self.queries[name] = Query(
+                name, maxsize=maxsize, versions=self.versions
+            )
         return q
 
     def clear(self) -> None:
@@ -267,7 +489,13 @@ class QueryEngine:
     def stats(self) -> CacheStats:
         return CacheStats(
             tuple(
-                QueryStat(self.name, q.name, q.hits, q.misses, len(q.table))
+                QueryStat(
+                    self.name,
+                    q.name,
+                    q.hits + q.retired_hits,
+                    q.misses + q.retired_misses,
+                    len(q.table),
+                )
                 for q in self.queries.values()
             )
         )
@@ -276,6 +504,20 @@ class QueryEngine:
         for q in self.queries.values():
             q.hits = 0
             q.misses = 0
+            q.retired_hits = 0
+            q.retired_misses = 0
+
+    def absorb_counters(self, other: "QueryEngine") -> None:
+        """Fold ``other``'s counters into this engine's retired totals.
+
+        Used when an engine is about to be discarded mid-run (e.g. a
+        per-check ``SharingChecker`` replaced across an edit) so
+        ``--stats`` snapshots stay monotone instead of silently dropping
+        the retired engine's work."""
+        for name, q in other.queries.items():
+            mine = self.query(name, maxsize=q.maxsize)
+            mine.retired_hits += q.hits + q.retired_hits
+            mine.retired_misses += q.misses + q.retired_misses
 
 
 def caches_enabled() -> bool:

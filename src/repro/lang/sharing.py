@@ -52,7 +52,12 @@ class SharingChecker:
 
     def __init__(self, table: ClassTable) -> None:
         self.table = table
-        self.queries = QueryEngine("sharing")
+        # Attached to the table's version store: sharing judgments
+        # revalidate per-class across incremental edits instead of being
+        # discarded wholesale (the table-persistent checker relies on
+        # this; the auto-mask fixpoint's throwaway checkers are unharmed
+        # because their entries die with the instance).
+        self.queries = QueryEngine("sharing", versions=table.versions)
         self._q_req_masks = self.queries.query("required_masks")
         self._q_type_shares = self.queries.query("type_shares")
         self._q_noop_views = self.queries.query("noop_views")

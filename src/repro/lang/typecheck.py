@@ -30,7 +30,7 @@ from ..source import ast
 from . import types as T
 from .classtable import ClassTable, JnsError, ResolveError, TypeError_, path_str
 from .provenance import PROVENANCE as _PROV
-from .queries import CacheStats, collect_stats
+from .queries import MISS, CacheStats, collect_stats, read_input, reset_tracker
 from .sharing import SharingChecker
 from .subtype import Env, substitute_this, subtype
 from .types import ClassType, Path, Type
@@ -113,7 +113,9 @@ class TypeChecker:
         explain: bool = False,
     ) -> None:
         self.table = table
-        self.sharing = SharingChecker(table)
+        # The table-persistent checker: sharing caches (and their stats)
+        # survive across checks and revalidate per-class after edits.
+        self.sharing = table.sharing_checker()
         self.strict_sharing = strict_sharing
         self.skip = frozenset(skip)
         #: When true (``check --explain``), failing sharing judgments are
@@ -186,6 +188,7 @@ class TypeChecker:
         self.error(where, str(exc), code=code, span=span)
 
     def check_program(self) -> CheckReport:
+        reset_tracker()
         # P-OK: the inheritance relation must be acyclic
         for path in list(self.table.explicit):
             try:
@@ -203,9 +206,44 @@ class TypeChecker:
                     return self.report
         with TRACER.span("build_sharing"):
             self.table._build_sharing()
-        for path, info in self.table.explicit.items():
+        for path in self.table.explicit:
             if path in self.skip:
                 continue
+            errors, warnings = self.class_report(path)
+            self.report.errors.extend(errors)
+            self.report.warnings.extend(warnings)
+        self._check_inherited_constraints()
+        return self.report
+
+    def _cacheable(self) -> bool:
+        """Per-class results may come from (or go to) the memo table only
+        when nothing run-specific can leak into them: no derivation
+        recording (``--explain`` attaches refutation payloads built only
+        while recording) and no skip set (mirrors the recorded/plain dual
+        paths of the judgment caches)."""
+        return not self.explain and not _PROV.enabled and not self.skip
+
+    def class_report(
+        self, path: Path
+    ) -> Tuple[Tuple[Diagnostic, ...], Tuple[Diagnostic, ...]]:
+        """L-OK for one class as an order-independent, memoizable unit
+        (the co-contextual restructuring): returns the (errors, warnings)
+        this class contributes.  Cached on the table's engine keyed by
+        class path, with dependencies captured against the versioned
+        inputs — an edit re-checks only classes whose inputs changed."""
+        q = self.table.queries.query("check_class")
+        key = (path, self.strict_sharing)
+        cacheable = self._cacheable()
+        if cacheable:
+            cached = q.get(key)
+            if cached is not MISS:
+                return cached
+        read_input(("iface", path))
+        read_input(("body", path))
+        saved = self.report
+        self.report = CheckReport()
+        try:
+            info = self.table.explicit[path]
             try:
                 if TRACER.enabled:
                     with TRACER.span("check_class", unit=path_str(path)):
@@ -214,8 +252,35 @@ class TypeChecker:
                     self.check_class(path, info)
             except (ResolveError, TypeError_, JnsError) as exc:
                 self._error_exc(path_str(path), exc)
-        self._check_inherited_constraints()
-        return self.report
+            result = (tuple(self.report.errors), tuple(self.report.warnings))
+        finally:
+            self.report = saved
+        if cacheable:
+            q.put(key, result)
+        return result
+
+    def inherited_report(self, path: Path) -> Tuple[Diagnostic, ...]:
+        """Q-OK at one inheriting class (see
+        :meth:`_check_inherited_constraints`), memoized like
+        :meth:`class_report`."""
+        q = self.table.queries.query("inherited_ok")
+        key = (path, self.strict_sharing)
+        cacheable = self._cacheable()
+        if cacheable:
+            cached = q.get(key)
+            if cached is not MISS:
+                return cached
+        read_input(("iface", path))
+        saved = self.report
+        self.report = CheckReport()
+        try:
+            self._check_inherited_at(path)
+            result = tuple(self.report.errors)
+        finally:
+            self.report = saved
+        if cacheable:
+            q.put(key, result)
+        return result
 
     # ------------------------------------------------------------------
     # classes (L-OK)
@@ -316,7 +381,7 @@ class TypeChecker:
         where = path_str(path)
         for method in decl.methods:
             for sup in self.table.ancestors(path)[1:]:
-                sup_info = self.table.explicit.get(sup)
+                sup_info = self.table.iface_info(sup)
                 if sup_info is None:
                     continue
                 for other in sup_info.decl.methods:
@@ -335,28 +400,31 @@ class TypeChecker:
         """Q-OK at every inheriting class: the method implementation
         selected for each class must have constraints that hold there."""
         for path in self.table.all_class_paths():
-            for name in self.table.all_method_names(path):
-                found = self.table.find_method(path, name)
-                if found is None:
+            self.report.errors.extend(self.inherited_report(path))
+
+    def _check_inherited_at(self, path: Path) -> None:
+        for name in self.table.all_method_names(path):
+            found = self.table.find_method(path, name)
+            if found is None:
+                continue
+            owner, decl = found
+            for constraint in decl.constraints:
+                if not isinstance(constraint.left, T.Type):
                     continue
-                owner, decl = found
-                for constraint in decl.constraints:
-                    if not isinstance(constraint.left, T.Type):
-                        continue
-                    with _PROV.capture() as cap:
-                        holds = self._constraint_holds(path, constraint)
-                    if not holds:
-                        explain, notes = self._refutation(cap)
-                        self.error(
-                            path_str(path),
-                            f"sharing constraint of inherited method "
-                            f"{path_str(owner)}.{name} does not hold in this "
-                            "family; the method must be overridden "
-                            "(Section 2.5)",
-                            code="JNS-TYPE-012",
-                            explain=explain,
-                            notes=notes,
-                        )
+                with _PROV.capture() as cap:
+                    holds = self._constraint_holds(path, constraint)
+                if not holds:
+                    explain, notes = self._refutation(cap)
+                    self.error(
+                        path_str(path),
+                        f"sharing constraint of inherited method "
+                        f"{path_str(owner)}.{name} does not hold in this "
+                        "family; the method must be overridden "
+                        "(Section 2.5)",
+                        code="JNS-TYPE-012",
+                        explain=explain,
+                        notes=notes,
+                    )
 
     def _constraint_holds(self, ctx: Path, constraint: ast.SharingConstraint) -> bool:
         try:
@@ -632,7 +700,7 @@ class TypeChecker:
                     code="JNS-TYPE-010",
                     span=Span.from_pos(e.pos),
                 )
-            info = self.table.explicit.get(cls.path)
+            info = self.table.iface_info(cls.path)
             if info is not None and info.decl.abstract:
                 self.error(
                     where,

@@ -22,8 +22,8 @@ from .source.parser import ParseError, Parser
 
 _BANNER = (
     "J&s repl — class declarations accumulate; other input runs as "
-    "statements.\nCommands: :classes  :reset  :stats  :trace on|off  "
-    ":profile  :quit"
+    "statements.\nCommands: :load FILE  :check  :classes  :reset  "
+    ":stats  :trace on|off  :profile  :quit"
 )
 
 
@@ -32,6 +32,11 @@ class ReplSession:
 
     def __init__(self) -> None:
         self.decls: List[str] = []
+        # Persistent incremental session behind :load / :check — kept
+        # across reloads so re-:load after an edit re-checks only the
+        # changed classes (see repro.lang.incremental).
+        self._inc = None
+        self._inc_file: Optional[str] = None
 
     # ------------------------------------------------------------------
 
@@ -44,7 +49,18 @@ class ReplSession:
             return self.decls or ["(no classes declared)"]
         if stripped == ":reset":
             self.decls = []
+            self._inc = None
+            self._inc_file = None
             return ["(cleared)"]
+        if stripped.startswith(":load"):
+            parts = stripped.split(None, 1)
+            if len(parts) != 2:
+                return ["usage: :load FILE"]
+            return self._load(parts[1])
+        if stripped == ":check":
+            if self._inc is None:
+                return ["(no file loaded — use :load FILE first)"]
+            return self._report_check()
         if stripped == ":stats":
             # Process-wide query-cache counters (the REPL compiles a fresh
             # program per input, so the global snapshot is the session's).
@@ -61,11 +77,55 @@ class ReplSession:
                 return ["(no trace data — enable collection with :trace on)"]
             return obs.format_report(cache_stats=cache_stats()).splitlines()
         if stripped.startswith(":"):
-            return [f"unknown command {stripped.split()[0]!r} (try :classes "
-                    ":reset :stats :trace :profile :quit)"]
+            return [f"unknown command {stripped.split()[0]!r} (try :load "
+                    ":check :classes :reset :stats :trace :profile :quit)"]
         if self._is_declaration(stripped):
             return self._add_declaration(stripped)
         return self._run_statements(stripped)
+
+    def _load(self, path: str) -> List[str]:
+        """Load (or re-load) a source file into the persistent
+        incremental session; the file's classes become the session
+        program.  A re-:load of an edited file goes through
+        ``apply_edit``, so only the changed slice is re-checked."""
+        from .lang.incremental import IncrementalChecker
+
+        try:
+            with open(path) as f:
+                source = f.read()
+        except OSError as exc:
+            return [f"error: cannot read {path}: {exc.strerror}"]
+        if self._inc is None or self._inc_file != path:
+            self._inc = IncrementalChecker(source, file=path)
+            self._inc_file = path
+            stats = self._inc.last_stats
+        else:
+            stats = self._inc.apply_edit(source)
+        head = f"loaded {path} [{stats['strategy']}"
+        if stats.get("dirty"):
+            head += f", dirty: {', '.join(stats['dirty'])}"
+        head += f", {stats['edit_ms']:.1f}ms]"
+        lines = [head]
+        lines.extend(self._report_check())
+        if not self._inc.check().has_errors:
+            self.decls = [source.rstrip()]
+        return lines
+
+    def _report_check(self) -> List[str]:
+        assert self._inc is not None
+        sink = self._inc.check()
+        lines: List[str] = []
+        if len(sink):
+            lines.extend(sink.render(self._inc.source).splitlines())
+        acct = self._inc.last_stats.get("check")
+        tail = "ok" if not sink.has_errors else f"{len(sink.errors)} error(s)"
+        if acct:
+            tail += (
+                f"  (recomputed {acct['recomputed']}, revalidated "
+                f"{acct['revalidated']}, reused {acct['reused']})"
+            )
+        lines.append(tail)
+        return lines
 
     @staticmethod
     def _is_declaration(text: str) -> bool:

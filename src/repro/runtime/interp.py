@@ -197,6 +197,7 @@ class Interp:
         self._init_cache = self._q_init.table
         self._retarget_cache = self._q_retarget.table
         self._conforms_cache = self._q_conforms.table
+        table.add_edit_listener(self._on_table_edit)
         self._sys = self._build_sys()
         self._max_steps = max_steps
         self._max_depth = DEFAULT_MAX_DEPTH if max_depth is None else max_depth
@@ -534,6 +535,26 @@ class Interp:
         from .compiler import BodyCompiler
 
         return BodyCompiler(self)
+
+    def _on_table_edit(self, notice) -> None:
+        """Eviction on an incremental splice.  Compiled bodies and
+        initializers key on member-declaration identity, so the retired
+        ids are dropped explicitly — a recycled ``id()`` must never hit a
+        stale closure.  The coarse-grained caches (dispatch, retargets,
+        conformance, inline call sites) embed types and vtable entries
+        from the edited classes transitively; they are cheap warm-up
+        state, so they clear in place (counters survive)."""
+        for i in notice.retired_ids:
+            self._body_cache.pop(i, None)
+            self._init_cache.pop(i, None)
+        if notice.affected:
+            self._q_dispatch.table.clear()
+            self._retarget_cache.clear()
+            self._conforms_cache.clear()
+            self._q_site.table.clear()
+            if self.spec is not None:
+                self.spec.invalidate_classes(notice.affected)
+            self._compiler = None
 
     def _compiled_body(self, decl):
         """Method/constructor body compiled once to Python closures (a

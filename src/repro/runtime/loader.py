@@ -71,6 +71,16 @@ class Loader:
         self.sharing = sharing  # J&s mode: fclass keys + view retargeting
         self.queries = QueryEngine("loader")
         self._q_rtclass = self.queries.query("rtclass")
+        table.add_edit_listener(self._on_table_edit)
+
+    def _on_table_edit(self, notice) -> None:
+        """Per-class eviction on an incremental splice: a synthesized
+        runtime class embeds member declarations from every ancestor, so
+        the affected set (edited classes plus their subclasses) is
+        exactly what must re-synthesize."""
+        cache = self._q_rtclass.table
+        for path in notice.affected:
+            cache.pop(path, None)
 
     def rtclass(self, path: Path) -> RTClass:
         if not self.cached:

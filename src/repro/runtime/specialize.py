@@ -111,6 +111,15 @@ class Specializer:
         self.sites_devirtualized = 0
         self.views_elided = 0
 
+    def invalidate_classes(self, affected) -> None:
+        """Drop the :class:`ClassSpec` of each affected class (called on
+        an incremental splice via ``Interp._on_table_edit``).  Layouts
+        are derived purely from their key tuple, so they can never go
+        stale and stay cached."""
+        cache = self._q_spec.table
+        for path in affected:
+            cache.pop(path, None)
+
     # ------------------------------------------------------------------
     # entry point: run after loading, before execution
     # ------------------------------------------------------------------

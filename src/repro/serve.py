@@ -1,0 +1,382 @@
+"""``repro serve`` — a long-lived check service over a local socket.
+
+The batch pipeline re-parses, re-resolves, and re-checks the whole
+program on every invocation; an editor or test harness that checks after
+each keystroke pays the cold cost every time.  This module keeps the
+warm state alive instead: one :class:`~repro.lang.incremental.IncrementalChecker`
+per *session*, held in a long-lived process, so an edit re-checks only
+the classes whose interface or bodies actually changed (the red/green
+engine under ``lang/queries.py`` revalidates the rest).
+
+Wire protocol — JSON Lines over a local TCP socket
+--------------------------------------------------
+
+One JSON object per line in each direction; every request gets exactly
+one response line.  Requests carry ``op`` plus op-specific fields, and
+an optional ``id`` that is echoed verbatim in the response (clients
+pipelining requests over one connection match responses by it).
+
+========  =============================  =====================================
+op        request fields                 response fields (beyond ``ok``/``id``)
+========  =============================  =====================================
+ping      —                              ``pong: true``
+open      ``session, source,             ``session``, ``stats`` (build stats)
+          file?, strict?``
+edit      ``session, source``            ``stats`` (strategy/reason/dirty/ms)
+check     ``session``                    ``diagnostics`` (list of diagnostic
+                                         dicts), ``stats`` (incremental
+                                         accounting), ``ok`` = no errors
+explain   ``session, query``             ``explain`` (the ``repro explain
+                                         --json`` payload)
+stats     ``session?``                   per-session or service-wide stats
+close     ``session``                    —
+shutdown  —                              stops the server after responding
+========  =============================  =====================================
+
+Error responses are ``{"ok": false, "error": "..."}`` with the request
+``id`` echoed; a malformed line (bad JSON, no ``op``) also gets an error
+response rather than dropping the connection.
+
+Sessions are created by ``open``, keyed by a client-chosen name, and
+serialized per-session by a lock (two clients editing one session
+interleave whole operations, never partial state).  A reaper thread
+evicts sessions idle longer than ``--idle-timeout`` seconds.  The
+``explain`` op deliberately runs on a *fresh* table built from the
+session's current source (see :mod:`repro.lang.explain`) so the
+provenance capture never wipes the session's warm incremental state.
+
+Observability: every request bumps the ``serve.request`` counter (when
+tracing is enabled), alongside the ``incr.dirty`` / ``incr.revalidated``
+/ ``incr.reused`` counters the incremental checker itself maintains.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from .lang.incremental import IncrementalChecker
+from .obs import TRACER
+
+
+class _Session:
+    """One named editing session: the warm incremental checker plus the
+    lock that serializes operations against it."""
+
+    __slots__ = ("name", "checker", "lock", "last_used")
+
+    def __init__(self, name: str, checker: IncrementalChecker) -> None:
+        self.name = name
+        self.checker = checker
+        self.lock = threading.Lock()
+        self.last_used = time.monotonic()
+
+
+class CheckService:
+    """The op dispatcher: session table, lifecycle, and one
+    ``handle(request) -> response`` entry point shared by every client
+    connection.  Transport-free, so tests can drive it directly."""
+
+    def __init__(self, idle_timeout: float = 300.0) -> None:
+        self.idle_timeout = idle_timeout
+        self.sessions: Dict[str, _Session] = {}
+        self._sessions_lock = threading.Lock()
+        self.requests = 0
+        self.started = time.monotonic()
+        self.shutdown_requested = threading.Event()
+
+    # ------------------------------------------------------------------
+    # session table
+    # ------------------------------------------------------------------
+
+    def _get(self, name: Any) -> _Session:
+        if not isinstance(name, str) or not name:
+            raise KeyError("missing session name")
+        with self._sessions_lock:
+            sess = self.sessions.get(name)
+        if sess is None:
+            raise KeyError(f"no such session {name!r} (open it first)")
+        sess.last_used = time.monotonic()
+        return sess
+
+    def reap_idle(self, now: Optional[float] = None) -> int:
+        """Evict sessions idle longer than the timeout; returns how many
+        were dropped (the reaper thread calls this periodically)."""
+        if now is None:
+            now = time.monotonic()
+        dropped = 0
+        with self._sessions_lock:
+            for name in [
+                n for n, s in self.sessions.items()
+                if now - s.last_used > self.idle_timeout
+            ]:
+                del self.sessions[name]
+                dropped += 1
+        return dropped
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+
+    def handle(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one request object to its op handler; every failure
+        mode becomes an error *response* (the connection survives)."""
+        self.requests += 1
+        if TRACER.enabled:
+            TRACER.count("serve.request")
+        rid = req.get("id")
+        op = req.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            resp = {"ok": False, "error": f"unknown op {op!r}"}
+        else:
+            try:
+                resp = handler(req)
+            except KeyError as exc:
+                resp = {"ok": False, "error": str(exc.args[0])}
+            except Exception as exc:  # never kill the connection
+                resp = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        if rid is not None:
+            resp["id"] = rid
+        return resp
+
+    def _op_ping(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "pong": True}
+
+    def _op_open(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        name = req.get("session")
+        if not isinstance(name, str) or not name:
+            raise KeyError("open requires a non-empty 'session' name")
+        source = req.get("source")
+        if not isinstance(source, str):
+            raise KeyError("open requires 'source' (the program text)")
+        checker = IncrementalChecker(
+            source,
+            file=req.get("file") or f"<{name}>",
+            strict_sharing=bool(req.get("strict", False)),
+        )
+        sess = _Session(name, checker)
+        with self._sessions_lock:
+            self.sessions[name] = sess  # re-open replaces
+        return {"ok": True, "session": name, "stats": checker.last_stats}
+
+    def _op_edit(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        sess = self._get(req.get("session"))
+        source = req.get("source")
+        if not isinstance(source, str):
+            raise KeyError("edit requires 'source' (the full new text)")
+        with sess.lock:
+            stats = sess.checker.apply_edit(source)
+        return {"ok": True, "stats": stats}
+
+    def _op_check(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        sess = self._get(req.get("session"))
+        with sess.lock:
+            sink = sess.checker.check()
+            stats = sess.checker.last_stats
+        return {
+            "ok": not sink.has_errors,
+            "diagnostics": [d.to_dict() for d in sink.diagnostics],
+            "stats": stats,
+        }
+
+    def _op_explain(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        from .lang.classtable import JnsError
+        from .lang.explain import ExplainError, run_explain
+
+        sess = self._get(req.get("session"))
+        query = req.get("query")
+        if not isinstance(query, str):
+            raise KeyError("explain requires 'query'")
+        with sess.lock:
+            source = sess.checker.source
+            file = sess.checker.file
+        try:
+            result = run_explain(source, file, query)
+        except (ExplainError, JnsError) as exc:
+            return {"ok": False, "error": str(exc)}
+        return {"ok": True, "explain": result.payload}
+
+    def _op_stats(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        name = req.get("session")
+        if name is not None:
+            sess = self._get(name)
+            with sess.lock:
+                return {
+                    "ok": True,
+                    "session": sess.name,
+                    "stats": sess.checker.last_stats,
+                }
+        with self._sessions_lock:
+            names = sorted(self.sessions)
+        return {
+            "ok": True,
+            "sessions": names,
+            "requests": self.requests,
+            "uptime_s": time.monotonic() - self.started,
+        }
+
+    def _op_close(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        name = req.get("session")
+        with self._sessions_lock:
+            existed = self.sessions.pop(name, None) is not None
+        if not existed:
+            raise KeyError(f"no such session {name!r} (open it first)")
+        return {"ok": True, "session": name}
+
+    def _op_shutdown(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        self.shutdown_requested.set()
+        return {"ok": True, "shutdown": True}
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        service: CheckService = self.server.service  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                req = json.loads(line)
+                if not isinstance(req, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                resp = {"ok": False, "error": f"bad request line: {exc}"}
+            else:
+                resp = service.handle(req)
+            try:
+                self.wfile.write(
+                    (json.dumps(resp, sort_keys=True) + "\n").encode("utf-8")
+                )
+                self.wfile.flush()
+            except OSError:
+                return  # client went away mid-response
+            if service.shutdown_requested.is_set():
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+                return
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ServeHandle:
+    """A running service bound to a socket — tests start one in-process
+    via :func:`start_server` and tear it down with :meth:`stop`."""
+
+    def __init__(self, server: _Server, service: CheckService,
+                 thread: threading.Thread, reaper: threading.Thread) -> None:
+        self.server = server
+        self.service = service
+        self.thread = thread
+        self.reaper = reaper
+        self.host, self.port = server.server_address[:2]
+
+    def stop(self) -> None:
+        self.service.shutdown_requested.set()
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=5)
+
+
+def start_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    idle_timeout: float = 300.0,
+) -> ServeHandle:
+    """Bind, start the accept loop and the idle reaper (both daemon
+    threads), and return a handle exposing the chosen port (``port=0``
+    binds an ephemeral one)."""
+    service = CheckService(idle_timeout=idle_timeout)
+    server = _Server((host, port), _Handler)
+    server.service = service  # type: ignore[attr-defined]
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+
+    def _reap() -> None:
+        interval = max(0.05, min(idle_timeout / 4.0, 30.0))
+        while not service.shutdown_requested.wait(interval):
+            service.reap_idle()
+
+    reaper = threading.Thread(target=_reap, name="repro-serve-reaper",
+                              daemon=True)
+    reaper.start()
+    return ServeHandle(server, service, thread, reaper)
+
+
+class ServeClient:
+    """A minimal synchronous JSONL client (used by the smoke script and
+    the tests; editor integrations speak the same five-line protocol)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self.sock.makefile("rb")
+        self._next_id = 0
+        self._lock = threading.Lock()
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one op and block for its response; ids are checked so a
+        protocol desync fails loudly instead of mismatching results."""
+        with self._lock:
+            self._next_id += 1
+            rid = self._next_id
+            req = {"id": rid, "op": op}
+            req.update(fields)
+            self.sock.sendall((json.dumps(req) + "\n").encode("utf-8"))
+            raw = self._rfile.readline()
+            if not raw:
+                raise ConnectionError("server closed the connection")
+            resp = json.loads(raw.decode("utf-8"))
+            if resp.get("id") != rid:
+                raise ConnectionError(
+                    f"response id {resp.get('id')!r} != request id {rid!r}"
+                )
+            return resp
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self.sock.close()
+
+
+def main(args) -> int:
+    """``repro serve`` entry point: bind, print the ready line (JSON, so
+    wrappers can scrape the ephemeral port), serve until a ``shutdown``
+    op or Ctrl-C."""
+    handle = start_server(
+        host=args.host, port=args.port, idle_timeout=args.idle_timeout
+    )
+    print(
+        json.dumps(
+            {"event": "ready", "host": handle.host, "port": handle.port}
+        ),
+        flush=True,
+    )
+    try:
+        while not handle.service.shutdown_requested.wait(0.2):
+            pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        handle.stop()
+        print(
+            json.dumps(
+                {
+                    "event": "stopped",
+                    "requests": handle.service.requests,
+                }
+            ),
+            file=sys.stderr,
+        )
+    return 0

@@ -67,10 +67,13 @@ class Parser:
         source: str,
         file: Optional[str] = None,
         sink: Optional[DiagnosticSink] = None,
+        tokens: Optional[List[Token]] = None,
     ) -> None:
         self.file = file
         self.sink = sink
-        self.tokens = tokenize(source, sink=sink)
+        # ``tokens`` lets the incremental front end parse a pre-lexed
+        # chunk whose token positions were shifted to absolute lines.
+        self.tokens = tokenize(source, sink=sink) if tokens is None else tokens
         self.pos = 0
         self._depth = 0  # current expression/type nesting
 
@@ -825,6 +828,26 @@ def parse_program(
             unit = Parser(source, file=file, sink=sink).parse_program()
             TRACER.count("parse.classes", len(unit.classes))
             return unit
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+
+def parse_decls(tokens: List[Token], file: Optional[str] = None) -> List[ast.ClassDecl]:
+    """Parse a run of top-level class declarations from pre-made tokens
+    (the list must end with an EOF token).
+
+    Raises :class:`ParseError` on the first syntax error — the incremental
+    front end (:mod:`repro.lang.incremental`) uses this for per-chunk
+    reparsing and falls back to a full :func:`parse_program` whenever a
+    chunk fails, so panic-mode recovery is never needed here.
+    """
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    try:
+        if old_limit < 20000:
+            sys.setrecursionlimit(20000)
+        return Parser("", file=file, tokens=tokens).parse_program().classes
     finally:
         sys.setrecursionlimit(old_limit)
 

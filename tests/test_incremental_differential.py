@@ -1,0 +1,168 @@
+"""Edit-differential oracle: incremental re-checking must be
+*indistinguishable* from checking from scratch (ISSUE 7 acceptance).
+
+Every sequence of edits applied through ``IncrementalChecker.apply_edit``
+must yield byte-identical diagnostics to ``check_source`` on the final
+text — including programs the edits break (parse errors, resolve
+errors, type errors) and then repair.  A seeded generator walks random
+edit chains over a corpus of family programs; each step compares the
+full diagnostic list field-by-field.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import check_source
+from repro.lang.incremental import IncrementalChecker
+from repro.programs.corona.source import SOURCE as CORONA
+
+FAMILY = """\
+class AST {
+  class Exp {
+    int eval() { return 0; }
+  }
+  class Value extends Exp {
+    int v;
+    int eval() { return v; }
+  }
+}
+class Display extends AST shares AST {
+  class Exp {
+    String show() { return "?"; }
+  }
+}
+"""
+
+SIMPLE = """\
+class app {
+  class A {
+    int x;
+    int get() { return x; }
+    int dbl() { return get() + get(); }
+  }
+  class B extends A {
+    int trip() { return get() + dbl(); }
+  }
+}
+"""
+
+#: (pattern, replacement) pools; some introduce errors on purpose.
+EDITS = [
+    ("return x;", "return x + 1;"),
+    ("return x + 1;", "return x;"),
+    ("get() + get()", "get() * 2"),
+    ("get() * 2", "get() + get()"),
+    ("int get()", "String get()"),  # type error downstream
+    ("String get()", "int get()"),
+    ("return v;", "return v + 0;"),
+    ("return 0;", "return 1;"),
+    ("return 1;", "return 0;"),
+    ('return "?";', 'return "!";'),
+    ("int eval()", "int eval( )"),
+    ("return x;", "return nosuch;"),  # resolve error
+    ("return nosuch;", "return x;"),
+    ("int trip()", "int trip(int pad)"),
+    ("int trip(int pad)", "int trip()"),
+    ("class B extends A {", "class B {"),  # structural
+    ("class B {", "class B extends A {"),
+    ("int dbl() {", "int dbl() { int t = 1;"),  # parse error (brace)
+]
+
+
+def _diag_key(diags):
+    return [
+        (d.code, d.severity, d.message, repr(d.span), d.where, tuple(d.notes))
+        for d in diags
+    ]
+
+
+def _assert_identical(inc, source, context):
+    got = _diag_key(inc.check().diagnostics)
+    want = _diag_key(check_source(source, file="t.jns").diagnostics)
+    assert got == want, f"diverged after {context}: {got} != {want}"
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("base", [SIMPLE, FAMILY], ids=["simple", "family"])
+def test_random_edit_chain_matches_scratch(base, seed):
+    rng = random.Random(seed)
+    inc = IncrementalChecker(base, file="t.jns")
+    _assert_identical(inc, base, "initial build")
+    source = base
+    for step in range(12):
+        old, new = rng.choice(EDITS)
+        if old not in source:
+            continue
+        source = source.replace(old, new, 1)
+        stats = inc.apply_edit(source)
+        _assert_identical(
+            inc, source, f"step {step} {old!r}->{new!r} ({stats['strategy']})"
+        )
+
+
+def test_incremental_strategy_actually_used():
+    """Guard against the differential passing because everything falls
+    back to scratch: body edits on the corpus must go incremental."""
+    inc = IncrementalChecker(SIMPLE, file="t.jns")
+    inc.check()
+    stats = inc.apply_edit(SIMPLE.replace("return x;", "return x + 1;"))
+    assert stats["strategy"] == "incremental"
+
+
+def test_corona_single_edit_differential():
+    """The benchmark scenario itself: one body edit inside the CorONA
+    tower re-checks incrementally and matches scratch byte-for-byte."""
+    inc = IncrementalChecker(CORONA, file="corona.jns")
+    _assert_identical(inc, CORONA, "initial")
+    edited = CORONA.replace("count = count + 1;", "count = count + 1 + 0;")
+    assert edited != CORONA
+    stats = inc.apply_edit(edited)
+    assert stats["strategy"] == "incremental"
+    assert stats["dirty"] == ["corona.Store"]
+    _assert_identical(inc, edited, "corona body edit")
+
+
+def test_strict_sharing_differential():
+    inc = IncrementalChecker(FAMILY, file="t.jns", strict_sharing=True)
+    got = _diag_key(inc.check().diagnostics)
+    want = _diag_key(
+        check_source(FAMILY, file="t.jns", strict_sharing=True).diagnostics
+    )
+    assert got == want
+    edited = FAMILY.replace('return "?";', 'return "!";')
+    inc.apply_edit(edited)
+    got = _diag_key(inc.check().diagnostics)
+    want = _diag_key(
+        check_source(edited, file="t.jns", strict_sharing=True).diagnostics
+    )
+    assert got == want
+
+
+def test_explain_payload_identical_after_edit_chain():
+    """The acceptance also covers explain trees: a derivation requested
+    through a long-lived session after edits must be byte-identical to
+    one computed against the final text from scratch."""
+    import json
+
+    from repro.lang.explain import run_explain
+    from repro.serve import CheckService
+
+    svc = CheckService()
+    svc.handle({"op": "open", "session": "s", "source": SIMPLE})
+    source = SIMPLE
+    for i in range(1, 4):
+        source = source.replace("return x;", f"return x + {i};").replace(
+            f"return x + {i - 1};", "return x;"
+        )
+        svc.handle({"op": "edit", "session": "s", "source": source})
+    resp = svc.handle(
+        {"op": "explain", "session": "s", "query": "subtype app.B app.A"}
+    )
+    assert resp["ok"]
+    scratch = run_explain(source, "t.jns", "subtype app.B app.A")
+    assert json.dumps(resp["explain"], sort_keys=True) == json.dumps(
+        scratch.payload, sort_keys=True
+    )

@@ -173,6 +173,81 @@ class TestSplicing:
         assert "memo" in (d.rule or "")
 
 
+class TestIncrementalPurge:
+    """Enabling provenance across an incremental invalidation must never
+    splice a derivation recorded against the pre-edit program (ISSUE 7
+    satellite): ``IncrementalChecker._apply_plan`` purges every stored
+    derivation, so a surviving (still-green) cache entry can only appear
+    as a bare memo leaf afterwards."""
+
+    def _judge(self, table):
+        env = _env(table)
+        return subtype(env, C("pair", "Var", exact=(1,)), C("base", "Exp"))
+
+    def test_edit_never_splices_stale_derivation(self):
+        from repro.lang.incremental import IncrementalChecker
+
+        inc = IncrementalChecker(PAIR_SOURCE)
+        assert not inc.check().has_errors
+        table = inc.table
+        # Record with provenance on: stored derivations now hang off the
+        # warm subtype entries.
+        provenance.enable()
+        with PROVENANCE.capture() as pre:
+            assert self._judge(table)
+        assert pre.derivation is not None
+        provenance.disable()
+        # A body-only edit inside base.Var — the subtype entry above is
+        # untouched by the bumps and stays green.
+        edited = PAIR_SOURCE.replace(
+            "String x; Var(String x) { this.x = x; }",
+            "String x; Var(String x) { this.x = x; this.x = x; }",
+        )
+        stats = inc.apply_edit(edited)
+        assert stats["strategy"] == "incremental"
+        assert not PROVENANCE._store  # the purge dropped every stored tree
+        assert not inc.check().has_errors
+        provenance.enable()
+        with PROVENANCE.capture() as post:
+            assert self._judge(table)
+        d = post.derivation
+        assert d is not None
+        # The hit may only be the honest bare memo leaf: the pre-edit
+        # premise tree must not have survived the purge.
+        assert d.cached
+        assert d.premises == ()
+        assert "memo" in (d.rule or "")
+
+    def test_api_edit_purges_and_recomputes_fresh_tree(self):
+        from repro.lang.incremental import IncrementalChecker
+
+        inc = IncrementalChecker(PAIR_SOURCE)
+        assert not inc.check().has_errors
+        table = inc.table
+        provenance.enable()
+        with PROVENANCE.capture():
+            assert self._judge(table)
+        provenance.disable()
+        # An interface edit to pair.Var itself: its subtype entries are
+        # bumped red, so the post-edit capture recomputes and records a
+        # fresh tree citing the current program.
+        edited = PAIR_SOURCE.replace(
+            "class Var extends Exp shares base.Var { }",
+            "class Var extends Exp shares base.Var { int tag() { return 1; } }",
+        )
+        stats = inc.apply_edit(edited)
+        assert stats["strategy"] == "incremental"
+        assert "pair.Var" in stats["dirty"]
+        assert not inc.check().has_errors
+        provenance.enable()
+        with PROVENANCE.capture() as post:
+            assert self._judge(table)
+        d = post.derivation
+        assert d is not None
+        if d.cached:
+            assert d.premises == ()
+
+
 class TestRefutation:
     def test_refutation_prunes_to_failing_premises(self):
         table = compile_program(BAD_SOURCE, check=False).table

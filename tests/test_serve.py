@@ -1,0 +1,208 @@
+"""The check service (``repro serve``): protocol, session lifecycle,
+concurrency, idle reaping, and the incremental path behind ``edit``.
+
+The in-process handles (:class:`CheckService` directly for protocol
+edge cases, :func:`start_server` + :class:`ServeClient` for the socket
+path) keep these tests free of subprocess management; the CI smoke job
+(``scripts/serve_smoke.py``) exercises the real ``python -m repro
+serve`` process.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import CheckService, ServeClient, start_server
+
+SRC = """\
+class app {
+  class A {
+    int x;
+    int get() { return x; }
+  }
+  class B extends A {
+    int twice() { return get() + get(); }
+  }
+}
+"""
+
+
+@pytest.fixture()
+def server():
+    handle = start_server(idle_timeout=300)
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def client(server):
+    c = ServeClient(server.host, server.port)
+    yield c
+    c.close()
+
+
+# ----------------------------------------------------------------------
+# dispatcher-level protocol behavior
+# ----------------------------------------------------------------------
+
+
+def test_unknown_op_is_error_response():
+    svc = CheckService()
+    resp = svc.handle({"op": "frobnicate", "id": 9})
+    assert resp == {"ok": False, "error": "unknown op 'frobnicate'", "id": 9}
+
+
+def test_missing_session_is_error_response():
+    svc = CheckService()
+    resp = svc.handle({"op": "check", "session": "ghost"})
+    assert not resp["ok"]
+    assert "ghost" in resp["error"]
+
+
+def test_open_requires_source():
+    svc = CheckService()
+    resp = svc.handle({"op": "open", "session": "s"})
+    assert not resp["ok"]
+    assert "source" in resp["error"]
+
+
+def test_reopen_replaces_session():
+    svc = CheckService()
+    svc.handle({"op": "open", "session": "s", "source": SRC})
+    bad = SRC.replace("return x;", "return nosuch;")
+    svc.handle({"op": "open", "session": "s", "source": bad})
+    resp = svc.handle({"op": "check", "session": "s"})
+    assert not resp["ok"]
+    assert resp["diagnostics"][0]["code"] == "JNS-RESOLVE-001"
+
+
+def test_idle_reaping():
+    svc = CheckService(idle_timeout=10.0)
+    svc.handle({"op": "open", "session": "s", "source": SRC})
+    now = svc.sessions["s"].last_used
+    assert svc.reap_idle(now + 5.0) == 0
+    assert svc.reap_idle(now + 11.0) == 1
+    assert svc.sessions == {}
+
+
+def test_close_then_close_again():
+    svc = CheckService()
+    svc.handle({"op": "open", "session": "s", "source": SRC})
+    assert svc.handle({"op": "close", "session": "s"})["ok"]
+    assert not svc.handle({"op": "close", "session": "s"})["ok"]
+
+
+# ----------------------------------------------------------------------
+# socket path
+# ----------------------------------------------------------------------
+
+
+def test_ping_and_service_stats(client):
+    assert client.request("ping")["pong"] is True
+    stats = client.request("stats")
+    assert stats["ok"] and stats["sessions"] == []
+    assert stats["requests"] >= 1
+
+
+def test_open_edit_check_cycle(client):
+    r = client.request("open", session="s1", source=SRC, file="app.jns")
+    assert r["ok"] and r["stats"]["strategy"] == "scratch"
+    r = client.request("check", session="s1")
+    assert r["ok"] and r["diagnostics"] == []
+    r = client.request(
+        "edit", session="s1", source=SRC.replace("return x;", "return x + 1;")
+    )
+    assert r["ok"]
+    assert r["stats"]["strategy"] == "incremental"
+    assert r["stats"]["dirty"] == ["app.A"]
+    r = client.request("check", session="s1")
+    assert r["ok"]
+    acct = r["stats"]["check"]
+    assert acct["recomputed"] == 1 and acct["revalidated"] >= 1
+
+
+def test_check_reports_errors_with_spans(client):
+    client.request("open", session="s", source=SRC, file="app.jns")
+    client.request(
+        "edit", session="s", source=SRC.replace("return x;", "return nosuch;")
+    )
+    r = client.request("check", session="s")
+    assert not r["ok"]
+    (diag,) = [d for d in r["diagnostics"] if d["severity"] == "error"]
+    assert diag["code"] == "JNS-RESOLVE-001"
+    assert diag["file"] == "app.jns"
+    assert diag["span"]["line"] >= 1
+
+
+def test_explain_op_payload(client):
+    client.request("open", session="s", source=SRC)
+    r = client.request("explain", session="s", query="subtype app.B app.A")
+    assert r["ok"]
+    assert r["explain"]["holds"] is True
+    assert r["explain"]["derivations"]
+    r = client.request("explain", session="s", query="gibberish")
+    assert not r["ok"]
+
+
+def test_malformed_line_keeps_connection(client):
+    client.sock.sendall(b"this is not json\n")
+    raw = client._rfile.readline()
+    import json
+
+    resp = json.loads(raw)
+    assert not resp["ok"] and "bad request line" in resp["error"]
+    # the connection is still usable
+    assert client.request("ping")["pong"] is True
+
+
+def test_three_concurrent_sessions(server):
+    """Three clients, three sessions, interleaved edits — each session's
+    diagnostics stay isolated and every edit goes incremental."""
+    errors = []
+
+    def drive(name, marker):
+        c = ServeClient(server.host, server.port)
+        try:
+            src = SRC.replace("class app {", f"class app{marker} {{")
+            r = c.request("open", session=name, source=src)
+            assert r["ok"], r
+            for i in range(1, 4):
+                edited = src.replace("return x;", f"return x + {i};")
+                r = c.request("edit", session=name, source=edited)
+                assert r["stats"]["strategy"] == "incremental", r
+                assert r["stats"]["dirty"] == [f"app{marker}.A"], r
+                r = c.request("check", session=name)
+                assert r["ok"], r
+            # break it, confirm the error stays in this session
+            r = c.request(
+                "edit", session=name,
+                source=src.replace("return x;", "return nosuch;"),
+            )
+            r = c.request("check", session=name)
+            assert not r["ok"], r
+        except Exception as exc:  # surfaced after join
+            errors.append((name, exc))
+        finally:
+            c.close()
+
+    threads = [
+        threading.Thread(target=drive, args=(f"sess{i}", i))
+        for i in range(3)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors, errors
+    assert all(not t.is_alive() for t in threads)
+
+
+def test_shutdown_op_stops_server(server):
+    c = ServeClient(server.host, server.port)
+    r = c.request("shutdown")
+    assert r["ok"] and r["shutdown"] is True
+    c.close()
+    server.thread.join(timeout=5)
+    assert not server.thread.is_alive()
