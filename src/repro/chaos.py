@@ -108,6 +108,17 @@ class Rng:
         """Uniform float in ``[0, 1)`` (53-bit mantissa)."""
         return (self._next() >> 11) / float(1 << 53)
 
+    def randbytes(self, n: int) -> bytes:
+        """``n`` deterministic bytes from the stream (big-endian words).
+        :class:`repro.telemetry.TraceContext` draws its 128-bit trace ids
+        here so chaos replays regenerate identical trace trees."""
+        if n < 0:
+            raise ValueError(f"randbytes length must be >= 0, got {n}")
+        out = bytearray()
+        while len(out) < n:
+            out += self._next().to_bytes(8, "big")
+        return bytes(out[:n])
+
     def fork(self, label: str) -> "Rng":
         """An independent stream keyed by this generator's *seed* (not
         its current state) and ``label``."""

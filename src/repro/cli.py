@@ -63,7 +63,12 @@ def _read(path: str) -> str:
 
 
 def _tracing_requested(args) -> bool:
-    return bool(getattr(args, "profile", False) or getattr(args, "trace_out", None))
+    return bool(
+        getattr(args, "profile", False)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "flame", None)
+        or getattr(args, "otlp_out", None)
+    )
 
 
 def _begin_tracing(args) -> None:
@@ -101,6 +106,20 @@ def _emit_observability(args, stats) -> None:
                 "(load in chrome://tracing or https://ui.perfetto.dev)",
                 file=sys.stderr,
             )
+    flame = getattr(args, "flame", None)
+    if flame:
+        obs.TRACER.write_collapsed(flame)
+        print(
+            f"wrote collapsed-stack flamegraph to {flame} "
+            "(fold with flamegraph.pl or load in https://speedscope.app)",
+            file=sys.stderr,
+        )
+    otlp_out = getattr(args, "otlp_out", None)
+    if otlp_out:
+        from . import telemetry
+
+        n = telemetry.write_otlp_jsonl(obs.TRACER, otlp_out)
+        print(f"wrote {n} OTLP-flavored spans to {otlp_out}", file=sys.stderr)
     if getattr(args, "stats_json", False) and stats is not None:
         print(json.dumps(stats.to_dict(), sort_keys=True))
 
@@ -349,6 +368,51 @@ def cmd_corona(args) -> int:
     return 1 if report.oracle_violations else 0
 
 
+def cmd_top(args) -> int:
+    """``repro top`` — a live ops console for a running ``repro serve``:
+    polls the ``metrics`` op and redraws req/s, per-op p50/p95 latency,
+    cache hit rate, and incremental revalidation counts in place."""
+    import time as _time
+
+    from . import telemetry
+    from .serve import ServeClient
+
+    try:
+        client = ServeClient(args.host, args.port, timeout=5.0)
+    except OSError as exc:
+        print(f"error: cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    prev = None
+    prev_t: Optional[float] = None
+    frames = 0
+    try:
+        while True:
+            try:
+                resp = client.request("metrics")
+            except (OSError, ConnectionError) as exc:
+                print(f"error: lost server: {exc}", file=sys.stderr)
+                return 1
+            if not resp.get("ok"):
+                print(f"error: {resp.get('error')}", file=sys.stderr)
+                return 1
+            now = _time.monotonic()
+            dt = None if prev_t is None else now - prev_t
+            frame = telemetry.render_top(resp, prev, dt)
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, flush=True)
+            prev, prev_t = resp, now
+            frames += 1
+            if args.iterations is not None and frames >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+
+
 def cmd_graph(args) -> int:
     from .lang.graph import family_graph
 
@@ -387,6 +451,21 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print query-cache counters as machine-readable JSON to stdout "
         "(same schema as report.cache_stats.to_dict())",
+    )
+    parser.add_argument(
+        "--flame",
+        metavar="OUT",
+        default=None,
+        help="write the span tree as collapsed-stack lines ('a;b;c USEC', "
+        "self-time weighted) — the input format of flamegraph.pl and "
+        "speedscope",
+    )
+    parser.add_argument(
+        "--otlp-out",
+        metavar="FILE",
+        default=None,
+        help="write finished spans as OTLP-flavored JSON Lines (traceId/"
+        "spanId/attributes per span) alongside the Chrome-trace formats",
     )
 
 
@@ -560,9 +639,59 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="evict sessions idle longer than S seconds (default %(default)s)",
     )
+    p_serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="P",
+        help="also serve GET /metrics (Prometheus text format) over HTTP "
+        "on this port (0 picks an ephemeral one, announced as "
+        "metrics_port on the ready line); omitted = no HTTP endpoint",
+    )
+    p_serve.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="seed for the deterministic per-request trace-id stream "
+        "(default %(default)s)",
+    )
     p_serve.set_defaults(
         func=lambda args: __import__("repro.serve", fromlist=["main"]).main(args)
     )
+
+    p_top = sub.add_parser(
+        "top",
+        help="live ops console for a running 'repro serve': polls the "
+        "metrics op and renders req/s, per-op p50/p95 latency, cache "
+        "hit rate, and incremental revalidation counts in place",
+    )
+    p_top.add_argument(
+        "--host", default="127.0.0.1", help="server host (default %(default)s)"
+    )
+    p_top.add_argument(
+        "--port", type=int, required=True, help="server port (from the ready line)"
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between polls (default %(default)s)",
+    )
+    p_top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N frames (default: run until Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (for logs/tests)",
+    )
+    p_top.set_defaults(func=cmd_top)
 
     return parser
 

@@ -205,8 +205,10 @@ class Query:
         "table",
         "hits",
         "misses",
+        "revalidations",
         "retired_hits",
         "retired_misses",
+        "retired_revalidations",
         "maxsize",
         "_enabled",
         "_versions",
@@ -222,11 +224,16 @@ class Query:
         self.table: Dict[Any, Any] = {}
         self.hits = 0
         self.misses = 0
+        # Hits that required a green-revalidation pass first (entry was
+        # stale but all inputs unchanged) — the "revalidate" slice of the
+        # red/green discipline, surfaced per query in labeled metrics.
+        self.revalidations = 0
         # Counters folded in from a retired/cleared incarnation of this
         # query so ``--stats`` never under-reports across an invalidation
         # (see CacheStats; live hits/misses keep accumulating on top).
         self.retired_hits = 0
         self.retired_misses = 0
+        self.retired_revalidations = 0
         self.maxsize = DEFAULT_MAXSIZE if maxsize is _DEFAULT else maxsize
         self._enabled = _ENABLED
         self._versions = versions
@@ -257,6 +264,7 @@ class Query:
                     changed.get(k, 0) <= entry[2] for k in deps
                 ):
                     entry[2] = store.rev  # green: inputs unchanged
+                    self.revalidations += 1
                 else:
                     del table[key]  # red: recompute
                     entry = MISS
@@ -372,6 +380,8 @@ class QueryStat:
     hits: int
     misses: int
     size: int
+    #: hits that first green-revalidated a stale entry (subset of hits)
+    revalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -388,6 +398,7 @@ class QueryStat:
             "query": self.name,
             "hits": self.hits,
             "misses": self.misses,
+            "revalidations": self.revalidations,
             "size": self.size,
             "hit_rate": round(self.hit_rate, 4),
         }
@@ -408,6 +419,10 @@ class CacheStats:
         return sum(s.misses for s in self.stats)
 
     @property
+    def revalidations(self) -> int:
+        return sum(s.revalidations for s in self.stats)
+
+    @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
@@ -423,6 +438,7 @@ class CacheStats:
             "enabled": caches_enabled(),
             "hits": self.hits,
             "misses": self.misses,
+            "revalidations": self.revalidations,
             "hit_rate": round(self.hit_rate, 4),
             "queries": [s.to_dict() for s in self.stats],
         }
@@ -495,6 +511,7 @@ class QueryEngine:
                     q.hits + q.retired_hits,
                     q.misses + q.retired_misses,
                     len(q.table),
+                    q.revalidations + q.retired_revalidations,
                 )
                 for q in self.queries.values()
             )
@@ -504,8 +521,10 @@ class QueryEngine:
         for q in self.queries.values():
             q.hits = 0
             q.misses = 0
+            q.revalidations = 0
             q.retired_hits = 0
             q.retired_misses = 0
+            q.retired_revalidations = 0
 
     def absorb_counters(self, other: "QueryEngine") -> None:
         """Fold ``other``'s counters into this engine's retired totals.
@@ -518,6 +537,7 @@ class QueryEngine:
             mine = self.query(name, maxsize=q.maxsize)
             mine.retired_hits += q.hits + q.retired_hits
             mine.retired_misses += q.misses + q.retired_misses
+            mine.retired_revalidations += q.revalidations + q.retired_revalidations
 
 
 def caches_enabled() -> bool:

@@ -33,9 +33,22 @@ collects three kinds of observations:
 The disabled path is near-free by construction: instrumentation sites
 guard with a single attribute load and branch (``if TRACER.enabled:``),
 and :meth:`Tracer.span` returns a reusable no-op context manager when
-disabled, so no objects are allocated and no clocks are read.
-``benchmarks/test_obs_json.py`` measures the guard cost and enforces the
-≤ 5% disabled-overhead budget on the jolden driver.
+disabled, so no objects are allocated, no clocks are read, and no lock
+is taken.  ``benchmarks/test_obs_json.py`` measures the guard cost and
+enforces the ≤ 5% disabled-overhead budget on the jolden driver.
+
+The *enabled* path is thread-safe: ``repro serve`` handles sessions on
+concurrent connection threads, so aggregate state (counters, histograms,
+the event ring, the span-path aggregate) is guarded by one lock, while
+the span *stack* is thread-local — each thread paints its own coherent
+span tree, and records carry a small per-thread ``tid`` (assigned in
+first-use order) that the Chrome-trace export emits so concurrent
+sessions land on distinct tracks.  When the bounded ring overwrites an
+old event, the ``events_dropped`` counter bumps (surfaced in the
+``--profile`` report and in Chrome-trace ``otherData``), so silent loss
+is visible.  ``Tracer.to_collapsed()`` folds the span-path aggregate
+into collapsed-stack lines (``a;b;c VALUE``) for speedscope /
+flamegraph.pl — see ``run/check --flame``.
 
 The unified report (:func:`format_report`) folds a
 :class:`~repro.lang.queries.CacheStats` snapshot into the same output,
@@ -46,6 +59,7 @@ timings, semantic events, and query-cache counters side by side.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -177,6 +191,7 @@ class SpanRecord:
     start_ns: int  #: relative to the tracer's enable() epoch
     dur_ns: int
     args: Tuple[Tuple[str, Any], ...]
+    tid: int = 1  #: small per-thread id (first-use order), for Chrome tracks
 
 
 @dataclass(frozen=True)
@@ -186,6 +201,7 @@ class InstantRecord:
     name: str
     ts_ns: int
     args: Tuple[Tuple[str, Any], ...]
+    tid: int = 1
 
 
 class _NullSpan:
@@ -227,42 +243,45 @@ class _Span:
         dur_ns = end_ns - self.start_ns
         # Reentrancy-safe unwind: pop frames above us if an exception
         # skipped their __exit__ (shouldn't happen with `with`, but a
-        # generator-held span could outlive its parent).
+        # generator-held span could outlive its parent).  The stack is
+        # thread-local, so no lock is needed for it.
         stack = tracer._stack
         while stack and stack[-1] is not self:
             stack.pop()
         if stack:
             stack.pop()
-        # Aggregate by call path (the report's tree) and by name (avg).
-        agg = tracer._span_agg.get(self.path)
-        if agg is None:
-            agg = tracer._span_agg[self.path] = [0, 0, {}]
-        agg[0] += 1
-        agg[1] += dur_ns
-        if self.args:
-            summary = agg[2]
-            for k, v in self.args.items():
-                entry = summary.get(k)
-                if entry is None:
-                    entry = summary[k] = [[], 0]
-                values = entry[0]
-                if v not in values:
-                    if len(values) < SPAN_ARG_VALUES:
-                        values.append(v)
-                    else:
-                        entry[1] += 1
-        tracer.histogram("span." + self.name).observe(dur_ns)
-        if tracer.enabled:  # disabled mid-span: drop the ring record
-            rec = SpanRecord(
-                self.name,
-                self.path,
-                self.start_ns - tracer._epoch_ns,
-                dur_ns,
-                tuple(sorted(self.args.items())),
-            )
-            tracer.events.append(rec)
-            if tracer._stream is not None:
-                tracer._stream_write(rec)
+        # Aggregate by call path (the report's tree) and by name (avg);
+        # aggregates are shared across threads, so take the tracer lock
+        # for the whole bookkeeping batch (one acquisition per span).
+        with tracer._lock:
+            agg = tracer._span_agg.get(self.path)
+            if agg is None:
+                agg = tracer._span_agg[self.path] = [0, 0, {}]
+            agg[0] += 1
+            agg[1] += dur_ns
+            if self.args:
+                summary = agg[2]
+                for k, v in self.args.items():
+                    entry = summary.get(k)
+                    if entry is None:
+                        entry = summary[k] = [[], 0]
+                    values = entry[0]
+                    if v not in values:
+                        if len(values) < SPAN_ARG_VALUES:
+                            values.append(v)
+                        else:
+                            entry[1] += 1
+            tracer._histogram_locked("span." + self.name).observe(dur_ns)
+            if tracer.enabled:  # disabled mid-span: drop the ring record
+                rec = SpanRecord(
+                    self.name,
+                    self.path,
+                    self.start_ns - tracer._epoch_ns,
+                    dur_ns,
+                    tuple(sorted(self.args.items())),
+                    tracer._current_tid_locked(),
+                )
+                tracer._append_locked(rec)
         return False
 
 
@@ -292,13 +311,57 @@ class Tracer:
         #: every kept instant is written as one Chrome-trace event object
         #: per line, independent of the bounded ring.
         self._stream = None
-        self._stack: List[_Span] = []
+        #: ring overwrites since the last reset (old events silently
+        #: falling off the front are production data loss — count it).
+        self.events_dropped = 0
+        #: guards counters/histograms/ring/span-aggregate on the
+        #: *enabled* path; the disabled path never touches it.
+        self._lock = threading.Lock()
+        #: per-thread span stacks + small tids (see ``_stack``).
+        self._tls = threading.local()
+        self._tid_by_thread: Dict[int, int] = {}
         #: call-path tuple -> [count, total_ns, args_summary] where
         #: args_summary maps each span-arg key to [distinct values
         #: (bounded by SPAN_ARG_VALUES), overflow count]
         self._span_agg: Dict[Tuple[str, ...], List[Any]] = {}
         self._epoch_ns = time.perf_counter_ns()
         self._enabled_at_ns: Optional[int] = None
+
+    @property
+    def _stack(self) -> List["_Span"]:
+        """This thread's live-span stack.  Thread-local so concurrent
+        serve sessions each paint a coherent span tree instead of
+        interleaving frames through one shared list."""
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _current_tid_locked(self) -> int:
+        """Small per-thread id in first-use order (1 = first thread seen).
+        Caller holds ``_lock``; the id is cached thread-locally so the
+        map lookup happens once per thread."""
+        tid = getattr(self._tls, "tid", None)
+        if tid is None:
+            ident = threading.get_ident()
+            tid = self._tid_by_thread.get(ident)
+            if tid is None:
+                tid = self._tid_by_thread[ident] = len(self._tid_by_thread) + 1
+            self._tls.tid = tid
+        return tid
+
+    def _append_locked(self, rec: Any) -> None:
+        """Append one record to the ring (and stream), counting the
+        overwrite when the ring is full.  Caller holds ``_lock``."""
+        events = self.events
+        if events.maxlen is not None and len(events) == events.maxlen:
+            self.events_dropped += 1
+            self.counters["events_dropped"] = (
+                self.counters.get("events_dropped", 0) + 1
+            )
+        events.append(rec)
+        if self._stream is not None:
+            self._stream_write(rec)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -322,15 +385,18 @@ class Tracer:
         self.enabled = False
 
     def reset(self) -> None:
-        """Drop all collected data (ring, counters, histograms, stack)."""
-        self.events.clear()
-        self.counters.clear()
-        self.histograms.clear()
-        self.observations = 0
-        self._instant_seq = 0
-        self._stack.clear()
-        self._span_agg.clear()
-        self._epoch_ns = time.perf_counter_ns()
+        """Drop all collected data (ring, counters, histograms, stack).
+        Per-thread tids survive — they are identities, not data."""
+        with self._lock:
+            self.events.clear()
+            self.counters.clear()
+            self.histograms.clear()
+            self.observations = 0
+            self.events_dropped = 0
+            self._instant_seq = 0
+            self._stack.clear()
+            self._span_agg.clear()
+            self._epoch_ns = time.perf_counter_ns()
 
     # ------------------------------------------------------------------
     # streaming export (JSONL)
@@ -342,12 +408,14 @@ class Tracer:
         object per line as it happens, so long-running workloads are not
         limited by the bounded in-memory ring."""
         self.close_stream()
-        self._stream = open(path, "w")
+        with self._lock:
+            self._stream = open(path, "w")
 
     def close_stream(self) -> None:
-        stream = self._stream
-        if stream is not None:
+        with self._lock:
+            stream = self._stream
             self._stream = None
+        if stream is not None:
             stream.close()
 
     def _stream_write(self, rec: Any) -> None:
@@ -363,7 +431,8 @@ class Tracer:
         returns a shared no-op context manager while disabled."""
         if not self.enabled:
             return _NULL_SPAN
-        self.observations += 1
+        with self._lock:
+            self.observations += 1
         return _Span(self, name, args)
 
     def event(self, name: str, **args: Any) -> None:
@@ -372,36 +441,43 @@ class Tracer:
         ``if TRACER.enabled:`` — this method assumes it is only reached
         while enabled.  Under ``enable(sample_rate=N)`` only one in N
         instants lands in the ring/stream; the counter always bumps."""
-        self.count(name)
-        seq = self._instant_seq
-        self._instant_seq = seq + 1
-        if self.sample_rate > 1 and seq % self.sample_rate:
-            return
-        rec = InstantRecord(
-            name,
-            time.perf_counter_ns() - self._epoch_ns,
-            tuple(sorted(args.items())),
-        )
-        self.events.append(rec)
-        if self._stream is not None:
-            self._stream_write(rec)
+        with self._lock:
+            self.observations += 1
+            self.counters[name] = self.counters.get(name, 0) + 1
+            seq = self._instant_seq
+            self._instant_seq = seq + 1
+            if self.sample_rate > 1 and seq % self.sample_rate:
+                return
+            rec = InstantRecord(
+                name,
+                time.perf_counter_ns() - self._epoch_ns,
+                tuple(sorted(args.items())),
+                self._current_tid_locked(),
+            )
+            self._append_locked(rec)
 
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to a named counter (created on first use).  Python
         integers are unbounded, so counters accumulate without overflow."""
-        self.observations += 1
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._lock:
+            self.observations += 1
+            self.counters[name] = self.counters.get(name, 0) + n
 
-    def histogram(self, name: str) -> Histogram:
+    def _histogram_locked(self, name: str) -> Histogram:
         h = self.histograms.get(name)
         if h is None:
             h = self.histograms[name] = Histogram(name)
         return h
 
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            return self._histogram_locked(name)
+
     def observe(self, name: str, value: float) -> None:
         """Record one observation into a named histogram."""
-        self.observations += 1
-        self.histogram(name).observe(value)
+        with self._lock:
+            self.observations += 1
+            self._histogram_locked(name).observe(value)
 
     # ------------------------------------------------------------------
     # exporters
@@ -413,9 +489,11 @@ class Tracer:
         key: Callable[[Tuple[str, ...]], Tuple] = lambda path: tuple(
             (_PHASE_ORDER.get(name, len(_PHASE_ORDER)), name) for name in path
         )
+        with self._lock:
+            items = list(self._span_agg.items())
         return [
             (path, agg[0], agg[1])
-            for path, agg in sorted(self._span_agg.items(), key=lambda kv: key(kv[0]))
+            for path, agg in sorted(items, key=lambda kv: key(kv[0]))
         ]
 
     def span_args(self, path: Tuple[str, ...]) -> Dict[str, Any]:
@@ -436,9 +514,15 @@ class Tracer:
 
         Finished spans become complete events (``ph: "X"`` with ``ts`` /
         ``dur`` in microseconds); semantic events become thread-scoped
-        instants (``ph: "i"``).  Loads in ``chrome://tracing`` and
+        instants (``ph: "i"``).  Records carry the per-thread ``tid``
+        they were made on, so concurrent serve sessions render on
+        distinct tracks.  Ring overwrites are reported in
+        ``otherData.events_dropped``.  Loads in ``chrome://tracing`` and
         Perfetto; the schema is asserted by ``tests/test_obs.py``.
         """
+        with self._lock:
+            records = list(self.events)
+            dropped = self.events_dropped
         trace_events: List[Dict[str, Any]] = [
             {
                 "name": "process_name",
@@ -448,19 +532,64 @@ class Tracer:
                 "args": {"name": "repro (J&s)"},
             }
         ]
-        trace_events.extend(_trace_event(rec) for rec in self.events)
-        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+        for tid in sorted({getattr(rec, "tid", 1) for rec in records}):
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": f"worker-{tid}"},
+                }
+            )
+        trace_events.extend(_trace_event(rec) for rec in records)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"events_dropped": dropped},
+        }
 
     def write_chrome_trace(self, path: str) -> None:
         with open(path, "w") as f:
             json.dump(self.to_chrome_trace(), f, indent=1)
             f.write("\n")
 
+    def to_collapsed(self, weight: str = "us") -> str:
+        """The span-path aggregate as collapsed-stack lines
+        (``root;child;leaf VALUE``), the input format of flamegraph.pl
+        and speedscope.  ``weight="us"`` weighs each frame by its *self*
+        time in microseconds (child time is subtracted, so the folded
+        graph sums correctly); ``weight="count"`` weighs by occurrence
+        count, which is wall-clock-free and therefore byte-stable across
+        seeded replays — the determinism tests fold with it."""
+        if weight not in ("us", "count"):
+            raise ValueError(f"weight must be 'us' or 'count', got {weight!r}")
+        rows = self.span_tree()
+        totals = {path: total for path, _, total in rows}
+        lines = []
+        for path, count, total_ns in rows:
+            if weight == "count":
+                value = count
+            else:
+                child_ns = sum(
+                    t
+                    for p, t in totals.items()
+                    if len(p) == len(path) + 1 and p[: len(path)] == path
+                )
+                value = max(0, total_ns - child_ns) // 1000
+            lines.append(";".join(path) + f" {value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_collapsed(self, path: str, weight: str = "us") -> None:
+        with open(path, "w") as f:
+            f.write(self.to_collapsed(weight=weight))
+
     def to_dict(self) -> Dict[str, Any]:
         """Machine-readable aggregate snapshot (no ring contents)."""
         return {
             "enabled": self.enabled,
             "observations": self.observations,
+            "events_dropped": self.events_dropped,
             "counters": dict(sorted(self.counters.items())),
             "histograms": {
                 name: h.to_dict() for name, h in sorted(self.histograms.items())
@@ -542,7 +671,7 @@ def _trace_event(rec: Any) -> Dict[str, Any]:
             "ts": rec.start_ns / 1000.0,
             "dur": rec.dur_ns / 1000.0,
             "pid": 1,
-            "tid": 1,
+            "tid": rec.tid,
             "args": dict(rec.args),
         }
     return {
@@ -552,7 +681,7 @@ def _trace_event(rec: Any) -> Dict[str, Any]:
         "ts": rec.ts_ns / 1000.0,
         "s": "t",
         "pid": 1,
-        "tid": 1,
+        "tid": rec.tid,
         "args": dict(rec.args),
     }
 

@@ -50,10 +50,22 @@ Reports are byte-identical across runs with the same seed and plan:
 ``ChaosReport.to_json(include_wall=False)`` contains only virtual-time
 and counter state, and every random decision comes from per-request
 forks of the master :class:`Rng`.
+
+Telemetry (PR 8): every request carries a deterministic
+:class:`~repro.telemetry.TraceContext` drawn from the ``trace{rid}``
+fork of the master RNG — replays with the same seed regenerate the same
+128-bit trace-id sequence, digested into ``ChaosReport.trace_digest``
+(part of the replay surface).  Each attempt's shard-side work runs
+under a ``corona.request`` span tagged ``{op, shard, request,
+trace_id}`` when tracing is enabled, and an always-on labeled
+:class:`~repro.telemetry.MetricsRegistry` (``driver.metrics``) counts
+requests by op/outcome and faults by kind — the exposition surface the
+multiprocess rung will aggregate across workers.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from dataclasses import dataclass, field
@@ -62,6 +74,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ...chaos import FaultPlan, RetryPolicy, Rng, SimEvent, SimLoop
 from ...errors import JnsResourceError
 from ...obs import TRACER, Histogram
+from ...telemetry import MetricsRegistry, TraceContext
 from .system import FAMILIES, CoronaSystem
 
 #: The evolution schedule: each entry is one two-phase transition.
@@ -206,6 +219,9 @@ class ChaosReport:
     failures: List[Dict[str, Any]]
     virtual_ms: float
     killed: bool = False
+    #: sha256 over the per-request trace-id sequence — deterministic for
+    #: a given seed, so it is part of the replay-digest surface.
+    trace_digest: str = ""
     wall: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self, include_wall: bool = True) -> Dict[str, Any]:
@@ -219,6 +235,7 @@ class ChaosReport:
             "failures": self.failures,
             "virtual_ms": self.virtual_ms,
             "killed": self.killed,
+            "trace_digest": self.trace_digest,
         }
         if include_wall:
             data["wall"] = self.wall
@@ -274,6 +291,12 @@ class ChaosCoronaDriver:
         self._hot = min(3, objects)
         self.counters: Dict[str, int] = {}
         self._hists: Dict[str, Histogram] = {}
+        #: always-on labeled metrics (op/outcome request counts, fault
+        #: kinds) — the exposition surface for multiprocess aggregation.
+        self.metrics = MetricsRegistry()
+        #: per-request trace ids in rid order (hex), digested into the
+        #: replay surface; identical across same-seed replays.
+        self.trace_ids: List[str] = []
         self.oracle_violations: List[Dict[str, Any]] = []
         self.failures: List[Dict[str, Any]] = []
         # Authoritative feed state: highest version handed to a publish
@@ -302,6 +325,12 @@ class ChaosCoronaDriver:
         h.observe(value)
         if TRACER.enabled:
             TRACER.observe(name, value)
+
+    def _fault(self, kind: str) -> None:
+        self._count("chaos.injected")
+        self._count(f"chaos.injected.{kind}")
+        self.metrics.inc("corona_faults_total", kind=kind,
+                         help="injected faults by kind")
 
     def _violation(self, rid: int, key: int, reason: str, **detail: Any) -> None:
         self._count("oracle.violation")
@@ -400,34 +429,46 @@ class ChaosCoronaDriver:
             for fault in self.plan.crash_at.get(rid, ()):
                 shard = self.shards[fault.shard % self.nshards]
                 if not shard.down:
-                    self._count("chaos.injected")
-                    self._count("chaos.injected.crash")
+                    self._fault("crash")
                     shard.crash(self.loop.now, fault.down_ms)
             op, key, version = self._issue(rid)
+            # Request identity: a fresh deterministic trace from the
+            # rid-keyed fork — pure function of (seed, rid), so replays
+            # regenerate the identical id sequence.
+            ctx = TraceContext.from_rng(self._rng.fork(f"trace{rid}"))
+            self.trace_ids.append(ctx.hex_trace)
             tasks.append(
                 self.loop.create_task(
-                    self._request(rid, op, key, version), name=f"req{rid}"
+                    self._request(rid, op, key, version, ctx), name=f"req{rid}"
                 )
             )
             await self.loop.sleep(self.interarrival_ms)
         for task in tasks:
             await task
 
-    async def _request(self, rid: int, op: str, key: int, version: int) -> None:
+    async def _request(
+        self, rid: int, op: str, key: int, version: int, ctx: TraceContext
+    ) -> None:
         rng = self._rng.fork(f"req{rid}")
         owner = self.owner_of(key)
         entry = rng.randrange(self.nshards)
         floor = self.version_acked.get(key, 0)
         attempts = 0
         while True:
-            outcome = await self._attempt(rid, op, key, version, rng, entry, floor)
+            outcome = await self._attempt(
+                rid, op, key, version, rng, entry, floor, ctx, attempts
+            )
             if outcome == "ok":
                 self._completed += 1
+                self.metrics.inc("corona_requests_total", op=op, outcome="ok",
+                                 help="corona requests by op and outcome")
                 if attempts:
                     self._observe("retry.per_request", attempts)
                 return
             attempts += 1
             self._count("retry.attempt")
+            self.metrics.inc("corona_retries_total", op=op,
+                             help="retries by op")
             if attempts >= self.retry.max_attempts:
                 self._count("retry.exhausted")
                 self._degrade(rid, op, key, outcome)
@@ -443,6 +484,8 @@ class ChaosCoronaDriver:
         rng: Rng,
         entry: int,
         floor: int,
+        ctx: TraceContext,
+        attempt: int,
     ) -> str:
         shard = self.shards[self.owner_of(key)]
         if shard.down:
@@ -456,20 +499,34 @@ class ChaosCoronaDriver:
         if entry != shard.index:
             fate, delay_ms = self.plan.message_fate(rng)
             if fate == "drop":
-                self._count("chaos.injected")
-                self._count("chaos.injected.drop")
+                self._fault("drop")
                 return "dropped"
             if fate == "delay":
-                self._count("chaos.injected")
-                self._count("chaos.injected.delay")
+                self._fault("delay")
                 await self.loop.sleep(delay_ms)
                 if shard.down:
                     return "down"
         if rid in self.plan.fuel_at and rid not in self._fuel_done:
             self._fuel_done.add(rid)
-            self._count("chaos.injected")
-            self._count("chaos.injected.fuel")
+            self._fault("fuel")
             shard.trip_fuel()
+        # The shard-side work below is await-free, so the request span
+        # opens and closes on one simulated "thread" — safe with the
+        # tracer's thread-local span stack even though many requests are
+        # interleaved by the virtual-time scheduler.
+        span = None
+        if TRACER.enabled:
+            attempt_ctx = ctx.child(f"attempt{attempt}")
+            span = TRACER.span(
+                "corona.request",
+                op=op,
+                shard=shard.index,
+                request=rid,
+                trace_id=ctx.hex_trace,
+                span_id=attempt_ctx.hex_span,
+                parent_span_id=ctx.hex_span,
+            )
+            span.__enter__()
         try:
             if op == "publish":
                 # A newer publish for this key already landed while we
@@ -493,6 +550,9 @@ class ChaosCoronaDriver:
         except JnsResourceError:
             shard.recover_fuel()
             return "fuel"
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
 
     def _check_fetch(
         self, rid: int, key: int, content: Optional[str], floor: int, family: str
@@ -526,6 +586,9 @@ class ChaosCoronaDriver:
         if op == "fetch" and key in self._stale:
             stale_version, _content = self._stale[key]
             self._count("degraded.stale_serve")
+            self.metrics.inc("corona_requests_total", op=op,
+                             outcome="degraded",
+                             help="corona requests by op and outcome")
             self._observe(
                 "degraded.staleness",
                 max(0, self.version_acked.get(key, 0) - stale_version),
@@ -533,6 +596,8 @@ class ChaosCoronaDriver:
             self._completed += 1
             return
         self._count("requests.failed")
+        self.metrics.inc("corona_requests_total", op=op, outcome="failed",
+                         help="corona requests by op and outcome")
         self.failures.append(
             {"rid": rid, "op": op, "key": key, "last_outcome": last_outcome}
         )
@@ -666,6 +731,9 @@ class ChaosCoronaDriver:
             failures=self.failures,
             virtual_ms=self.loop.now,
             killed=killed,
+            trace_digest=hashlib.sha256(
+                "\n".join(self.trace_ids).encode()
+            ).hexdigest(),
             wall={
                 "seconds": round(wall_s, 3),
                 "requests_completed": self._completed,

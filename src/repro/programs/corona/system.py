@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ...chaos import Rng
+from ...obs import TRACER
 from .source import SOURCE, evolution_loc, program
 
 FAMILY_CODES = {"corona": 0, "pccorona": 1, "beecorona": 2}
@@ -128,6 +129,13 @@ class CoronaSystem:
     def fetch(self, start_id: int, key: int, family: str = "corona") -> Optional[str]:
         """Route one fetch from ``start_id`` under the given family's
         view; returns the content string or None on a store miss."""
+        if TRACER.enabled:
+            with TRACER.span("corona.fetch", family=family):
+                return self.interp.call_method(
+                    self.main,
+                    "fetchVia",
+                    [self.net, FAMILY_CODES[family], start_id, key],
+                )
         return self.interp.call_method(
             self.main, "fetchVia", [self.net, FAMILY_CODES[family], start_id, key]
         )
@@ -135,6 +143,13 @@ class CoronaSystem:
     def publish(self, key: int, version: int, content: str) -> None:
         """Publish one DataObject to its owner node (idempotent per
         (key, version): re-publishing replaces the stored object)."""
+        if TRACER.enabled:
+            with TRACER.span("corona.publish"):
+                self._publish(key, version, content)
+            return
+        self._publish(key, version, content)
+
+    def _publish(self, key: int, version: int, content: str) -> None:
         obj = self.interp.new_instance(
             ("corona", "DataObject"), (key, version, content)
         )
@@ -142,6 +157,13 @@ class CoronaSystem:
 
     def evolve(self, family: str, threshold: int = 3) -> None:
         """Apply one evolution step by target family name."""
+        if TRACER.enabled:
+            with TRACER.span("corona.evolve.apply", family=family):
+                self._evolve(family, threshold)
+            return
+        self._evolve(family, threshold)
+
+    def _evolve(self, family: str, threshold: int) -> None:
         if family == "pccorona":
             self.evolve_to_pc()
         elif family == "beecorona":

@@ -23,7 +23,7 @@ from .source.parser import ParseError, Parser
 _BANNER = (
     "J&s repl — class declarations accumulate; other input runs as "
     "statements.\nCommands: :load FILE  :check  :classes  :reset  "
-    ":stats  :trace on|off  :profile  :quit"
+    ":stats  :trace on|off  :profile  :flame FILE  :quit"
 )
 
 
@@ -76,9 +76,22 @@ class ReplSession:
             if not obs.enabled() and not obs.TRACER.observations:
                 return ["(no trace data — enable collection with :trace on)"]
             return obs.format_report(cache_stats=cache_stats()).splitlines()
+        if stripped.startswith(":flame"):
+            parts = stripped.split(None, 1)
+            if len(parts) != 2:
+                return ["usage: :flame FILE"]
+            if not obs.TRACER.observations:
+                return ["(no trace data — enable collection with :trace on)"]
+            try:
+                obs.TRACER.write_collapsed(parts[1])
+            except OSError as exc:
+                return [f"error: cannot write {parts[1]}: {exc.strerror}"]
+            return [f"(collapsed stacks written to {parts[1]} — feed to "
+                    "flamegraph.pl or speedscope)"]
         if stripped.startswith(":"):
             return [f"unknown command {stripped.split()[0]!r} (try :load "
-                    ":check :classes :reset :stats :trace :profile :quit)"]
+                    ":check :classes :reset :stats :trace :profile :flame "
+                    ":quit)"]
         if self._is_declaration(stripped):
             return self._add_declaration(stripped)
         return self._run_statements(stripped)

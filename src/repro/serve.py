@@ -29,9 +29,15 @@ check     ``session``                    ``diagnostics`` (list of diagnostic
 explain   ``session, query``             ``explain`` (the ``repro explain
                                          --json`` payload)
 stats     ``session?``                   per-session or service-wide stats
+metrics   ``exposition?``                cumulative labeled-metrics snapshot
+                                         (+ Prometheus text when requested)
 close     ``session``                    —
 shutdown  —                              stops the server after responding
 ========  =============================  =====================================
+
+Every response additionally carries ``trace``: the request's W3C-style
+``traceparent`` (deterministic per server seed, or a child of the
+client's inbound ``traceparent`` field when one was supplied).
 
 Error responses are ``{"ok": false, "error": "..."}`` with the request
 ``id`` echoed; a malformed line (bad JSON, no ``op``) also gets an error
@@ -45,9 +51,21 @@ evicts sessions idle longer than ``--idle-timeout`` seconds.  The
 session's current source (see :mod:`repro.lang.explain`) so the
 provenance capture never wipes the session's warm incremental state.
 
-Observability: every request bumps the ``serve.request`` counter (when
-tracing is enabled), alongside the ``incr.dirty`` / ``incr.revalidated``
-/ ``incr.reused`` counters the incremental checker itself maintains.
+Observability (request-scoped — see :mod:`repro.telemetry`): every
+request gets a deterministic :class:`~repro.telemetry.TraceContext`
+(drawn from a seeded ``Rng``, or adopted from an inbound ``traceparent``
+field) whose W3C-style rendering is echoed as ``trace`` in the response;
+when tracing is enabled each request runs under a ``serve.request`` span
+tagged with the op / session / trace ids, the ``serve.request.{ok,error}``
+counters bump, and per-op latencies land in ``serve.latency.<op>``
+histograms.  Independently of the tracer, a labeled
+:class:`~repro.telemetry.MetricsRegistry` is always on: per-op
+request counters and latency histograms, session gauges, and per-session
+query-cache gauges (hits / misses / green revalidations) refreshed after
+every ``check``.  The ``metrics`` op returns the cumulative snapshot
+(scrapes never reset state), and ``repro serve --metrics-port`` exposes
+the same registry in Prometheus text format over HTTP for scrapers and
+``repro top``.
 """
 
 from __future__ import annotations
@@ -58,10 +76,13 @@ import socketserver
 import sys
 import threading
 import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
+from .chaos import Rng
 from .lang.incremental import IncrementalChecker
 from .obs import TRACER
+from .telemetry import MetricsRegistry, TraceContext
 
 
 class _Session:
@@ -82,13 +103,32 @@ class CheckService:
     ``handle(request) -> response`` entry point shared by every client
     connection.  Transport-free, so tests can drive it directly."""
 
-    def __init__(self, idle_timeout: float = 300.0) -> None:
+    def __init__(self, idle_timeout: float = 300.0, seed: int = 0) -> None:
         self.idle_timeout = idle_timeout
         self.sessions: Dict[str, _Session] = {}
         self._sessions_lock = threading.Lock()
         self.requests = 0
         self.started = time.monotonic()
         self.shutdown_requested = threading.Event()
+        #: always-on labeled metrics (cumulative; scraped, never reset)
+        self.metrics = MetricsRegistry()
+        #: deterministic per-request trace ids — a seeded stream, so a
+        #: given (seed, request ordinal) always names the same trace
+        self._trace_rng = Rng(seed).fork("serve.trace")
+        self._trace_lock = threading.Lock()
+
+    def _next_trace(self, req: Dict[str, Any]) -> TraceContext:
+        """The request's trace context: adopt the client's inbound
+        ``traceparent`` (propagation) or draw a fresh deterministic root
+        from the service's seeded stream."""
+        parent = req.get("traceparent")
+        if isinstance(parent, str):
+            try:
+                return TraceContext.parse(parent).child("serve")
+            except ValueError:
+                pass  # malformed inbound context: fall through to a root
+        with self._trace_lock:
+            return TraceContext.from_rng(self._trace_rng)
 
     # ------------------------------------------------------------------
     # session table
@@ -117,6 +157,12 @@ class CheckService:
             ]:
                 del self.sessions[name]
                 dropped += 1
+            count = len(self.sessions)
+        if dropped:
+            self.metrics.inc("serve_sessions_reaped_total", dropped,
+                             help="sessions evicted by the idle reaper")
+            self.metrics.set_gauge("serve_sessions", count,
+                                   help="live sessions")
         return dropped
 
     # ------------------------------------------------------------------
@@ -125,22 +171,60 @@ class CheckService:
 
     def handle(self, req: Dict[str, Any]) -> Dict[str, Any]:
         """Dispatch one request object to its op handler; every failure
-        mode becomes an error *response* (the connection survives)."""
+        mode becomes an error *response* (the connection survives).
+
+        Every request gets a trace context (echoed as ``trace`` in the
+        response), a per-op latency observation, and an outcome counter;
+        when tracing is enabled the dispatch runs under a
+        ``serve.request`` span carrying the trace identity."""
         self.requests += 1
-        if TRACER.enabled:
-            TRACER.count("serve.request")
         rid = req.get("id")
         op = req.get("op")
+        opname = op if isinstance(op, str) else "invalid"
+        ctx = self._next_trace(req)
+        session = req.get("session")
+        span = (
+            TRACER.span(
+                "serve.request",
+                op=opname,
+                session=session if isinstance(session, str) else "",
+                request=ctx.hex_span,
+                trace_id=ctx.hex_trace,
+                span_id=ctx.hex_span,
+            )
+            if TRACER.enabled
+            else None
+        )
+        start = time.perf_counter()
         handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
-        if handler is None:
-            resp = {"ok": False, "error": f"unknown op {op!r}"}
-        else:
-            try:
-                resp = handler(req)
-            except KeyError as exc:
-                resp = {"ok": False, "error": str(exc.args[0])}
-            except Exception as exc:  # never kill the connection
-                resp = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        try:
+            if span is not None:
+                span.__enter__()
+            if handler is None:
+                resp = {"ok": False, "error": f"unknown op {op!r}"}
+            else:
+                try:
+                    resp = handler(req)
+                except KeyError as exc:
+                    resp = {"ok": False, "error": str(exc.args[0])}
+                except Exception as exc:  # never kill the connection
+                    resp = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+        elapsed = time.perf_counter() - start
+        # `check` answers ok=False for mere diagnostics; only a missing
+        # handler or a raised error counts as a failed *request*.
+        outcome = "error" if "error" in resp else "ok"
+        self.metrics.inc("serve_requests_total", op=opname, outcome=outcome,
+                         help="serve requests by op and outcome")
+        self.metrics.observe("serve_request_seconds", elapsed, op=opname,
+                             help="serve request latency by op")
+        if TRACER.enabled:
+            TRACER.count("serve.request")
+            TRACER.count(f"serve.request.{outcome}")
+            TRACER.observe(f"serve.latency.{opname}", elapsed * 1000.0)
+        resp["trace"] = ctx.traceparent
         if rid is not None:
             resp["id"] = rid
         return resp
@@ -163,6 +247,11 @@ class CheckService:
         sess = _Session(name, checker)
         with self._sessions_lock:
             self.sessions[name] = sess  # re-open replaces
+            count = len(self.sessions)
+        self.metrics.inc("serve_sessions_opened_total",
+                         help="sessions opened since start")
+        self.metrics.set_gauge("serve_sessions", count,
+                               help="live sessions")
         return {"ok": True, "session": name, "stats": checker.last_stats}
 
     def _op_edit(self, req: Dict[str, Any]) -> Dict[str, Any]:
@@ -179,11 +268,35 @@ class CheckService:
         with sess.lock:
             sink = sess.checker.check()
             stats = sess.checker.last_stats
+            self._refresh_session_gauges(sess)
         return {
             "ok": not sink.has_errors,
             "diagnostics": [d.to_dict() for d in sink.diagnostics],
             "stats": stats,
         }
+
+    def _refresh_session_gauges(self, sess: _Session) -> None:
+        """Publish the session's query-cache and incremental-accounting
+        levels as labeled gauges (caller holds the session lock)."""
+        m = self.metrics
+        table = sess.checker.table
+        if table is not None:
+            cs = table.queries.stats()
+            m.set_gauge("repro_query_cache_hits", cs.hits, session=sess.name,
+                        help="query-cache hits per session")
+            m.set_gauge("repro_query_cache_misses", cs.misses,
+                        session=sess.name,
+                        help="query-cache misses per session")
+            m.set_gauge("repro_query_cache_revalidations", cs.revalidations,
+                        session=sess.name,
+                        help="green revalidations per session")
+        acct = sess.checker.last_stats.get("check")
+        if isinstance(acct, dict):
+            for kind in ("recomputed", "revalidated", "reused"):
+                if kind in acct:
+                    m.set_gauge("repro_incr_check_classes", acct[kind],
+                                session=sess.name, kind=kind,
+                                help="incremental check accounting")
 
     def _op_explain(self, req: Dict[str, Any]) -> Dict[str, Any]:
         from .lang.classtable import JnsError
@@ -225,9 +338,27 @@ class CheckService:
         name = req.get("session")
         with self._sessions_lock:
             existed = self.sessions.pop(name, None) is not None
+            count = len(self.sessions)
         if not existed:
             raise KeyError(f"no such session {name!r} (open it first)")
+        self.metrics.set_gauge("serve_sessions", count, help="live sessions")
         return {"ok": True, "session": name}
+
+    def _op_metrics(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Cumulative telemetry snapshot for scrapers and ``repro top``;
+        pass ``"exposition": true`` to also get the Prometheus text."""
+        with self._sessions_lock:
+            names = sorted(self.sessions)
+        resp = {
+            "ok": True,
+            "uptime_s": time.monotonic() - self.started,
+            "requests": self.requests,
+            "sessions": names,
+            "metrics": self.metrics.snapshot(),
+        }
+        if req.get("exposition"):
+            resp["exposition"] = self.metrics.exposition()
+        return resp
 
     def _op_shutdown(self, req: Dict[str, Any]) -> Dict[str, Any]:
         self.shutdown_requested.set()
@@ -268,22 +399,61 @@ class _Server(socketserver.ThreadingTCPServer):
     daemon_threads = True
 
 
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """``GET /metrics`` → the registry in Prometheus text format.
+    Anything else is 404; access logging is suppressed (scrapers poll)."""
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service: CheckService = self.server.service  # type: ignore[attr-defined]
+        if self.path.split("?", 1)[0].rstrip("/") in ("", "/metrics"):
+            body = service.metrics.exposition().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404, "try /metrics")
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+
+class _MetricsServer(ThreadingHTTPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
 class ServeHandle:
     """A running service bound to a socket — tests start one in-process
     via :func:`start_server` and tear it down with :meth:`stop`."""
 
     def __init__(self, server: _Server, service: CheckService,
-                 thread: threading.Thread, reaper: threading.Thread) -> None:
+                 thread: threading.Thread, reaper: threading.Thread,
+                 metrics_server: Optional[_MetricsServer] = None,
+                 metrics_thread: Optional[threading.Thread] = None) -> None:
         self.server = server
         self.service = service
         self.thread = thread
         self.reaper = reaper
         self.host, self.port = server.server_address[:2]
+        self.metrics_server = metrics_server
+        self.metrics_thread = metrics_thread
+        self.metrics_port: Optional[int] = (
+            metrics_server.server_address[1] if metrics_server else None
+        )
 
     def stop(self) -> None:
         self.service.shutdown_requested.set()
         self.server.shutdown()
         self.server.server_close()
+        if self.metrics_server is not None:
+            self.metrics_server.shutdown()
+            self.metrics_server.server_close()
+            if self.metrics_thread is not None:
+                self.metrics_thread.join(timeout=5)
         self.thread.join(timeout=5)
 
 
@@ -291,11 +461,15 @@ def start_server(
     host: str = "127.0.0.1",
     port: int = 0,
     idle_timeout: float = 300.0,
+    metrics_port: Optional[int] = None,
+    seed: int = 0,
 ) -> ServeHandle:
     """Bind, start the accept loop and the idle reaper (both daemon
     threads), and return a handle exposing the chosen port (``port=0``
-    binds an ephemeral one)."""
-    service = CheckService(idle_timeout=idle_timeout)
+    binds an ephemeral one).  ``metrics_port`` additionally binds an
+    HTTP endpoint (same host; 0 = ephemeral) serving ``GET /metrics``
+    in Prometheus text format."""
+    service = CheckService(idle_timeout=idle_timeout, seed=seed)
     server = _Server((host, port), _Handler)
     server.service = service  # type: ignore[attr-defined]
     thread = threading.Thread(
@@ -311,7 +485,17 @@ def start_server(
     reaper = threading.Thread(target=_reap, name="repro-serve-reaper",
                               daemon=True)
     reaper.start()
-    return ServeHandle(server, service, thread, reaper)
+    metrics_server = metrics_thread = None
+    if metrics_port is not None:
+        metrics_server = _MetricsServer((host, metrics_port), _MetricsHandler)
+        metrics_server.service = service  # type: ignore[attr-defined]
+        metrics_thread = threading.Thread(
+            target=metrics_server.serve_forever,
+            name="repro-serve-metrics", daemon=True,
+        )
+        metrics_thread.start()
+    return ServeHandle(server, service, thread, reaper,
+                       metrics_server, metrics_thread)
 
 
 class ServeClient:
@@ -355,14 +539,14 @@ def main(args) -> int:
     wrappers can scrape the ephemeral port), serve until a ``shutdown``
     op or Ctrl-C."""
     handle = start_server(
-        host=args.host, port=args.port, idle_timeout=args.idle_timeout
+        host=args.host, port=args.port, idle_timeout=args.idle_timeout,
+        metrics_port=getattr(args, "metrics_port", None),
+        seed=getattr(args, "seed", 0),
     )
-    print(
-        json.dumps(
-            {"event": "ready", "host": handle.host, "port": handle.port}
-        ),
-        flush=True,
-    )
+    ready = {"event": "ready", "host": handle.host, "port": handle.port}
+    if handle.metrics_port is not None:
+        ready["metrics_port"] = handle.metrics_port
+    print(json.dumps(ready), flush=True)
     try:
         while not handle.service.shutdown_requested.wait(0.2):
             pass

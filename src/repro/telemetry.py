@@ -1,0 +1,773 @@
+"""Request-scoped telemetry: trace contexts, labeled metrics, OTLP export.
+
+:mod:`repro.obs` is a process-global tracer — great for one pipeline run,
+blind to *which request* a span or counter belongs to.  This module adds
+the request-scoped layer on top of it:
+
+* :class:`TraceContext` — a W3C-trace-context-shaped identity (128-bit
+  trace id + 64-bit span id + optional parent).  Contexts are derived
+  **deterministically** from a seeded :class:`repro.chaos.Rng`
+  (:meth:`TraceContext.from_rng`), so two CorONA chaos replays with the
+  same seed produce byte-identical trace-id sequences, and the check
+  service hands every JSONL request a ``traceparent`` that clients can
+  also supply inbound (:meth:`TraceContext.parse`).
+* :class:`MetricsRegistry` — labeled counters / gauges / histograms with
+  **bounded label cardinality** (beyond :data:`MAX_SERIES_PER_FAMILY`
+  distinct label sets per family, further series collapse into an
+  ``overflow="true"`` bucket — misbehaving label values can never grow
+  memory without bound).  Snapshots are JSON-able and cumulative
+  (scrapes never reset state); :func:`diff_snapshots` subtracts two
+  snapshots for rate/p50/p95 windows, which is how ``repro top``
+  computes per-interval views.  :meth:`MetricsRegistry.exposition`
+  renders Prometheus text format 0.0.4, served by the ``metrics`` op and
+  ``repro serve --metrics-port``.  :func:`validate_exposition` is the
+  checker both the tests and ``scripts/metrics_smoke.py`` run against a
+  scrape.
+* :func:`write_otlp_jsonl` — the tracer's span ring as OTLP-flavored
+  JSON Lines (one span object per line with ``traceId`` / ``spanId`` /
+  ``startTimeUnixNano`` / ``attributes``), alongside the existing
+  Chrome-trace export.  Spans that carried ``trace_id`` / ``span_id``
+  args (the request spans) keep their real identity; others get a
+  synthetic one derived from their call path so the file is
+  self-consistent.
+
+Everything here is pure stdlib and allocation-light: registries are flat
+dicts keyed by ``(name, sorted-label-items)``, histogram buckets are
+fixed lists, and nothing in this module touches the tracer's disabled
+hot path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "TraceContext",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "MAX_SERIES_PER_FAMILY",
+    "diff_snapshots",
+    "quantile_from_buckets",
+    "validate_exposition",
+    "write_otlp_jsonl",
+    "render_top",
+]
+
+
+# ----------------------------------------------------------------------
+# trace context
+# ----------------------------------------------------------------------
+
+_TRACE_MASK = (1 << 128) - 1
+_SPAN_MASK = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A request's trace identity: 128-bit trace id, 64-bit span id, and
+    the parent span id when this context was derived via :meth:`child`.
+
+    The wire rendering follows the W3C ``traceparent`` shape
+    (``00-<32 hex>-<16 hex>-01``) so the ids paste straight into any
+    OTLP-speaking tool."""
+
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int] = None
+
+    @classmethod
+    def from_rng(cls, rng: Any) -> "TraceContext":
+        """Draw a fresh root context from a seeded
+        :class:`repro.chaos.Rng` — fully deterministic, so replays with
+        the same seed regenerate the same id sequence.  All-zero ids are
+        forbidden by the W3C format; nudge them to 1."""
+        trace_id = int.from_bytes(rng.randbytes(16), "big") & _TRACE_MASK
+        span_id = int.from_bytes(rng.randbytes(8), "big") & _SPAN_MASK
+        return cls(trace_id or 1, span_id or 1)
+
+    def child(self, label: str) -> "TraceContext":
+        """A child span context: same trace, new span id derived by
+        hashing ``(trace, span, label)`` — stable across replays."""
+        digest = hashlib.blake2b(
+            f"{self.trace_id:032x}:{self.span_id:016x}:{label}".encode(),
+            digest_size=8,
+        ).digest()
+        span_id = int.from_bytes(digest, "big") & _SPAN_MASK
+        return TraceContext(self.trace_id, span_id or 1, parent_id=self.span_id)
+
+    @property
+    def hex_trace(self) -> str:
+        return f"{self.trace_id:032x}"
+
+    @property
+    def hex_span(self) -> str:
+        return f"{self.span_id:016x}"
+
+    @property
+    def traceparent(self) -> str:
+        return f"00-{self.hex_trace}-{self.hex_span}-01"
+
+    @classmethod
+    def parse(cls, traceparent: str) -> "TraceContext":
+        """Parse a ``traceparent`` header value; raises ``ValueError`` on
+        anything that is not ``VV-<32 hex>-<16 hex>-FF``."""
+        parts = traceparent.strip().split("-")
+        if len(parts) != 4 or len(parts[1]) != 32 or len(parts[2]) != 16:
+            raise ValueError(f"malformed traceparent {traceparent!r}")
+        if parts[0] != "00":
+            raise ValueError(f"unknown traceparent version {parts[0]!r}")
+        trace_id = int(parts[1], 16)
+        span_id = int(parts[2], 16)
+        if not trace_id or not span_id:
+            raise ValueError(f"all-zero ids in traceparent {traceparent!r}")
+        return cls(trace_id, span_id)
+
+
+# ----------------------------------------------------------------------
+# labeled metrics
+# ----------------------------------------------------------------------
+
+#: Default latency buckets (seconds) — tuned for a local check service
+#: where ops run 100µs..1s.  ``+Inf`` is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+#: Distinct label sets retained per metric family; further series fold
+#: into the ``overflow="true"`` bucket and bump ``dropped_series``.
+MAX_SERIES_PER_FAMILY = 64
+
+_OVERFLOW_KEY: Tuple[Tuple[str, str], ...] = (("overflow", "true"),)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+class _Hist:
+    """One histogram series: cumulative bucket counts, sum, count."""
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * len(self.bounds)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    def cumulative(self) -> List[List[Any]]:
+        """``[[le, cumulative_count], ...]`` ending with ``["+Inf", count]``."""
+        out: List[List[Any]] = [
+            [bound, self.bucket_counts[i]] for i, bound in enumerate(self.bounds)
+        ]
+        out.append(["+Inf", self.count])
+        return out
+
+
+class _Family:
+    __slots__ = ("name", "kind", "help", "series")
+
+    def __init__(self, name: str, kind: str, help_: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_
+        #: label-items tuple -> float (counter/gauge) or _Hist
+        self.series: Dict[Tuple[Tuple[str, str], ...], Any] = {}
+
+
+def _label_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Labeled counters, gauges, and histograms with bounded cardinality.
+
+    Thread-safe (one lock; every mutation is a handful of dict ops) and
+    cumulative: scrapes read a consistent :meth:`snapshot` or
+    :meth:`exposition` without resetting anything, so any number of
+    scrapers can watch one registry (delta computation is the reader's
+    job — see :func:`diff_snapshots`)."""
+
+    def __init__(self, max_series: int = MAX_SERIES_PER_FAMILY) -> None:
+        self.max_series = max_series
+        self.dropped_series = 0
+        self._families: Dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # -- internals ------------------------------------------------------
+
+    def _family(self, name: str, kind: str, help_: str) -> _Family:
+        fam = self._families.get(name)
+        if fam is None:
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid metric name {name!r}")
+            fam = self._families[name] = _Family(name, kind, help_)
+        elif fam.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {fam.kind}, not {kind}"
+            )
+        return fam
+
+    def _series_key(
+        self, fam: _Family, labels: Dict[str, Any]
+    ) -> Tuple[Tuple[str, str], ...]:
+        key = _label_key(labels)
+        if key not in fam.series and len(fam.series) >= self.max_series:
+            self.dropped_series += 1
+            return _OVERFLOW_KEY
+        return key
+
+    # -- writers --------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, help: str = "", **labels: Any) -> None:
+        """Add ``value`` to the counter series ``name{labels}``."""
+        with self._lock:
+            fam = self._family(name, "counter", help)
+            key = self._series_key(fam, labels)
+            fam.series[key] = fam.series.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, help: str = "", **labels: Any) -> None:
+        """Set the gauge series ``name{labels}`` to ``value``."""
+        with self._lock:
+            fam = self._family(name, "gauge", help)
+            fam.series[self._series_key(fam, labels)] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+        **labels: Any,
+    ) -> None:
+        """Record ``value`` into the histogram series ``name{labels}``."""
+        with self._lock:
+            fam = self._family(name, "histogram", help)
+            key = self._series_key(fam, labels)
+            hist = fam.series.get(key)
+            if hist is None:
+                hist = fam.series[key] = _Hist(buckets)
+            hist.observe(value)
+
+    # -- readers --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able, cumulative view of every series.  Shape::
+
+            {"counters":   [{"name", "labels", "value"}, ...],
+             "gauges":     [ ... same ... ],
+             "histograms": [{"name", "labels", "count", "sum",
+                             "buckets": [[le, cum], ..., ["+Inf", n]]}],
+             "dropped_series": int}
+        """
+        counters: List[Dict[str, Any]] = []
+        gauges: List[Dict[str, Any]] = []
+        histograms: List[Dict[str, Any]] = []
+        with self._lock:
+            for fam in sorted(self._families.values(), key=lambda f: f.name):
+                for key in sorted(fam.series):
+                    labels = dict(key)
+                    if fam.kind == "histogram":
+                        h = fam.series[key]
+                        histograms.append(
+                            {
+                                "name": fam.name,
+                                "labels": labels,
+                                "count": h.count,
+                                "sum": h.sum,
+                                "buckets": h.cumulative(),
+                            }
+                        )
+                    elif fam.kind == "counter":
+                        counters.append(
+                            {"name": fam.name, "labels": labels,
+                             "value": fam.series[key]}
+                        )
+                    else:
+                        gauges.append(
+                            {"name": fam.name, "labels": labels,
+                             "value": fam.series[key]}
+                        )
+            dropped = self.dropped_series
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "dropped_series": dropped,
+        }
+
+    def exposition(self) -> str:
+        """Prometheus text format 0.0.4 (``# HELP`` / ``# TYPE`` headers,
+        ``_bucket``/``_sum``/``_count`` histogram triplets, trailing
+        newline)."""
+        lines: List[str] = []
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+            for fam in families:
+                if fam.help:
+                    lines.append(f"# HELP {fam.name} {fam.help}")
+                lines.append(f"# TYPE {fam.name} {fam.kind}")
+                for key in sorted(fam.series):
+                    if fam.kind == "histogram":
+                        h = fam.series[key]
+                        for le, cum in h.cumulative():
+                            le_txt = le if le == "+Inf" else _fmt_value(le)
+                            lines.append(
+                                f"{fam.name}_bucket"
+                                f"{_fmt_labels(key + (('le', str(le_txt)),))}"
+                                f" {cum}"
+                            )
+                        lines.append(
+                            f"{fam.name}_sum{_fmt_labels(key)} {_fmt_value(h.sum)}"
+                        )
+                        lines.append(f"{fam.name}_count{_fmt_labels(key)} {h.count}")
+                    else:
+                        lines.append(
+                            f"{fam.name}{_fmt_labels(key)}"
+                            f" {_fmt_value(fam.series[key])}"
+                        )
+            lines.append(
+                f"# TYPE repro_metrics_dropped_series counter"
+            )
+            lines.append(f"repro_metrics_dropped_series {self.dropped_series}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt_value(v: float) -> str:
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    return repr(v) if isinstance(v, float) else str(v)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _fmt_labels(items: Tuple[Tuple[str, str], ...]) -> str:
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+# ----------------------------------------------------------------------
+# snapshot arithmetic (delta windows for `repro top`)
+# ----------------------------------------------------------------------
+
+
+def _series_index(rows: List[Dict[str, Any]]) -> Dict[Tuple[Any, ...], Dict[str, Any]]:
+    return {
+        (row["name"], tuple(sorted(row["labels"].items()))): row for row in rows
+    }
+
+
+def diff_snapshots(prev: Dict[str, Any], cur: Dict[str, Any]) -> Dict[str, Any]:
+    """``cur - prev`` for counters and histograms (gauges pass through
+    unchanged — they are levels, not totals).  Series absent from
+    ``prev`` diff against zero; a counter that went *backwards* (server
+    restart) is passed through at its current value."""
+    out: Dict[str, Any] = {"counters": [], "gauges": list(cur.get("gauges", [])),
+                           "histograms": [],
+                           "dropped_series": cur.get("dropped_series", 0)}
+    prev_counters = _series_index(prev.get("counters", []))
+    for row in cur.get("counters", []):
+        key = (row["name"], tuple(sorted(row["labels"].items())))
+        base = prev_counters.get(key, {}).get("value", 0.0)
+        delta = row["value"] - base
+        if delta < 0:
+            delta = row["value"]
+        out["counters"].append({**row, "value": delta})
+    prev_hists = _series_index(prev.get("histograms", []))
+    for row in cur.get("histograms", []):
+        key = (row["name"], tuple(sorted(row["labels"].items())))
+        base = prev_hists.get(key)
+        if base is None or base["count"] > row["count"]:
+            out["histograms"].append(dict(row))
+            continue
+        base_buckets = {le: cum for le, cum in base["buckets"]}
+        out["histograms"].append(
+            {
+                **row,
+                "count": row["count"] - base["count"],
+                "sum": row["sum"] - base["sum"],
+                "buckets": [
+                    [le, cum - base_buckets.get(le, 0)]
+                    for le, cum in row["buckets"]
+                ],
+            }
+        )
+    return out
+
+
+def quantile_from_buckets(buckets: List[List[Any]], q: float) -> Optional[float]:
+    """Estimate the q-quantile (0..1) from cumulative ``[le, count]``
+    buckets by linear interpolation within the target bucket (the
+    standard Prometheus ``histogram_quantile`` scheme).  Returns None on
+    an empty histogram; clamps to the last finite bound when the target
+    falls in the ``+Inf`` bucket."""
+    if not buckets:
+        return None
+    total = buckets[-1][1]
+    if total <= 0:
+        return None
+    rank = q * total
+    prev_bound = 0.0
+    prev_cum = 0
+    last_finite: Optional[float] = None
+    for le, cum in buckets:
+        if le == "+Inf":
+            return last_finite  # target beyond every finite bound
+        bound = float(le)
+        if cum >= rank and cum > prev_cum:
+            frac = (rank - prev_cum) / (cum - prev_cum)
+            return prev_bound + (bound - prev_bound) * min(1.0, max(0.0, frac))
+        prev_bound, prev_cum, last_finite = bound, cum, bound
+    return last_finite
+
+
+# ----------------------------------------------------------------------
+# exposition validation (tests + scripts/metrics_smoke.py)
+# ----------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Check a Prometheus text-format scrape; returns a list of problems
+    (empty = valid).  Checks: trailing newline, sample-line syntax, label
+    syntax, ``# TYPE`` declared before a family's first sample,
+    cumulative (monotone) histogram buckets, and ``_count`` equal to the
+    ``+Inf`` bucket."""
+    problems: List[str] = []
+    if not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+    typed: Dict[str, str] = {}
+    # (histogram base name, label key minus le) -> [(le, cum), ...]
+    buckets: Dict[Tuple[str, Tuple[str, ...]], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, Tuple[str, ...]], float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            problems.append(f"line {lineno}: blank line")
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                    problems.append(
+                        f"line {lineno}: unknown metric type {kind!r}"
+                    )
+                typed[parts[2]] = kind
+            elif len(parts) >= 2 and parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {lineno}: unknown comment {parts[1]!r}")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            problems.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name = m.group("name")
+        label_text = m.group("labels")
+        labels: Dict[str, str] = {}
+        if label_text:
+            for item in _split_labels(label_text[1:-1]):
+                if not _LABEL_RE.match(item):
+                    problems.append(f"line {lineno}: malformed label {item!r}")
+                else:
+                    k, _, v = item.partition("=")
+                    labels[k] = v[1:-1]
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            problems.append(
+                f"line {lineno}: sample for {name!r} before its # TYPE line"
+            )
+        if name.endswith("_bucket") and base != name:
+            le = labels.get("le")
+            if le is None:
+                problems.append(f"line {lineno}: _bucket sample without le label")
+            else:
+                key = (
+                    base,
+                    tuple(sorted(f"{k}={v}" for k, v in labels.items() if k != "le")),
+                )
+                bound = float("inf") if le == "+Inf" else float(le)
+                buckets.setdefault(key, []).append((bound, float(m.group("value"))))
+        elif name.endswith("_count") and base != name:
+            key = (base, tuple(sorted(f"{k}={v}" for k, v in labels.items())))
+            counts[key] = float(m.group("value"))
+    for key, rows in buckets.items():
+        rows.sort(key=lambda r: r[0])
+        cums = [cum for _, cum in rows]
+        if cums != sorted(cums):
+            problems.append(f"histogram {key[0]}{list(key[1])}: buckets not cumulative")
+        if rows and rows[-1][0] != float("inf"):
+            problems.append(f"histogram {key[0]}{list(key[1])}: missing +Inf bucket")
+        total = counts.get(key)
+        if total is not None and rows and rows[-1][1] != total:
+            problems.append(
+                f"histogram {key[0]}{list(key[1])}: _count {total} != +Inf "
+                f"bucket {rows[-1][1]}"
+            )
+    return problems
+
+
+def _split_labels(body: str) -> List[str]:
+    """Split ``k1="v1",k2="v2"`` on commas outside quotes."""
+    items: List[str] = []
+    depth_quote = False
+    cur: List[str] = []
+    i = 0
+    while i < len(body):
+        c = body[i]
+        if c == "\\" and depth_quote:
+            cur.append(body[i : i + 2])
+            i += 2
+            continue
+        if c == '"':
+            depth_quote = not depth_quote
+        if c == "," and not depth_quote:
+            items.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+        i += 1
+    if cur:
+        items.append("".join(cur))
+    return items
+
+
+# ----------------------------------------------------------------------
+# OTLP-flavored span export
+# ----------------------------------------------------------------------
+
+
+def _synth_ids(path: Tuple[str, ...], start_ns: int) -> Tuple[str, str]:
+    """Synthetic (trace, span) hex ids for spans that carried no explicit
+    trace context: trace id from the root span name, span id from the
+    full path + start offset — stable for a given recording."""
+    root = path[0] if path else "span"
+    trace = hashlib.blake2b(root.encode(), digest_size=16).hexdigest()
+    span = hashlib.blake2b(
+        f"{';'.join(path)}:{start_ns}".encode(), digest_size=8
+    ).hexdigest()
+    return trace, span
+
+
+def _attr_value(v: Any) -> Dict[str, Any]:
+    if isinstance(v, bool):
+        return {"boolValue": v}
+    if isinstance(v, int):
+        return {"intValue": v}
+    if isinstance(v, float):
+        return {"doubleValue": v}
+    return {"stringValue": str(v)}
+
+
+def write_otlp_jsonl(tracer: Any, path: str) -> int:
+    """Write every finished span in the tracer's ring as one
+    OTLP-flavored JSON object per line; returns the number of spans
+    written.  Spans whose args carry ``trace_id`` / ``span_id`` (the
+    request spans) keep that identity; ``parent_span_id`` maps to
+    ``parentSpanId``.  Spans without explicit identity get synthetic ids
+    and are linked to the tightest enclosing span one path level up."""
+    from .obs import SpanRecord
+
+    recs = [rec for rec in list(tracer.events) if isinstance(rec, SpanRecord)]
+    rows = []
+    for rec in recs:
+        args = dict(rec.args)
+        trace_id = args.pop("trace_id", None)
+        span_id = args.pop("span_id", None)
+        parent = args.pop("parent_span_id", "")
+        if not trace_id or not span_id:
+            s_trace, s_span = _synth_ids(rec.path, rec.start_ns)
+            trace_id = trace_id or s_trace
+            span_id = span_id or s_span
+        rows.append([rec, args, str(trace_id), str(span_id), str(parent)])
+    # Link spans that carried no explicit parent: the enclosing span is
+    # the one whose path is ours minus the leaf and whose time interval
+    # contains ours (tightest wins, for recursive same-path nests).
+    for row in rows:
+        rec, _, _, _, parent = row
+        if parent or len(rec.path) < 2:
+            continue
+        lo, hi = rec.start_ns, rec.start_ns + rec.dur_ns
+        best = None
+        for cand in rows:
+            crec = cand[0]
+            if crec is rec or crec.path != rec.path[:-1]:
+                continue
+            if crec.start_ns <= lo and crec.start_ns + crec.dur_ns >= hi:
+                if best is None or crec.dur_ns < best[0].dur_ns:
+                    best = cand
+        if best is not None:
+            row[2] = best[2]  # inherit the parent's trace id
+            row[4] = best[3]
+    n = 0
+    with open(path, "w") as f:
+        for rec, args, trace_id, span_id, parent in rows:
+            span = {
+                "name": rec.name,
+                "traceId": trace_id,
+                "spanId": span_id,
+                "parentSpanId": parent,
+                "kind": "SPAN_KIND_INTERNAL",
+                "startTimeUnixNano": rec.start_ns,
+                "endTimeUnixNano": rec.start_ns + rec.dur_ns,
+                "attributes": [
+                    {"key": k, "value": _attr_value(v)}
+                    for k, v in sorted(args.items())
+                ],
+            }
+            f.write(json.dumps(span) + "\n")
+            n += 1
+    return n
+
+
+# ----------------------------------------------------------------------
+# `repro top` frame rendering
+# ----------------------------------------------------------------------
+
+
+def _find(rows: List[Dict[str, Any]], name: str, **labels: str) -> List[Dict[str, Any]]:
+    want = set(labels.items())
+    return [
+        r for r in rows
+        if r["name"] == name and want <= set(r["labels"].items())
+    ]
+
+
+def render_top(
+    resp: Dict[str, Any],
+    prev: Optional[Dict[str, Any]] = None,
+    dt: Optional[float] = None,
+) -> str:
+    """One ``repro top`` frame from a ``metrics`` op response (and the
+    previous response, for delta rates).  Renders service uptime,
+    sessions, req/s, a per-op table (count / rate / p50 / p95), cache
+    hit rate, and incremental revalidation counts."""
+    snap = resp.get("metrics", {})
+    window = snap if prev is None else diff_snapshots(
+        prev.get("metrics", {}), snap
+    )
+    lines: List[str] = []
+    uptime = resp.get("uptime_s", 0.0)
+    sessions = resp.get("sessions", [])
+    total_req = resp.get("requests", 0)
+    window_req = sum(
+        r["value"] for r in window.get("counters", [])
+        if r["name"] == "serve_requests_total"
+    )
+    if dt and dt > 0:
+        rate_txt = f"{window_req / dt:8.1f} req/s"
+    else:
+        rate_txt = "     (first sample)"
+    lines.append(
+        f"repro top — uptime {uptime:7.1f}s   sessions {len(sessions):3d}   "
+        f"requests {total_req:8d}   {rate_txt}"
+    )
+    lines.append("")
+    # per-op table from the serve_request_seconds histograms
+    hists = [
+        r for r in window.get("histograms", [])
+        if r["name"] == "serve_request_seconds"
+    ]
+    lines.append(f"  {'op':<10} {'count':>8} {'rate':>9} {'p50':>9} {'p95':>9}")
+    if not hists:
+        lines.append("  (no requests in window)")
+    for row in sorted(hists, key=lambda r: -r["count"]):
+        op = row["labels"].get("op", "?")
+        count = row["count"]
+        rate = f"{count / dt:8.1f}" if dt and dt > 0 else "       -"
+        p50 = quantile_from_buckets(row["buckets"], 0.50)
+        p95 = quantile_from_buckets(row["buckets"], 0.95)
+        lines.append(
+            "  {:<10} {:>8} {:>9} {:>9} {:>9}".format(
+                op,
+                count,
+                rate,
+                _fmt_secs(p50),
+                _fmt_secs(p95),
+            )
+        )
+    # outcome split
+    ok = sum(
+        r["value"]
+        for r in _find(window.get("counters", []), "serve_requests_total",
+                       outcome="ok")
+    )
+    err = sum(
+        r["value"]
+        for r in _find(window.get("counters", []), "serve_requests_total",
+                       outcome="error")
+    )
+    lines.append("")
+    lines.append(f"  outcomes: ok {int(ok)}  error {int(err)}")
+    # per-session cache + incremental gauges (levels: read from cur snapshot)
+    gauges = snap.get("gauges", [])
+    cache_lines = []
+    for sess in sessions:
+        hits = sum(r["value"] for r in _find(gauges, "repro_query_cache_hits",
+                                             session=sess))
+        misses = sum(r["value"] for r in _find(gauges, "repro_query_cache_misses",
+                                               session=sess))
+        reval = sum(
+            r["value"]
+            for r in _find(gauges, "repro_query_cache_revalidations",
+                           session=sess)
+        )
+        reused = sum(
+            r["value"]
+            for r in _find(gauges, "repro_incr_check_classes",
+                           session=sess, kind="reused")
+        )
+        recheck = sum(
+            r["value"]
+            for r in _find(gauges, "repro_incr_check_classes",
+                           session=sess, kind="recomputed")
+        )
+        total = hits + misses
+        hit_rate = f"{100.0 * hits / total:5.1f}%" if total else "    -"
+        cache_lines.append(
+            f"  {sess:<16} cache hit {hit_rate}  revalidated {int(reval):6d}  "
+            f"classes reused {int(reused):4d} / rechecked {int(recheck):4d}"
+        )
+    if cache_lines:
+        lines.append("")
+        lines.append("  sessions:")
+        lines.extend(cache_lines)
+    dropped = snap.get("dropped_series", 0)
+    if dropped:
+        lines.append("")
+        lines.append(f"  ! {dropped} metric series dropped (label overflow)")
+    return "\n".join(lines)
+
+
+def _fmt_secs(s: Optional[float]) -> str:
+    if s is None:
+        return "-"
+    if s < 0.001:
+        return f"{s * 1e6:.0f}µs"
+    if s < 1.0:
+        return f"{s * 1e3:.1f}ms"
+    return f"{s:.2f}s"

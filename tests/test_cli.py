@@ -215,3 +215,68 @@ class TestFmt:
         interp = program.interp()
         ref = interp.new_instance(("Main",), ())
         assert interp.call_method(ref, "main", []) == 5
+
+
+class TestFlameAndOtlp:
+    def test_run_flame_writes_collapsed_stacks(self, good_file, tmp_path, capsys):
+        out = tmp_path / "flame.txt"
+        assert main(["run", good_file, "--flame", str(out)]) == 0
+        capsys.readouterr()
+        lines = out.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            path, value = line.rsplit(" ", 1)
+            assert path and value.isdigit()
+
+    def test_check_otlp_out_writes_spans(self, good_file, tmp_path, capsys):
+        out = tmp_path / "spans.jsonl"
+        assert main(["check", good_file, "--otlp-out", str(out)]) == 0
+        capsys.readouterr()
+        rows = [json.loads(l) for l in out.read_text().splitlines()]
+        assert rows
+        for row in rows:
+            assert len(row["traceId"]) == 32 and len(row["spanId"]) == 16
+            assert row["endTimeUnixNano"] >= row["startTimeUnixNano"]
+
+    def test_flame_leaves_tracer_disabled(self, good_file, tmp_path, capsys):
+        from repro import obs
+
+        assert main(["run", good_file, "--flame", str(tmp_path / "f.txt")]) == 0
+        assert not obs.enabled()
+
+
+class TestTop:
+    def test_top_renders_frames_against_live_server(self, capsys):
+        from repro.serve import ServeClient, start_server
+
+        handle = start_server()
+        try:
+            c = ServeClient(handle.host, handle.port)
+            c.request(
+                "open", session="demo",
+                source="class app { class A { int x; } }",
+            )
+            c.request("check", session="demo")
+            c.close()
+            rc = main([
+                "top", "--port", str(handle.port), "--host", handle.host,
+                "--interval", "0.01", "--iterations", "2", "--no-clear",
+            ])
+        finally:
+            handle.stop()
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("repro top —") == 2
+        assert "sessions   1" in out
+        assert "check" in out and "p95" in out
+
+    def test_top_connection_refused_exits_1(self, capsys):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here now
+        rc = main(["top", "--port", str(port), "--iterations", "1"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err

@@ -274,3 +274,86 @@ def test_driver_killed_is_not_swallowed_outside_run():
     assert report.killed
     with pytest.raises(DriverKilled):
         raise DriverKilled("direct")
+
+
+class TestTraceDeterminism:
+    SMALL = dict(nodes=64, shards=2, objects=32, requests=80, seed=17)
+
+    def _run(self, **over):
+        from repro.chaos import FaultPlan
+
+        cfg = {**self.SMALL, **over}
+        driver = ChaosCoronaDriver(plan=FaultPlan(), **cfg)
+        report = driver.run()
+        return driver, report
+
+    def test_same_seed_same_trace_id_sequence(self):
+        da, ra = self._run()
+        db, rb = self._run()
+        assert da.trace_ids == db.trace_ids
+        assert len(da.trace_ids) == self.SMALL["requests"]
+        assert len(set(da.trace_ids)) == self.SMALL["requests"]
+        assert ra.trace_digest == rb.trace_digest
+        assert len(ra.trace_digest) == 64
+
+    def test_different_seed_different_digest(self):
+        _, ra = self._run(seed=17)
+        _, rb = self._run(seed=18)
+        assert ra.trace_digest != rb.trace_digest
+
+    def test_trace_digest_survives_json_round_trip(self):
+        _, report = self._run()
+        payload = json.loads(report.to_json(include_wall=False))
+        assert payload["trace_digest"] == report.trace_digest
+
+    def test_flamegraph_folds_replay_identically(self):
+        """Two same-seed runs under an enabled tracer produce identical
+        count-weighted collapsed stacks (wall-time weights differ)."""
+
+        def folds():
+            obs.TRACER.reset()
+            obs.enable()
+            try:
+                self._run()
+                return obs.TRACER.to_collapsed(weight="count")
+            finally:
+                obs.disable()
+        a = folds()
+        b = folds()
+        assert a == b
+        assert any(
+            line.startswith("corona.request") for line in a.splitlines()
+        )
+
+    def test_request_spans_carry_trace_identity(self):
+        obs.TRACER.reset()
+        obs.enable()
+        try:
+            driver, _ = self._run()
+        finally:
+            obs.disable()
+        from repro.obs import SpanRecord
+
+        spans = [
+            r for r in obs.TRACER.events
+            if isinstance(r, SpanRecord) and r.name == "corona.request"
+        ]
+        assert spans
+        for rec in spans:
+            args = dict(rec.args)
+            assert args["trace_id"] in driver.trace_ids
+            assert len(args["span_id"]) == 16
+            assert args["op"] in ("fetch", "publish")
+
+    def test_labeled_request_metrics(self):
+        driver, report = self._run()
+        snap = driver.metrics.snapshot()
+        by_op = {
+            (c["labels"]["op"], c["labels"]["outcome"]): c["value"]
+            for c in snap["counters"]
+            if c["name"] == "corona_requests_total"
+        }
+        total = sum(by_op.values())
+        assert total == self.SMALL["requests"]
+        assert by_op[("fetch", "ok")] > 0
+        assert by_op[("publish", "ok")] > 0

@@ -184,7 +184,8 @@ class TestChromeTrace:
 
     def test_schema(self):
         trace = self._traced_run()
-        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert trace["otherData"]["events_dropped"] == 0
         events = trace["traceEvents"]
         assert events, "a traced run must record events"
         spans = [e for e in events if e["ph"] == "X"]
@@ -542,3 +543,169 @@ class TestHistogramPercentiles:
         assert "p50" in header and "p95" in header
         row = next(line for line in text.splitlines() if "lex" in line)
         assert row.count("s") >= 2  # rendered durations, not "-"
+
+
+class TestRingDropCounter:
+    def test_events_dropped_counts_overwrites(self):
+        t = Tracer(ring_capacity=4)
+        t.enable()
+        for i in range(10):
+            t.event("tick")
+        assert len(t.events) == 4
+        assert t.events_dropped == 6
+        assert t.counters["events_dropped"] == 6
+        assert t.to_dict()["events_dropped"] == 6
+
+    def test_chrome_trace_metadata_reports_drops(self):
+        t = Tracer(ring_capacity=2)
+        t.enable()
+        for _ in range(5):
+            t.event("tick")
+        trace = t.to_chrome_trace()
+        assert trace["otherData"]["events_dropped"] == 3
+
+    def test_profile_report_shows_drops(self):
+        t = Tracer(ring_capacity=2)
+        t.enable()
+        for _ in range(5):
+            t.event("tick")
+        report = format_report(tracer=t)
+        assert "events_dropped" in report
+
+    def test_no_drops_when_ring_fits(self):
+        t = Tracer(ring_capacity=64)
+        t.enable()
+        for _ in range(10):
+            t.event("tick")
+        assert t.events_dropped == 0
+        assert "events_dropped" not in t.counters
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_and_counters_are_exact(self):
+        import threading
+
+        t = Tracer()
+        t.enable()
+        WORKERS, ITERS = 8, 250
+        barrier = threading.Barrier(WORKERS)
+
+        def work(w):
+            barrier.wait()
+            for i in range(ITERS):
+                with t.span("outer", worker=w):
+                    with t.span("inner"):
+                        pass
+                t.count("ticks")
+                t.observe("lat_ms", float(i % 7))
+
+        threads = [
+            threading.Thread(target=work, args=(w,)) for w in range(WORKERS)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join(timeout=60)
+        assert all(not th.is_alive() for th in threads)
+        total = WORKERS * ITERS
+        # Aggregates are lock-guarded: no lost updates anywhere.
+        assert t.counters["ticks"] == total
+        # two spans + one count + one observe per iteration
+        assert t.observations == 4 * total
+        assert t.histograms["lat_ms"].count == total
+        assert t.histograms["span.outer"].count == total
+        by_path = {path: count for path, count, _ in t.span_tree()}
+        assert by_path[("outer",)] == total
+        assert by_path[("outer", "inner")] == total
+        # Per-thread stacks: every span closed cleanly on its own thread.
+        assert not t._stack
+
+    def test_chrome_trace_tids_distinguish_threads(self):
+        import threading
+
+        t = Tracer()
+        t.enable()
+        # Hold all three threads alive together: tids are per live
+        # thread, and the OS reuses idents of exited threads.
+        barrier = threading.Barrier(3)
+
+        def work():
+            with t.span("phase"):
+                barrier.wait(timeout=30)
+
+        threads = [threading.Thread(target=work) for _ in range(3)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join(timeout=30)
+        spans = [r for r in t.events if isinstance(r, SpanRecord)]
+        assert len({r.tid for r in spans}) == 3
+        trace = t.to_chrome_trace()
+        names = [
+            e for e in trace["traceEvents"]
+            if e.get("name") == "thread_name"
+        ]
+        assert {e["args"]["name"] for e in names} == {
+            "worker-1", "worker-2", "worker-3"
+        }
+
+
+class TestCollapsedStacks:
+    def _tracer_with_tree(self):
+        t = Tracer()
+        t.enable()
+        for _ in range(3):
+            with t.span("check"):
+                with t.span("resolve"):
+                    pass
+                with t.span("types"):
+                    pass
+        return t
+
+    def test_folds_have_semicolon_paths_and_weights(self):
+        t = self._tracer_with_tree()
+        text = t.to_collapsed(weight="count")
+        lines = dict(
+            line.rsplit(" ", 1) for line in text.strip().splitlines()
+        )
+        assert lines["check"] == "3"
+        assert lines["check;resolve"] == "3"
+        assert lines["check;types"] == "3"
+
+    def test_self_time_weights_subtract_children(self):
+        t = self._tracer_with_tree()
+        rows = {path: total for path, _, total in t.span_tree()}
+        text = t.to_collapsed(weight="us")
+        folds = {}
+        for line in text.strip().splitlines():
+            path, val = line.rsplit(" ", 1)
+            folds[path] = int(val)
+        child_ns = rows[("check", "resolve")] + rows[("check", "types")]
+        expect_self_us = (rows[("check",)] - child_ns) // 1000
+        assert folds["check"] == expect_self_us
+
+    def test_write_collapsed(self, tmp_path):
+        t = self._tracer_with_tree()
+        out = tmp_path / "folds.txt"
+        t.write_collapsed(str(out), weight="count")
+        assert out.read_text() == t.to_collapsed(weight="count")
+
+    def test_invalid_weight_rejected(self):
+        t = self._tracer_with_tree()
+        with pytest.raises(ValueError):
+            t.to_collapsed(weight="bogus")
+
+    def test_cli_flame_flag_writes_folds(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        src = tmp_path / "p.jns"
+        src.write_text(VIEWS_PROGRAM)
+        out = tmp_path / "flame.txt"
+        assert cli_main(["run", str(src), "--flame", str(out)]) == 0
+        capsys.readouterr()
+        folds = out.read_text().strip().splitlines()
+        assert folds
+        assert all(
+            line.rsplit(" ", 1)[1].isdigit() for line in folds
+        )
+        assert any(line.startswith("run") or "check" in line for line in folds)

@@ -51,6 +51,8 @@ def client(server):
 def test_unknown_op_is_error_response():
     svc = CheckService()
     resp = svc.handle({"op": "frobnicate", "id": 9})
+    trace = resp.pop("trace")
+    assert trace.startswith("00-") and trace.endswith("-01")
     assert resp == {"ok": False, "error": "unknown op 'frobnicate'", "id": 9}
 
 
@@ -206,3 +208,186 @@ def test_shutdown_op_stops_server(server):
     c.close()
     server.thread.join(timeout=5)
     assert not server.thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# metrics + tracing
+# ----------------------------------------------------------------------
+
+
+def test_metrics_op_counts_requests_and_latency():
+    svc = CheckService()
+    svc.handle({"op": "open", "session": "s", "source": SRC})
+    svc.handle({"op": "check", "session": "s"})
+    svc.handle({"op": "frobnicate"})  # -> error outcome
+    resp = svc.handle({"op": "metrics"})
+    assert resp["ok"]
+    snap = resp["metrics"]
+    counters = {
+        (c["labels"].get("op"), c["labels"].get("outcome")): c["value"]
+        for c in snap["counters"]
+        if c["name"] == "serve_requests_total"
+    }
+    assert counters[("open", "ok")] == 1
+    assert counters[("check", "ok")] == 1
+    assert counters[("frobnicate", "error")] == 1
+    hists = {
+        h["labels"]["op"]: h
+        for h in snap["histograms"]
+        if h["name"] == "serve_request_seconds"
+    }
+    assert hists["open"]["count"] == 1
+    assert hists["check"]["count"] == 1
+    # cumulative +Inf bucket equals the observation count
+    assert hists["open"]["buckets"][-1][1] == 1
+
+
+def test_metrics_op_session_gauges_after_check():
+    svc = CheckService()
+    svc.handle({"op": "open", "session": "s", "source": SRC})
+    svc.handle({"op": "check", "session": "s"})
+    snap = svc.handle({"op": "metrics"})["metrics"]
+    gauges = {
+        (g["name"], g["labels"].get("kind")): g["value"]
+        for g in snap["gauges"]
+        if g["labels"].get("session") == "s"
+    }
+    assert gauges[("repro_query_cache_hits", None)] >= 0
+    assert gauges[("repro_query_cache_misses", None)] > 0
+    assert ("repro_query_cache_revalidations", None) in gauges
+    assert ("repro_incr_check_classes", "recomputed") in gauges
+
+
+def test_metrics_op_optional_exposition():
+    svc = CheckService()
+    svc.handle({"op": "ping"})
+    resp = svc.handle({"op": "metrics", "exposition": True})
+    text = resp["exposition"]
+    from repro.telemetry import validate_exposition
+
+    assert validate_exposition(text) == []
+    assert "# TYPE serve_requests_total counter" in text
+    assert 'serve_requests_total{op="ping",outcome="ok"} 1' in text
+
+
+def test_tracer_counts_request_outcomes():
+    from repro import obs
+
+    obs.TRACER.reset()
+    obs.enable()
+    try:
+        svc = CheckService()
+        svc.handle({"op": "ping"})
+        svc.handle({"op": "nope"})
+        assert obs.TRACER.counters["serve.request"] == 2
+        assert obs.TRACER.counters["serve.request.ok"] == 1
+        assert obs.TRACER.counters["serve.request.error"] == 1
+        assert obs.TRACER.histograms["serve.latency.ping"].count == 1
+    finally:
+        obs.disable()
+        obs.TRACER.reset()
+
+
+def test_trace_ids_deterministic_for_seed():
+    a = CheckService(seed=5)
+    b = CheckService(seed=5)
+    c = CheckService(seed=6)
+    ta = [a.handle({"op": "ping"})["trace"] for _ in range(3)]
+    tb = [b.handle({"op": "ping"})["trace"] for _ in range(3)]
+    tc = [c.handle({"op": "ping"})["trace"] for _ in range(3)]
+    assert ta == tb
+    assert ta != tc
+    assert len(set(ta)) == 3  # fresh context per request
+
+
+def test_inbound_traceparent_is_adopted():
+    svc = CheckService()
+    parent = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+    resp = svc.handle({"op": "ping", "traceparent": parent})
+    assert resp["trace"].split("-")[1] == "ab" * 16  # same trace id
+    assert resp["trace"].split("-")[2] != "cd" * 8  # child span
+    # malformed inbound context falls back to a fresh one, not an error
+    resp = svc.handle({"op": "ping", "traceparent": "garbage"})
+    assert resp["ok"] and resp["trace"].startswith("00-")
+
+
+def test_metrics_http_endpoint_scrape():
+    import urllib.request
+
+    handle = start_server(metrics_port=0)
+    try:
+        client = ServeClient(handle.host, handle.port)
+        client.request("open", session="s", source=SRC)
+        client.request("check", session="s")
+        client.close()
+        url = f"http://{handle.host}:{handle.metrics_port}/metrics"
+        with urllib.request.urlopen(url) as r:
+            assert r.status == 200
+            assert r.headers["Content-Type"].startswith("text/plain")
+            text = r.read().decode()
+        from repro.telemetry import validate_exposition
+
+        assert validate_exposition(text) == []
+        assert 'serve_requests_total{op="check",outcome="ok"} 1' in text
+        req = urllib.request.Request(
+            f"http://{handle.host}:{handle.metrics_port}/nope"
+        )
+        try:
+            urllib.request.urlopen(req)
+            assert False, "expected 404"
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+    finally:
+        handle.stop()
+
+
+def test_concurrent_sessions_get_distinct_trace_tids(server):
+    """With tracing on, spans from concurrent client threads land on
+    distinct Chrome-trace tids (one lane per server worker thread)."""
+    from repro import obs
+
+    obs.TRACER.reset()
+    obs.enable()
+    try:
+        barrier = threading.Barrier(3)
+        errors = []
+
+        def drive(name):
+            c = ServeClient(server.host, server.port)
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(5):
+                    assert c.request("ping", session=name)["ok"]
+            except Exception as exc:
+                errors.append((name, exc))
+            finally:
+                c.close()
+
+        threads = [
+            threading.Thread(target=drive, args=(f"s{i}",)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+        from repro.obs import SpanRecord
+
+        tids = {
+            r.tid
+            for r in obs.TRACER.events
+            if isinstance(r, SpanRecord) and r.name == "serve.request"
+        }
+        # ThreadingTCPServer gives each connection its own thread; the
+        # three interleaved clients must not share one trace lane.
+        assert len(tids) >= 2
+        trace = obs.TRACER.to_chrome_trace()
+        lanes = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        assert len(lanes) == len(tids)
+    finally:
+        obs.disable()
+        obs.TRACER.reset()

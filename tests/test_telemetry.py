@@ -1,0 +1,268 @@
+"""Trace-context derivation, the labeled metrics registry, Prometheus
+exposition, delta snapshots, and the OTLP span exporter
+(:mod:`repro.telemetry`).
+
+The serve/CorONA integration of these pieces is covered in
+tests/test_serve.py and tests/test_corona_chaos.py; here we pin the
+substrate itself: determinism of id derivation, exposition-format
+validity, bounded label cardinality, and snapshot arithmetic.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.chaos import Rng
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    MAX_SERIES_PER_FAMILY,
+    MetricsRegistry,
+    TraceContext,
+    diff_snapshots,
+    quantile_from_buckets,
+    validate_exposition,
+    write_otlp_jsonl,
+)
+
+
+# ----------------------------------------------------------------------
+# TraceContext
+# ----------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_from_rng_is_deterministic(self):
+        a = [TraceContext.from_rng(Rng(42).fork("t")) for _ in range(1)][0]
+        b = TraceContext.from_rng(Rng(42).fork("t"))
+        assert a == b
+        c = TraceContext.from_rng(Rng(43).fork("t"))
+        assert a != c
+
+    def test_traceparent_round_trip(self):
+        ctx = TraceContext.from_rng(Rng(1))
+        parsed = TraceContext.parse(ctx.traceparent)
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+
+    def test_traceparent_shape(self):
+        ctx = TraceContext.from_rng(Rng(5))
+        parts = ctx.traceparent.split("-")
+        assert parts[0] == "00" and parts[3] == "01"
+        assert len(parts[1]) == 32 and len(parts[2]) == 16
+        assert int(parts[1], 16) == ctx.trace_id
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "00-zz-11-01",
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # all-zero trace id
+            "00-" + "1" * 32 + "-" + "0" * 16 + "-01",  # all-zero span id
+            "01-" + "1" * 32 + "-" + "2" * 16 + "-01",  # unknown version
+            "00-" + "1" * 31 + "-" + "2" * 16 + "-01",  # short trace id
+        ],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            TraceContext.parse(bad)
+
+    def test_child_shares_trace_and_links_parent(self):
+        ctx = TraceContext.from_rng(Rng(2))
+        kid = ctx.child("attempt0")
+        assert kid.trace_id == ctx.trace_id
+        assert kid.parent_id == ctx.span_id
+        assert kid.span_id != ctx.span_id
+        # derivation is a pure function of (trace, span, label)
+        assert kid == ctx.child("attempt0")
+        assert kid != ctx.child("attempt1")
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.inc("req_total", op="check")
+        reg.inc("req_total", op="check")
+        reg.inc("req_total", op="edit")
+        snap = reg.snapshot()
+        by = {tuple(sorted(c["labels"].items())): c["value"]
+              for c in snap["counters"]}
+        assert by[(("op", "check"),)] == 2.0
+        assert by[(("op", "edit"),)] == 1.0
+
+    def test_gauge_is_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("sessions", 3)
+        reg.set_gauge("sessions", 1)
+        (g,) = reg.snapshot()["gauges"]
+        assert g["value"] == 1.0
+
+    def test_histogram_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        for v in (0.0001, 0.002, 0.002, 9.0):
+            reg.observe("lat", v, op="run")
+        (h,) = reg.snapshot()["histograms"]
+        assert h["count"] == 4
+        assert h["sum"] == pytest.approx(9.0041)
+        cum = dict((str(le), n) for le, n in h["buckets"])
+        assert cum["0.0005"] == 1
+        assert cum["0.0025"] == 3
+        assert cum["+Inf"] == 4
+        # monotone non-decreasing
+        counts = [n for _, n in h["buckets"]]
+        assert counts == sorted(counts)
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        with pytest.raises(ValueError):
+            reg.set_gauge("x", 1)
+
+    def test_cardinality_overflow_folds_into_overflow_series(self):
+        reg = MetricsRegistry()
+        for i in range(MAX_SERIES_PER_FAMILY + 10):
+            reg.inc("wide", key=str(i))
+        snap = reg.snapshot()
+        assert snap["dropped_series"] == 10
+        series = {tuple(sorted(c["labels"].items())): c["value"]
+                  for c in snap["counters"]}
+        assert series[(("overflow", "true"),)] == 10.0
+        # exactly the cap of real series plus the overflow bucket
+        assert len(series) == MAX_SERIES_PER_FAMILY + 1
+
+    def test_exposition_validates_clean(self):
+        reg = MetricsRegistry()
+        reg.inc("req_total", op="check", help="requests served")
+        reg.set_gauge("sessions", 2, help="live sessions")
+        reg.observe("lat_seconds", 0.004, op="check")
+        text = reg.exposition()
+        assert validate_exposition(text) == []
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{op="check"} 1' in text
+        assert 'lat_seconds_bucket{op="check",le="+Inf"} 1' in text
+        assert 'lat_seconds_count{op="check"} 1' in text
+
+    def test_exposition_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.inc("weird", path='a"b\\c\nd')
+        text = reg.exposition()
+        assert validate_exposition(text) == []
+        assert '\\"' in text and "\\n" in text
+
+    def test_validate_catches_broken_exposition(self):
+        assert validate_exposition("no trailing newline")
+        bad = '# TYPE x counter\nx{op="a} 1\n'
+        assert any("label" in p or "sample" in p
+                   for p in validate_exposition(bad))
+        shrinking = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\nh_count 3\n"
+        )
+        assert any("monoton" in p or "cumulative" in p
+                   for p in validate_exposition(shrinking))
+
+
+# ----------------------------------------------------------------------
+# snapshot arithmetic
+# ----------------------------------------------------------------------
+
+
+class TestSnapshots:
+    def _reg(self):
+        reg = MetricsRegistry()
+        reg.inc("req_total", value=5, op="check")
+        reg.set_gauge("sessions", 4)
+        for v in (0.001, 0.003):
+            reg.observe("lat", v)
+        return reg
+
+    def test_diff_subtracts_counters_and_histograms(self):
+        reg = self._reg()
+        prev = reg.snapshot()
+        reg.inc("req_total", value=2, op="check")
+        reg.observe("lat", 0.004)
+        reg.set_gauge("sessions", 9)
+        delta = diff_snapshots(prev, reg.snapshot())
+        (c,) = delta["counters"]
+        assert c["value"] == 2.0
+        (g,) = delta["gauges"]  # gauges are levels: pass through
+        assert g["value"] == 9.0
+        (h,) = delta["histograms"]
+        assert h["count"] == 1
+
+    def test_diff_detects_restart(self):
+        reg = self._reg()
+        prev = reg.snapshot()
+        fresh = MetricsRegistry()
+        fresh.inc("req_total", value=1, op="check")
+        delta = diff_snapshots(prev, fresh.snapshot())
+        (c,) = delta["counters"]
+        assert c["value"] == 1.0  # counter went backwards -> treat as restart
+
+    def test_quantile_from_buckets(self):
+        reg = MetricsRegistry()
+        for v in [0.001] * 50 + [0.2] * 50:
+            reg.observe("lat", v)
+        (h,) = reg.snapshot()["histograms"]
+        p50 = quantile_from_buckets(h["buckets"], 0.50)
+        p95 = quantile_from_buckets(h["buckets"], 0.95)
+        assert p50 <= DEFAULT_BUCKETS[2]
+        assert 0.1 <= p95 <= 0.25
+        assert quantile_from_buckets([], 0.5) is None
+
+
+# ----------------------------------------------------------------------
+# OTLP JSONL export
+# ----------------------------------------------------------------------
+
+
+class TestOtlpExport:
+    def test_spans_round_trip_with_identity(self, tmp_path):
+        t = obs.Tracer()
+        t.enable()
+        ctx = TraceContext.from_rng(Rng(3))
+        kid = ctx.child("inner")
+        with t.span("outer", trace_id=ctx.hex_trace, span_id=ctx.hex_span):
+            with t.span(
+                "inner",
+                trace_id=kid.hex_trace,
+                span_id=kid.hex_span,
+                parent_span_id=ctx.hex_span,
+                shard=2,
+            ):
+                pass
+        out = tmp_path / "spans.jsonl"
+        n = write_otlp_jsonl(t, str(out))
+        assert n == 2
+        rows = [json.loads(l) for l in out.read_text().splitlines()]
+        by_name = {r["name"]: r for r in rows}
+        inner, outer = by_name["inner"], by_name["outer"]
+        assert inner["traceId"] == outer["traceId"] == ctx.hex_trace
+        assert inner["parentSpanId"] == outer["spanId"] == ctx.hex_span
+        assert inner["endTimeUnixNano"] >= inner["startTimeUnixNano"]
+        # identity fields were popped out of attributes; tags remain
+        attrs = {a["key"]: a["value"] for a in inner["attributes"]}
+        assert "trace_id" not in attrs and attrs["shard"]["intValue"] == 2
+
+    def test_spans_without_identity_get_synthetic_ids(self, tmp_path):
+        t = obs.Tracer()
+        t.enable()
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        out = tmp_path / "spans.jsonl"
+        assert write_otlp_jsonl(t, str(out)) == 2
+        rows = [json.loads(l) for l in out.read_text().splitlines()]
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["a"]["traceId"] == by_name["b"]["traceId"]
+        assert by_name["b"]["parentSpanId"] == by_name["a"]["spanId"]
+        assert len(by_name["a"]["traceId"]) == 32
