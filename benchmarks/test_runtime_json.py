@@ -1,21 +1,25 @@
-"""Runtime-specialization benchmark (ISSUE 4 acceptance criterion).
+"""Runtime-specialization benchmark (ISSUE 4 + ISSUE 9 acceptance
+criteria).
 
 Measures the same trimmed jolden driver set as BENCH_obs.json /
-BENCH_queries.json plus the CorONA workload under all three backends:
+BENCH_queries.json plus the CorONA workload under all four backends:
 
 - ``interp``: the tree-walking reference interpreter,
 - ``compiled``: the closure compiler with dict frames and inline caches,
 - ``specialized``: the AOT-specialized backend (slotted object layouts,
-  register frames, sealed-family devirtualization).
+  register frames, sealed-family devirtualization),
+- ``codegen``: emitted + ``compile()``d Python per specialized method
+  body (``repro/runtime/codegen.py``).
 
 Times are steady-state: one interpreter per backend, one warm-up call
-(so compilation, specialization, and inline-cache fills are excluded),
-then the best of ``ROUNDS`` timed calls.  The ISSUE floor — specialized
-at least ``MIN_SPEEDUP``x faster than compiled — is enforced per jolden
-driver; CorONA is recorded for the report but carries no hard floor
-(its wall time is dominated by the Python driver crossing the API
-boundary).  Each measurement also locks semantics: all three backends
-must produce the identical result and printed output.
+(so compilation, specialization, emission, and inline-cache fills are
+excluded), then the best of ``ROUNDS`` timed calls.  Two floors are
+enforced per jolden driver: specialized at least ``MIN_SPEEDUP``x
+faster than compiled, and codegen at least ``MIN_CODEGEN_SPEEDUP``x
+faster than specialized.  CorONA is recorded for the report but carries
+no hard floor (its wall time is dominated by the Python driver crossing
+the API boundary).  Each measurement also locks semantics: all four
+backends must produce the identical result and printed output.
 
 The numbers land in ``BENCH_runtime.json`` at the repo root (uploaded
 as a CI artifact by the runtime-bench job).
@@ -39,6 +43,7 @@ from repro.programs.jolden import bisort, em3d, treeadd
 ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_runtime.json"
 MIN_SPEEDUP = 1.5
+MIN_CODEGEN_SPEEDUP = 2.0
 ROUNDS = 3
 
 #: Same trimmed jolden driver set as the query and obs benchmarks, so
@@ -53,6 +58,7 @@ BACKENDS = (
     ("interp", {}),
     ("compiled", {"compiled": True}),
     ("specialized", {"specialized": True}),
+    ("codegen", {"backend": "codegen"}),
 )
 
 _RESULTS = {}
@@ -91,23 +97,33 @@ def test_jolden_specialized_floor(module, args):
         seconds[backend], result = _best(run_once)
         observed[backend] = (result, tuple(interp.output))
 
-    assert observed["interp"] == observed["compiled"] == observed["specialized"], (
-        f"{module.NAME}: backends disagree: {observed}"
-    )
+    assert (
+        observed["interp"] == observed["compiled"]
+        == observed["specialized"] == observed["codegen"]
+    ), f"{module.NAME}: backends disagree: {observed}"
     speedup = seconds["compiled"] / seconds["specialized"]
+    cg_speedup = seconds["specialized"] / seconds["codegen"]
     _RESULTS[f"jolden:{module.NAME}"] = {
         "args": list(args),
         "seconds_interp": round(seconds["interp"], 6),
         "seconds_compiled": round(seconds["compiled"], 6),
         "seconds_specialized": round(seconds["specialized"], 6),
+        "seconds_codegen": round(seconds["codegen"], 6),
         "speedup_vs_interp": round(seconds["interp"] / seconds["specialized"], 3),
         "speedup_vs_compiled": round(speedup, 3),
+        "speedup_vs_specialized": round(cg_speedup, 3),
         "floor": MIN_SPEEDUP,
+        "codegen_floor": MIN_CODEGEN_SPEEDUP,
     }
     assert speedup >= MIN_SPEEDUP, (
         f"{module.NAME}: specialized backend is only {speedup:.2f}x faster "
         f"than compiled (floor {MIN_SPEEDUP}x): "
         f"{seconds['specialized']:.4f}s vs {seconds['compiled']:.4f}s"
+    )
+    assert cg_speedup >= MIN_CODEGEN_SPEEDUP, (
+        f"{module.NAME}: codegen backend is only {cg_speedup:.2f}x faster "
+        f"than specialized (floor {MIN_CODEGEN_SPEEDUP}x): "
+        f"{seconds['codegen']:.4f}s vs {seconds['specialized']:.4f}s"
     )
 
 
@@ -123,19 +139,24 @@ def test_corona_workload_recorded():
         )
         observed[backend] = (stats.lookups, stats.total_hops, stats.misses)
 
-    assert observed["interp"] == observed["compiled"] == observed["specialized"], (
-        f"corona: backends disagree: {observed}"
-    )
+    assert (
+        observed["interp"] == observed["compiled"]
+        == observed["specialized"] == observed["codegen"]
+    ), f"corona: backends disagree: {observed}"
     _RESULTS["corona:workload"] = {
         "args": {"size": 16, "objects": 48, "fetches": 150},
         "seconds_interp": round(seconds["interp"], 6),
         "seconds_compiled": round(seconds["compiled"], 6),
         "seconds_specialized": round(seconds["specialized"], 6),
+        "seconds_codegen": round(seconds["codegen"], 6),
         "speedup_vs_interp": round(
             seconds["interp"] / seconds["specialized"], 3
         ),
         "speedup_vs_compiled": round(
             seconds["compiled"] / seconds["specialized"], 3
+        ),
+        "speedup_vs_specialized": round(
+            seconds["specialized"] / seconds["codegen"], 3
         ),
         "floor": None,
     }
@@ -145,14 +166,15 @@ def test_write_bench_json():
     """Runs last (file order): persist everything measured above."""
     assert _RESULTS, "measurement tests did not run"
     payload = {
-        "benchmark": "AOT runtime specialization",
+        "benchmark": "AOT runtime specialization + Python codegen",
         "mode": "jns",
         "rounds": ROUNDS,
         "min_speedup_vs_compiled": MIN_SPEEDUP,
+        "min_codegen_speedup_vs_specialized": MIN_CODEGEN_SPEEDUP,
         "method": (
             "steady state: one interpreter per backend, one warm-up call, "
             "best-of-rounds timed calls; identical results asserted across "
-            "interp/compiled/specialized before timing counts"
+            "interp/compiled/specialized/codegen before timing counts"
         ),
         "results": _RESULTS,
     }
@@ -160,7 +182,9 @@ def test_write_bench_json():
     print(f"\nwrote {JSON_PATH}")
     for name, entry in _RESULTS.items():
         print(
-            f"  {name}: specialized {entry['seconds_specialized']}s, "
+            f"  {name}: codegen {entry['seconds_codegen']}s, "
+            f"{entry['speedup_vs_specialized']}x vs specialized; "
+            f"specialized {entry['seconds_specialized']}s, "
             f"{entry['speedup_vs_compiled']}x vs compiled, "
             f"{entry['speedup_vs_interp']}x vs interp"
         )

@@ -1,10 +1,12 @@
 #!/usr/bin/env python
 """CI smoke for ``repro serve``: start the real server process, drive
-three concurrent editing sessions through the JSONL protocol, and
-assert a clean shutdown.
+three concurrent editing sessions through the JSONL protocol — checks
+plus ``run`` executions under the codegen backend — and assert a clean
+shutdown.
 
 Exits non-zero (with a diagnostic on stderr) on any protocol error,
-non-incremental edit, cross-session leak, or unclean server exit.
+non-incremental edit, stale codegen result after an edit, cross-session
+leak, or unclean server exit.
 
 Run from the repo root::
 
@@ -32,18 +34,34 @@ class app {
 }
 """
 
+MAIN = """\
+class Main {
+  int main() {
+    app.B b = new app.B();
+    b.x = 20;
+    return b.twice();
+  }
+}
+"""
+
 EDITS_PER_SESSION = 4
 
 
 def drive(host: str, port: int, name: str, marker: int, errors: list) -> None:
     client = ServeClient(host, port)
     try:
-        src = SRC.replace("class app {", f"class app{marker} {{")
+        src = SRC.replace("class app {", f"class app{marker} {{") + \
+            MAIN.replace("app.", f"app{marker}.")
         resp = client.request("open", session=name, source=src,
                               file=f"{name}.jns")
         assert resp["ok"], resp
         resp = client.request("check", session=name)
         assert resp["ok"] and resp["diagnostics"] == [], resp
+        # run under the codegen backend: twice() = 2 * (x=20) on a warm,
+        # kept-alive interpreter
+        resp = client.request("run", session=name)
+        assert resp["ok"] and resp["backend"] == "codegen", resp
+        assert resp["result"] == 40, resp
         for i in range(1, EDITS_PER_SESSION + 1):
             edited = src.replace("return x;", f"return x + {i};")
             resp = client.request("edit", session=name, source=edited)
@@ -54,6 +72,11 @@ def drive(host: str, port: int, name: str, marker: int, errors: list) -> None:
             assert resp["ok"], resp
             acct = resp["stats"]["check"]
             assert acct["recomputed"] >= 1, resp
+            # the edit must evict the cached emitted closures: the same
+            # warm interpreter now computes 2 * (20 + i), never stale 40
+            resp = client.request("run", session=name)
+            assert resp["ok"] and resp["backend"] == "codegen", resp
+            assert resp["result"] == 40 + 2 * i, resp
         # a broken edit stays inside this session
         resp = client.request(
             "edit", session=name,
@@ -62,6 +85,9 @@ def drive(host: str, port: int, name: str, marker: int, errors: list) -> None:
         assert resp["ok"], resp
         resp = client.request("check", session=name)
         assert not resp["ok"] and resp["diagnostics"], resp
+        # a broken program refuses to run instead of executing stale code
+        resp = client.request("run", session=name)
+        assert not resp["ok"] and "check error" in resp["error"], resp
         resp = client.request("close", session=name)
         assert resp["ok"], resp
     except Exception as exc:

@@ -60,18 +60,23 @@ class Program:
         eager_views: bool = False,
         compiled: bool = False,
         specialized: bool = False,
+        backend: Optional[str] = None,
         max_steps: Optional[int] = None,
         max_depth: Optional[int] = None,
     ) -> Interp:
         """Create a fresh interpreter for this program.  The keyword flags
         select the ablation variants described in DESIGN.md (D1: disable
         view-change memoization; D3: eager instead of lazy implicit view
-        changes).  ``compiled=True`` selects the closure-compiled backend;
-        ``specialized=True`` additionally runs the ahead-of-time
+        changes).  ``backend`` is the unified selector over
+        ``("walker", "compiled", "specialized", "codegen")`` and overrides
+        the legacy booleans: ``compiled=True`` selects the closure-compiled
+        backend; ``specialized=True`` additionally runs the ahead-of-time
         specialization pass (slotted layouts, register frames, sealed-family
         devirtualization — see ``repro/runtime/specialize.py``) and implies
-        ``compiled``.  ``max_steps``/``max_depth`` bound evaluation fuel and
-        J&s call depth; exceeding either raises
+        ``compiled``; ``backend="codegen"`` emits and ``compile()``s real
+        Python source per specialized method body on top of that
+        (``repro/runtime/codegen.py``).  ``max_steps``/``max_depth`` bound
+        evaluation fuel and J&s call depth; exceeding either raises
         :class:`~repro.errors.JnsResourceError`."""
         return Interp(
             self.table,
@@ -81,6 +86,7 @@ class Program:
             eager_views=eager_views,
             compiled=compiled,
             specialized=specialized,
+            backend=backend,
             max_steps=max_steps,
             max_depth=max_depth,
         )
@@ -156,11 +162,14 @@ def run_program(
     entry: str = "Main.main",
     mode: str = "jns",
     check: bool = True,
+    backend: Optional[str] = None,
     max_steps: Optional[int] = None,
     max_depth: Optional[int] = None,
 ) -> Tuple[Any, List[str]]:
     """Compile and run; returns (result value, printed output lines)."""
     program = compile_program(source, check=check)
-    interp = program.interp(mode=mode, max_steps=max_steps, max_depth=max_depth)
+    interp = program.interp(
+        mode=mode, backend=backend, max_steps=max_steps, max_depth=max_depth
+    )
     result = interp.run(entry)
     return result, interp.output

@@ -124,6 +124,28 @@ def _emit_observability(args, stats) -> None:
         print(json.dumps(stats.to_dict(), sort_keys=True))
 
 
+#: one-shot latch for the --no-specialize deprecation warning
+_no_specialize_warned = False
+
+
+def _resolve_backend(args) -> str:
+    """Merge the unified ``--backend`` selector with the deprecated
+    ``--no-specialize`` alias (warns once per process, maps to
+    ``--backend compiled``).  Default: ``codegen``."""
+    global _no_specialize_warned
+    backend = getattr(args, "backend", None)
+    if getattr(args, "no_specialize", False):
+        if not _no_specialize_warned:
+            print(
+                "warning: --no-specialize is deprecated; use --backend compiled",
+                file=sys.stderr,
+            )
+            _no_specialize_warned = True
+        if backend is None:
+            backend = "compiled"
+    return backend or "codegen"
+
+
 def cmd_run(args) -> int:
     source = _read(args.file)
     if _tracing_requested(args):
@@ -138,7 +160,7 @@ def cmd_run(args) -> int:
         interp = program.interp(
             mode=args.mode,
             echo=True,
-            specialized=not args.no_specialize,
+            backend=_resolve_backend(args),
             max_steps=args.max_steps,
             max_depth=args.max_depth,
         )
@@ -479,11 +501,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--mode", default="jns", choices=("java", "jx", "jx_cl", "jns"))
     p_run.add_argument("--no-check", action="store_true")
     p_run.add_argument(
+        "--backend",
+        default=None,
+        choices=("walker", "compiled", "specialized", "codegen"),
+        help="execution backend: 'codegen' (default) emits real Python "
+        "per specialized method body; 'specialized' is the register-"
+        "frame escape hatch; 'compiled' closure trees; 'walker' the "
+        "tree interpreter",
+    )
+    p_run.add_argument(
         "--no-specialize",
         action="store_true",
-        help="disable the ahead-of-time specialization pass (slotted "
-        "layouts, register frames, devirtualization) and run the "
-        "unspecialized backend",
+        help="deprecated alias for --backend compiled (warns once)",
     )
     p_run.add_argument(
         "--max-steps",

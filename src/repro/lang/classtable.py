@@ -137,6 +137,7 @@ class ClassTable:
         # conformance sets.  They live on the table — not the interpreter —
         # so their cost amortizes across every interpreter sharing it.
         self._q_sealed = q("sealed_target")
+        self._q_mono = q("monomorphic_target")
         self._q_slot_univ = q("slot_universe")
         self._q_conforming = q("conforming_paths")
 
@@ -1177,6 +1178,35 @@ class ClassTable:
         if sealed and target is not None:
             result = (target[0], target[1], frozenset(valid))
         return self._q_sealed.put(name, result)
+
+    def monomorphic_method_target(
+        self, name: str, paths: FrozenSet[Path]
+    ) -> Optional[Tuple[Path, ast.MethodDecl, FrozenSet[Path]]]:
+        """Unique dispatch target for ``name`` across just ``paths`` (a
+        receiver's conformance set): every member of ``paths`` that
+        understands ``name`` resolves it to the same declaration.  The
+        per-receiver-class relaxation of :meth:`sealed_method_target` —
+        a name can be polymorphic globally yet monomorphic for one
+        receiver type.  ``None`` when the restricted set still diverges."""
+        key = (name, paths)
+        cached = self._q_mono.get(key)
+        if cached is not MISS:
+            return cached
+        target: Optional[Tuple[Path, ast.MethodDecl]] = None
+        valid: List[Path] = []
+        for p in sorted(paths):
+            found = self.find_method(p, name)
+            if found is None:
+                continue
+            if target is None:
+                target = found
+            elif found[1] is not target[1] or found[0] != target[0]:
+                return self._q_mono.put(key, None)
+            valid.append(p)
+        result = None
+        if target is not None:
+            result = (target[0], target[1], frozenset(valid))
+        return self._q_mono.put(key, result)
 
     def slot_universe(self, path: Path) -> Tuple[Tuple[Path, str], ...]:
         """The heap keys an instance created as ``path`` can ever hold

@@ -56,11 +56,16 @@ class CoronaSystem:
         mode: str = "jns",
         compiled: bool = False,
         specialized: bool = False,
+        backend: Optional[str] = None,
         seed: int = 11,
         max_steps: Optional[int] = None,
     ):
         self.interp = program().interp(
-            mode=mode, compiled=compiled, specialized=specialized, max_steps=max_steps
+            mode=mode,
+            compiled=compiled,
+            specialized=specialized,
+            backend=backend,
+            max_steps=max_steps,
         )
         self.main = self.interp.new_instance(("Main",), ())
         self.size = size

@@ -23,7 +23,8 @@ from .source.parser import ParseError, Parser
 _BANNER = (
     "J&s repl — class declarations accumulate; other input runs as "
     "statements.\nCommands: :load FILE  :check  :classes  :reset  "
-    ":stats  :trace on|off  :profile  :flame FILE  :quit"
+    ":stats  :backend [NAME]  :trace on|off  :profile  :flame FILE  "
+    ":quit"
 )
 
 
@@ -32,6 +33,8 @@ class ReplSession:
 
     def __init__(self) -> None:
         self.decls: List[str] = []
+        #: execution backend for statement inputs (`:backend NAME`)
+        self.backend: str = "codegen"
         # Persistent incremental session behind :load / :check — kept
         # across reloads so re-:load after an edit re-checks only the
         # changed classes (see repro.lang.incremental).
@@ -65,6 +68,18 @@ class ReplSession:
             # Process-wide query-cache counters (the REPL compiles a fresh
             # program per input, so the global snapshot is the session's).
             return cache_stats().format().splitlines()
+        if stripped.startswith(":backend"):
+            from .runtime.interp import BACKENDS
+
+            parts = stripped.split(None, 1)
+            if len(parts) == 1:
+                return [f"backend: {self.backend} (choices: "
+                        f"{', '.join(BACKENDS)})"]
+            if parts[1] not in BACKENDS:
+                return [f"unknown backend {parts[1]!r} (choices: "
+                        f"{', '.join(BACKENDS)})"]
+            self.backend = parts[1]
+            return [f"(backend set to {self.backend})"]
         if stripped in (":trace on", ":trace off"):
             if stripped.endswith("on"):
                 obs.enable()
@@ -90,8 +105,8 @@ class ReplSession:
                     "flamegraph.pl or speedscope)"]
         if stripped.startswith(":"):
             return [f"unknown command {stripped.split()[0]!r} (try :load "
-                    ":check :classes :reset :stats :trace :profile :flame "
-                    ":quit)"]
+                    ":check :classes :reset :stats :backend :trace "
+                    ":profile :flame :quit)"]
         if self._is_declaration(stripped):
             return self._add_declaration(stripped)
         return self._run_statements(stripped)
@@ -183,10 +198,10 @@ class ReplSession:
             program = compile_program(source)
         except JnsError as exc:
             return [f"error: {exc}"]
-        # The specialized backend (slotted layouts, register frames) is
-        # what `repro run` defaults to; the REPL matches it so :profile
-        # and :stats report the same pipeline users measure elsewhere.
-        interp = program.interp(mode="jns", specialized=True)
+        # The codegen backend is what `repro run` defaults to; the REPL
+        # matches it so :profile and :stats report the same pipeline
+        # users measure elsewhere (switch with :backend NAME).
+        interp = program.interp(mode="jns", backend=self.backend)
         try:
             ref = interp.new_instance(("_Repl",), ())
             interp.call_method(ref, "_run", [])

@@ -737,6 +737,42 @@ class RegisterCompiler(BodyCompiler):
             eval_type = interp._eval_type
             adapt = interp._adapt
             names = self.names
+            static = self._static_view_target(target)
+            if static is not None:
+                # Non-dependent target: the type evaluated once at
+                # compile time and the no-op source set is proven, so a
+                # hot view change (including call receivers like
+                # ``((view T)e).m()``) skips the per-call ``_RegView``
+                # adapter and, when the source view is in the set, the
+                # whole runtime ``view`` call.
+                evaled, noops = static
+
+                def run_view_static(frame: List[Any]):
+                    v = inner(frame)
+                    if v is None:
+                        return None
+                    if not isinstance(v, Ref):
+                        raise JnsRuntimeError(
+                            f"view change applied to non-object {v!r}"
+                        )
+                    if TRACER.enabled:
+                        TRACER.event(
+                            "view_change.explicit",
+                            source=path_str(v.view.path),
+                            target=str(evaled),
+                        )
+                    w = v.view
+                    if w.path in noops and not w.masks:
+                        if TRACER.enabled:
+                            TRACER.count("view_change.elided")
+                        result = v
+                    else:
+                        result = adapt(v, evaled)
+                    if interp.eager_views:
+                        interp.propagate_views(result)
+                    return result
+
+                return run_view_static
 
             def run_view(frame: List[Any]):
                 v = inner(frame)
@@ -917,12 +953,33 @@ class RegisterCompiler(BodyCompiler):
     # devirtualized calls
     # ------------------------------------------------------------------
 
+    def _static_view_target(self, target):
+        """``(evaled type, no-op source path set)`` when the view-change
+        target is non-dependent and statically evaluable, else ``None``
+        (fall back to per-call evaluation over a ``_RegView``)."""
+        if T.paths_in(target):
+            return None
+        from ..lang.classtable import JnsError, ResolveError
+
+        def _no_paths(p):
+            raise ResolveError(f"unexpected dependent path {'.'.join(p)}")
+
+        try:
+            evaled = self.interp.table.eval_type(target, _no_paths)
+        except (ResolveError, JnsError):
+            return None
+        return evaled, self.spec.noop_view_paths(evaled)
+
     def _devirt_call(self, e: ast.Call) -> Optional[ExprFn]:
         """Statically bind the call when the method name is sealed in the
-        locally closed world.  The receiver guard keeps the binding sound
-        on unchecked programs: receivers outside the sealed path set take
-        the generic path (which raises the usual no-method error)."""
-        target = self.spec.static_target(e.name)
+        locally closed world — or, failing that, monomorphic for the
+        receiver's checker-annotated static type.  The receiver guard
+        keeps the binding sound on unchecked programs: receivers outside
+        the proven path set take the generic path (which raises the usual
+        no-method error)."""
+        target = self.spec.static_target_for(
+            e.name, getattr(e.obj, "rtype", None)
+        )
         if target is None:
             return None
         owner, decl, valid = target

@@ -50,6 +50,13 @@ from .values import (
 
 MODES = ("java", "jx", "jx_cl", "jns")
 
+#: Execution backends, slowest to fastest.  ``walker`` tree-walks,
+#: ``compiled`` builds Python closure trees over dict frames,
+#: ``specialized`` adds AOT specialization with register-list frames,
+#: ``codegen`` emits and ``compile()``s real Python source per
+#: specialized method body (the default for ``repro run``).
+BACKENDS = ("walker", "compiled", "specialized", "codegen")
+
 #: "No value at this heap key" — shared with the slotted representation so
 #: the generic accessors treat an ABSENT slot exactly like a missing dict
 #: key.
@@ -138,6 +145,7 @@ class Interp:
         eager_views: bool = False,
         compiled: bool = False,
         specialized: bool = False,
+        backend: Optional[str] = None,
         max_steps: Optional[int] = None,
         max_depth: Optional[int] = None,
     ) -> None:
@@ -155,12 +163,25 @@ class Interp:
         and implies ``compiled``.  It is ignored in ``jx`` mode, whose
         point is the *absence* of run-time precomputation.
 
+        ``backend`` is the unified selector (one of :data:`BACKENDS`); it
+        overrides the legacy ``compiled``/``specialized`` booleans when
+        given.  ``codegen`` emits and ``compile()``s real Python source
+        per specialized method body (see :mod:`repro.runtime.codegen`)
+        and implies ``specialized``.
+
         ``max_steps`` bounds the number of expression evaluations (fuel;
         ``None`` = unlimited); ``max_depth`` bounds the J&s call depth.
         Exhausting either raises :class:`JnsResourceError` carrying the
         J&s call stack, instead of hitting Python's recursion limit."""
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+        if backend is not None:
+            if backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown backend {backend!r}; expected one of {BACKENDS}"
+                )
+            compiled = backend in ("compiled", "specialized", "codegen")
+            specialized = backend in ("specialized", "codegen")
         self.table = table
         self.mode = mode
         self.sharing = mode == "jns"
@@ -168,9 +189,19 @@ class Interp:
         self.memoize_views = memoize_views
         self.eager_views = eager_views
         self.specialized = bool(specialized) and mode != "jx"
+        self.codegen = backend == "codegen" and self.specialized
         self.compiled = bool(compiled) or self.specialized
+        #: the resolved backend name (jx mode degrades codegen/specialized
+        #: to compiled, mirroring the ``specialized`` docstring above)
+        self.backend = (
+            "codegen" if self.codegen
+            else "specialized" if self.specialized
+            else "compiled" if self.compiled
+            else "walker"
+        )
         self.spec = None
         self._compiler = None
+        self._cg = None
         self.output: List[str] = []
         self.loader = Loader(table, cached=(mode != "jx"), sharing=self.sharing)
         if self.specialized:
@@ -327,6 +358,8 @@ class Interp:
                     code="JNS-RES-002",
                     jns_stack=list(self.call_stack),
                 )
+            if self.codegen:
+                return self._codegen().allocate(rtc, path, args)
             if self.specialized:
                 return self._new_instance_spec(rtc, path, args)
             return self._new_instance(rtc, path, args)
@@ -451,6 +484,9 @@ class Interp:
                     code="JNS-RES-002",
                     jns_stack=list(self.call_stack),
                 )
+            if self.codegen:
+                fn = self._codegen().method_fn(decl, ref.view.path)
+                return fn(ref, *args)
             if self.specialized:
                 cb = self._compiled_body(decl)
                 rframe = [ref]
@@ -527,6 +563,38 @@ class Interp:
             self._depth -= 1
             self.call_stack.pop()
 
+    def _codegen_call(self, label: str, fn, ref: Ref, args) -> Any:
+        """Mirror of ``_guarded_call_spec`` for emitted (codegen) bodies:
+        identical depth accounting, stack labels, and resource
+        diagnostics, with the frame build replaced by a plain Python
+        call.  Only reachable from inside an already-guarded call, so the
+        depth-0 boundary handling lives with the entry points."""
+        self._depth += 1
+        self.call_stack.append(label)
+        try:
+            if self._depth > self._max_depth:
+                raise JnsResourceError(
+                    f"J&s call depth limit exceeded ({self._max_depth})",
+                    code="JNS-RES-002",
+                    jns_stack=list(self.call_stack),
+                )
+            return fn(ref, *args)
+        except RecursionError:
+            if self._res_stack is None:
+                self._res_stack = list(self.call_stack)
+            raise
+        finally:
+            self._depth -= 1
+            self.call_stack.pop()
+
+    def _codegen(self):
+        cg = self._cg
+        if cg is None:
+            from .codegen import CodegenCompiler
+
+            cg = self._cg = CodegenCompiler(self)
+        return cg
+
     def _make_compiler(self):
         if self.specialized:
             from .compiler import RegisterCompiler
@@ -547,6 +615,11 @@ class Interp:
         for i in notice.retired_ids:
             self._body_cache.pop(i, None)
             self._init_cache.pop(i, None)
+        if notice.retired_ids or notice.affected:
+            # Emitted codegen bodies capture lazily-resolved callee cells
+            # from their compiler, so even a body-only graft drops the
+            # whole unit (see runtime/codegen.py's eviction note).
+            self._cg = None
         if notice.affected:
             self._q_dispatch.table.clear()
             self._retarget_cache.clear()

@@ -31,9 +31,12 @@ engine, so they amortize across every interpreter sharing the table;
 this class only assembles the per-interpreter :class:`ClassSpec` records
 (which embed compiled initializers and mode-dependent layouts).
 
-Escape hatch: ``repro run --no-specialize`` (and
-``Program.interp(specialized=False)``) restores the unspecialized
-backends.  The three-way differential test locks the semantics.
+Escape hatch: ``repro run --backend specialized`` keeps this pass but
+skips the codegen tier above it (:mod:`repro.runtime.codegen`), and
+``--backend compiled``/``walker`` (or ``Program.interp(backend=...)``;
+``--no-specialize`` survives as a deprecated alias for
+``--backend compiled``) restore the unspecialized backends.  The
+four-way differential test locks the semantics.
 """
 
 from __future__ import annotations
@@ -231,6 +234,13 @@ class Specializer:
             self._checker = SharingChecker(self.table)
         return self._checker.noop_view_paths(target)
 
+    def noop_view_paths(self, target: Type):
+        """Public wrapper over the sharing checker's no-op view set: the
+        source view paths from which an unmasked adapt to ``target`` is
+        provably the identity.  Used by the compiled backends to elide
+        explicit view changes and call-receiver adapters per site."""
+        return self._noop_paths(target)
+
     # ------------------------------------------------------------------
     # devirtualization
     # ------------------------------------------------------------------
@@ -241,6 +251,30 @@ class Specializer:
         keeps its inline cache).  The underlying enumeration is memoized
         on the class table."""
         return self.table.sealed_method_target(name)
+
+    def static_target_for(self, name: str, rtype: Optional[Type]):
+        """Like :meth:`static_target`, but additionally devirtualizes
+        names that are monomorphic *for this receiver's static type* even
+        when polymorphic globally: when the checker annotated the
+        receiver expression with a non-dependent class type, every
+        conforming path in the locally closed world resolving ``name`` to
+        one declaration seals the site just as well (the same membership
+        guard keeps it sound on unchecked receivers)."""
+        target = self.table.sealed_method_target(name)
+        if target is not None or rtype is None:
+            return target
+        if T.paths_in(rtype):
+            return None  # dependent receiver type: no static path set
+        pure = rtype.pure()
+        if isinstance(pure, (T.PrimType, T.ArrayType)):
+            return None
+        try:
+            paths = self.table.conforming_paths(rtype)
+        except (ResolveError, JnsError):
+            return None
+        if not paths:
+            return None
+        return self.table.monomorphic_method_target(name, paths)
 
     def note_devirtualized(self) -> None:
         """Called by the compiler when it statically binds a call site."""

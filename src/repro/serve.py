@@ -26,6 +26,8 @@ edit      ``session, source``            ``stats`` (strategy/reason/dirty/ms)
 check     ``session``                    ``diagnostics`` (list of diagnostic
                                          dicts), ``stats`` (incremental
                                          accounting), ``ok`` = no errors
+run       ``session, entry?,             ``result``, ``output`` (printed
+          backend?``                     lines), ``backend`` (resolved name)
 explain   ``session, query``             ``explain`` (the ``repro explain
                                          --json`` payload)
 stats     ``session?``                   per-session or service-wide stats
@@ -89,13 +91,17 @@ class _Session:
     """One named editing session: the warm incremental checker plus the
     lock that serializes operations against it."""
 
-    __slots__ = ("name", "checker", "lock", "last_used")
+    __slots__ = ("name", "checker", "lock", "last_used", "interps")
 
     def __init__(self, name: str, checker: IncrementalChecker) -> None:
         self.name = name
         self.checker = checker
         self.lock = threading.Lock()
         self.last_used = time.monotonic()
+        #: per-backend interpreters for the ``run`` op, kept warm across
+        #: edits — they subscribe to the session table's EditNotices, so
+        #: an edit evicts their specialization/codegen caches in place
+        self.interps: Dict[str, Any] = {}
 
 
 class CheckService:
@@ -274,6 +280,56 @@ class CheckService:
             "diagnostics": [d.to_dict() for d in sink.diagnostics],
             "stats": stats,
         }
+
+    def _op_run(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute an entry point against the session's *current* program
+        under a kept-warm interpreter.  The interpreter (and with it the
+        codegen backend's emitted-closure cache) survives across ``run``
+        calls; ``edit`` notices evict its per-table caches, so a run after
+        an edit re-specializes against the new bodies — never stale ones."""
+        from .errors import JnsError
+        from .runtime.interp import BACKENDS, Interp
+
+        sess = self._get(req.get("session"))
+        entry = req.get("entry", "Main.main")
+        if not isinstance(entry, str) or "." not in entry:
+            raise KeyError("run requires 'entry' of the form Class.method")
+        backend = req.get("backend", "codegen")
+        if backend not in BACKENDS:
+            raise KeyError(
+                f"unknown backend {backend!r} (choices: {', '.join(BACKENDS)})"
+            )
+        with sess.lock:
+            sink = sess.checker.check()
+            if sink.has_errors:
+                return {
+                    "ok": False,
+                    "error": f"program has {len(sink.errors)} check error(s)",
+                }
+            table = sess.checker.table
+            interp = sess.interps.get(backend)
+            if interp is None or interp.table is not table:
+                # first run, or a from-scratch rebuild replaced the table
+                interp = Interp(table, mode="jns", backend=backend)
+                sess.interps[backend] = interp
+            printed_before = len(interp.output)
+            try:
+                result = interp.run(entry)
+            except JnsError as exc:
+                return {
+                    "ok": False,
+                    "error": str(exc),
+                    "output": interp.output[printed_before:],
+                    "backend": interp.backend,
+                }
+            return {
+                "ok": True,
+                "result": result
+                if isinstance(result, (int, float, bool, str, type(None)))
+                else repr(result),
+                "output": interp.output[printed_before:],
+                "backend": interp.backend,
+            }
 
     def _refresh_session_gauges(self, sess: _Session) -> None:
         """Publish the session's query-cache and incremental-accounting

@@ -1,10 +1,12 @@
-"""Three-way differential for the AOT specialization pass (ISSUE 4
-satellite): for randomized programs, the tree-walking interpreter, the
-closure compiler, and the specialized backend (slotted layouts, register
-frames, devirtualization) must agree on every observable — run result,
-printed output, and runtime error codes — in every mode. Diagnostics
-come from the static pipeline, which specialization never touches, and
-are asserted stable as a guard against accidental coupling.
+"""Four-way differential for the AOT specialization pass and the
+codegen tier above it: for randomized programs, the tree-walking
+interpreter, the closure compiler, the specialized backend (slotted
+layouts, register frames, devirtualization), and the codegen backend
+(emitted + ``compile()``d Python per specialized method body) must agree
+on every observable — run result, printed output, and runtime error
+codes — in every mode. Diagnostics come from the static pipeline, which
+neither pass touches, and are asserted stable as a guard against
+accidental coupling.
 
 Tier-2: ``HYPOTHESIS_PROFILE=fuzz pytest -m fuzz`` raises the example
 budget; the default profile keeps this cheap enough for tier-1.
@@ -89,6 +91,7 @@ BACKENDS = (
     ("walker", {}),
     ("compiled", {"compiled": True}),
     ("specialized", {"specialized": True}),
+    ("codegen", {"backend": "codegen"}),
 )
 
 
@@ -124,6 +127,7 @@ def test_specialization_does_not_change_observables(src):
     }
     assert observed["walker"] == observed["compiled"]
     assert observed["walker"] == observed["specialized"]
+    assert observed["walker"] == observed["codegen"]
 
 
 @pytest.mark.fuzz
@@ -144,14 +148,16 @@ def test_unspecialized_escape_hatch_restores_baseline(src):
             return ("error", exc.code)
     baseline = run()
     specialized = run(specialized=True)
+    codegen = run(backend="codegen")
     after = run()
     assert specialized == baseline
+    assert codegen == baseline
     assert after == baseline
 
 
-def test_fixture_corpus_three_way_agreement():
+def test_fixture_corpus_four_way_agreement():
     """Deterministic tier-1 anchor: the paper's figure programs agree
-    across all three backends without relying on hypothesis."""
+    across all four backends without relying on hypothesis."""
     for src, entry in (
         (FIG123_SOURCE, "Main.evalSample"),
         (FIG123_SOURCE, "Main.showSample"),
@@ -163,4 +169,4 @@ def test_fixture_corpus_three_way_agreement():
         for _, kw in BACKENDS:
             interp = program.interp(mode="jns", **kw)
             results.append((interp.run(entry), tuple(interp.output)))
-        assert results[0] == results[1] == results[2]
+        assert results[0] == results[1] == results[2] == results[3]
