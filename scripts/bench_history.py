@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Append the current ``BENCH_*.json`` numbers to ``BENCH_history.jsonl``.
+
+Run after regenerating any benchmark file (the CI bench jobs do)::
+
+    PYTHONPATH=src python scripts/bench_history.py [--only BENCH_obs.json]
+
+Skips the append when it would exactly duplicate the latest entry
+(same sha, same numbers) unless ``--force`` is given.  Compare the two
+newest entries with ``repro bench-diff``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.benchtrack import HISTORY_NAME, append_history  # noqa: E402
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repo root holding the BENCH_*.json files",
+    )
+    ap.add_argument(
+        "--history", default=None,
+        help=f"history file (default: ROOT/{HISTORY_NAME})",
+    )
+    ap.add_argument(
+        "--only", action="append", default=None, metavar="FILE",
+        help="restrict to the named BENCH_*.json file (repeatable)",
+    )
+    ap.add_argument("--sha", default=None, help="override the recorded sha")
+    ap.add_argument(
+        "--force", action="store_true",
+        help="append even if identical to the latest entry",
+    )
+    args = ap.parse_args()
+    entry = append_history(
+        args.root,
+        history_path=args.history,
+        only=args.only,
+        sha=args.sha,
+        force=args.force,
+    )
+    history = args.history or os.path.join(args.root, HISTORY_NAME)
+    if entry is None:
+        print(f"bench-history: no new numbers to append to {history}")
+        return 0
+    n = sum(len(v) for v in entry["benchmarks"].values())
+    print(
+        f"bench-history: appended {entry['sha'][:12]} "
+        f"({len(entry['benchmarks'])} benchmark file(s), {n} metrics) "
+        f"to {history}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,6 +63,7 @@ class Program:
         backend: Optional[str] = None,
         max_steps: Optional[int] = None,
         max_depth: Optional[int] = None,
+        line_profile: bool = False,
     ) -> Interp:
         """Create a fresh interpreter for this program.  The keyword flags
         select the ablation variants described in DESIGN.md (D1: disable
@@ -89,6 +90,7 @@ class Program:
             backend=backend,
             max_steps=max_steps,
             max_depth=max_depth,
+            line_profile=line_profile,
         )
 
     def cache_stats(self) -> CacheStats:

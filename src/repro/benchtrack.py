@@ -1,0 +1,223 @@
+"""Cross-PR benchmark history and the regression gate.
+
+Every ``BENCH_*.json`` regeneration can be appended to
+``BENCH_history.jsonl`` (one JSON object per line: git sha, ISO date,
+and the flattened per-driver numbers of every benchmark file present),
+giving the repo a perf trajectory instead of a single snapshot.
+``repro bench-diff`` compares the two most recent history entries and
+exits nonzero when a metric with a known direction regresses past a
+configurable relative threshold.
+
+Metric direction is inferred from the metric name (``seconds_*`` and
+``*_overhead`` are lower-is-better, ``speedup_*``/``*_rps`` are
+higher-is-better); unrecognized metrics are reported informationally
+but never gate.  ``scripts/bench_history.py`` is the thin CLI wrapper
+the CI bench jobs call after regenerating a benchmark file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional, Tuple
+
+HISTORY_NAME = "BENCH_history.jsonl"
+
+#: metric-name fragments with a known optimization direction
+_LOWER_BETTER = (
+    "seconds", "_ms", "_ns", "overhead", "pause", "slowdown", "wall",
+    "p95", "p99", "cold",
+)
+_HIGHER_BETTER = (
+    "speedup", "rps", "req_per_s", "requests_per_s", "throughput",
+    "hit_rate", "warm_over_cold",
+)
+
+
+def metric_direction(name: str) -> Optional[int]:
+    """-1 if lower is better, +1 if higher is better, None if unknown.
+    Checked on the final path segment so container names can't flip a
+    leaf metric's direction."""
+    leaf = name.rsplit(".", 1)[-1].lower()
+    for frag in _HIGHER_BETTER:
+        if frag in leaf:
+            return 1
+    for frag in _LOWER_BETTER:
+        if frag in leaf:
+            return -1
+    return None
+
+
+def flatten(obj: Any, prefix: str = "") -> Dict[str, float]:
+    """Dotted-path -> number map over one benchmark JSON document
+    (non-numeric leaves are dropped; booleans are not numbers here)."""
+    out: Dict[str, float] = {}
+    if isinstance(obj, dict):
+        for k, v in sorted(obj.items()):
+            out.update(flatten(v, f"{prefix}{k}."))
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        out[prefix[:-1]] = float(obj)
+    return out
+
+
+def discover_bench_files(root: str) -> List[str]:
+    """The ``BENCH_*.json`` files at the repo root (history excluded)."""
+    found = []
+    for name in sorted(os.listdir(root)):
+        if (
+            name.startswith("BENCH_")
+            and name.endswith(".json")
+            and os.path.isfile(os.path.join(root, name))
+        ):
+            found.append(name)
+    return found
+
+
+def git_sha(root: str) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def collect_entry(
+    root: str, only: Optional[List[str]] = None, sha: Optional[str] = None
+) -> Dict[str, Any]:
+    """One history entry for the benchmark files currently at ``root``
+    (``only`` restricts to the named files)."""
+    benchmarks: Dict[str, Dict[str, float]] = {}
+    for name in discover_bench_files(root):
+        if only and name not in only:
+            continue
+        try:
+            with open(os.path.join(root, name)) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        benchmarks[name[: -len(".json")]] = flatten(doc)
+    return {
+        "sha": sha if sha is not None else git_sha(root),
+        "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "benchmarks": benchmarks,
+    }
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    entries: List[Dict[str, Any]] = []
+    if not os.path.exists(path):
+        return entries
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except ValueError:
+                continue  # a torn write must not kill the trajectory
+    return entries
+
+
+def append_history(
+    root: str,
+    history_path: Optional[str] = None,
+    only: Optional[List[str]] = None,
+    sha: Optional[str] = None,
+    force: bool = False,
+) -> Optional[Dict[str, Any]]:
+    """Append the current benchmark numbers; returns the entry written,
+    or None when it would exactly duplicate the latest one (same sha,
+    same numbers) and ``force`` is off."""
+    if history_path is None:
+        history_path = os.path.join(root, HISTORY_NAME)
+    entry = collect_entry(root, only=only, sha=sha)
+    if not entry["benchmarks"]:
+        return None
+    if not force:
+        prior = load_history(history_path)
+        if prior:
+            last = prior[-1]
+            if (
+                last.get("sha") == entry["sha"]
+                and last.get("benchmarks") == entry["benchmarks"]
+            ):
+                return None
+    with open(history_path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# diffing
+# ---------------------------------------------------------------------------
+
+
+def _metrics(entry: Dict[str, Any]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for bench, flat in entry.get("benchmarks", {}).items():
+        for k, v in flat.items():
+            out[f"{bench}.{k}"] = v
+    return out
+
+
+def diff_entries(
+    old: Dict[str, Any], new: Dict[str, Any], threshold: float = 0.25
+) -> Tuple[List[str], List[str]]:
+    """(report lines, regression lines).  A regression is a directed
+    metric moving against its direction by more than ``threshold``
+    relative to the old value."""
+    a, b = _metrics(old), _metrics(new)
+    lines: List[str] = [
+        f"comparing {old.get('sha', '?')[:12]} ({old.get('date', '?')})"
+        f" -> {new.get('sha', '?')[:12]} ({new.get('date', '?')})",
+    ]
+    regressions: List[str] = []
+    for name in sorted(set(a) & set(b)):
+        va, vb = a[name], b[name]
+        if va == vb:
+            continue
+        rel = (vb - va) / abs(va) if va else float("inf")
+        direction = metric_direction(name)
+        marker = " "
+        if direction is not None:
+            regressed = rel * direction < 0 and abs(rel) > threshold
+            improved = rel * direction > 0 and abs(rel) > threshold
+            if regressed:
+                marker = "!"
+                regressions.append(
+                    f"{name}: {va:g} -> {vb:g} ({rel:+.1%},"
+                    f" {'lower' if direction < 0 else 'higher'}-is-better)"
+                )
+            elif improved:
+                marker = "+"
+        lines.append(f"  {marker} {name}: {va:g} -> {vb:g} ({rel:+.1%})")
+    for r in regressions:
+        lines.append(f"REGRESSION past {threshold:.0%}: {r}")
+    return lines, regressions
+
+
+def bench_diff(
+    history_path: str, threshold: float = 0.25
+) -> Tuple[int, List[str]]:
+    """Compare the two latest history entries.  Returns (exit status,
+    report lines): 0 = ok (including a too-short history, which is a
+    fact to report, not an error), 1 = regression past the threshold."""
+    entries = load_history(history_path)
+    if len(entries) < 2:
+        return 0, [
+            f"bench-diff: {len(entries)} entr"
+            f"{'y' if len(entries) == 1 else 'ies'} in {history_path};"
+            " need two to compare"
+        ]
+    lines, regressions = diff_entries(
+        entries[-2], entries[-1], threshold=threshold
+    )
+    return (1 if regressions else 0), lines

@@ -163,7 +163,12 @@ def cmd_run(args) -> int:
             backend=_resolve_backend(args),
             max_steps=args.max_steps,
             max_depth=args.max_depth,
+            line_profile=getattr(args, "line_profile", False),
         )
+        if getattr(args, "line_profile", False):
+            from .profiler import PROFILER
+
+            PROFILER.start()
         try:
             result = interp.run(args.entry)
         except JnsError as exc:
@@ -178,10 +183,100 @@ def cmd_run(args) -> int:
     finally:
         # Observability output is emitted even when the program failed —
         # a profile of the failing run is exactly what one wants then.
+        if getattr(args, "line_profile", False) and interp is not None:
+            from .profiler import PROFILER, merge_reports
+
+            PROFILER.stop()
+            report = merge_reports(
+                source, args.file, PROFILER.snapshot(), None,
+                backend_det=interp.backend,
+            )
+            print(
+                report.render_text(color=sys.stderr.isatty()),
+                file=sys.stderr,
+                end="",
+            )
         if _tracing_requested(args):
             obs.disable()
         stats = interp.cache_stats() if interp is not None else cache_stats()
         _emit_observability(args, stats)
+
+
+def cmd_profile(args) -> int:
+    """Source-level line profiler: deterministic event counts on one
+    backend merged with wall-clock samples from the codegen tier,
+    rendered as an annotated-source heatmap (or HTML/JSON/flame)."""
+    from . import profiler as prof
+
+    if args.file.startswith("jolden:"):
+        from .programs import jolden
+
+        name = args.file.split(":", 1)[1]
+        mod = jolden.BY_NAME.get(name)
+        if mod is None:
+            print(
+                f"error: unknown jolden driver {name!r} "
+                f"(choices: {', '.join(sorted(jolden.BY_NAME))})",
+                file=sys.stderr,
+            )
+            return 2
+        source = mod.SOURCE
+        entry = args.entry or "Main.run"
+        entry_args = tuple(args.args) if args.args else tuple(mod.DEFAULT_ARGS)
+    else:
+        source = _read(args.file)
+        entry = args.entry or "Main.main"
+        entry_args = tuple(args.args or ())
+    try:
+        report = prof.profile_source(
+            source,
+            file=args.file,
+            entry=entry,
+            args=entry_args,
+            mode=args.mode,
+            det_backend=args.det_backend,
+            sample=not args.no_sample,
+            interval=args.interval / 1000.0,
+            min_samples=args.min_samples,
+        )
+    except JnsError as exc:
+        print(render(exc.to_diagnostic(), source), file=sys.stderr)
+        return 1
+    if args.flame:
+        folds = "".join(
+            ";".join(k) + f" {n}\n" for k, n in sorted(report.folds.items())
+        )
+        with open(args.flame, "w") as fh:
+            fh.write(folds)
+        print(
+            f"wrote {len(report.folds)} jns-frame folds to {args.flame}",
+            file=sys.stderr,
+        )
+    if args.html:
+        with open(args.html, "w") as fh:
+            fh.write(report.render_html())
+        print(f"wrote HTML report to {args.html}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(
+            report.render_text(
+                context=args.context, color=sys.stdout.isatty()
+            ),
+            end="",
+        )
+    return 0
+
+
+def cmd_bench_diff(args) -> int:
+    """Compare the two latest BENCH_history.jsonl entries; exit 1 when a
+    directed metric regressed past the threshold."""
+    from .benchtrack import bench_diff
+
+    status, lines = bench_diff(args.history, threshold=args.threshold)
+    for line in lines:
+        print(line)
+    return status
 
 
 def cmd_check(args) -> int:
@@ -533,8 +628,111 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print query-cache hit/miss counters to stderr after the run",
     )
+    p_run.add_argument(
+        "--line-profile",
+        action="store_true",
+        help="deterministic per-jns-line profile of the run (statement "
+        "counts + dispatch/view/mask event columns), rendered as an "
+        "annotated-source heatmap on stderr",
+    )
     _add_obs_flags(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="source-level line profiler: deterministic event counts "
+        "merged with wall-clock samples from the codegen tier, rendered "
+        "as an annotated-source heatmap (FILE or jolden:NAME)",
+    )
+    p_profile.add_argument(
+        "file", help="a .jns source file, or jolden:NAME for a built-in driver"
+    )
+    p_profile.add_argument(
+        "--entry",
+        default=None,
+        help="entry method (default Main.main; jolden: Main.run)",
+    )
+    p_profile.add_argument(
+        "--args",
+        type=int,
+        nargs="*",
+        default=None,
+        metavar="N",
+        help="integer arguments for the entry method "
+        "(jolden drivers default to their DEFAULT_ARGS)",
+    )
+    p_profile.add_argument(
+        "--mode", default="jns", choices=("java", "jx", "jx_cl", "jns")
+    )
+    p_profile.add_argument(
+        "--det-backend",
+        default="specialized",
+        choices=("walker", "compiled", "specialized", "codegen"),
+        help="backend for the deterministic event pass (default "
+        "%(default)s; the wall-clock pass always samples codegen)",
+    )
+    p_profile.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="MS",
+        help="sampling interval in milliseconds (default %(default)s)",
+    )
+    p_profile.add_argument(
+        "--min-samples",
+        type=int,
+        default=80,
+        metavar="N",
+        help="repeat the entry until N wall-clock samples landed "
+        "(default %(default)s; 0 = single run)",
+    )
+    p_profile.add_argument(
+        "--no-sample",
+        action="store_true",
+        help="skip the codegen sampling pass (deterministic counts only)",
+    )
+    p_profile.add_argument(
+        "--context",
+        type=int,
+        default=0,
+        metavar="N",
+        help="only show N source lines around attributed lines "
+        "(default: whole file)",
+    )
+    p_profile.add_argument(
+        "--html", default=None, metavar="OUT",
+        help="also write a self-contained HTML report",
+    )
+    p_profile.add_argument(
+        "--flame", default=None, metavar="OUT",
+        help="also write collapsed folds keyed by jns frames "
+        "(P.C.m:line) for flamegraph.pl / speedscope",
+    )
+    p_profile.add_argument(
+        "--json", action="store_true",
+        help="emit the merged per-line table as JSON instead of the heatmap",
+    )
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_bdiff = sub.add_parser(
+        "bench-diff",
+        help="compare the two latest BENCH_history.jsonl entries; exits "
+        "nonzero when a directed metric regressed past the threshold",
+    )
+    p_bdiff.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="history file written by scripts/bench_history.py "
+        "(default %(default)s)",
+    )
+    p_bdiff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="relative regression threshold (default %(default)s = 25%%)",
+    )
+    p_bdiff.set_defaults(func=cmd_bench_diff)
 
     p_check = sub.add_parser("check", help="type-check a J&s program")
     p_check.add_argument("file")

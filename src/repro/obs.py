@@ -561,7 +561,14 @@ class Tracer:
         time in microseconds (child time is subtracted, so the folded
         graph sums correctly); ``weight="count"`` weighs by occurrence
         count, which is wall-clock-free and therefore byte-stable across
-        seeded replays — the determinism tests fold with it."""
+        seeded replays — the determinism tests fold with it.
+
+        Frame labels are escaped (``;`` and whitespace are structural in
+        the collapsed format: the former separates frames, the latter
+        separates the stack from its weight), so a span named
+        ``"check A; B"`` folds as one frame, not three."""
+        from .profiler import fold_label
+
         if weight not in ("us", "count"):
             raise ValueError(f"weight must be 'us' or 'count', got {weight!r}")
         rows = self.span_tree()
@@ -577,7 +584,7 @@ class Tracer:
                     if len(p) == len(path) + 1 and p[: len(path)] == path
                 )
                 value = max(0, total_ns - child_ns) // 1000
-            lines.append(";".join(path) + f" {value}")
+            lines.append(";".join(fold_label(p) for p in path) + f" {value}")
         return "\n".join(lines) + ("\n" if lines else "")
 
     def write_collapsed(self, path: str, weight: str = "us") -> None:

@@ -23,8 +23,8 @@ from .source.parser import ParseError, Parser
 _BANNER = (
     "J&s repl — class declarations accumulate; other input runs as "
     "statements.\nCommands: :load FILE  :check  :classes  :reset  "
-    ":stats  :backend [NAME]  :trace on|off  :profile  :flame FILE  "
-    ":quit"
+    ":stats  :backend [NAME]  :trace on|off  :profile  :lines [on|off]  "
+    ":flame FILE  :quit"
 )
 
 
@@ -35,6 +35,10 @@ class ReplSession:
         self.decls: List[str] = []
         #: execution backend for statement inputs (`:backend NAME`)
         self.backend: str = "codegen"
+        #: `:lines on` — annotate each statement run with the per-line
+        #: profile table; the last table is kept for a bare `:lines`
+        self.line_profile: bool = False
+        self._last_lines: List[str] = []
         # Persistent incremental session behind :load / :check — kept
         # across reloads so re-:load after an edit re-checks only the
         # changed classes (see repro.lang.incremental).
@@ -91,6 +95,17 @@ class ReplSession:
             if not obs.enabled() and not obs.TRACER.observations:
                 return ["(no trace data — enable collection with :trace on)"]
             return obs.format_report(cache_stats=cache_stats()).splitlines()
+        if stripped in (":lines", ":lines on", ":lines off"):
+            if stripped.endswith(" on"):
+                self.line_profile = True
+                return ["(line profiling on — statement runs are annotated;"
+                        " bare :lines re-shows the last table)"]
+            if stripped.endswith(" off"):
+                self.line_profile = False
+                return ["(line profiling off)"]
+            if not self._last_lines:
+                return ["(no line profile yet — :lines on, then run input)"]
+            return list(self._last_lines)
         if stripped.startswith(":flame"):
             parts = stripped.split(None, 1)
             if len(parts) != 2:
@@ -106,7 +121,7 @@ class ReplSession:
         if stripped.startswith(":"):
             return [f"unknown command {stripped.split()[0]!r} (try :load "
                     ":check :classes :reset :stats :backend :trace "
-                    ":profile :flame :quit)"]
+                    ":profile :lines :flame :quit)"]
         if self._is_declaration(stripped):
             return self._add_declaration(stripped)
         return self._run_statements(stripped)
@@ -201,6 +216,8 @@ class ReplSession:
         # The codegen backend is what `repro run` defaults to; the REPL
         # matches it so :profile and :stats report the same pipeline
         # users measure elsewhere (switch with :backend NAME).
+        if self.line_profile:
+            return self._run_profiled(program, source)
         interp = program.interp(mode="jns", backend=self.backend)
         try:
             ref = interp.new_instance(("_Repl",), ())
@@ -208,6 +225,30 @@ class ReplSession:
         except JnsError as exc:
             return interp.output + [f"runtime error: {exc}"]
         return interp.output
+
+    def _run_profiled(self, program, source: str) -> List[str]:
+        """`:lines on` path: run under the deterministic line profiler
+        and append the annotated heatmap (kept for a bare `:lines`)."""
+        from .profiler import PROFILE_LOCK, PROFILER, merge_reports
+
+        with PROFILE_LOCK:
+            interp = program.interp(
+                mode="jns", backend=self.backend, line_profile=True
+            )
+            PROFILER.start()
+            try:
+                ref = interp.new_instance(("_Repl",), ())
+                interp.call_method(ref, "_run", [])
+            except JnsError as exc:
+                return interp.output + [f"runtime error: {exc}"]
+            finally:
+                PROFILER.stop()
+            snap = PROFILER.snapshot()
+        report = merge_reports(
+            source, "<repl>", snap, None, backend_det=self.backend
+        )
+        self._last_lines = report.render_text(context=1).splitlines()
+        return interp.output + self._last_lines
 
     @staticmethod
     def _as_statements(text: str) -> str:

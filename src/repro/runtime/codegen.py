@@ -48,6 +48,7 @@ the semantics against the other three backends.
 
 from __future__ import annotations
 
+import linecache
 import re
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -55,6 +56,7 @@ from ..lang import types as T
 from ..lang.classtable import JnsError, ResolveError, path_str
 from ..lang.types import ClassType, View
 from ..obs import TRACER
+from ..profiler import PROFILER, EmittedSource
 from ..source import ast
 from .interp import _jdiv, _jmod, to_jstring
 from .values import (
@@ -121,6 +123,13 @@ class _Emitter:
         self.path = path
         self.label = label
         self.lines: List[str] = []
+        #: jns ``(line, col)`` per emitted line — the source map, kept
+        #: parallel to ``lines`` (``None`` for scaffolding)
+        self.positions: List[Optional[Tuple[int, int]]] = []
+        self.cur: Optional[Tuple[int, int]] = None
+        #: line-profile mode: plant deterministic counting hooks in the
+        #: emitted text (profiled interpreters compile fresh bodies)
+        self.lp = bool(getattr(cg.interp, "line_profile", False))
         self.indent = 1
         self.consts: Dict[str, Any] = {}
         self._const_ids: Dict[int, str] = {}
@@ -142,6 +151,7 @@ class _Emitter:
 
     def w(self, line: str) -> None:
         self.lines.append("    " * self.indent + line)
+        self.positions.append(self.cur)
 
     def temp(self) -> str:
         name = f"_t{self._next_temp}"
@@ -279,6 +289,8 @@ class _Emitter:
     # -- expressions -----------------------------------------------------
 
     def emit(self, e: ast.Expr) -> str:
+        if e.pos[0]:
+            self.cur = e.pos
         ok, v = self._fold(e)
         if ok:
             return self._lit(v)
@@ -524,6 +536,9 @@ class _Emitter:
         ab = self.helper("_ABSENT", ABSENT)
         self.w(f"if {o}.__class__ is {ref}:")
         self.w(f"    if {tr}.enabled: {tr}.count('mask.check')")
+        if self.lp:
+            pfm = self.helper("_pfm", PROFILER.mask_hit)
+            self.w(f"    {pfm}()")
         self.w(f"    if {name!r} in {o}.view.masks: {mblk}({name!r}, {o}.view)")
         self.w(f"    if {site}[0] != {o}.view.path: {fill}({site}, {o})")
         self.w(f"    {t} = {o}.inst.slots[{site}[1]]")
@@ -553,6 +568,9 @@ class _Emitter:
         tr = self.helper("_TR", TRACER)
         mblk = self.helper("_mblk", _raise_masked)
         self.w(f"if {tr}.enabled: {tr}.count('mask.check')")
+        if self.lp:
+            pfm = self.helper("_pfm", PROFILER.mask_hit)
+            self.w(f"{pfm}()")
         self.w(f"if {name!r} in u_this.view.masks: {mblk}({name!r}, u_this.view)")
         self.w(f"{t} = u_this.inst.slots[{slot}]")
         rplan = self.cspec.read_plan.get(name)
@@ -572,6 +590,11 @@ class _Emitter:
             self.w(f"    {wv} = {t}.view")
             self.w(f"    if {wv}.path not in {kn} or {wv}.masks:")
             self.w(f"        {t} = {adapt}({t}, {kt})")
+            if self.lp:
+                # the elided no-op still counts as one view adaptation,
+                # keeping the view column a cross-backend invariant
+                pfv = self.helper("_pfv", PROFILER.view_hit)
+                self.w(f"    else: {pfv}()")
         elif tag == 1:  # PLAN_ADAPT — inlined adapt to the static target
             kt = self.const(rplan[1])
             adapt = self.helper("_adapt", self.interp._adapt)
@@ -742,6 +765,13 @@ class _Emitter:
             for inner in s.stmts:
                 self.stmt(inner)
             return
+        if cls is not ast.Empty and s.pos[0]:
+            self.cur = s.pos
+            if self.lp:
+                # one deterministic statement-entry hit per execution;
+                # also re-anchors PROFILER.cur_line for event columns
+                hit = self.helper("_pfh", PROFILER.stmt_hit)
+                self.w(f"{hit}({s.pos[0]})")
         if cls is ast.LocalDecl:
             if s.init is not None:
                 code = self.emit(s.init)
@@ -811,26 +841,33 @@ class _Emitter:
             self.w(f"{self.helper('_tick', self.interp._tick)}()")
 
     def _cond_buffer(self, cond: ast.Expr):
-        """Emit ``cond`` into a side buffer; returns (lines, code)."""
+        """Emit ``cond`` into a side buffer; returns (lines, code).
+        The buffer carries its slice of the source map so re-splicing
+        keeps line attribution intact."""
         outer = self.lines
+        outer_pos = self.positions
         self.lines = []
+        self.positions = []
         base = self.indent
         self.indent = 0
         code = self.emit(cond)
-        buf = self.lines
+        buf = (self.lines, self.positions)
         self.lines = outer
+        self.positions = outer_pos
         self.indent = base
         return buf, code
 
-    def _splice(self, buf: List[str]) -> None:
+    def _splice(self, buf) -> None:
         pad = "    " * self.indent
-        for line in buf:
+        lines, positions = buf
+        for line, pos in zip(lines, positions):
             self.lines.append(pad + line)
+            self.positions.append(pos)
 
     def _while(self, s: ast.While) -> None:
         buf, code = self._cond_buffer(s.cond)
         self._loop_stack.append("while")
-        if not buf:
+        if not buf[0]:
             self.w(f"while {code}:")
             self.indent += 1
             saved = set(self.bound)
@@ -864,7 +901,7 @@ class _Emitter:
         self.w("while True:")
         self.indent += 1
         if code is not None:
-            if buf:
+            if buf[0]:
                 self._splice(buf)
             self.w(f"if not ({code}): break")
         self._tick_line()
@@ -896,11 +933,16 @@ class _Emitter:
 
     # -- assembly --------------------------------------------------------
 
-    def finish(self, params, body_emit, entry_tick: bool = True) -> Tuple[Any, str]:
+    def finish(
+        self, params, body_emit, entry_tick: bool = True, entry_pos=None,
+    ) -> Tuple[Any, str]:
         """Assemble, ``compile()``, and ``exec`` the function.  ``params``
         are the J&s parameter declarations (``this`` is always register
         0 — here, always the first positional argument); ``body_emit``
-        is a thunk that runs the emitter over the body."""
+        is a thunk that runs the emitter over the body.  ``entry_pos``
+        (the declaration's span) attributes the scaffolding the function
+        spends its entry in — the header and the fuel/ABSENT prologue —
+        so samples landing there still resolve to a jns span."""
         names: List[str] = []
         seen: Dict[str, int] = {}
         for i, p in enumerate(params):
@@ -924,17 +966,32 @@ class _Emitter:
             ab = self.helper("_ABSENT", ABSENT)
             chain = " = ".join(locals_needed)
             prologue.append(f"    {chain} = {ab}")
+        if entry_pos is not None and not entry_pos[0]:
+            entry_pos = None
         lines = prologue + self.lines
+        positions = [entry_pos] * len(prologue) + self.positions
         if not lines:
             lines = ["    pass"]
+            positions = [entry_pos]
         sig = ["u_this"] + names
         if self.consts:
             sig.append("*")
             sig.extend(f"{k}={k}" for k in sorted(self.consts))
-        src = f"def _cg_fn({', '.join(sig)}):\n" + "\n".join(lines) + "\n"
+        text = f"def _cg_fn({', '.join(sig)}):\n" + "\n".join(lines) + "\n"
+        # line 1 is the def header; body lines follow the source map
+        filename = f"<jns:{self.label}>"
+        src = EmittedSource(
+            text, label=self.label, filename=filename,
+            linemap=[entry_pos] + positions,
+        )
         g: Dict[str, Any] = dict(self.consts)
         g["__builtins__"] = {}
-        code = compile(src, f"<jns-codegen:{self.label}>", "exec")
+        code = compile(text, filename, "exec")
+        # registered so tracebacks and inspect/pdb resolve emitted frames
+        # to real text (re-emission after an edit overwrites in place)
+        linecache.cache[filename] = (
+            len(text), None, text.splitlines(True), filename,
+        )
         exec(code, g)
         return g["_cg_fn"], src
 
@@ -1079,7 +1136,12 @@ class CodegenCompiler:
         self.sites_inlined = 0
         self._fns: Dict[Tuple[int, Any], Any] = {}
         self._allocs: Dict[Any, Any] = {}
-        self.sources: Dict[str, str] = {}
+        #: emitted text per label; values are :class:`EmittedSource`
+        #: (str subclasses carrying the per-line jns source map)
+        self.sources: Dict[str, EmittedSource] = {}
+        #: the same bodies keyed by compiled ``co_filename`` — how the
+        #: sampling profiler resolves live frames back to jns lines
+        self.by_filename: Dict[str, EmittedSource] = {}
         self._miss_fns: Dict[str, Any] = {}
         self._generic_fns: Dict[str, Any] = {}
         self._fill_plain: Dict[str, Any] = {}
@@ -1126,10 +1188,16 @@ class CodegenCompiler:
         em._all_names = {"u_" + n for n in em._all_names}
         if TRACER.enabled:
             with TRACER.span("codegen", unit=label):
-                fn, src = em.finish(decl.params, lambda: em.stmt(decl.body))
+                fn, src = em.finish(
+                    decl.params, lambda: em.stmt(decl.body),
+                    entry_pos=decl.pos,
+                )
         else:
-            fn, src = em.finish(decl.params, lambda: em.stmt(decl.body))
+            fn, src = em.finish(
+                decl.params, lambda: em.stmt(decl.body), entry_pos=decl.pos,
+            )
         self.sources[label] = src
+        self.by_filename[src.filename] = src
         self._note_body()
         return fn
 
@@ -1148,8 +1216,9 @@ class CodegenCompiler:
             def body():
                 em.w(f"return {em.emit(decl.init)}")
 
-            fn, src = em.finish((), body)
+            fn, src = em.finish((), body, entry_pos=decl.pos)
             self.sources[label] = src
+            self.by_filename[src.filename] = src
             self._note_body()
             self._fns[key] = fn
         return fn
@@ -1262,6 +1331,8 @@ class CodegenCompiler:
                 if tag == 0:  # PLAN_NOOP
                     w = v.view
                     if w.path in plan[1] and not w.masks:
+                        if PROFILER.enabled:
+                            PROFILER.view_hit()
                         return v
                     return adapt(v, plan[2])
                 if tag == 1:  # PLAN_ADAPT
@@ -1444,6 +1515,8 @@ class CodegenCompiler:
                     if w.path in noops and not w.masks:
                         if TRACER.enabled:
                             TRACER.count("view_change.elided")
+                        if PROFILER.enabled:
+                            PROFILER.view_hit()
                         result = v
                     else:
                         result = adapt(v, evaled)

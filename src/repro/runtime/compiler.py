@@ -29,6 +29,7 @@ from ..lang import types as T
 from ..lang.classtable import path_str
 from ..lang.types import ClassType
 from ..obs import TRACER
+from ..profiler import PROFILER
 from ..source import ast
 from .values import (
     ABSENT,
@@ -91,6 +92,27 @@ class BodyCompiler:
     # ------------------------------------------------------------------
 
     def stmt(self, s: ast.Stmt) -> StmtFn:
+        fn = self._compile_stmt(s)
+        if (
+            self.interp.line_profile
+            and type(s) is not ast.Block
+            and type(s) is not ast.Empty
+            and s.pos[0]
+        ):
+            # Per-statement hit wrapper, bound at compile time: profiled
+            # interpreters compile fresh bodies, so unprofiled runs never
+            # see it (same discipline as the fuel tick).
+            line = s.pos[0]
+            hit = PROFILER.stmt_hit
+
+            def run_profiled(frame: Frame) -> None:
+                hit(line)
+                fn(frame)
+
+            return run_profiled
+        return fn
+
+    def _compile_stmt(self, s: ast.Stmt) -> StmtFn:
         cls = type(s)
         if cls is ast.Block:
             stmts = tuple(self.stmt(x) for x in s.stmts)
@@ -650,7 +672,7 @@ class RegisterCompiler(BodyCompiler):
     # statements / stores
     # ------------------------------------------------------------------
 
-    def stmt(self, s: ast.Stmt) -> StmtFn:
+    def _compile_stmt(self, s: ast.Stmt) -> StmtFn:
         if type(s) is ast.LocalDecl:
             i = self._reg(s.name)
             if s.init is not None:
@@ -666,7 +688,7 @@ class RegisterCompiler(BodyCompiler):
                 frame[i] = default
 
             return run_decl_default
-        return super().stmt(s)
+        return super()._compile_stmt(s)
 
     def _store(self, target: ast.Expr) -> Callable[[List[Any], Any], None]:
         if type(target) is ast.Var:
@@ -765,6 +787,8 @@ class RegisterCompiler(BodyCompiler):
                     if w.path in noops and not w.masks:
                         if TRACER.enabled:
                             TRACER.count("view_change.elided")
+                        if PROFILER.enabled:
+                            PROFILER.view_hit()
                         result = v
                     else:
                         result = adapt(v, evaled)
@@ -852,6 +876,8 @@ class RegisterCompiler(BodyCompiler):
             view = o.view
             if TRACER.enabled:
                 TRACER.count("mask.check")
+            if PROFILER.enabled:
+                PROFILER.mask_hit()
             if name in view.masks:
                 if TRACER.enabled:
                     TRACER.event(
@@ -881,6 +907,8 @@ class RegisterCompiler(BodyCompiler):
             if tag == 0:  # PLAN_NOOP
                 w = v.view
                 if w.path in plan[1] and not w.masks:
+                    if PROFILER.enabled:
+                        PROFILER.view_hit()
                     return v
                 return adapt(v, plan[2])
             if tag == 1:  # PLAN_ADAPT

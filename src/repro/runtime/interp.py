@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..errors import JnsResourceError
 from ..lang import types as T
 from ..obs import TRACER
+from ..profiler import PROFILER
 from ..lang.classtable import ClassTable, JnsError, ResolveError, path_str
 from ..lang.queries import MISS, CacheStats, QueryEngine, collect_stats
 from ..lang.types import ClassType, Path, Type, View
@@ -148,6 +149,7 @@ class Interp:
         backend: Optional[str] = None,
         max_steps: Optional[int] = None,
         max_depth: Optional[int] = None,
+        line_profile: bool = False,
     ) -> None:
         """``memoize_views=False`` disables the per-instance reference-object
         memoization of Section 6.3 (ablation D1); ``eager_views=True``
@@ -199,6 +201,10 @@ class Interp:
             else "compiled" if self.compiled
             else "walker"
         )
+        #: deterministic per-jns-line profiling (see repro.profiler):
+        #: compilers plant statement hooks, the walker swaps in a
+        #: counting exec_stmt — unprofiled interpreters pay nothing
+        self.line_profile = bool(line_profile)
         self.spec = None
         self._compiler = None
         self._cg = None
@@ -263,6 +269,11 @@ class Interp:
             # only when a budget is set, so fuel tracking costs nothing
             # on ordinary runs.
             self.eval = self._eval_counting  # type: ignore[method-assign]
+        if self.line_profile:
+            # Same zero-overhead trick for the walker tier's line
+            # profiler: recursion goes through the bound attribute, so
+            # every executed statement takes one hit.
+            self.exec_stmt = self._exec_stmt_profiled  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # entry points
@@ -657,6 +668,8 @@ class Interp:
         return fn
 
     def _lookup_method(self, path: Path, name: str):
+        if PROFILER.enabled:
+            PROFILER.dispatch_hit()
         # All modes dispatch through the loader; mode differences live in
         # the loader itself (jx re-synthesizes the table on every call).
         # In cached-loader modes the (view path, method name) dispatch
@@ -745,6 +758,15 @@ class Interp:
             return
         raise JnsRuntimeError(f"unknown statement {s!r}")
 
+    def _exec_stmt_profiled(self, s: ast.Stmt, frame: Dict[str, Any]) -> None:
+        """Installed over ``exec_stmt`` when ``line_profile`` is set:
+        counts one statement entry per executed non-block statement,
+        which also anchors anonymous profiler events to this line."""
+        cls = type(s)
+        if cls is not ast.Block and cls is not ast.Empty and s.pos[0]:
+            PROFILER.stmt_hit(s.pos[0])
+        Interp.exec_stmt(self, s, frame)
+
     # ------------------------------------------------------------------
     # expressions
     # ------------------------------------------------------------------
@@ -829,6 +851,8 @@ class Interp:
         # J&s mode: fclass-keyed storage + lazy implicit view change
         if TRACER.enabled:
             TRACER.count("mask.check")
+        if PROFILER.enabled:
+            PROFILER.mask_hit()
         if name in view.masks:
             if TRACER.enabled:
                 TRACER.event(
@@ -1149,6 +1173,8 @@ class Interp:
     def _adapt(self, ref: Ref, target: Type) -> Ref:
         """The run-time ``view`` function with memoized reference objects
         (Section 6.3)."""
+        if PROFILER.enabled:
+            PROFILER.view_hit()
         current = ref.view
         t_pure = target.pure()
         masks = target.masks

@@ -28,6 +28,9 @@ check     ``session``                    ``diagnostics`` (list of diagnostic
                                          accounting), ``ok`` = no errors
 run       ``session, entry?,             ``result``, ``output`` (printed
           backend?``                     lines), ``backend`` (resolved name)
+profile   ``session, entry?,             ``profile`` (the per-line attribution
+          backend?, args?``              table, ``repro profile --json``
+                                         shape), ``backend``
 explain   ``session, query``             ``explain`` (the ``repro explain
                                          --json`` payload)
 stats     ``session?``                   per-session or service-wide stats
@@ -62,7 +65,10 @@ tagged with the op / session / trace ids, the ``serve.request.{ok,error}``
 counters bump, and per-op latencies land in ``serve.latency.<op>``
 histograms.  Independently of the tracer, a labeled
 :class:`~repro.telemetry.MetricsRegistry` is always on: per-op
-request counters and latency histograms, session gauges, and per-session
+request counters and latency histograms (``run`` and ``profile``
+requests are additionally labeled with the resolved ``backend=``, so
+per-backend rates and latencies stay separable), session gauges, and
+per-session
 query-cache gauges (hits / misses / green revalidations) refreshed after
 every ``check``.  The ``metrics`` op returns the cumulative snapshot
 (scrapes never reset state), and ``repro serve --metrics-port`` exposes
@@ -222,10 +228,17 @@ class CheckService:
         # `check` answers ok=False for mere diagnostics; only a missing
         # handler or a raised error counts as a failed *request*.
         outcome = "error" if "error" in resp else "ok"
-        self.metrics.inc("serve_requests_total", op=opname, outcome=outcome,
-                         help="serve requests by op and outcome")
-        self.metrics.observe("serve_request_seconds", elapsed, op=opname,
-                             help="serve request latency by op")
+        labels: Dict[str, str] = {"op": opname, "outcome": outcome}
+        if isinstance(resp.get("backend"), str):
+            # `run` and `profile` answer with the resolved backend name;
+            # labeling the request metrics by it keeps per-backend request
+            # rates and latency separable (4 backends x 2 outcomes stays
+            # far inside the per-family series cap)
+            labels["backend"] = resp["backend"]
+        self.metrics.inc("serve_requests_total",
+                         help="serve requests by op and outcome", **labels)
+        self.metrics.observe("serve_request_seconds", elapsed,
+                             help="serve request latency by op", **labels)
         if TRACER.enabled:
             TRACER.count("serve.request")
             TRACER.count(f"serve.request.{outcome}")
@@ -330,6 +343,55 @@ class CheckService:
                 "output": interp.output[printed_before:],
                 "backend": interp.backend,
             }
+
+    def _op_profile(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Line-level profile of an entry point against the session's
+        *current* source: the deterministic per-line event counters
+        (statement hits, dispatches, view changes, mask checks) on the
+        requested tier.  The profiler's counters are process-global, so
+        :data:`repro.profiler.PROFILE_LOCK` serializes concurrent
+        profile requests across sessions — they queue, never blend.
+        Sampling is deliberately off here (a wall-clock sampler thread
+        per request is the wrong shape for a shared service)."""
+        from . import profiler
+        from .errors import JnsError
+        from .runtime.interp import BACKENDS
+
+        sess = self._get(req.get("session"))
+        entry = req.get("entry", "Main.main")
+        if not isinstance(entry, str) or "." not in entry:
+            raise KeyError("profile requires 'entry' of the form Class.method")
+        backend = req.get("backend", "specialized")
+        if backend not in BACKENDS:
+            raise KeyError(
+                f"unknown backend {backend!r} (choices: {', '.join(BACKENDS)})"
+            )
+        pargs = req.get("args", [])
+        if not isinstance(pargs, list) or not all(
+            isinstance(a, int) and not isinstance(a, bool) for a in pargs
+        ):
+            raise KeyError("profile 'args' must be a list of integers")
+        with sess.lock:
+            sink = sess.checker.check()
+            if sink.has_errors:
+                return {
+                    "ok": False,
+                    "error": f"program has {len(sink.errors)} check error(s)",
+                }
+            source = sess.checker.source
+            file = sess.checker.file
+        try:
+            report = profiler.profile_source(
+                source,
+                file=file,
+                entry=entry,
+                args=tuple(pargs),
+                det_backend=backend,
+                sample=False,
+            )
+        except JnsError as exc:
+            return {"ok": False, "error": str(exc)}
+        return {"ok": True, "backend": backend, "profile": report.to_dict()}
 
     def _refresh_session_gauges(self, sess: _Session) -> None:
         """Publish the session's query-cache and incremental-accounting

@@ -695,6 +695,26 @@ class TestCollapsedStacks:
         with pytest.raises(ValueError):
             t.to_collapsed(weight="bogus")
 
+    def test_structural_characters_in_labels_are_escaped(self):
+        # ';' separates frames and whitespace separates the stack from
+        # its weight in the collapsed format — a span label containing
+        # either must fold as ONE frame, not shear the line apart
+        t = Tracer()
+        t.enable()
+        with t.span("check A; B"):
+            with t.span("phase\ttwo words"):
+                pass
+        text = t.to_collapsed(weight="count")
+        folds = dict(
+            line.rsplit(" ", 1) for line in text.strip().splitlines()
+        )
+        assert folds["check_A:_B"] == "1"
+        assert folds["check_A:_B;phase_two_words"] == "1"
+        # every line is exactly "frames SPACE weight"
+        for line in text.strip().splitlines():
+            stack, value = line.rsplit(" ", 1)
+            assert " " not in stack and int(value) >= 0
+
     def test_cli_flame_flag_writes_folds(self, tmp_path, capsys):
         from repro.cli import main as cli_main
 

@@ -1,0 +1,523 @@
+"""Source-level profiler tests: jns source maps on the emitted code,
+deterministic per-line event counters across every backend, sampling
+attribution through the codegen tier, the report surfaces, and the
+bench-history regression gate."""
+
+import json
+import linecache
+import subprocess
+import sys
+
+import pytest
+
+from repro import benchtrack
+from repro.api import compile_program
+from repro.cli import main as cli_main
+from repro.profiler import (
+    PROFILER,
+    EmittedSource,
+    fold_label,
+    merge_reports,
+    profile_source,
+    run_deterministic,
+)
+from repro.runtime.interp import BACKENDS
+
+# Fig. 5-style masked field behind a view change, plus a loop so the
+# deterministic counters and the sampler both have somewhere to land.
+MASKED_LOOP = """
+class F0 {
+  class A {
+    int x = 5;
+    int get() { return x; }
+  }
+}
+class F1 extends F0 {
+  class A shares F0.A {
+    int y;
+    int get() { return x + y; }
+  }
+}
+class Main {
+  int main() {
+    F0!.A a = new F0.A();
+    F1!.A\\y v = (view F1!.A\\y)a;
+    v.y = 37;
+    int t = 0;
+    int i = 0;
+    while (i < 50) {
+      t = t + a.get() + v.get();
+      i = i + 1;
+    }
+    return t;
+  }
+}
+"""
+
+
+# ----------------------------------------------------------------------
+# fold labels
+# ----------------------------------------------------------------------
+
+
+class TestFoldLabel:
+    def test_semicolons_and_whitespace_escaped(self):
+        assert fold_label("a;b c\td") == "a:b_c_d"
+
+    def test_newlines_escaped(self):
+        assert fold_label("a\nb") == "a_b"
+
+    def test_empty_becomes_anonymous(self):
+        assert fold_label("") == "(anonymous)"
+
+    def test_clean_label_unchanged(self):
+        assert fold_label("Main.run:24") == "Main.run:24"
+
+
+# ----------------------------------------------------------------------
+# source maps on the emitted python
+# ----------------------------------------------------------------------
+
+
+class TestSourceMaps:
+    def _cg(self):
+        interp = compile_program(MASKED_LOOP).interp(
+            mode="jns", backend="codegen"
+        )
+        # a keeps the F0 view (get -> 5); v sees the shared field (42)
+        assert interp.run("Main.main") == 50 * (5 + 42)
+        return interp._cg
+
+    def test_sources_are_emitted_source_strings(self):
+        cg = self._cg()
+        src = cg.sources["Main.main"]
+        assert isinstance(src, EmittedSource)
+        assert isinstance(src, str)  # str-compat for substring asserts
+        assert src.label == "Main.main"
+        assert src.filename == "<jns:Main.main>"
+
+    def test_linemap_covers_every_emitted_line(self):
+        cg = self._cg()
+        src = cg.sources["Main.main"]
+        # one linemap slot per emitted python line, 1-based via resolve()
+        assert len(src.linemap) == len(str(src).splitlines())
+
+    def test_resolve_maps_python_lines_to_jns_positions(self):
+        cg = self._cg()
+        src = cg.sources["Main.main"]
+        positions = {
+            src.resolve(i) for i in range(1, len(src.linemap) + 1)
+        }
+        positions.discard(None)
+        assert positions, "no python line resolved to a jns span"
+        jns_lines = {pos[0] for pos in positions}
+        # the while loop (condition + body) must be attributed
+        assert jns_lines & {21, 22, 23}
+
+    def test_header_resolves_to_declaration(self):
+        cg = self._cg()
+        src = cg.sources["Main.main"]
+        # the def header (python line 1) carries the declaration's span,
+        # so samples taken at function entry still resolve
+        assert src.resolve(1) is not None
+
+    def test_by_filename_index_and_linecache(self):
+        cg = self._cg()
+        src = cg.sources["Main.main"]
+        assert cg.by_filename[src.filename] is src
+        # tracebacks through the emitted code can show source lines
+        assert linecache.getline(src.filename, 1).startswith("def ")
+
+    def test_out_of_range_resolve_is_none(self):
+        cg = self._cg()
+        src = cg.sources["Main.main"]
+        assert src.resolve(0) is None
+        assert src.resolve(len(src.linemap) + 10) is None
+
+
+# ----------------------------------------------------------------------
+# deterministic counters: a cross-backend invariant
+# ----------------------------------------------------------------------
+
+
+class TestDeterministicParity:
+    def _snapshots(self):
+        program = compile_program(MASKED_LOOP)
+        snaps = {}
+        results = set()
+        for backend in BACKENDS:
+            snap, result = run_deterministic(
+                program, entry="Main.main", backend=backend
+            )
+            snaps[backend] = snap
+            results.add(result)
+        assert len(results) == 1
+        return snaps
+
+    def test_steps_mask_view_agree_across_all_backends(self):
+        snaps = self._snapshots()
+        base = snaps["walker"]
+        for backend, snap in snaps.items():
+            for col in ("steps", "mask", "view"):
+                assert snap[col] == base[col], (backend, col)
+
+    def test_loop_body_is_the_hot_line(self):
+        snaps = self._snapshots()
+        steps = snaps["walker"]["steps"]
+        # the two while-body statements step once per iteration; the
+        # straight-line prologue steps once
+        assert steps[22] == 50 and steps[23] == 50
+        assert steps[16] == 1
+
+    def test_mask_checks_attributed_to_get_calls(self):
+        snaps = self._snapshots()
+        mask = snaps["walker"]["mask"]
+        assert sum(mask.values()) > 0
+        # every mask check lands on a line that also stepped
+        assert set(mask) <= set(snaps["walker"]["steps"])
+
+    def test_dispatch_elision_is_visible(self):
+        # dispatch is deliberately NOT invariant: it counts megamorphic
+        # lookups, and the optimizing tiers exist to elide them
+        snaps = self._snapshots()
+        walker = sum(snaps["walker"]["dispatch"].values())
+        codegen = sum(snaps["codegen"]["dispatch"].values())
+        assert walker >= codegen
+
+    def test_profiler_disabled_after_run(self):
+        program = compile_program(MASKED_LOOP)
+        run_deterministic(program, entry="Main.main", backend="walker")
+        assert not PROFILER.enabled
+
+    def test_unprofiled_interp_emits_no_hits(self):
+        program = compile_program(MASKED_LOOP)
+        interp = program.interp(mode="jns", backend="codegen")
+        assert interp.run("Main.main") > 0
+        assert "_pfh(" not in str(interp._cg.sources["Main.main"])
+
+    def test_profiled_interp_emits_hit_calls(self):
+        program = compile_program(MASKED_LOOP)
+        interp = program.interp(
+            mode="jns", backend="codegen", line_profile=True
+        )
+        assert interp.run("Main.main") > 0
+        assert "_pfh(" in str(interp._cg.sources["Main.main"])
+
+
+# ----------------------------------------------------------------------
+# sampling profiler: the >=95% attribution gate
+# ----------------------------------------------------------------------
+
+
+class TestSamplingAttribution:
+    @pytest.mark.parametrize("name,args", [("treeadd", (8, 2))])
+    def test_jolden_resolution_gate(self, name, args):
+        from repro.programs import jolden
+
+        mod = jolden.BY_NAME[name]
+        report = profile_source(
+            mod.SOURCE,
+            file=f"jolden:{name}",
+            entry="Main.run",
+            args=args,
+            det_backend="specialized",
+            sample=True,
+            interval=0.0005,
+            min_samples=40,
+        )
+        assert report.samples_total >= 40
+        assert report.jns_samples > 0
+        # the acceptance gate: >=95% of codegen-tier samples resolve
+        # through the source map to a valid jns span
+        assert report.resolution >= 0.95
+        # resolved lines really are source lines
+        n_lines = len(mod.SOURCE.splitlines())
+        assert all(0 < ln <= n_lines for ln in report.self_samples)
+
+    def test_sampler_agrees_with_deterministic_on_hot_line(self):
+        from repro.programs import jolden
+
+        mod = jolden.BY_NAME["treeadd"]
+        report = profile_source(
+            mod.SOURCE,
+            entry="Main.run",
+            args=(8, 2),
+            det_backend="walker",
+            sample=True,
+            interval=0.0005,
+            min_samples=20,
+        )
+        stepped = set(report.det["steps"])
+        sampled = sorted(
+            report.self_samples, key=report.self_samples.get, reverse=True
+        )
+        # the hottest sampled line is one the deterministic profiler
+        # also stepped (merged rows align on the same jns lines)
+        assert sampled[0] in stepped
+
+    def test_folds_are_escaped_jns_frames(self):
+        from repro.programs import jolden
+
+        mod = jolden.BY_NAME["treeadd"]
+        report = profile_source(
+            mod.SOURCE,
+            entry="Main.run",
+            args=(7, 2),
+            sample=True,
+            interval=0.0005,
+            min_samples=10,
+        )
+        assert report.folds
+        for key in report.folds:
+            for frame in key:
+                assert ";" not in frame
+                assert not any(c.isspace() for c in frame)
+
+
+# ----------------------------------------------------------------------
+# the merged report
+# ----------------------------------------------------------------------
+
+
+class TestReport:
+    def _report(self):
+        program = compile_program(MASKED_LOOP)
+        snap, _ = run_deterministic(program, entry="Main.main")
+        return merge_reports(
+            MASKED_LOOP, "<test>", snap, None, backend_det="specialized"
+        )
+
+    def test_render_text_has_heat_and_columns(self):
+        text = self._report().render_text()
+        assert "steps" in text and "mask" in text and "view" in text
+        assert "█" in text  # the hottest line gets the full heat bar
+
+    def test_render_text_context_collapses(self):
+        text = self._report().render_text(context=1)
+        assert "..." in text  # unattributed stretches collapse
+
+    def test_to_dict_shape(self):
+        d = self._report().to_dict()
+        assert d["backend_det"] == "specialized"
+        assert d["resolution"] == 1.0  # no sampler -> trivially resolved
+        assert d["lines"]
+        row = d["lines"][0]
+        for key in ("line", "steps", "text"):
+            assert key in row
+
+    def test_render_html_is_self_contained(self):
+        html = self._report().render_html()
+        assert html.startswith("<!DOCTYPE html>") or "<html" in html
+        assert "<script" not in html
+        assert "<details" in html
+
+
+# ----------------------------------------------------------------------
+# emitted-source determinism (two fresh processes)
+# ----------------------------------------------------------------------
+
+_DUMP_SOURCES = """
+import sys
+sys.path.insert(0, {src_path!r})
+from repro.api import compile_program
+program = compile_program({source!r})
+interp = program.interp(mode="jns", backend="codegen")
+interp.run("Main.main")
+for label in sorted(interp._cg.sources):
+    src = interp._cg.sources[label]
+    sys.stdout.write(f"== {{label}} {{src.filename}}\\n")
+    sys.stdout.write(str(src))
+    sys.stdout.write(repr(list(src.linemap)) + "\\n")
+"""
+
+
+class TestEmittedDeterminism:
+    def test_sources_byte_identical_across_processes(self, tmp_path):
+        import os
+
+        src_path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+        )
+        script = _DUMP_SOURCES.format(src_path=src_path, source=MASKED_LOOP)
+        outs = []
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
+        assert "== Main.main <jns:Main.main>" in outs[0]
+
+
+# ----------------------------------------------------------------------
+# CLI surfaces
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def masked_file(tmp_path):
+    path = tmp_path / "masked.jns"
+    path.write_text(MASKED_LOOP)
+    return str(path)
+
+
+class TestProfileCli:
+    def test_json_output(self, masked_file, capsys):
+        assert cli_main(
+            ["profile", masked_file, "--no-sample", "--json"]
+        ) == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["lines"] and d["resolution"] == 1.0
+
+    def test_text_heatmap(self, masked_file, capsys):
+        assert cli_main(["profile", masked_file, "--no-sample"]) == 0
+        out = capsys.readouterr().out
+        assert "steps" in out and "source" in out
+
+    def test_html_report(self, masked_file, tmp_path, capsys):
+        out = tmp_path / "profile.html"
+        assert cli_main(
+            ["profile", masked_file, "--no-sample", "--html", str(out)]
+        ) == 0
+        html = out.read_text()
+        assert "<details" in html and "<script" not in html
+
+    def test_flame_folds_escaped(self, tmp_path, capsys):
+        out = tmp_path / "folds.txt"
+        assert cli_main(
+            [
+                "profile",
+                "jolden:treeadd",
+                "--args", "7", "2",
+                "--min-samples", "5",
+                "--interval", "0.5",
+                "--flame", str(out),
+            ]
+        ) == 0
+        for line in out.read_text().splitlines():
+            stack, value = line.rsplit(" ", 1)
+            assert int(value) > 0
+            assert " " not in stack
+
+    def test_unknown_jolden_driver(self, capsys):
+        assert cli_main(["profile", "jolden:nope", "--no-sample"]) == 2
+
+    def test_check_error_renders_diagnostic(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jns"
+        bad.write_text('class Main { int main() { return "oops"; } }')
+        assert cli_main(["profile", str(bad), "--no-sample"]) == 1
+
+    def test_run_line_profile_flag(self, masked_file, capsys):
+        assert cli_main(["run", masked_file, "--line-profile"]) == 0
+        err = capsys.readouterr().err
+        assert "steps" in err and "heat" in err
+
+
+# ----------------------------------------------------------------------
+# bench history + regression gate
+# ----------------------------------------------------------------------
+
+
+def _entry(sha, **metrics):
+    return {
+        "sha": sha,
+        "date": "2026-01-01T00:00:00+00:00",
+        "benchmarks": {"BENCH_x": dict(metrics)},
+    }
+
+
+class TestBenchtrack:
+    def test_metric_direction(self):
+        assert benchtrack.metric_direction("a.seconds_warm") == -1
+        assert benchtrack.metric_direction("a.estimated_disabled_overhead") == -1
+        assert benchtrack.metric_direction("a.speedup_vs_walker") == 1
+        assert benchtrack.metric_direction("a.requests_per_s") == 1
+        assert benchtrack.metric_direction("a.iterations") is None
+
+    def test_direction_checked_on_leaf_only(self):
+        # a "speedup" container must not flip a leaf's direction
+        assert benchtrack.metric_direction("speedup.iterations") is None
+
+    def test_flatten(self):
+        flat = benchtrack.flatten(
+            {"results": {"d": {"seconds": 1.5, "name": "x", "ok": True}}}
+        )
+        assert flat == {"results.d.seconds": 1.5}
+
+    def test_append_and_dedup(self, tmp_path):
+        root = tmp_path
+        (root / "BENCH_x.json").write_text(json.dumps({"seconds": 2.0}))
+        first = benchtrack.append_history(str(root), sha="abc")
+        assert first is not None
+        # identical sha + numbers -> skipped
+        assert benchtrack.append_history(str(root), sha="abc") is None
+        # force appends anyway
+        assert benchtrack.append_history(
+            str(root), sha="abc", force=True
+        ) is not None
+        entries = benchtrack.load_history(
+            str(root / benchtrack.HISTORY_NAME)
+        )
+        assert len(entries) == 2
+
+    def test_diff_flags_regression(self):
+        lines, regressions = benchtrack.diff_entries(
+            _entry("a", seconds_warm=1.0),
+            _entry("b", seconds_warm=2.0),
+            threshold=0.25,
+        )
+        assert len(regressions) == 1
+        assert any(line.startswith("REGRESSION") for line in lines)
+
+    def test_diff_improvement_not_flagged(self):
+        _, regressions = benchtrack.diff_entries(
+            _entry("a", seconds_warm=2.0),
+            _entry("b", seconds_warm=1.0),
+        )
+        assert regressions == []
+
+    def test_diff_unknown_direction_informational(self):
+        lines, regressions = benchtrack.diff_entries(
+            _entry("a", iterations=10.0),
+            _entry("b", iterations=100.0),
+        )
+        assert regressions == []
+        assert any("iterations" in line for line in lines)
+
+    def test_bench_diff_short_history_ok(self, tmp_path):
+        status, lines = benchtrack.bench_diff(str(tmp_path / "none.jsonl"))
+        assert status == 0 and "need two" in lines[0]
+
+    def test_bench_diff_cli_gate(self, tmp_path, capsys):
+        hist = tmp_path / "h.jsonl"
+        with open(hist, "w") as fh:
+            fh.write(json.dumps(_entry("a", seconds_warm=1.0)) + "\n")
+            fh.write(json.dumps(_entry("b", seconds_warm=2.0)) + "\n")
+        assert cli_main(["bench-diff", "--history", str(hist)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_diff_cli_threshold(self, tmp_path, capsys):
+        hist = tmp_path / "h.jsonl"
+        with open(hist, "w") as fh:
+            fh.write(json.dumps(_entry("a", seconds_warm=1.0)) + "\n")
+            fh.write(json.dumps(_entry("b", seconds_warm=2.0)) + "\n")
+        assert cli_main(
+            ["bench-diff", "--history", str(hist), "--threshold", "1.5"]
+        ) == 0
+
+    def test_repo_history_seeded(self):
+        import os
+
+        root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        entries = benchtrack.load_history(
+            os.path.join(root, benchtrack.HISTORY_NAME)
+        )
+        assert entries, "BENCH_history.jsonl must ship seeded"
+        assert entries[-1]["benchmarks"]

@@ -141,3 +141,35 @@ class TestMultiline:
 
     def test_needs_more_ignores_braces_in_strings(self):
         assert not ReplSession.needs_more('Sys.print("{");')
+
+
+class TestLineProfile:
+    def test_lines_toggle_and_table(self, session):
+        session.feed(
+            "class A { int f() { int i = 0; int t = 0; "
+            "while (i < 5) { t = t + i; i = i + 1; } return t; } }"
+        )
+        out = session.feed(":lines on")
+        assert "line profiling on" in out[0]
+        out = session.feed("new A().f()")
+        assert out[0] == "10"  # the value still prints first
+        assert any("steps" in line for line in out)
+        assert any("█" in line for line in out)
+
+    def test_bare_lines_reshows_last_table(self, session):
+        session.feed("class A { int f() { return 3; } }")
+        session.feed(":lines on")
+        ran = session.feed("new A().f()")
+        again = session.feed(":lines")
+        assert again == ran[1:]  # the table, minus the printed value
+
+    def test_bare_lines_before_any_run(self, session):
+        assert "no line profile yet" in session.feed(":lines")[0]
+
+    def test_lines_off(self, session):
+        session.feed(":lines on")
+        out = session.feed(":lines off")
+        assert "off" in out[0]
+        session.feed("class A { int f() { return 3; } }")
+        out = session.feed("new A().f()")
+        assert out == ["3"]

@@ -391,3 +391,138 @@ def test_concurrent_sessions_get_distinct_trace_tids(server):
     finally:
         obs.disable()
         obs.TRACER.reset()
+
+
+# ----------------------------------------------------------------------
+# the profile op and per-backend request metrics
+# ----------------------------------------------------------------------
+
+PROF_SRC = """\
+class F0 {
+  class A {
+    int x = 5;
+    int get() { return x; }
+  }
+}
+class F1 extends F0 {
+  class A shares F0.A {
+    int y;
+    int get() { return x + y; }
+  }
+}
+class Main {
+  int main() {
+    F0!.A a = new F0.A();
+    F1!.A\\y v = (view F1!.A\\y)a;
+    v.y = 2;
+    int t = 0;
+    int i = 0;
+    while (i < 10) { t = t + a.get() + v.get(); i = i + 1; }
+    return t;
+  }
+}
+"""
+
+
+class TestProfileOp:
+    def _svc(self):
+        svc = CheckService()
+        assert svc.handle(
+            {"op": "open", "session": "p", "source": PROF_SRC}
+        )["ok"]
+        return svc
+
+    def test_profile_returns_attribution_table(self):
+        svc = self._svc()
+        resp = svc.handle({"op": "profile", "session": "p"})
+        assert resp["ok"] and resp["backend"] == "specialized"
+        prof = resp["profile"]
+        assert prof["resolution"] == 1.0  # deterministic-only: no samples
+        lines = {row["line"]: row for row in prof["lines"]}
+        # the one-line while on line 20: one loop entry plus its two
+        # body statements stepping once per iteration
+        assert lines[20]["steps"] == 1 + 2 * 10
+        # every profile response carries the request trace id
+        assert "trace" in resp
+
+    def test_profile_on_each_backend(self):
+        svc = self._svc()
+        tables = {}
+        for backend in ("walker", "compiled", "specialized", "codegen"):
+            resp = svc.handle(
+                {"op": "profile", "session": "p", "backend": backend}
+            )
+            assert resp["ok"], resp
+            tables[backend] = {
+                row["line"]: (row["steps"], row["mask"], row["view"])
+                for row in resp["profile"]["lines"]
+            }
+        # steps/mask/view are a backend invariant, through the wire too
+        assert len({repr(sorted(t.items())) for t in tables.values()}) == 1
+
+    def test_profile_unknown_backend_is_an_error(self):
+        svc = self._svc()
+        resp = svc.handle(
+            {"op": "profile", "session": "p", "backend": "llvm"}
+        )
+        assert not resp["ok"] and "unknown backend" in resp["error"]
+
+    def test_profile_rejects_non_integer_args(self):
+        svc = self._svc()
+        resp = svc.handle(
+            {"op": "profile", "session": "p", "args": ["ten"]}
+        )
+        assert not resp["ok"] and "list of integers" in resp["error"]
+
+    def test_profile_refuses_broken_program(self):
+        svc = CheckService()
+        svc.handle({"op": "open", "session": "p",
+                    "source": "class Main { int main() { return x; } }"})
+        resp = svc.handle({"op": "profile", "session": "p"})
+        assert not resp["ok"] and "check error" in resp["error"]
+
+
+class TestBackendLabeledMetrics:
+    def test_run_and_profile_metrics_carry_backend_label(self):
+        svc = CheckService()
+        svc.handle({"op": "open", "session": "p", "source": PROF_SRC})
+        svc.handle({"op": "run", "session": "p", "backend": "codegen"})
+        svc.handle({"op": "profile", "session": "p",
+                    "backend": "specialized"})
+        snap = svc.handle({"op": "metrics"})["metrics"]
+        counters = {
+            (c["labels"]["op"], c["labels"].get("backend")): c["value"]
+            for c in snap["counters"]
+            if c["name"] == "serve_requests_total"
+        }
+        assert counters[("run", "codegen")] == 1
+        assert counters[("profile", "specialized")] == 1
+        # non-run ops stay unlabeled (no backend dimension to report)
+        assert ("open", None) in counters
+        hists = {
+            (h["labels"]["op"], h["labels"].get("backend"))
+            for h in snap["histograms"]
+            if h["name"] == "serve_request_seconds"
+        }
+        assert ("run", "codegen") in hists
+
+    def test_request_series_stay_inside_the_family_cap(self):
+        from repro.telemetry import MAX_SERIES_PER_FAMILY
+
+        svc = CheckService()
+        svc.handle({"op": "open", "session": "p", "source": PROF_SRC})
+        for backend in ("walker", "compiled", "specialized", "codegen"):
+            svc.handle({"op": "run", "session": "p", "backend": backend})
+            svc.handle({"op": "profile", "session": "p",
+                        "backend": backend})
+        for op in ("ping", "check", "stats", "metrics", "frobnicate"):
+            svc.handle({"op": op, "session": "p"})
+        snap = svc.handle({"op": "metrics"})["metrics"]
+        series = [
+            c for c in snap["counters"]
+            if c["name"] == "serve_requests_total"
+        ]
+        # the label space is ops x outcomes (+ backend on run/profile):
+        # structurally far inside the per-family cardinality cap
+        assert len(series) <= MAX_SERIES_PER_FAMILY // 2
+        assert MAX_SERIES_PER_FAMILY == 64
